@@ -1,0 +1,334 @@
+//! Nearest colored ancestors (§3.2) — the paper's novel data structure.
+//!
+//! Nodes carry colors (several per node allowed); `Find(p, c)` returns the
+//! nearest ancestor of `p` (inclusive) colored `c`.
+//!
+//! **Naive variant** ([`ColoredAncestorsNaive`], the paper's naive skeleton
+//! trees): one Lemma 2.7 pass per distinct color — `O(n · |C|)` work,
+//! `O(1)` query.
+//!
+//! **Efficient variant** ([`ColoredAncestors`], the paper's real skeleton
+//! trees + van Emde Boas): per color, the colored nodes' Euler-tour
+//! entry/exit endpoints go into a vEB set. A query takes the predecessor of
+//! `first[p]`: landing on an *entry* endpoint of `u` means `u` encloses `p`
+//! (laminarity: had `u`'s interval closed before `p`, its exit endpoint
+//! would intervene) — answer `u`; landing on an *exit* endpoint of `w`
+//! means the answer is `w`'s own color-parent, precomputed for all colored
+//! nodes with one nearest-larger-values pass. Preprocessing `O(n + C)`
+//! work; queries `O(log log n)` — exactly the paper's trade-off.
+
+use crate::marked::{NearestMarkedAncestor, NONE as NMA_NONE};
+use pardict_graph::{EulerTour, Forest};
+use pardict_pram::{radix_sort_by_key, Pram};
+use pardict_rmq::{ansv_seq, Side, Strictness};
+use pardict_veb::VebTree;
+use std::collections::HashMap;
+
+/// The efficient (real-skeleton + vEB) nearest colored ancestor structure.
+#[derive(Debug)]
+pub struct ColoredAncestors {
+    tour: EulerTour,
+    /// Per color: endpoint set and metadata.
+    per_color: HashMap<u32, PerColor>,
+}
+
+#[derive(Debug)]
+struct PerColor {
+    /// Entry and exit Euler positions of all `c`-colored nodes.
+    endpoints: VebTree,
+    /// Euler position → the colored node with an endpoint there. The only
+    /// possible collision is a leaf's entry with its own exit.
+    role: HashMap<u32, u32>,
+    /// Color-parent: nearest strictly-enclosing same-colored node.
+    up: HashMap<u32, u32>,
+}
+
+
+impl ColoredAncestors {
+    /// Build over `forest` with `colors` = (node, color) pairs (a node may
+    /// appear with several colors). `O(n + C)` work beyond the Euler tour.
+    #[must_use]
+    pub fn build(pram: &Pram, forest: &Forest, colors: &[(usize, u32)], seed: u64) -> Self {
+        let tour = EulerTour::build(pram, forest, seed ^ 0xC010);
+        Self::from_tour(pram, tour, colors)
+    }
+
+    /// Build from an existing Euler tour of the forest.
+    #[must_use]
+    pub fn from_tour(pram: &Pram, tour: EulerTour, colors: &[(usize, u32)]) -> Self {
+        // Group the (node, color) pairs by color with a stable radix sort,
+        // then slice the groups out sequentially (O(C) work).
+        let sorted = radix_sort_by_key(pram, colors, |&(_, c)| u64::from(c));
+        pram.ledger().round(sorted.len() as u64);
+
+        let mut per_color: HashMap<u32, PerColor> = HashMap::new();
+        let universe = tour.seq.len().max(1);
+        let mut i = 0usize;
+        while i < sorted.len() {
+            let c = sorted[i].1;
+            let mut j = i;
+            while j < sorted.len() && sorted[j].1 == c {
+                j += 1;
+            }
+            let group = &sorted[i..j];
+
+            // Laminar intervals of this color, ordered by entry position.
+            let by_entry = {
+                let mut g: Vec<usize> = group.iter().map(|&(v, _)| v).collect();
+                g.sort_unstable_by_key(|&v| tour.first[v]);
+                g
+            };
+            pram.ledger().round(group.len() as u64);
+
+            // Color-parents: nearest previous interval (in entry order)
+            // whose exit exceeds mine — with laminarity this is exactly the
+            // nearest *larger* value on the exit array.
+            let lasts: Vec<i64> = by_entry.iter().map(|&v| -(tour.last[v] as i64)).collect();
+            let encl = ansv_seq(&lasts, Side::Left, Strictness::Strict);
+            pram.ledger().round(group.len() as u64);
+
+            let mut endpoints = VebTree::with_universe(universe);
+            let mut role = HashMap::with_capacity(2 * group.len());
+            let mut up = HashMap::with_capacity(group.len());
+            for (k, &v) in by_entry.iter().enumerate() {
+                let (fi, la) = (tour.first[v] as u32, tour.last[v] as u32);
+                endpoints.insert(fi);
+                endpoints.insert(la);
+                role.insert(fi, v as u32);
+                role.insert(la, v as u32);
+                if encl[k] != usize::MAX {
+                    up.insert(v as u32, by_entry[encl[k]] as u32);
+                }
+            }
+            per_color.insert(
+                c,
+                PerColor {
+                    endpoints,
+                    role,
+                    up,
+                },
+            );
+            i = j;
+        }
+        Self { tour, per_color }
+    }
+
+    /// Nearest ancestor of `p` (inclusive) colored `c`. `O(log log n)`.
+    #[must_use]
+    pub fn find(&self, p: usize, c: u32) -> Option<usize> {
+        let pc = self.per_color.get(&c)?;
+        let q = self.tour.first[p] as u32;
+        let e = pc.endpoints.predecessor_or_equal(q)?;
+        let &v = pc.role.get(&e).expect("endpoint has a role");
+        if self.tour.first[v as usize] as u32 <= q && q <= self.tour.last[v as usize] as u32 {
+            // Entry endpoint of a still-open interval: v encloses p.
+            debug_assert!(self.tour.is_ancestor(v as usize, p));
+            Some(v as usize)
+        } else {
+            // v's interval closed before p: the answer is v's color-parent
+            // (no endpoint separates v's exit from p, so the innermost open
+            // c-interval at p is exactly the one that enclosed v).
+            pc.up.get(&v).map(|&u| u as usize)
+        }
+    }
+
+    /// The Euler tour used for numbering (shared with callers).
+    #[must_use]
+    pub fn tour(&self) -> &EulerTour {
+        &self.tour
+    }
+}
+
+/// The naive variant: one Lemma 2.7 structure per distinct color.
+/// `O(n · |C|)` preprocessing work, `O(1)` queries.
+#[derive(Debug)]
+pub struct ColoredAncestorsNaive {
+    per_color: HashMap<u32, NearestMarkedAncestor>,
+}
+
+impl ColoredAncestorsNaive {
+    /// Build over `forest` with `colors` = (node, color) pairs.
+    #[must_use]
+    pub fn build(pram: &Pram, forest: &Forest, colors: &[(usize, u32)], seed: u64) -> Self {
+        let n = forest.len();
+        let mut by_color: HashMap<u32, Vec<usize>> = HashMap::new();
+        pram.ledger().round(colors.len() as u64);
+        for &(v, c) in colors {
+            by_color.entry(c).or_default().push(v);
+        }
+        let mut per_color = HashMap::with_capacity(by_color.len());
+        for (c, nodes) in by_color {
+            let mut marked = vec![false; n];
+            pram.ledger().round(n as u64);
+            for v in nodes {
+                marked[v] = true;
+            }
+            per_color.insert(
+                c,
+                NearestMarkedAncestor::build(pram, forest, &marked, seed ^ u64::from(c)),
+            );
+        }
+        Self { per_color }
+    }
+
+    /// Nearest ancestor of `p` (inclusive) colored `c`. `O(1)`.
+    #[must_use]
+    pub fn find(&self, p: usize, c: u32) -> Option<usize> {
+        let nma = self.per_color.get(&c)?;
+        let a = nma.inclusive(p);
+        if a == NMA_NONE {
+            None
+        } else {
+            Some(a)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pardict_pram::{Pram, SplitMix64};
+
+    fn oracle(parent: &[usize], colors: &[(usize, u32)], p: usize, c: u32) -> Option<usize> {
+        let colored = |v: usize| colors.iter().any(|&(w, cc)| w == v && cc == c);
+        let mut v = p;
+        loop {
+            if colored(v) {
+                return Some(v);
+            }
+            if parent[v] == v {
+                return None;
+            }
+            v = parent[v];
+        }
+    }
+
+    fn check(parent: &[usize], colors: &[(usize, u32)], num_colors: u32) {
+        let pram = Pram::seq();
+        let f = Forest::from_parents(&pram, parent);
+        let fast = ColoredAncestors::build(&pram, &f, colors, 11);
+        let naive = ColoredAncestorsNaive::build(&pram, &f, colors, 11);
+        for p in 0..parent.len() {
+            for c in 0..num_colors {
+                let want = oracle(parent, colors, p, c);
+                assert_eq!(fast.find(p, c), want, "fast p={p} c={c}");
+                assert_eq!(naive.find(p, c), want, "naive p={p} c={c}");
+            }
+        }
+    }
+
+    #[test]
+    fn small_tree_two_colors() {
+        //      0(c0)
+        //    /      \
+        //   1(c1)    2
+        //  / \        \
+        // 3   4(c0,c1) 5
+        let parent = vec![0, 0, 0, 1, 1, 2];
+        let colors = vec![(0, 0), (1, 1), (4, 0), (4, 1)];
+        check(&parent, &colors, 3);
+    }
+
+    #[test]
+    fn chain_with_alternating_colors() {
+        let n = 100;
+        let parent: Vec<usize> = (0..n).map(|v: usize| v.saturating_sub(1)).collect();
+        let colors: Vec<(usize, u32)> = (0..n).map(|v| (v, (v % 3) as u32)).collect();
+        check(&parent, &colors, 4);
+    }
+
+    #[test]
+    fn unknown_color_returns_none() {
+        let pram = Pram::seq();
+        let f = Forest::from_parents(&pram, &[0, 0]);
+        let fast = ColoredAncestors::build(&pram, &f, &[(1, 7)], 1);
+        assert_eq!(fast.find(0, 99), None);
+        assert_eq!(fast.find(0, 7), None);
+        assert_eq!(fast.find(1, 7), Some(1));
+    }
+
+    #[test]
+    fn random_trees_random_colors() {
+        let mut rng = SplitMix64::new(31);
+        for _ in 0..4 {
+            let n = 150;
+            let parent: Vec<usize> = (0..n)
+                .map(|v: usize| {
+                    if v == 0 {
+                        0
+                    } else {
+                        rng.next_below(v as u64) as usize
+                    }
+                })
+                .collect();
+            let num_colors = 5;
+            let mut colors = Vec::new();
+            for v in 0..n {
+                if rng.next_below(3) == 0 {
+                    colors.push((v, rng.next_below(num_colors) as u32));
+                }
+                if rng.next_below(10) == 0 {
+                    colors.push((v, rng.next_below(num_colors) as u32));
+                }
+            }
+            colors.dedup();
+            check(&parent, &colors, num_colors as u32);
+        }
+    }
+
+    #[test]
+    fn forest_queries_stay_in_tree() {
+        // Two trees; color only in the first.
+        let parent = vec![0, 0, 1, 3, 3];
+        let colors = vec![(0, 0), (1, 0)];
+        check(&parent, &colors, 1);
+    }
+
+    #[test]
+    fn deep_nesting_same_color() {
+        // All nodes one color: answers are the node itself.
+        let n = 60;
+        let parent: Vec<usize> = (0..n).map(|v: usize| v.saturating_sub(1)).collect();
+        let colors: Vec<(usize, u32)> = (0..n).map(|v| (v, 0)).collect();
+        check(&parent, &colors, 1);
+    }
+
+    #[test]
+    fn efficient_work_beats_naive_with_many_colors() {
+        let n = 4000usize;
+        let mut rng = SplitMix64::new(9);
+        let parent: Vec<usize> = (0..n)
+            .map(|v: usize| {
+                if v == 0 {
+                    0
+                } else {
+                    rng.next_below(v as u64) as usize
+                }
+            })
+            .collect();
+        let num_colors = 64u64;
+        let mut colors: Vec<(usize, u32)> = Vec::new();
+        for v in 0..n {
+            if rng.next_below(2) == 0 {
+                colors.push((v, rng.next_below(num_colors) as u32));
+            }
+        }
+
+        let pram_fast = Pram::seq();
+        let f = Forest::from_parents(&pram_fast, &parent);
+        let before = pram_fast.cost();
+        let _ = ColoredAncestors::build(&pram_fast, &f, &colors, 1);
+        let fast_work = pram_fast.cost().since(before).work;
+
+        let pram_naive = Pram::seq();
+        let f2 = Forest::from_parents(&pram_naive, &parent);
+        let before = pram_naive.cost();
+        let _ = ColoredAncestorsNaive::build(&pram_naive, &f2, &colors, 1);
+        let naive_work = pram_naive.cost().since(before).work;
+
+        assert!(
+            fast_work * 4 < naive_work,
+            "expected ≥4x preprocessing gap, fast={fast_work} naive={naive_work}"
+        );
+    }
+}

@@ -1,0 +1,115 @@
+#![warn(missing_docs)]
+
+//! # pardict-ancestors — marked and colored ancestor queries
+//!
+//! Two tree primitives the paper's dictionary matcher is built on:
+//!
+//! * [`NearestMarkedAncestor`] — Lemma 2.7: given a rooted forest with some
+//!   nodes marked, find every node's nearest marked ancestor in `O(n)` work
+//!   and `O(log n)` depth (used by Step 2A's pattern-prefix lookup).
+//! * [`ColoredAncestors`] / [`ColoredAncestorsNaive`] — §3.2, the paper's
+//!   novel primitive: nodes carry *colors* (here: "has an `a`-Weiner-link"),
+//!   and `Find(p, c)` returns the nearest ancestor of `p` colored `c`.
+//!   The naive variant spends `O(n·|C|)` preprocessing work for `O(1)`
+//!   queries; the efficient variant spends `O(n + C)` (C = total color
+//!   count) for `O(log log n)` queries via van Emde Boas predecessor search
+//!   over Euler-tour numbers — the exact trade-off the paper proves, and
+//!   experiment E7's ablation.
+//!
+//! ```
+//! use pardict_pram::Pram;
+//! use pardict_graph::Forest;
+//! use pardict_ancestors::ColoredAncestors;
+//!
+//! let pram = Pram::seq();
+//! // Path 0 ← 1 ← 2 ← 3; node 0 is red (0), node 2 is blue (1).
+//! let f = Forest::from_parents(&pram, &[0, 0, 1, 2]);
+//! let ca = ColoredAncestors::build(&pram, &f, &[(0, 0), (2, 1)], 9);
+//! assert_eq!(ca.find(3, 0), Some(0)); // nearest red ancestor
+//! assert_eq!(ca.find(3, 1), Some(2)); // nearest blue ancestor
+//! assert_eq!(ca.find(1, 1), None);
+//! ```
+
+mod colored;
+mod marked;
+
+pub use colored::{ColoredAncestors, ColoredAncestorsNaive};
+pub use marked::NearestMarkedAncestor;
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use pardict_graph::Forest;
+    use pardict_pram::{Pram, SplitMix64};
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn both_colored_variants_match_chain_walk(
+            seed in 0u64..10_000,
+            n in 2usize..160,
+            ncolors in 1u32..6,
+            density in 1u64..4,
+        ) {
+            let mut rng = SplitMix64::new(seed);
+            let parent: Vec<usize> = (0..n)
+                .map(|v| if v == 0 { 0 } else { rng.next_below(v as u64) as usize })
+                .collect();
+            let mut colors = Vec::new();
+            for v in 0..n {
+                if rng.next_below(4) < density {
+                    colors.push((v, rng.next_below(u64::from(ncolors)) as u32));
+                }
+            }
+            let pram = Pram::seq();
+            let f = Forest::from_parents(&pram, &parent);
+            let fast = ColoredAncestors::build(&pram, &f, &colors, seed);
+            let naive = ColoredAncestorsNaive::build(&pram, &f, &colors, seed);
+            for _ in 0..50 {
+                let p = rng.next_below(n as u64) as usize;
+                let c = rng.next_below(u64::from(ncolors)) as u32;
+                // Chain-walk oracle.
+                let mut want = None;
+                let mut u = p;
+                loop {
+                    if colors.iter().any(|&(w, cc)| w == u && cc == c) {
+                        want = Some(u);
+                        break;
+                    }
+                    if parent[u] == u {
+                        break;
+                    }
+                    u = parent[u];
+                }
+                prop_assert_eq!(fast.find(p, c), want);
+                prop_assert_eq!(naive.find(p, c), want);
+            }
+        }
+
+        #[test]
+        fn marked_ancestors_match_chain_walk(seed in 0u64..10_000, n in 1usize..200) {
+            let mut rng = SplitMix64::new(seed);
+            let parent: Vec<usize> = (0..n)
+                .map(|v| if v == 0 { 0 } else { rng.next_below(v as u64) as usize })
+                .collect();
+            let marked: Vec<bool> = (0..n).map(|_| rng.next_below(3) == 0).collect();
+            let pram = Pram::seq();
+            let f = Forest::from_parents(&pram, &parent);
+            let nma = NearestMarkedAncestor::build(&pram, &f, &marked, seed);
+            for v in 0..n {
+                let mut u = v;
+                let mut want = usize::MAX;
+                while parent[u] != u {
+                    u = parent[u];
+                    if marked[u] {
+                        want = u;
+                        break;
+                    }
+                }
+                prop_assert_eq!(nma.strict(v), want);
+            }
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! Nearest marked ancestor (Lemma 2.7).
+//!
+//! Cut every edge whose upper endpoint is marked; in the resulting forest,
+//! each node's tree root is the last node before its chain crosses a marked
+//! parent, so `nearest-marked-strict(v) = parent(root_of(v))`. The cut
+//! forest's roots are resolved with one Euler tour — expected `O(n)` work,
+//! `O(log n)` depth, matching the lemma.
+
+use pardict_graph::{EulerTour, Forest};
+use pardict_pram::Pram;
+
+/// Answers nearest-marked-ancestor queries in O(1) after linear-work
+/// preprocessing.
+#[derive(Debug, Clone)]
+pub struct NearestMarkedAncestor {
+    /// Nearest marked *proper* ancestor (usize::MAX if none).
+    strict: Vec<usize>,
+    marked: Vec<bool>,
+}
+
+/// Sentinel for "no marked ancestor".
+pub const NONE: usize = usize::MAX;
+
+impl NearestMarkedAncestor {
+    /// Preprocess `forest` with the given mark bits.
+    #[must_use]
+    pub fn build(pram: &Pram, forest: &Forest, marked: &[bool], seed: u64) -> Self {
+        let n = forest.len();
+        assert_eq!(marked.len(), n);
+        // Cut below marked nodes.
+        let cut_parent: Vec<usize> = pram.tabulate(n, |v| {
+            let p = forest.parent(v);
+            if p == v || marked[p] {
+                v
+            } else {
+                p
+            }
+        });
+        let cut_forest = Forest::from_parents(pram, &cut_parent);
+        let tour = EulerTour::build(pram, &cut_forest, seed ^ 0x9A7C);
+        let strict: Vec<usize> = pram.tabulate(n, |v| {
+            let r = tour.root_of[v];
+            let p = forest.parent(r);
+            if p != r && marked[p] {
+                p
+            } else {
+                NONE
+            }
+        });
+        Self {
+            strict,
+            marked: marked.to_vec(),
+        }
+    }
+
+    /// Nearest marked proper ancestor of `v`, or [`NONE`].
+    #[must_use]
+    pub fn strict(&self, v: usize) -> usize {
+        self.strict[v]
+    }
+
+    /// Nearest marked ancestor of `v`, `v` itself allowed, or [`NONE`].
+    #[must_use]
+    pub fn inclusive(&self, v: usize) -> usize {
+        if self.marked[v] {
+            v
+        } else {
+            self.strict[v]
+        }
+    }
+
+    /// Whether `v` itself is marked.
+    #[must_use]
+    pub fn is_marked(&self, v: usize) -> bool {
+        self.marked[v]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pardict_pram::{Pram, SplitMix64};
+
+    fn oracle_strict(parent: &[usize], marked: &[bool], v: usize) -> usize {
+        let mut u = v;
+        while parent[u] != u {
+            u = parent[u];
+            if marked[u] {
+                return u;
+            }
+        }
+        NONE
+    }
+
+    fn check(parent: &[usize], marked: &[bool]) {
+        let pram = Pram::seq();
+        let f = Forest::from_parents(&pram, parent);
+        let nma = NearestMarkedAncestor::build(&pram, &f, marked, 3);
+        for v in 0..parent.len() {
+            let want = oracle_strict(parent, marked, v);
+            assert_eq!(nma.strict(v), want, "strict v={v}");
+            let want_inc = if marked[v] { v } else { want };
+            assert_eq!(nma.inclusive(v), want_inc, "inclusive v={v}");
+        }
+    }
+
+    #[test]
+    fn small_tree() {
+        //      0*
+        //    /   \
+        //   1     2*
+        //  / \     \
+        // 3   4*    5
+        let parent = vec![0, 0, 0, 1, 1, 2];
+        let marked = vec![true, false, true, false, true, false];
+        check(&parent, &marked);
+    }
+
+    #[test]
+    fn nothing_marked() {
+        let parent = vec![0, 0, 1, 2, 3];
+        check(&parent, &[false; 5]);
+    }
+
+    #[test]
+    fn everything_marked() {
+        let parent = vec![0, 0, 1, 2, 3];
+        check(&parent, &[true; 5]);
+    }
+
+    #[test]
+    fn deep_chain_sparse_marks() {
+        let n = 800;
+        let parent: Vec<usize> = (0..n).map(|v: usize| v.saturating_sub(1)).collect();
+        let marked: Vec<bool> = (0..n).map(|v| v % 97 == 3).collect();
+        check(&parent, &marked);
+    }
+
+    #[test]
+    fn random_trees_random_marks() {
+        let mut rng = SplitMix64::new(4);
+        for _ in 0..5 {
+            let n = 300;
+            let parent: Vec<usize> = (0..n)
+                .map(|v: usize| {
+                    if v == 0 {
+                        0
+                    } else {
+                        rng.next_below(v as u64) as usize
+                    }
+                })
+                .collect();
+            let marked: Vec<bool> = (0..n).map(|_| rng.next_below(4) == 0).collect();
+            check(&parent, &marked);
+        }
+    }
+
+    #[test]
+    fn forest_with_multiple_trees() {
+        let parent = vec![0, 0, 1, 3, 3, 4];
+        let marked = vec![false, true, false, true, false, false];
+        check(&parent, &marked);
+    }
+
+    #[test]
+    fn linear_work() {
+        let mut per_elem = Vec::new();
+        for n in [1usize << 13, 1 << 15, 1 << 17] {
+            let pram = Pram::seq();
+            let mut rng = SplitMix64::new(5);
+            let parent: Vec<usize> = (0..n)
+                .map(|v: usize| {
+                    if v == 0 {
+                        0
+                    } else {
+                        rng.next_below(v as u64) as usize
+                    }
+                })
+                .collect();
+            let marked: Vec<bool> = (0..n).map(|_| rng.next_below(8) == 0).collect();
+            let f = Forest::from_parents(&pram, &parent);
+            let (_, cost) = pram.metered(|p| NearestMarkedAncestor::build(p, &f, &marked, 6));
+            per_elem.push(cost.work as f64 / n as f64);
+        }
+        assert!(
+            per_elem[2] < per_elem[0] * 1.5 + 2.0,
+            "NMA superlinear: {per_elem:?}"
+        );
+    }
+}

@@ -1,0 +1,52 @@
+//! Criterion wall-clock benches for dictionary matching (E1/E2):
+//! preprocessing across dictionary sizes, and matching for the
+//! work-optimal matcher vs the MP93-envelope baseline vs Aho–Corasick.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pardict_core::{mp93_baseline, AhoCorasick, DictMatcher, Dictionary};
+use pardict_pram::Pram;
+use pardict_workloads::{random_dictionary, text_with_planted_matches, Alphabet};
+
+fn bench_preprocess(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dict_preprocess");
+    g.sample_size(10);
+    for dexp in [12u32, 14, 16] {
+        let d = 1usize << dexp;
+        let dict = Dictionary::new(random_dictionary(d as u64, d / 8, 4, 12, Alphabet::dna()));
+        g.bench_with_input(BenchmarkId::from_parameter(d), &dict, |b, dict| {
+            b.iter(|| {
+                let pram = Pram::par();
+                DictMatcher::build(&pram, dict.clone(), 1)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_match(c: &mut Criterion) {
+    let alpha = Alphabet::dna();
+    let dict = Dictionary::new(random_dictionary(7, 1024, 4, 12, alpha));
+    let pram = Pram::par();
+    let matcher = DictMatcher::build(&pram, dict.clone(), 8);
+    let ac = AhoCorasick::build(&dict);
+
+    let mut g = c.benchmark_group("dict_match");
+    g.sample_size(10);
+    for nexp in [13u32, 15, 17] {
+        let n = 1usize << nexp;
+        let text = text_with_planted_matches(n as u64, dict.patterns(), n, 25, alpha);
+        g.bench_with_input(BenchmarkId::new("optimal", n), &text, |b, t| {
+            b.iter(|| matcher.match_text(&Pram::par(), t));
+        });
+        g.bench_with_input(BenchmarkId::new("mp93_baseline", n), &text, |b, t| {
+            b.iter(|| mp93_baseline(&Pram::par(), &dict, t, 3));
+        });
+        g.bench_with_input(BenchmarkId::new("aho_corasick_seq", n), &text, |b, t| {
+            b.iter(|| ac.match_text(t));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_preprocess, bench_match);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion wall-clock benches for LZ1/LZ78 (E4/E5/E9).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pardict_compress::{
+    lz1_compress, lz1_decompress, lz1_nlogn_baseline, lz77_sequential, lz78_compress,
+};
+use pardict_pram::Pram;
+use pardict_workloads::{markov_text, repetitive_text, Alphabet};
+
+fn bench_compress(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lz1_compress");
+    g.sample_size(10);
+    for nexp in [13u32, 15, 17] {
+        let n = 1usize << nexp;
+        let text = markov_text(n as u64, n, Alphabet::dna());
+        g.bench_with_input(BenchmarkId::new("parallel", n), &text, |b, t| {
+            b.iter(|| lz1_compress(&Pram::par(), t, 1));
+        });
+        g.bench_with_input(BenchmarkId::new("nlogn_baseline", n), &text, |b, t| {
+            b.iter(|| lz1_nlogn_baseline(&Pram::par(), t, 2));
+        });
+        g.bench_with_input(BenchmarkId::new("sequential", n), &text, |b, t| {
+            b.iter(|| lz77_sequential(t));
+        });
+        g.bench_with_input(BenchmarkId::new("lz78_seq", n), &text, |b, t| {
+            b.iter(|| lz78_compress(t));
+        });
+    }
+    g.finish();
+}
+
+fn bench_decompress(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lz1_decompress");
+    g.sample_size(10);
+    for nexp in [13u32, 15, 17] {
+        let n = 1usize << nexp;
+        let text = repetitive_text(n as u64, n, Alphabet::dna());
+        let tokens = lz1_compress(&Pram::par(), &text, 1);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &tokens, |b, toks| {
+            b.iter(|| lz1_decompress(&Pram::par(), toks, 2));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_compress, bench_decompress);
+criterion_main!(benches);

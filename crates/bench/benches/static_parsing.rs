@@ -1,0 +1,40 @@
+//! Criterion wall-clock benches for static-dictionary parsing (E6).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pardict_compress::{bfs_parse, greedy_parse, lff_parse, optimal_parse};
+use pardict_core::{DictMatcher, Dictionary};
+use pardict_pram::Pram;
+use pardict_workloads::{dictionary_from_text, markov_text, Alphabet};
+
+fn bench_static(c: &mut Criterion) {
+    let alpha = Alphabet::dna();
+    let training = markov_text(1, 20_000, alpha);
+    let mut words: Vec<Vec<u8>> = (0..alpha.size()).map(|i| vec![alpha.symbol(i)]).collect();
+    words.extend(dictionary_from_text(2, &training, 80, 3, 12));
+    let dict = Dictionary::new(words);
+    let pram = Pram::par();
+    let matcher = DictMatcher::build(&pram, dict, 3);
+
+    let mut g = c.benchmark_group("static_parse");
+    g.sample_size(10);
+    for nexp in [12u32, 14, 16] {
+        let n = 1usize << nexp;
+        let msg = markov_text(50 + n as u64, n, alpha);
+        g.bench_with_input(BenchmarkId::new("optimal", n), &msg, |b, m| {
+            b.iter(|| optimal_parse(&Pram::par(), &matcher, m));
+        });
+        g.bench_with_input(BenchmarkId::new("greedy", n), &msg, |b, m| {
+            b.iter(|| greedy_parse(&Pram::par(), &matcher, m));
+        });
+        g.bench_with_input(BenchmarkId::new("lff", n), &msg, |b, m| {
+            b.iter(|| lff_parse(&Pram::par(), &matcher, m));
+        });
+        g.bench_with_input(BenchmarkId::new("bfs_baseline", n), &msg, |b, m| {
+            b.iter(|| bfs_parse(&Pram::par(), &matcher, m));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_static);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Criterion wall-clock benches for the PRAM substrates (E10).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pardict_graph::{EulerTour, Forest};
+use pardict_pram::{list_rank_random_mate, list_rank_wyllie, Pram, SplitMix64};
+use pardict_rmq::{ansv_par, LinearRmq, Side, Strictness};
+use pardict_suffix::SuffixTree;
+use pardict_workloads::{random_text, Alphabet};
+
+fn bench_substrates(c: &mut Criterion) {
+    let n = 1usize << 16;
+    let mut rng = SplitMix64::new(7);
+
+    let mut g = c.benchmark_group("substrates");
+    g.sample_size(10);
+
+    let xs: Vec<u64> = (0..n as u64).collect();
+    g.bench_with_input(BenchmarkId::new("scan", n), &xs, |b, xs| {
+        b.iter(|| Pram::par().scan_exclusive_sum(xs));
+    });
+
+    let mut perm: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        perm.swap(i, rng.next_below(i as u64 + 1) as usize);
+    }
+    let mut next = vec![0usize; n];
+    for w in perm.windows(2) {
+        next[w[0]] = w[1];
+    }
+    next[perm[n - 1]] = perm[n - 1];
+    g.bench_with_input(BenchmarkId::new("list_rank_wyllie", n), &next, |b, nx| {
+        b.iter(|| list_rank_wyllie(&Pram::par(), nx));
+    });
+    g.bench_with_input(BenchmarkId::new("list_rank_random_mate", n), &next, |b, nx| {
+        b.iter(|| list_rank_random_mate(&Pram::par(), nx, 3));
+    });
+
+    let parent: Vec<usize> = (0..n)
+        .map(|v: usize| {
+            if v == 0 {
+                0
+            } else {
+                rng.next_below(v as u64) as usize
+            }
+        })
+        .collect();
+    g.bench_with_input(BenchmarkId::new("euler_tour", n), &parent, |b, par| {
+        b.iter(|| {
+            let pram = Pram::par();
+            let f = Forest::from_parents(&pram, par);
+            EulerTour::build(&pram, &f, 5)
+        });
+    });
+
+    let vals: Vec<i64> = (0..n).map(|_| rng.next_below(1000) as i64).collect();
+    g.bench_with_input(BenchmarkId::new("ansv", n), &vals, |b, v| {
+        b.iter(|| ansv_par(&Pram::par(), v, Side::Left, Strictness::Strict));
+    });
+    g.bench_with_input(BenchmarkId::new("linear_rmq_build", n), &vals, |b, v| {
+        b.iter(|| LinearRmq::new_min(&Pram::par(), v, 6));
+    });
+
+    let text = random_text(8, n, Alphabet::dna());
+    g.bench_with_input(BenchmarkId::new("suffix_tree", n), &text, |b, t| {
+        b.iter(|| SuffixTree::build(&Pram::par(), t, 9));
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_substrates);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! # pardict-bench — the experiment harness
+//!
+//! Two entry points:
+//!
+//! * `cargo run --release -p pardict-bench --bin tables -- all [--quick]`
+//!   regenerates every experiment table in EXPERIMENTS.md (E1–E11): ledger
+//!   work/depth measurements plus wall-clock timings.
+//! * `cargo bench -p pardict-bench` runs the Criterion wall-clock benches
+//!   (one group per paper result).
+
+use pardict_pram::{Cost, Pram};
+use std::time::Instant;
+
+/// Wall-clock + ledger measurement of one run.
+#[derive(Debug, Clone, Copy)]
+pub struct Sample {
+    /// Ledger cost of the run.
+    pub cost: Cost,
+    /// Wall-clock duration in milliseconds.
+    pub wall_ms: f64,
+}
+
+/// Run `f` against `pram` and capture both ledger cost and wall time.
+pub fn sample<R>(pram: &Pram, f: impl FnOnce(&Pram) -> R) -> (R, Sample) {
+    let t0 = Instant::now();
+    let (r, cost) = pram.metered(f);
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    (r, Sample { cost, wall_ms })
+}
+
+/// Work (or any count) per element.
+#[must_use]
+pub fn per(x: u64, n: usize) -> f64 {
+    x as f64 / n as f64
+}
+
+/// Depth normalized by `log2 n`.
+#[must_use]
+pub fn per_log(x: u64, n: usize) -> f64 {
+    x as f64 / f64::from(pardict_pram::ceil_log2(n.max(2)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_measures() {
+        let pram = Pram::seq();
+        let (_, s) = sample(&pram, |p| p.tabulate(1000, |i| i));
+        assert_eq!(s.cost.work, 1000);
+        assert!(s.wall_ms >= 0.0);
+        assert!((per(1000, 500) - 2.0).abs() < 1e-9);
+        assert!(per_log(20, 1 << 10) > 1.9);
+    }
+}

@@ -1,0 +1,506 @@
+//! LZ1 (LZ77) compression and uncompression (§4, Theorems 4.2 and 4.3).
+//!
+//! **Compression.** Lemma 4.1 reduces the greedy (optimal) parse to suffix
+//! tree quantities: with `Lmin[v]` = smallest text position below `v`, the
+//! longest previous match of suffix `i` is `(Lmin[A[i]], depth(A[i]))`
+//! where `A[i]` is the deepest ancestor of leaf `i` whose `Lmin` is not `i`
+//! itself. `A[i]` falls out of one nearest-marked-ancestor pass (mark nodes
+//! whose `Lmin` differs from their parent's), and the parse positions are
+//! the ancestors of node 0 in the jump tree `i → i + max(k_i, 1)` — an
+//! Euler-tour ancestor test. Everything is `O(n)` work, polylog depth.
+//!
+//! **Uncompression.** Prefix sums place the phrases; each copied position
+//! points at its source (strictly earlier, even for self-overlapping
+//! copies), so the pointers form a forest whose roots are literals; one
+//! Euler tour resolves every position's literal in `O(n)` work — the route
+//! that avoids pointer-jumping's extra log factor.
+
+use crate::tokens::Token;
+use pardict_graph::{EulerTour, Forest};
+use pardict_pram::{Pram, SplitMix64};
+use pardict_rmq::{LinearRmq, SparseTable};
+use pardict_suffix::SuffixTree;
+
+/// Longest-previous-factor (LPF) array: for every position `i`, the
+/// longest substring starting at `i` that also occurs starting at some
+/// `src < i`, as `(src, len)` (`len = 0` when `text[i]` is a first
+/// occurrence). Work-optimal (Lemma 4.1); the quantity LZ1 greedily
+/// consumes, exposed for stringology consumers.
+#[must_use]
+pub fn longest_previous_factor(pram: &Pram, text: &[u8], seed: u64) -> Vec<(u32, u32)> {
+    if text.is_empty() {
+        return Vec::new();
+    }
+    let st = SuffixTree::build(pram, text, seed);
+    previous_matches(pram, &st)
+}
+
+/// [`longest_previous_factor`] from a pre-built suffix tree — lets callers
+/// (and experiment E4) separate the shared tree-construction cost from the
+/// Lemma 4.1 match-table computation itself.
+#[must_use]
+pub fn longest_previous_factor_from_tree(pram: &Pram, st: &SuffixTree) -> Vec<(u32, u32)> {
+    previous_matches(pram, st)
+}
+
+/// Longest previous match for every position: `(src, len)` with
+/// `src < i`, maximal `len` (0 if none). Work-optimal (Lemma 4.1).
+fn previous_matches(pram: &Pram, st: &SuffixTree) -> Vec<(u32, u32)> {
+    let n = st.text().len();
+    let m = st.num_leaves();
+    let n_nodes = st.num_nodes();
+
+    // Lmin per node: range-min of leaf positions over the leaf interval.
+    let pos_sa: Vec<i64> = pram.tabulate(m, |k| st.leaf_pos(k) as i64);
+    let rmq = LinearRmq::new_min(pram, &pos_sa, 0xA11CE);
+    let lmin: Vec<u32> = pram.tabulate(n_nodes, |v| {
+        let (lo, hi) = st.leaf_range(v);
+        pos_sa[rmq.query(lo, hi)] as u32
+    });
+
+    // Mark chain tops: nodes whose Lmin differs from their parent's.
+    let marked: Vec<bool> = pram.tabulate(n_nodes, |v| {
+        let p = st.parent(v);
+        p == v || lmin[p] != lmin[v]
+    });
+    let nma = pardict_ancestors::NearestMarkedAncestor::build(
+        pram,
+        st.forest(),
+        &marked,
+        0x17EE,
+    );
+
+    pram.tabulate(n, |i| {
+        let leaf = st.leaf_node(i);
+        let top = nma.inclusive(leaf);
+        debug_assert_ne!(top, usize::MAX);
+        let a = st.parent(top);
+        if st.str_depth(a) == 0 || top == a {
+            (0, 0) // no previous occurrence: literal
+        } else {
+            (lmin[a], st.str_depth(a) as u32)
+        }
+    })
+}
+
+/// Parallel LZ1 compression (Theorem 4.2): `O(n)` work, polylog depth.
+#[must_use]
+pub fn lz1_compress(pram: &Pram, text: &[u8], seed: u64) -> Vec<Token> {
+    let n = text.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut rng = SplitMix64::new(seed);
+    let st = SuffixTree::build(pram, text, rng.next_u64());
+    let matches = previous_matches(pram, &st);
+    emit_tokens(pram, text, &matches, rng.next_u64())
+}
+
+/// Turn per-position longest previous matches into the greedy parse.
+fn emit_tokens(pram: &Pram, text: &[u8], matches: &[(u32, u32)], seed: u64) -> Vec<Token> {
+    let n = text.len();
+    // Jump tree: i -> i + max(len, 1); n is the root.
+    let parent: Vec<usize> = pram.tabulate(n + 1, |i| {
+        if i == n {
+            n
+        } else {
+            (i + (matches[i].1 as usize).max(1)).min(n)
+        }
+    });
+    let forest = Forest::from_parents(pram, &parent);
+    let tour = EulerTour::build(pram, &forest, seed);
+    // Parse positions: ancestors of node 0 (except the root n).
+    let on_path: Vec<bool> = pram.tabulate(n, |v| tour.is_ancestor(v, 0));
+    let cuts = pram.pack_indices(&on_path);
+    pram.map(&cuts, |_, &i| {
+        let (src, len) = matches[i];
+        if len >= 2 {
+            Token::Copy { src, len }
+        } else {
+            Token::Literal(text[i])
+        }
+    })
+}
+
+/// Parallel LZ1 uncompression (Theorem 4.3): `O(n)` work, polylog depth.
+/// `n` (the decoded length) is assumed known, as in the paper.
+#[must_use]
+pub fn lz1_decompress(pram: &Pram, tokens: &[Token], seed: u64) -> Vec<u8> {
+    // Phrase start offsets by prefix sums.
+    let lens: Vec<u64> = pram.map(tokens, |_, t| t.expanded_len() as u64);
+    let starts = pram.scan_exclusive_sum(&lens);
+    let n = (starts.last().copied().unwrap_or(0) + lens.last().copied().unwrap_or(0)) as usize;
+    if n == 0 {
+        return Vec::new();
+    }
+
+    // For every position: its phrase index, via a prefix-max scan over
+    // scattered phrase starts.
+    let mut start_marks = vec![(0u64, u64::MAX); n];
+    pram.ledger().round(tokens.len() as u64);
+    for (t, &s) in starts.iter().enumerate() {
+        start_marks[s as usize] = (1, t as u64);
+    }
+    let block_of = pram.scan_inclusive(&start_marks, (0u64, u64::MAX), |a, b| {
+        if b.0 == 1 {
+            b
+        } else {
+            a
+        }
+    });
+
+    // Copy-forest: every copied position points at its (strictly earlier)
+    // source; literal positions are roots carrying the character.
+    let parent: Vec<usize> = pram.tabulate(n, |i| {
+        let t = block_of[i].1 as usize;
+        match tokens[t] {
+            Token::Literal(_) => i,
+            Token::Copy { src, .. } => src as usize + (i - starts[t] as usize),
+        }
+    });
+    let forest = Forest::from_parents(pram, &parent);
+    let tour = EulerTour::build(pram, &forest, seed ^ 0xDEC0);
+    pram.tabulate(n, |i| {
+        let root = tour.root_of[i];
+        let t = block_of[root].1 as usize;
+        match tokens[t] {
+            Token::Literal(c) => c,
+            Token::Copy { .. } => unreachable!("forest roots are literals"),
+        }
+    })
+}
+
+/// Pointer-jumping uncompression — the ablation partner for
+/// [`lz1_decompress`]: identical output, but the copy forest is resolved by
+/// repeated doubling (`O(n log n)` work, `O(log n)` depth) instead of one
+/// Euler tour. Experiment E12 measures the log-factor gap that makes the
+/// Euler route the Theorem 4.3 choice.
+#[must_use]
+pub fn lz1_decompress_jump(pram: &Pram, tokens: &[Token]) -> Vec<u8> {
+    let lens: Vec<u64> = pram.map(tokens, |_, t| t.expanded_len() as u64);
+    let starts = pram.scan_exclusive_sum(&lens);
+    let n = (starts.last().copied().unwrap_or(0) + lens.last().copied().unwrap_or(0)) as usize;
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut start_marks = vec![(0u64, u64::MAX); n];
+    pram.ledger().round(tokens.len() as u64);
+    for (t, &s) in starts.iter().enumerate() {
+        start_marks[s as usize] = (1, t as u64);
+    }
+    let block_of = pram.scan_inclusive(&start_marks, (0u64, u64::MAX), |a, b| {
+        if b.0 == 1 {
+            b
+        } else {
+            a
+        }
+    });
+    let parent: Vec<usize> = pram.tabulate(n, |i| {
+        let t = block_of[i].1 as usize;
+        match tokens[t] {
+            Token::Literal(_) => i,
+            Token::Copy { src, .. } => src as usize + (i - starts[t] as usize),
+        }
+    });
+    let roots = pardict_pram::pointer_jump_roots(pram, &parent);
+    pram.tabulate(n, |i| {
+        let t = block_of[roots[i]].1 as usize;
+        match tokens[t] {
+            Token::Literal(c) => c,
+            Token::Copy { .. } => unreachable!("forest roots are literals"),
+        }
+    })
+}
+
+/// Sequential LZ77: the classical greedy left-to-right parse, using the
+/// suffix tree's previous-match table position by position. The
+/// sequential-work baseline for E4.
+#[must_use]
+pub fn lz77_sequential(text: &[u8]) -> Vec<Token> {
+    let n = text.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let pram = Pram::seq();
+    let st = SuffixTree::build(&pram, text, 0x5E9);
+    let matches = previous_matches(&pram, &st);
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < n {
+        let (src, len) = matches[i];
+        if len >= 2 {
+            out.push(Token::Copy { src, len });
+            i += len as usize;
+        } else {
+            out.push(Token::Literal(text[i]));
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Previous-best parallel envelope (`O(n log n)` work, `O(log n)` depth):
+/// every position independently finds its longest previous match by binary
+/// searching the suffix array for the nearest earlier-position suffix.
+/// Exact — doubles as the oracle for [`lz1_compress`]'s match table.
+#[must_use]
+pub fn lz1_nlogn_baseline(pram: &Pram, text: &[u8], seed: u64) -> Vec<Token> {
+    let n = text.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let st = SuffixTree::build(pram, text, seed);
+    let m = st.num_leaves();
+    // Range-min over suffix-array *values* (positions).
+    let sa_vals: Vec<i64> = pram.tabulate(m, |k| st.sa()[k] as i64);
+    let sa_min = SparseTable::new_min(pram, &sa_vals);
+    // Range-min over the LCP array for O(1) lcp between SA positions.
+    let lcp_vals: Vec<i64> = pram.tabulate(m, |k| i64::from(st.lcp()[k]));
+    let lcp_min = SparseTable::new_min(pram, &lcp_vals);
+    let lcp_between = |a: usize, b: usize| -> usize {
+        // a < b in SA order.
+        lcp_min.query_value(a + 1, b) as usize
+    };
+
+    let matches: Vec<(u32, u32)> = pram.tabulate_costed(n, |i| {
+        let r = st.leaf_node(i);
+        let mut ops = 2u64;
+        let mut best: (u32, u32) = (0, 0);
+        // Nearest SA position left of r with value < i: binary search on
+        // range minima.
+        if r > 0 && sa_min.query_value(0, r - 1) < i as i64 {
+            let (mut lo, mut hi) = (0usize, r - 1);
+            while lo < hi {
+                let mid = (lo + hi).div_ceil(2);
+                ops += 1;
+                if sa_min.query_value(mid, r - 1) < i as i64 {
+                    lo = mid;
+                } else {
+                    hi = mid - 1;
+                }
+            }
+            let l = lcp_between(lo, r).min(n - i) as u32;
+            if l > best.1 {
+                best = (st.sa()[lo], l);
+            }
+        }
+        if r + 1 < m && sa_min.query_value(r + 1, m - 1) < i as i64 {
+            let (mut lo, mut hi) = (r + 1, m - 1);
+            while lo < hi {
+                let mid = (lo + hi) / 2;
+                ops += 1;
+                if sa_min.query_value(r + 1, mid) < i as i64 {
+                    hi = mid;
+                } else {
+                    lo = mid + 1;
+                }
+            }
+            let l = lcp_between(r, lo).min(n - i) as u32;
+            if l > best.1 {
+                best = (st.sa()[lo], l);
+            }
+        }
+        (best, ops)
+    });
+    emit_tokens(pram, text, &matches, seed ^ 0xBA5E)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokens::decode_naive;
+    use pardict_workloads::{
+        dna_text, fibonacci_word, markov_text, periodic_text, random_text, repetitive_text,
+        Alphabet,
+    };
+
+    /// Greedy-parse oracle by brute force longest previous match.
+    fn oracle_parse(text: &[u8]) -> Vec<Token> {
+        let n = text.len();
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < n {
+            let mut best = (0usize, 0usize);
+            for j in 0..i {
+                let mut l = 0;
+                while i + l < n && text[j + l] == text[i + l] {
+                    l += 1;
+                }
+                if l > best.1 {
+                    best = (j, l);
+                }
+            }
+            if best.1 >= 2 {
+                out.push(Token::Copy {
+                    src: best.0 as u32,
+                    len: best.1 as u32,
+                });
+                i += best.1;
+            } else {
+                out.push(Token::Literal(text[i]));
+                i += 1;
+            }
+        }
+        out
+    }
+
+    fn token_lens(ts: &[Token]) -> Vec<usize> {
+        ts.iter().map(Token::expanded_len).collect()
+    }
+
+    fn check_roundtrip(text: &[u8]) {
+        let pram = Pram::seq();
+        let tokens = lz1_compress(&pram, text, 99);
+        // Phrase boundaries must match the greedy oracle (the parse is
+        // unique in lengths; sources may differ among equally long
+        // matches).
+        assert_eq!(token_lens(&tokens), token_lens(&oracle_parse(text)), "lens");
+        // Every copy token must be a real earlier occurrence.
+        let starts: Vec<usize> = tokens
+            .iter()
+            .scan(0usize, |acc, t| {
+                let s = *acc;
+                *acc += t.expanded_len();
+                Some(s)
+            })
+            .collect();
+        for (t, tok) in tokens.iter().enumerate() {
+            if let Token::Copy { src, len } = *tok {
+                let dst = starts[t];
+                assert!((src as usize) < dst);
+                for k in 0..len as usize {
+                    assert_eq!(text[src as usize + k], text[dst + k], "copy content");
+                }
+            }
+        }
+        // Round-trips, both decoders.
+        assert_eq!(decode_naive(&tokens), text);
+        assert_eq!(lz1_decompress(&pram, &tokens, 3), text);
+        // Baseline agrees.
+        let base = lz1_nlogn_baseline(&pram, text, 7);
+        assert_eq!(token_lens(&base), token_lens(&tokens), "baseline lens");
+        // Sequential agrees.
+        assert_eq!(token_lens(&lz77_sequential(text)), token_lens(&tokens));
+    }
+
+    #[test]
+    fn classic_strings() {
+        check_roundtrip(b"");
+        check_roundtrip(b"a");
+        check_roundtrip(b"aaaaaaa");
+        check_roundtrip(b"abcabcabc");
+        check_roundtrip(b"mississippi");
+        check_roundtrip(b"yabbadabbadoo");
+    }
+
+    #[test]
+    fn synthetic_corpora() {
+        check_roundtrip(&random_text(1, 300, Alphabet::lowercase()));
+        check_roundtrip(&markov_text(2, 400, Alphabet::dna()));
+        check_roundtrip(&dna_text(3, 350));
+        check_roundtrip(&repetitive_text(4, 500, Alphabet::binary()));
+        check_roundtrip(&fibonacci_word(233));
+        check_roundtrip(&periodic_text(b"abcab", 200));
+    }
+
+    #[test]
+    fn self_referential_runs() {
+        // "aaaa…": phrase 2 copies from position 0 with overlap.
+        let text = vec![b'a'; 100];
+        let pram = Pram::seq();
+        let tokens = lz1_compress(&pram, &text, 5);
+        assert_eq!(tokens.len(), 2);
+        assert!(matches!(tokens[1], Token::Copy { src: 0, len: 99 }));
+        assert_eq!(lz1_decompress(&pram, &tokens, 1), text);
+    }
+
+    #[test]
+    fn pointer_jump_decoder_agrees_and_shows_log_growth() {
+        // The honest ablation: the doubling decoder's work/char grows with
+        // the copy-chain depth (Θ(n log n) worst case) while the Euler
+        // route stays flat — even though the Euler route's *constant* is
+        // larger at laptop sizes (recorded in E12).
+        let mut jump_per = Vec::new();
+        let mut euler_per = Vec::new();
+        for n in [1usize << 8, 1 << 12, 1 << 16] {
+            // All-equal text: copy chains as deep as they get.
+            let text = vec![b'z'; n];
+            let pram = Pram::seq();
+            let tokens = lz1_compress(&pram, &text, 3);
+            let p1 = Pram::seq();
+            let (a, c_euler) = p1.metered(|p| lz1_decompress(p, &tokens, 4));
+            let p2 = Pram::seq();
+            let (b, c_jump) = p2.metered(|p| lz1_decompress_jump(p, &tokens));
+            assert_eq!(a, text);
+            assert_eq!(b, text);
+            jump_per.push(c_jump.work as f64 / n as f64);
+            euler_per.push(c_euler.work as f64 / n as f64);
+        }
+        assert!(
+            jump_per[2] > jump_per[0] * 1.5,
+            "doubling work/char should grow with chain depth: {jump_per:?}"
+        );
+        assert!(
+            euler_per[2] < euler_per[0] * 1.5 + 4.0,
+            "euler work/char should stay flat: {euler_per:?}"
+        );
+    }
+
+    #[test]
+    fn lpf_matches_brute_force() {
+        let pram = Pram::seq();
+        let text = markov_text(5, 300, Alphabet::dna());
+        let lpf = longest_previous_factor(&pram, &text, 6);
+        for i in 0..text.len() {
+            let mut best = 0usize;
+            for j in 0..i {
+                let mut l = 0;
+                while i + l < text.len() && text[j + l] == text[i + l] {
+                    l += 1;
+                }
+                best = best.max(l);
+            }
+            assert_eq!(lpf[i].1 as usize, best, "LPF at {i}");
+            if best > 0 {
+                let (src, len) = (lpf[i].0 as usize, lpf[i].1 as usize);
+                assert!(src < i);
+                assert_eq!(&text[src..src + len], &text[i..i + len]);
+            }
+        }
+        assert!(longest_previous_factor(&pram, b"", 1).is_empty());
+    }
+
+    #[test]
+    fn compression_work_is_linear() {
+        let mut per_char = Vec::new();
+        for n in [1usize << 12, 1 << 14, 1 << 16] {
+            let pram = Pram::seq();
+            let text = markov_text(9, n, Alphabet::dna());
+            let (_, cost) = pram.metered(|p| lz1_compress(p, &text, 2));
+            per_char.push(cost.work as f64 / n as f64);
+        }
+        assert!(
+            per_char[2] < per_char[0] * 1.6 + 4.0,
+            "lz1 work superlinear: {per_char:?}"
+        );
+    }
+
+    #[test]
+    fn decompression_work_linear_depth_logarithmic() {
+        let mut per_char = Vec::new();
+        for n in [1usize << 12, 1 << 14, 1 << 16] {
+            let pram = Pram::seq();
+            let text = repetitive_text(11, n, Alphabet::dna());
+            let tokens = lz1_compress(&pram, &text, 4);
+            let (out, cost) = pram.metered(|p| lz1_decompress(p, &tokens, 6));
+            assert_eq!(out, text);
+            per_char.push(cost.work as f64 / n as f64);
+            let lg = u64::from(pardict_pram::ceil_log2(n));
+            assert!(cost.depth < 200 * lg, "depth {} at n={n}", cost.depth);
+        }
+        assert!(
+            per_char[2] < per_char[0] * 1.5 + 4.0,
+            "unlz1 work superlinear: {per_char:?}"
+        );
+    }
+}

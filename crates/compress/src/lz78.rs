@@ -1,0 +1,121 @@
+//! LZ2 / LZ78 — sequential baseline only.
+//!
+//! The paper (§1.2) contrasts LZ1 with LZ2: "LZ2 is implemented in practice
+//! because of the simplicity of its sequential implementation … while we
+//! provide optimal work RNC algorithm for LZ1 compression, LZ2 is
+//! P-Complete (hence unlikely to have (R)NC algorithms)". Accordingly, this
+//! module offers only the classical sequential trie algorithm, used by the
+//! phrase-count comparison table (E9).
+
+use std::collections::HashMap;
+
+/// One LZ78 phrase: the index of a previously emitted phrase (0 = empty)
+/// extended by one character.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lz78Token {
+    /// Index of the extended phrase (0 is the empty phrase).
+    pub prev: u32,
+    /// The extension character.
+    pub ch: u8,
+}
+
+/// Sequential LZ78 compression. `O(n)` expected time.
+#[must_use]
+pub fn lz78_compress(text: &[u8]) -> Vec<Lz78Token> {
+    // Trie as a hash map: (node, char) -> node. Node 0 is the root.
+    let mut trie: HashMap<(u32, u8), u32> = HashMap::new();
+    let mut next_id = 1u32;
+    let mut out = Vec::new();
+    let mut cur = 0u32;
+    for (idx, &c) in text.iter().enumerate() {
+        match trie.get(&(cur, c)) {
+            Some(&nxt) if idx + 1 < text.len() => cur = nxt,
+            Some(&nxt) => {
+                // Last character lands mid-phrase: emit it as the final
+                // (possibly duplicate) phrase.
+                let _ = nxt;
+                out.push(Lz78Token { prev: cur, ch: c });
+            }
+            None => {
+                trie.insert((cur, c), next_id);
+                out.push(Lz78Token { prev: cur, ch: c });
+                next_id += 1;
+                cur = 0;
+            }
+        }
+    }
+    out
+}
+
+/// Sequential LZ78 decompression.
+#[must_use]
+pub fn lz78_decompress(tokens: &[Lz78Token]) -> Vec<u8> {
+    // phrases[p] = (parent phrase, char); reconstruct by walking up.
+    let mut phrases: Vec<(u32, u8)> = Vec::with_capacity(tokens.len() + 1);
+    phrases.push((0, 0)); // the empty phrase
+    let mut out = Vec::new();
+    for t in tokens {
+        let mut buf = vec![t.ch];
+        let mut p = t.prev;
+        while p != 0 {
+            let (pp, c) = phrases[p as usize];
+            buf.push(c);
+            p = pp;
+        }
+        buf.reverse();
+        out.extend_from_slice(&buf);
+        phrases.push((t.prev, t.ch));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pardict_workloads::{markov_text, random_text, repetitive_text, Alphabet};
+
+    fn roundtrip(text: &[u8]) {
+        let tokens = lz78_compress(text);
+        assert_eq!(lz78_decompress(&tokens), text, "roundtrip");
+    }
+
+    #[test]
+    fn classic() {
+        roundtrip(b"");
+        roundtrip(b"a");
+        roundtrip(b"aaaaaaaaaa");
+        roundtrip(b"abaabbbaababa");
+        roundtrip(b"mississippi");
+    }
+
+    #[test]
+    fn known_parse() {
+        // "aaa": phrases "a", "aa"? LZ78: a | aa -> tokens (0,'a'), (1,'a').
+        let t = lz78_compress(b"aaa");
+        assert_eq!(
+            t,
+            vec![Lz78Token { prev: 0, ch: b'a' }, Lz78Token { prev: 1, ch: b'a' }]
+        );
+    }
+
+    #[test]
+    fn trailing_partial_phrase() {
+        // "aa" then text ends inside a known phrase.
+        roundtrip(b"aab aab aab aa".as_ref());
+        roundtrip(b"abababab");
+    }
+
+    #[test]
+    fn corpora() {
+        roundtrip(&random_text(1, 500, Alphabet::lowercase()));
+        roundtrip(&markov_text(2, 800, Alphabet::dna()));
+        roundtrip(&repetitive_text(3, 600, Alphabet::binary()));
+    }
+
+    #[test]
+    fn repetitive_compresses() {
+        let text = repetitive_text(5, 4000, Alphabet::dna());
+        let t = lz78_compress(&text);
+        assert!(t.len() * 2 < text.len(), "{} phrases for {}", t.len(), text.len());
+    }
+}

@@ -1,0 +1,342 @@
+//! Adaptive dictionary matching — the [AF91] extension the paper cites.
+//!
+//! Amir & Farach's *adaptive dictionary matching* allows patterns to be
+//! inserted and deleted between queries. This module provides that API on
+//! top of the static Theorem-3.1 matcher via logarithmic reconstruction
+//! (Bentley–Saxe): live patterns are partitioned into `O(log k)` groups of
+//! geometrically growing sizes, each with its own preprocessed
+//! [`DictMatcher`]; an insert merges the smallest groups and rebuilds one
+//! matcher (amortized `O(|P| log k)` preprocessing work per inserted
+//! character), a delete tombstones its pattern and triggers a full rebuild
+//! once half the indexed characters are dead. A query matches against
+//! every group and keeps the per-position longest — `O(n log k)` work,
+//! the classic adaptive trade-off.
+
+use crate::dict::{Dictionary, Match, Matches};
+use crate::matcher::DictMatcher;
+use pardict_pram::{Pram, SplitMix64};
+
+/// A handle identifying an inserted pattern (stable across rebuilds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PatternHandle(u64);
+
+/// A dictionary matcher supporting pattern insertion and deletion.
+#[derive(Debug)]
+pub struct AdaptiveDictMatcher {
+    /// All ever-inserted patterns by handle order; dead ones are None.
+    patterns: Vec<Option<Vec<u8>>>,
+    live_chars: usize,
+    dead_chars: usize,
+    groups: Vec<Group>,
+    rng: SplitMix64,
+}
+
+#[derive(Debug)]
+struct Group {
+    /// Handles (indices into `patterns`) this group indexes, including
+    /// possibly-dead ones (filtered at query time).
+    members: Vec<u32>,
+    /// Total characters indexed by this group's matcher.
+    chars: usize,
+    matcher: DictMatcher,
+    /// Maps the group-local pattern id back to the global handle.
+    local_to_handle: Vec<u32>,
+}
+
+impl AdaptiveDictMatcher {
+    /// An empty adaptive matcher.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self {
+            patterns: Vec::new(),
+            live_chars: 0,
+            dead_chars: 0,
+            groups: Vec::new(),
+            rng: SplitMix64::new(seed),
+        }
+    }
+
+    /// Number of live patterns.
+    #[must_use]
+    pub fn num_patterns(&self) -> usize {
+        self.patterns.iter().flatten().count()
+    }
+
+    /// Total characters across live patterns.
+    #[must_use]
+    pub fn total_len(&self) -> usize {
+        self.live_chars
+    }
+
+    /// Insert a pattern; amortized `O(|P| log k)` preprocessing work.
+    pub fn insert(&mut self, pram: &Pram, pattern: Vec<u8>) -> PatternHandle {
+        assert!(!pattern.is_empty() && pattern.iter().all(|&c| c != 0));
+        let handle = self.patterns.len() as u64;
+        self.live_chars += pattern.len();
+        self.patterns.push(Some(pattern));
+
+        // Bentley–Saxe merge: gather the trailing run of groups whose
+        // combined size stays within 2x of the new total, plus the new
+        // pattern, into one rebuilt group.
+        let mut members = vec![handle as u32];
+        let mut chars = self.patterns[handle as usize].as_ref().unwrap().len();
+        while let Some(last) = self.groups.last() {
+            if last.chars <= chars {
+                chars += last.chars;
+                members.extend(self.groups.pop().unwrap().members);
+            } else {
+                break;
+            }
+        }
+        let group = self.build_group(pram, members);
+        self.groups.push(group);
+        self.groups.sort_by_key(|g| std::cmp::Reverse(g.chars));
+        PatternHandle(handle)
+    }
+
+    /// Delete a pattern. O(1) now; triggers a global rebuild once half the
+    /// indexed characters are tombstones.
+    ///
+    /// Returns false when the handle was already deleted.
+    pub fn remove(&mut self, pram: &Pram, handle: PatternHandle) -> bool {
+        let slot = &mut self.patterns[handle.0 as usize];
+        let Some(p) = slot.take() else {
+            return false;
+        };
+        self.live_chars -= p.len();
+        self.dead_chars += p.len();
+        if self.dead_chars > self.live_chars {
+            self.rebuild_all(pram);
+        }
+        true
+    }
+
+    fn rebuild_all(&mut self, pram: &Pram) {
+        self.dead_chars = 0;
+        let members: Vec<u32> = (0..self.patterns.len() as u32)
+            .filter(|&h| self.patterns[h as usize].is_some())
+            .collect();
+        self.groups.clear();
+        if !members.is_empty() {
+            let g = self.build_group(pram, members);
+            self.groups.push(g);
+        }
+    }
+
+    fn build_group(&mut self, pram: &Pram, members: Vec<u32>) -> Group {
+        let mut live: Vec<u32> = members
+            .iter()
+            .copied()
+            .filter(|&h| self.patterns[h as usize].is_some())
+            .collect();
+        live.sort_unstable();
+        let pats: Vec<Vec<u8>> = live
+            .iter()
+            .map(|&h| self.patterns[h as usize].clone().unwrap())
+            .collect();
+        let chars = pats.iter().map(Vec::len).sum();
+        let matcher = DictMatcher::build(pram, Dictionary::new(pats), self.rng.next_u64());
+        Group {
+            members,
+            chars,
+            matcher,
+            local_to_handle: live,
+        }
+    }
+
+    /// Longest live pattern at every text position (ids are
+    /// [`PatternHandle`] values). `O(n · #groups)` work (plus occurrence
+    /// enumeration for groups carrying tombstones).
+    #[must_use]
+    pub fn match_text(&self, pram: &Pram, text: &[u8]) -> Matches {
+        let mut best: Vec<Option<Match>> = vec![None; text.len()];
+        let mut consider = |i: usize, c: Match| {
+            if best[i].is_none_or(|b| b.len < c.len) {
+                best[i] = Some(c);
+            }
+        };
+        for g in &self.groups {
+            let has_tombstones = g
+                .local_to_handle
+                .iter()
+                .any(|&h| self.patterns[h as usize].is_none());
+            if has_tombstones {
+                // Enumerate all occurrences and keep the live ones.
+                for (i, m) in g.matcher.find_all(pram, text) {
+                    if self.is_live(g, m.id) {
+                        consider(i, self.to_handle(g, m));
+                    }
+                }
+            } else {
+                let m = g.matcher.match_text(pram, text);
+                pram.ledger().round(text.len() as u64);
+                for i in 0..text.len() {
+                    if let Some(top) = m.get(i) {
+                        consider(i, self.to_handle(g, top));
+                    }
+                }
+            }
+        }
+        Matches::new(best)
+    }
+
+    fn is_live(&self, g: &Group, local_id: u32) -> bool {
+        let h = g.local_to_handle[local_id as usize];
+        self.patterns[h as usize].is_some()
+    }
+
+    fn to_handle(&self, g: &Group, m: Match) -> Match {
+        Match {
+            id: g.local_to_handle[m.id as usize],
+            len: m.len,
+        }
+    }
+
+    /// Number of groups (O(log k) by construction).
+    #[must_use]
+    pub fn num_groups(&self) -> usize {
+        self.groups.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ac::brute_force_matches;
+    use pardict_workloads::{random_dictionary, text_with_planted_matches, Alphabet};
+
+    fn assert_matches_live_oracle(
+        adm: &AdaptiveDictMatcher,
+        pram: &Pram,
+        text: &[u8],
+    ) {
+        let live: Vec<Vec<u8>> = adm.patterns.iter().flatten().cloned().collect();
+        if live.is_empty() {
+            return;
+        }
+        let oracle = brute_force_matches(&Dictionary::new(live), text);
+        let got = adm.match_text(pram, text);
+        for i in 0..text.len() {
+            assert_eq!(
+                got.get(i).map(|m| m.len),
+                oracle.get(i).map(|m| m.len),
+                "position {i}"
+            );
+            if let Some(m) = got.get(i) {
+                // The reported handle's pattern really matches.
+                let p = adm.patterns[m.id as usize].as_ref().expect("live handle");
+                assert_eq!(&text[i..i + p.len()], p.as_slice());
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_inserts() {
+        let pram = Pram::seq();
+        let mut adm = AdaptiveDictMatcher::new(1);
+        let text = b"ushers and fishers";
+        adm.insert(&pram, b"she".to_vec());
+        assert_matches_live_oracle(&adm, &pram, text);
+        adm.insert(&pram, b"hers".to_vec());
+        assert_matches_live_oracle(&adm, &pram, text);
+        adm.insert(&pram, b"fish".to_vec());
+        adm.insert(&pram, b"he".to_vec());
+        assert_matches_live_oracle(&adm, &pram, text);
+        assert_eq!(adm.num_patterns(), 4);
+    }
+
+    #[test]
+    fn deletions_and_rebuilds() {
+        let pram = Pram::seq();
+        let mut adm = AdaptiveDictMatcher::new(2);
+        let text = b"abxabyab";
+        let h_ab = adm.insert(&pram, b"ab".to_vec());
+        let h_abx = adm.insert(&pram, b"abx".to_vec());
+        assert_matches_live_oracle(&adm, &pram, text);
+        assert!(adm.remove(&pram, h_abx));
+        assert!(!adm.remove(&pram, h_abx), "double delete");
+        assert_matches_live_oracle(&adm, &pram, text);
+        assert!(adm.remove(&pram, h_ab));
+        let got = adm.match_text(&pram, text);
+        assert!(got.iter_hits().next().is_none(), "all patterns deleted");
+    }
+
+    #[test]
+    fn tombstoned_longest_falls_back_to_shorter() {
+        let pram = Pram::seq();
+        let mut adm = AdaptiveDictMatcher::new(3);
+        // Same group holds both; delete the longer, the shorter must win.
+        let _h1 = adm.insert(&pram, b"ab".to_vec());
+        let h2 = adm.insert(&pram, b"abab".to_vec());
+        let text = b"ababab";
+        assert_eq!(adm.match_text(&pram, text).get(0).unwrap().len, 4);
+        adm.remove(&pram, h2);
+        assert_matches_live_oracle(&adm, &pram, text);
+        assert_eq!(adm.match_text(&pram, text).get(0).unwrap().len, 2);
+    }
+
+    #[test]
+    fn dead_duplicate_with_live_twin_still_matches() {
+        let pram = Pram::seq();
+        let mut adm = AdaptiveDictMatcher::new(9);
+        let h1 = adm.insert(&pram, b"abc".to_vec());
+        let _h2 = adm.insert(&pram, b"abc".to_vec()); // identical twin
+        adm.remove(&pram, h1);
+        let got = adm.match_text(&pram, b"xabc");
+        assert_eq!(got.get(1).map(|m| m.len), Some(3), "live twin must match");
+        assert_matches_live_oracle(&adm, &pram, b"xabc");
+    }
+
+    #[test]
+    fn group_count_stays_logarithmic() {
+        let pram = Pram::seq();
+        let mut adm = AdaptiveDictMatcher::new(4);
+        let pats = random_dictionary(5, 64, 2, 6, Alphabet::dna());
+        for p in pats {
+            adm.insert(&pram, p);
+        }
+        assert!(
+            adm.num_groups() <= 12,
+            "expected O(log k) groups, got {}",
+            adm.num_groups()
+        );
+        let text = text_with_planted_matches(
+            6,
+            &adm.patterns.iter().flatten().cloned().collect::<Vec<_>>(),
+            400,
+            30,
+            Alphabet::dna(),
+        );
+        assert_matches_live_oracle(&adm, &pram, &text);
+    }
+
+    #[test]
+    fn randomized_insert_delete_churn() {
+        let pram = Pram::seq();
+        let mut adm = AdaptiveDictMatcher::new(7);
+        let mut rng = pardict_pram::SplitMix64::new(8);
+        let alpha = Alphabet::dna();
+        let mut handles = Vec::new();
+        let text = text_with_planted_matches(
+            9,
+            &random_dictionary(10, 10, 2, 6, alpha),
+            300,
+            25,
+            alpha,
+        );
+        for step in 0..40 {
+            if handles.is_empty() || rng.next_below(3) != 0 {
+                let len = 1 + rng.next_below(6) as usize;
+                let p: Vec<u8> = (0..len).map(|_| alpha.sample(&mut rng)).collect();
+                handles.push(adm.insert(&pram, p));
+            } else {
+                let k = rng.next_below(handles.len() as u64) as usize;
+                let h = handles.swap_remove(k);
+                adm.remove(&pram, h);
+            }
+            if step % 5 == 4 {
+                assert_matches_live_oracle(&adm, &pram, &text);
+            }
+        }
+    }
+}

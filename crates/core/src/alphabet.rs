@@ -1,0 +1,116 @@
+//! Alphabet reductions (Theorems 3.1 and 3.3).
+//!
+//! Theorem 3.1's proof encodes any constant-size alphabet in binary and
+//! matches over {a, b}; Theorem 3.3 first *renames* an unbounded alphabet
+//! into a polynomial range. This module provides the binary encoding and
+//! the helpers that translate encoded matches back to symbol coordinates.
+
+use crate::dict::{Match, Matches};
+
+/// A binary-encoded string: every original symbol becomes
+/// `bits_per_symbol` bytes from {a, b}.
+#[derive(Debug, Clone)]
+pub struct BinaryEncoded {
+    /// The encoded bytes.
+    pub data: Vec<u8>,
+    /// Bits (encoded bytes) per original symbol.
+    pub bits_per_symbol: usize,
+}
+
+/// Encode `text` over an alphabet of `sigma` symbols into {a, b}, fixed
+/// width `ceil(log2 sigma)` (minimum 1). Symbols are the raw byte values.
+#[must_use]
+pub fn encode_binary(text: &[u8], sigma: usize) -> BinaryEncoded {
+    assert!(sigma >= 2, "need at least two symbols");
+    let bits = (usize::BITS - (sigma - 1).leading_zeros()).max(1) as usize;
+    let mut data = Vec::with_capacity(text.len() * bits);
+    for &c in text {
+        for b in (0..bits).rev() {
+            data.push(if (c >> b) & 1 == 1 { b'b' } else { b'a' });
+        }
+    }
+    BinaryEncoded {
+        data,
+        bits_per_symbol: bits,
+    }
+}
+
+/// Translate matches found on a binary-encoded text back to original
+/// coordinates: only matches at symbol boundaries count, and lengths are
+/// divided by the symbol width.
+#[must_use]
+pub fn decode_positions(encoded_matches: &Matches, bits_per_symbol: usize) -> Matches {
+    let n = encoded_matches.len() / bits_per_symbol;
+    let inner: Vec<Option<Match>> = (0..n)
+        .map(|i| {
+            encoded_matches.get(i * bits_per_symbol).and_then(|m| {
+                // Patterns were encoded with the same width, so their
+                // encoded lengths are exact multiples.
+                if (m.len as usize).is_multiple_of(bits_per_symbol) {
+                    Some(Match {
+                        id: m.id,
+                        len: (m.len as usize / bits_per_symbol) as u32,
+                    })
+                } else {
+                    None
+                }
+            })
+        })
+        .collect();
+    Matches::new(inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dict::Dictionary;
+    use crate::matcher::dictionary_match;
+    use pardict_pram::Pram;
+    use pardict_workloads::{random_dictionary, text_with_planted_matches, Alphabet};
+
+    #[test]
+    fn encoding_is_fixed_width_ab() {
+        let e = encode_binary(&[0, 1, 2, 3], 4);
+        assert_eq!(e.bits_per_symbol, 2);
+        assert_eq!(e.data, b"aaabbabb");
+    }
+
+    #[test]
+    fn width_one_for_sigma_two() {
+        let e = encode_binary(&[0, 1, 1], 2);
+        assert_eq!(e.bits_per_symbol, 1);
+        assert_eq!(e.data, b"abb");
+    }
+
+    #[test]
+    fn binary_reduction_preserves_matches() {
+        // Match over a 26-symbol alphabet by encoding to binary, running
+        // the full matcher, and decoding — Theorem 3.1's reduction.
+        let pram = Pram::seq();
+        let alpha = Alphabet::lowercase();
+        let patterns = random_dictionary(5, 10, 2, 6, alpha);
+        let text = text_with_planted_matches(6, &patterns, 300, 30, alpha);
+        let sigma = 256;
+
+        let enc_patterns: Vec<Vec<u8>> = patterns
+            .iter()
+            .map(|p| encode_binary(p, sigma).data)
+            .collect();
+        let bits = encode_binary(&text, sigma).bits_per_symbol;
+        let enc_text = encode_binary(&text, sigma).data;
+
+        let enc_dict = Dictionary::new(enc_patterns);
+        let enc_matches = dictionary_match(&pram, &enc_dict, &enc_text, 7);
+        let decoded = decode_positions(&enc_matches, bits);
+
+        let plain_dict = Dictionary::new(patterns);
+        let want = crate::ac::AhoCorasick::build(&plain_dict).match_text(&text);
+        for i in 0..text.len() {
+            assert_eq!(
+                decoded.get(i).map(|m| m.len),
+                want.get(i).map(|m| m.len),
+                "i={i}"
+            );
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! The previous-best parallel baseline (the [MP93] cost envelope).
+//!
+//! Muthukrishnan–Palem matched texts with `O(n·√(log m))` work; before
+//! that, per-position independent binary search gave `O(n·log m)`. This
+//! module implements the latter envelope faithfully: every text position
+//! independently binary-searches the longest pattern prefix starting there,
+//! with `O(log m)` fingerprint probes into a hash table of all pattern
+//! prefixes. It is *depth-optimal but work-suboptimal* — exactly the
+//! comparison the paper's Theorem 3.1 improves on, and what experiment E2
+//! plots against the work-optimal matcher.
+
+use crate::dict::{Dictionary, Match, Matches};
+use pardict_fingerprint::{random_base, PrefixHashes};
+use pardict_pram::Pram;
+use std::collections::HashMap;
+
+/// Per-position binary-search matcher: `O(d)`-work preprocessing,
+/// `O(n log m)`-work matching, `O(log m)` depth. Monte Carlo (same
+/// fingerprint regime as the main matcher).
+#[must_use]
+pub fn mp93_baseline(pram: &Pram, dict: &Dictionary, text: &[u8], seed: u64) -> Matches {
+    let base = random_base(seed);
+    let dhashes = PrefixHashes::build(pram, dict.dhat(), base);
+    let thashes = PrefixHashes::build(pram, text, base);
+
+    // All pattern prefixes, each mapping to the longest complete pattern
+    // that is a prefix of it (computed pattern-by-pattern, O(d) total).
+    let mut whole: HashMap<(u64, u32), u32> = HashMap::with_capacity(dict.num_patterns());
+    pram.ledger().round(dict.num_patterns() as u64);
+    for t in 0..dict.num_patterns() {
+        let fp = dhashes.substring(dict.offset(t), dict.pattern_len(t));
+        whole.entry((fp, dict.pattern_len(t) as u32)).or_insert(t as u32);
+    }
+    let mut prefixes: HashMap<(u64, u32), Option<Match>> = HashMap::with_capacity(dict.total_len());
+    pram.ledger().round(dict.total_len() as u64);
+    for t in 0..dict.num_patterns() {
+        let off = dict.offset(t);
+        let mut best: Option<Match> = None;
+        for l in 1..=dict.pattern_len(t) {
+            let fp = dhashes.substring(off, l);
+            if let Some(&id) = whole.get(&(fp, l as u32)) {
+                best = Some(Match {
+                    id,
+                    len: l as u32,
+                });
+            }
+            prefixes.entry((fp, l as u32)).or_insert(best);
+        }
+    }
+
+    let m = dict.max_pattern_len();
+    let n = text.len();
+    let inner: Vec<Option<Match>> = pram.tabulate_costed(n, |i| {
+        let cap = m.min(n - i);
+        let is_prefix =
+            |l: usize| -> bool { prefixes.contains_key(&(thashes.substring(i, l), l as u32)) };
+        // Binary search the longest pattern prefix at i (prefix-ness is
+        // monotone in l).
+        let mut ops = 1u64;
+        let (mut lo, mut hi) = (0usize, cap);
+        while lo < hi {
+            let mid = (lo + hi).div_ceil(2);
+            ops += 1;
+            if is_prefix(mid) {
+                lo = mid;
+            } else {
+                hi = mid - 1;
+            }
+        }
+        if lo == 0 {
+            return (None, ops);
+        }
+        let best = prefixes[&(thashes.substring(i, lo), lo as u32)];
+        (best, ops)
+    });
+    Matches::new(inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ac::AhoCorasick;
+    use pardict_pram::ceil_log2;
+    use pardict_workloads::{random_dictionary, text_with_planted_matches, Alphabet};
+
+    #[test]
+    fn agrees_with_aho_corasick() {
+        for seed in 0..5u64 {
+            let pram = Pram::seq();
+            let alpha = Alphabet::dna();
+            let dict = Dictionary::new(random_dictionary(seed, 18, 2, 9, alpha));
+            let text = text_with_planted_matches(seed + 3, dict.patterns(), 400, 30, alpha);
+            let got = mp93_baseline(&pram, &dict, &text, seed);
+            let want = AhoCorasick::build(&dict).match_text(&text);
+            for i in 0..text.len() {
+                assert_eq!(
+                    got.get(i).map(|m| m.len),
+                    want.get(i).map(|m| m.len),
+                    "seed={seed} i={i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn work_carries_a_log_factor() {
+        // The baseline's matching work per character grows with log m.
+        let pram = Pram::seq();
+        let alpha = Alphabet::dna();
+        let mut per_char = Vec::new();
+        for mexp in [3u32, 6, 9] {
+            let m = 1usize << mexp;
+            let dict = Dictionary::new(random_dictionary(9, 8, m, m, alpha));
+            let text = text_with_planted_matches(10, dict.patterns(), 4000, 20, alpha);
+            let (_, cost) = pram.metered(|p| mp93_baseline(p, &dict, &text, 11));
+            per_char.push(cost.work as f64 / text.len() as f64);
+        }
+        assert!(
+            per_char[2] > per_char[0] + 2.0,
+            "expected growing work/char: {per_char:?}"
+        );
+        let _ = ceil_log2(1);
+    }
+}

@@ -1,0 +1,274 @@
+//! The §3.4 output checker — what makes the matcher Las Vegas.
+//!
+//! Fingerprint errors are one-sided: a collision can only make two
+//! *different* strings look equal, so the Monte Carlo matcher can only
+//! over-claim (report a match that is not really there), never under-claim.
+//! This checker verifies a claimed match array **exactly** in `O(n)` work
+//! and `O(log n)` depth:
+//!
+//! 1. positions without a match are treated as claiming their own single
+//!    character (the paper's "special pointer to the singleton T[i]");
+//! 2. every claim's first character is compared with the text directly;
+//! 3. every *dominated* position (the paper's `i` dominates `j` iff `i < j`
+//!    and `i + L[i] ≥ j + L[j]`) is checked for consistency against a
+//!    dominating claim with one exact Lemma 2.6 LCP query on `D̂`;
+//! 4. consecutive *dominating* positions are checked pairwise the same way.
+//!
+//! Lemma 3.4: if all checks pass, every claimed match really occurs.
+
+use crate::dict::{Dictionary, Matches};
+use pardict_pram::Pram;
+use pardict_suffix::SuffixTree;
+
+/// Why a check failed (for diagnostics and the Las Vegas retry loop).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckError {
+    /// Claimed pattern's first character disagrees with the text.
+    FirstChar {
+        /// Text position of the offending claim.
+        pos: usize,
+    },
+    /// A claimed match extends past the end of the text.
+    Overrun {
+        /// Text position of the offending claim.
+        pos: usize,
+    },
+    /// A dominated claim disagrees with its dominating claim.
+    DominatedMismatch {
+        /// Text position of the dominated claim.
+        pos: usize,
+        /// The dominating position it was checked against.
+        against: usize,
+    },
+    /// Two consecutive dominating claims disagree on their overlap.
+    DominatingMismatch {
+        /// Text position of the later dominating claim.
+        pos: usize,
+        /// The earlier dominating position.
+        against: usize,
+    },
+}
+
+/// Verify `matches` against `text` exactly. `O(n)` work, `O(log n)` depth.
+///
+/// # Errors
+/// Returns the first category of inconsistency found.
+pub fn check_matches(
+    pram: &Pram,
+    dict: &Dictionary,
+    st: &SuffixTree,
+    text: &[u8],
+    matches: &Matches,
+) -> Result<(), CheckError> {
+    let n = text.len();
+    assert_eq!(matches.len(), n);
+
+    // Claim at position i: (length, D̂ position of the claimed string), or
+    // the singleton character claim (length 1, no D̂ position).
+    let claim = |i: usize| -> (usize, Option<usize>) {
+        match matches.get(i) {
+            Some(m) => (m.len as usize, Some(dict.offset(m.id as usize))),
+            None => (1, None),
+        }
+    };
+
+    // Steps 1–2: bounds + first characters, one wide round.
+    let bad: Vec<Option<CheckError>> = pram.tabulate(n, |i| {
+        let (len, q) = claim(i);
+        if i + len > n {
+            return Some(CheckError::Overrun { pos: i });
+        }
+        if let Some(q) = q {
+            if dict.dhat()[q] != text[i] {
+                return Some(CheckError::FirstChar { pos: i });
+            }
+        }
+        None
+    });
+    if let Some(e) = bad.iter().flatten().next() {
+        return Err(e.clone());
+    }
+
+    // Reaches and prefix arg-maxima.
+    let reaches: Vec<(u64, u64)> = pram.tabulate(n, |i| {
+        let (len, _) = claim(i);
+        ((i + len) as u64, i as u64)
+    });
+    // Inclusive prefix max by reach (ties: earliest index wins).
+    let pm = pram.scan_inclusive(&reaches, (0u64, u64::MAX), |a, b| {
+        if b.0 > a.0 {
+            b
+        } else {
+            a
+        }
+    });
+
+    // Exact equality of the overlap of two claims, via Lemma 2.6 on D̂
+    // (claims are substrings of D̂; singleton claims compare directly).
+    let consistent = |i: usize, j: usize| -> bool {
+        debug_assert!(i < j);
+        let (li, qi) = claim(i);
+        let (lj, qj) = claim(j);
+        let overlap = (i + li).min(j + lj).saturating_sub(j);
+        if overlap == 0 {
+            return true;
+        }
+        let delta = j - i;
+        match (qi, qj) {
+            (Some(qi), Some(qj)) => st.lcp_positions(qi + delta, qj) >= overlap,
+            (Some(qi), None) => dict.dhat()[qi + delta] == text[j],
+            // A singleton at i cannot overlap j > i.
+            (None, _) => true,
+        }
+    };
+
+    // Step 3: dominated positions vs the prefix-argmax dominator.
+    let dom_bad: Vec<Option<CheckError>> = pram.tabulate(n, |j| {
+        if j == 0 {
+            return None;
+        }
+        let (lj, _) = claim(j);
+        let (best_reach, best_i) = pm[j - 1];
+        if best_reach >= (j + lj) as u64 {
+            let i = best_i as usize;
+            if !consistent(i, j) {
+                return Some(CheckError::DominatedMismatch { pos: j, against: i });
+            }
+        }
+        None
+    });
+    if let Some(e) = dom_bad.iter().flatten().next() {
+        return Err(e.clone());
+    }
+
+    // Step 4: consecutive dominating positions.
+    let dominating: Vec<bool> = pram.tabulate(n, |j| {
+        if j == 0 {
+            return true;
+        }
+        let (lj, _) = claim(j);
+        pm[j - 1].0 < (j + lj) as u64
+    });
+    let doms = pram.pack_indices(&dominating);
+    let pair_bad: Vec<Option<CheckError>> = pram.tabulate(doms.len().saturating_sub(1), |k| {
+        let (i, j) = (doms[k], doms[k + 1]);
+        if !consistent(i, j) {
+            Some(CheckError::DominatingMismatch { pos: j, against: i })
+        } else {
+            None
+        }
+    });
+    if let Some(e) = pair_bad.iter().flatten().next() {
+        return Err(e.clone());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ac::AhoCorasick;
+    use crate::dict::Match;
+    use pardict_workloads::{random_dictionary, text_with_planted_matches, Alphabet};
+
+    fn setup(seed: u64) -> (Dictionary, SuffixTree, Vec<u8>, Matches, Pram) {
+        let pram = Pram::seq();
+        let alpha = Alphabet::dna();
+        let dict = Dictionary::new(random_dictionary(seed, 15, 2, 8, alpha));
+        let st = SuffixTree::build(&pram, dict.dhat(), seed);
+        let text = text_with_planted_matches(seed + 5, dict.patterns(), 400, 30, alpha);
+        let matches = AhoCorasick::build(&dict).match_text(&text);
+        (dict, st, text, matches, pram)
+    }
+
+    #[test]
+    fn correct_output_passes() {
+        for seed in 0..5 {
+            let (dict, st, text, matches, pram) = setup(seed);
+            assert_eq!(check_matches(&pram, &dict, &st, &text, &matches), Ok(()));
+        }
+    }
+
+    #[test]
+    fn corrupted_first_char_is_caught() {
+        let (dict, st, text, matches, pram) = setup(1);
+        // Claim a pattern at a position where its first char differs.
+        let mut v = matches.as_slice().to_vec();
+        let pat0 = &dict.patterns()[0];
+        let bad_pos = (0..text.len() - pat0.len())
+            .find(|&i| text[i] != pat0[0])
+            .unwrap();
+        v[bad_pos] = Some(Match {
+            id: 0,
+            len: pat0.len() as u32,
+        });
+        let corrupted = Matches::new(v);
+        assert!(matches!(
+            check_matches(&pram, &dict, &st, &text, &corrupted),
+            Err(CheckError::FirstChar { .. })
+        ));
+    }
+
+    #[test]
+    fn overrun_is_caught() {
+        let (dict, st, text, matches, pram) = setup(2);
+        let mut v = matches.as_slice().to_vec();
+        let n = v.len();
+        v[n - 1] = Some(Match {
+            id: 0,
+            len: dict.pattern_len(0) as u32 + 5,
+        });
+        // Length is even wrong for the pattern — but overrun fires first.
+        let corrupted = Matches::new(v);
+        assert!(matches!(
+            check_matches(&pram, &dict, &st, &text, &corrupted),
+            Err(CheckError::Overrun { .. })
+        ));
+    }
+
+    #[test]
+    fn false_interior_claim_is_caught() {
+        // Claim a pattern whose first char matches the text but whose tail
+        // does not: must be caught by a domination check.
+        for seed in 0..20u64 {
+            let (dict, st, text, matches, pram) = setup(seed + 100);
+            let mut v = matches.as_slice().to_vec();
+            let mut planted = false;
+            'outer: for t in 0..dict.num_patterns() {
+                let p = &dict.patterns()[t];
+                if p.len() < 2 {
+                    continue;
+                }
+                for i in 0..text.len().saturating_sub(p.len()) {
+                    let real = &text[i..i + p.len()] == p.as_slice();
+                    let first_ok = text[i] == p[0];
+                    let claimed_len = v[i].map_or(0, |m| m.len as usize);
+                    if !real && first_ok && claimed_len < p.len() {
+                        v[i] = Some(Match {
+                            id: t as u32,
+                            len: p.len() as u32,
+                        });
+                        planted = true;
+                        break 'outer;
+                    }
+                }
+            }
+            if !planted {
+                continue;
+            }
+            let corrupted = Matches::new(v);
+            let res = check_matches(&pram, &dict, &st, &text, &corrupted);
+            assert!(res.is_err(), "seed={seed}: corrupted output accepted");
+            let _ = matches;
+        }
+    }
+
+    #[test]
+    fn empty_text_passes() {
+        let pram = Pram::seq();
+        let dict = Dictionary::new(vec![b"ab".to_vec()]);
+        let st = SuffixTree::build(&pram, dict.dhat(), 3);
+        let m = Matches::new(Vec::new());
+        assert_eq!(check_matches(&pram, &dict, &st, b"", &m), Ok(()));
+    }
+}

@@ -1,0 +1,164 @@
+//! Sequential matching statistics: the exact oracle and baseline for
+//! Step 1's dictionary *substring* matching.
+//!
+//! The classic suffix-link walk (McCreight/Chang–Lawler): maintain the
+//! locus of the longest dictionary substring starting at the current text
+//! position; per position, extend with raw character comparisons, record,
+//! follow one suffix link, and re-descend by skip-count. Amortized `O(n)`
+//! character comparisons after `O(d)` preprocessing.
+
+use pardict_suffix::SuffixTree;
+
+/// For each text position `i`, the longest substring of the tree's text
+/// starting at `T[i]`, as `(length, occurrence position)`.
+#[must_use]
+pub fn matching_statistics_seq(st: &SuffixTree, text: &[u8]) -> Vec<(u32, u32)> {
+    let n = text.len();
+    let padded = st.padded();
+    // Effective matchable depth: leaves stop before their sentinel.
+    let eff = |v: usize| -> usize {
+        if st.is_leaf(v) {
+            st.str_depth(v) - 1
+        } else {
+            st.str_depth(v)
+        }
+    };
+
+    let mut out = Vec::with_capacity(n);
+    let mut u = st.root(); // deepest explicit node with depth(u) <= matched
+    let mut below: Option<usize> = None; // child on the path when inside an edge
+    let mut matched = 0usize;
+
+    for i in 0..n {
+        // Extend.
+        loop {
+            if let Some(b) = below {
+                let e = eff(b);
+                while matched < e && i + matched < n && padded[st.label_pos(b) + matched] == text[i + matched]
+                {
+                    matched += 1;
+                }
+                if matched == st.str_depth(b) {
+                    // Fully consumed an internal edge; leaves stop at eff
+                    // (their sentinel is unmatchable) and stay `below`.
+                    u = b;
+                    below = None;
+                    continue;
+                }
+                break;
+            }
+            if i + matched >= n {
+                break;
+            }
+            match st.child_by_byte(u, text[i + matched]) {
+                None => break,
+                Some(c) => {
+                    below = Some(c);
+                    // Loop back to compare along the new edge. The first
+                    // character is already known to match.
+                }
+            }
+        }
+
+        let pos = match below.or(if matched > 0 { Some(u) } else { None }) {
+            Some(b) => st.label_pos(b) as u32,
+            None => 0,
+        };
+        out.push((matched as u32, pos));
+
+        // Shift to the next position via one suffix link + skip-count.
+        if matched > 0 {
+            matched -= 1;
+            u = st.slink(u);
+            below = None;
+            while st.str_depth(u) < matched {
+                let c = st
+                    .child_by_byte(u, text[i + 1 + st.str_depth(u)])
+                    .expect("matched substring must exist in the tree");
+                if st.str_depth(c) <= matched {
+                    u = c;
+                } else {
+                    below = Some(c);
+                    break;
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pardict_pram::{Pram, SplitMix64};
+    use pardict_workloads::{markov_text, random_text, Alphabet};
+
+    /// Naive longest-substring-at-position oracle.
+    fn oracle(dhat: &[u8], text: &[u8]) -> Vec<u32> {
+        let n = text.len();
+        (0..n)
+            .map(|i| {
+                let mut best = 0usize;
+                for j in 0..dhat.len() {
+                    let mut l = 0;
+                    while i + l < n && j + l < dhat.len() && text[i + l] == dhat[j + l] {
+                        l += 1;
+                    }
+                    best = best.max(l);
+                }
+                best as u32
+            })
+            .collect()
+    }
+
+    fn check(dhat: &[u8], text: &[u8]) {
+        let pram = Pram::seq();
+        let st = SuffixTree::build(&pram, dhat, 7);
+        let ms = matching_statistics_seq(&st, text);
+        let want = oracle(dhat, text);
+        for i in 0..text.len() {
+            assert_eq!(ms[i].0, want[i], "i={i}");
+            // The reported occurrence must actually match.
+            let (l, p) = (ms[i].0 as usize, ms[i].1 as usize);
+            assert_eq!(&dhat[p..p + l], &text[i..i + l], "occurrence i={i}");
+        }
+    }
+
+    #[test]
+    fn simple_cases() {
+        check(b"banana", b"bananas");
+        check(b"banana", b"xyz");
+        check(b"abcabc", b"cabcab");
+        check(b"aaa", b"aaaaaa");
+    }
+
+    #[test]
+    fn random_cases() {
+        let mut rng = SplitMix64::new(21);
+        for _ in 0..5 {
+            let dlen = 50 + rng.next_below(100) as usize;
+            let tlen = 50 + rng.next_below(200) as usize;
+            let dhat = random_text(rng.next_u64(), dlen, Alphabet::dna());
+            let text = random_text(rng.next_u64(), tlen, Alphabet::dna());
+            check(&dhat, &text);
+        }
+    }
+
+    #[test]
+    fn text_is_substring_of_dictionary() {
+        let dhat = markov_text(3, 300, Alphabet::binary());
+        let text = dhat[100..200].to_vec();
+        let pram = Pram::seq();
+        let st = SuffixTree::build(&pram, &dhat, 9);
+        let ms = matching_statistics_seq(&st, &text);
+        // Position 0 must match the full remaining text.
+        assert_eq!(ms[0].0 as usize, text.len());
+    }
+
+    #[test]
+    fn empty_text() {
+        let pram = Pram::seq();
+        let st = SuffixTree::build(&pram, b"ab", 1);
+        assert!(matching_statistics_seq(&st, b"").is_empty());
+    }
+}

@@ -1,0 +1,171 @@
+//! Single-pattern matching utilities — the KMP lineage the paper's history
+//! starts from (§1.2: "within two years of the discovery of the classical
+//! linear time string matching algorithm due to Knuth, Morris and Pratt,
+//! Aho and Corasick designed a linear time algorithm for dictionary
+//! matching").
+//!
+//! Provides the classical failure function (border array), periodicity
+//! helpers, sequential KMP matching, and a parallel single-pattern matcher
+//! that simply runs the work-optimal dictionary machinery with `k = 1` —
+//! the modern counterpart of Galil's and Vishkin's optimal parallel string
+//! matching the paper cites.
+
+use crate::dict::Dictionary;
+use crate::matcher::dictionary_match;
+use pardict_pram::Pram;
+
+/// The KMP failure function: `border[i]` = length of the longest proper
+/// border (prefix = suffix) of `pattern[..=i]`.
+#[must_use]
+pub fn border_array(pattern: &[u8]) -> Vec<u32> {
+    let m = pattern.len();
+    let mut border = vec![0u32; m];
+    let mut k = 0usize;
+    for i in 1..m {
+        while k > 0 && pattern[k] != pattern[i] {
+            k = border[k - 1] as usize;
+        }
+        if pattern[k] == pattern[i] {
+            k += 1;
+        }
+        border[i] = k as u32;
+    }
+    border
+}
+
+/// The (shortest) period of a string: the smallest `p ≥ 1` with
+/// `s[i] == s[i + p]` for all valid `i`.
+#[must_use]
+pub fn period(pattern: &[u8]) -> usize {
+    if pattern.is_empty() {
+        return 0;
+    }
+    let b = border_array(pattern);
+    pattern.len() - *b.last().unwrap() as usize
+}
+
+/// True when the string is periodic in the strong sense of string
+/// matching: its period is at most half its length (the regime where the
+/// classic parallel matchers need the periodicity lemma).
+#[must_use]
+pub fn is_periodic(pattern: &[u8]) -> bool {
+    !pattern.is_empty() && 2 * period(pattern) <= pattern.len()
+}
+
+/// Sequential KMP: all occurrence start positions of `pattern` in `text`.
+/// `O(n + m)` time.
+#[must_use]
+pub fn kmp_find_all(pattern: &[u8], text: &[u8]) -> Vec<usize> {
+    let m = pattern.len();
+    if m == 0 || m > text.len() {
+        return Vec::new();
+    }
+    let border = border_array(pattern);
+    let mut out = Vec::new();
+    let mut k = 0usize;
+    for (i, &c) in text.iter().enumerate() {
+        while k > 0 && pattern[k] != c {
+            k = border[k - 1] as usize;
+        }
+        if pattern[k] == c {
+            k += 1;
+        }
+        if k == m {
+            out.push(i + 1 - m);
+            k = border[m - 1] as usize;
+        }
+    }
+    out
+}
+
+/// Parallel single-pattern matching: the `k = 1` special case of Theorem
+/// 3.1 (Las Vegas, `O(n)` work, `O(log m)` depth after `O(m)`-ish
+/// preprocessing) — the bound Galil/Vishkin pioneered, reached through the
+/// general machinery.
+#[must_use]
+pub fn parallel_find_all(pram: &Pram, pattern: &[u8], text: &[u8], seed: u64) -> Vec<usize> {
+    if pattern.is_empty() || pattern.len() > text.len() {
+        return Vec::new();
+    }
+    let dict = Dictionary::new(vec![pattern.to_vec()]);
+    let matches = dictionary_match(pram, &dict, text, seed);
+    matches.iter_hits().map(|(i, _)| i).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pardict_workloads::{fibonacci_word, periodic_text, random_text, Alphabet};
+
+    fn naive_find_all(pattern: &[u8], text: &[u8]) -> Vec<usize> {
+        if pattern.is_empty() || pattern.len() > text.len() {
+            return Vec::new();
+        }
+        (0..=text.len() - pattern.len())
+            .filter(|&i| &text[i..i + pattern.len()] == pattern)
+            .collect()
+    }
+
+    #[test]
+    fn border_array_classics() {
+        assert_eq!(border_array(b"abab"), vec![0, 0, 1, 2]);
+        assert_eq!(border_array(b"aaaa"), vec![0, 1, 2, 3]);
+        assert_eq!(border_array(b"abcd"), vec![0, 0, 0, 0]);
+        assert_eq!(border_array(b"abacaba"), vec![0, 0, 1, 0, 1, 2, 3]);
+        assert!(border_array(b"").is_empty());
+    }
+
+    #[test]
+    fn periods() {
+        assert_eq!(period(b"abab"), 2);
+        assert_eq!(period(b"aaaa"), 1);
+        assert_eq!(period(b"abcd"), 4);
+        assert_eq!(period(b"abcab"), 3);
+        assert!(is_periodic(b"abab"));
+        assert!(is_periodic(b"aaa"));
+        assert!(!is_periodic(b"abcab"));
+        assert!(!is_periodic(b""));
+    }
+
+    #[test]
+    fn kmp_matches_naive() {
+        let cases: Vec<(&[u8], Vec<u8>)> = vec![
+            (b"ab", periodic_text(b"ab", 40)),
+            (b"aab", b"aabaabxaab".to_vec()),
+            (b"aba", fibonacci_word(200)),
+            (b"zzz", random_text(1, 300, Alphabet::dna())),
+        ];
+        for (pat, text) in cases {
+            assert_eq!(
+                kmp_find_all(pat, &text),
+                naive_find_all(pat, &text),
+                "pattern {:?}",
+                String::from_utf8_lossy(pat)
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_equals_kmp() {
+        let pram = Pram::seq();
+        let text = fibonacci_word(500);
+        for pat in [&b"aba"[..], b"abaab", b"baab", b"zz"] {
+            assert_eq!(
+                parallel_find_all(&pram, pat, &text, 3),
+                kmp_find_all(pat, &text),
+                "pattern {:?}",
+                String::from_utf8_lossy(pat)
+            );
+        }
+    }
+
+    #[test]
+    fn edge_cases() {
+        assert!(kmp_find_all(b"", b"abc").is_empty());
+        assert!(kmp_find_all(b"abcd", b"ab").is_empty());
+        assert_eq!(kmp_find_all(b"a", b"a"), vec![0]);
+        let pram = Pram::seq();
+        assert!(parallel_find_all(&pram, b"", b"abc", 1).is_empty());
+        assert!(parallel_find_all(&pram, b"abcd", b"ab", 1).is_empty());
+    }
+}

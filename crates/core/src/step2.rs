@@ -1,0 +1,261 @@
+//! Step 2: from the longest dictionary *substring* `S[i]` to the longest
+//! *pattern* `M[i]` (§3.1, Steps 2A/2B).
+//!
+//! * **2A.** `B[i]` = longest prefix of `S[i]` that is a prefix of some
+//!   pattern. Every `D̂` position carries a *cap* (its pattern's length if
+//!   it starts one, else 0 — the paper's legal lengths); a node's `maxcap`
+//!   is a Lemma 2.3 range-maximum over its leaf range, and
+//!   `B[i] = min(|S[i]|, bestpfx(locus))` where `bestpfx` is the root-path
+//!   maximum of `min(maxcap(v), depth(v))`, precomputed by a work-optimal
+//!   rootfix (heavy-path rounds).
+//!   The argmax leaf doubles as a *certificate*: a pattern whose prefix of
+//!   length `B[i]` equals `S[i][..B[i]]`.
+//! * **2B.** `M[i]` = longest complete pattern that is a prefix of the
+//!   `B[i]`-prefix. For every `D̂` position `j` inside pattern `t`, `F[j]`
+//!   records the longest complete pattern equal to a prefix of
+//!   `P_t[..j−off(t)+1]` — marked by fingerprint table lookups (the paper's
+//!   Step 2A remark) and spread by a segmented prefix-max scan. Then
+//!   `M[i] = F[off(t*) + B[i] − 1]` for the certificate pattern `t*`.
+
+use crate::dict::{Dictionary, Match};
+use crate::dsm::Locus;
+use pardict_graph::rootfix;
+use pardict_pram::Pram;
+use pardict_rmq::LinearRmq;
+use pardict_suffix::SuffixTree;
+use std::collections::HashMap;
+
+/// Preprocessed Step-2 tables.
+#[derive(Debug)]
+pub(crate) struct Step2Tables {
+    /// Per node: path-max of `min(maxcap, depth)` — the longest
+    /// pattern-prefix length realizable on the path to this node.
+    best_len: Vec<u32>,
+    /// Per node: a `D̂` position starting a pattern that certifies
+    /// `best_len` (u32::MAX if `best_len == 0`).
+    best_cert: Vec<u32>,
+    /// Per `D̂` position `j` (inside pattern `t`, prefix length
+    /// `l = j − off(t) + 1`): longest complete pattern that is a prefix of
+    /// `P_t[..l]`, as (len, id); (0, MAX) if none.
+    f_len: Vec<u32>,
+    f_pat: Vec<u32>,
+    /// For each pattern id: the next pattern with the identical string
+    /// (ascending ids; u32::MAX terminates). Lets occurrence enumeration
+    /// report every duplicate.
+    dup_next: Vec<u32>,
+}
+
+impl Step2Tables {
+    /// Build from the dictionary and its suffix tree. `O(d)` work,
+    /// polylog depth.
+    pub(crate) fn build(pram: &Pram, dict: &Dictionary, st: &SuffixTree, seed: u64) -> Self {
+        let d = dict.total_len();
+        let m_leaves = st.num_leaves();
+        let n_nodes = st.num_nodes();
+
+        // Caps in SA order (the sentinel suffix caps at 0).
+        let caps_sa: Vec<i64> = pram.tabulate(m_leaves, |k| {
+            let pos = st.leaf_pos(k);
+            if pos < d {
+                dict.cap(pos) as i64
+            } else {
+                0
+            }
+        });
+        let rmq = LinearRmq::new_max(pram, &caps_sa, seed ^ 0x57E9);
+
+        // Per node: g = min(maxcap, depth) and its certificate.
+        let g: Vec<(u32, u32)> = pram.tabulate(n_nodes, |v| {
+            let (lo, hi) = st.leaf_range(v);
+            let arg = rmq.query(lo, hi);
+            let maxcap = caps_sa[arg] as u32;
+            let depth = st.str_depth(v).min(
+                // Leaves' sentinel char is not matchable.
+                if st.is_leaf(v) {
+                    st.str_depth(v) - 1
+                } else {
+                    st.str_depth(v)
+                },
+            ) as u32;
+            let val = maxcap.min(depth);
+            if val == 0 {
+                (0, u32::MAX)
+            } else {
+                (val, st.leaf_pos(arg) as u32)
+            }
+        });
+
+        // Root-path maxima: a work-optimal rootfix over the node forest
+        // (heavy-path rounds; the pointer-doubling alternative costs an
+        // extra log factor — E12 measures the gap).
+        let best: Vec<(u32, u32)> = rootfix(
+            pram,
+            st.forest(),
+            st.tree_lca().tour(),
+            &g,
+            (0, u32::MAX),
+            |a, b| if b.0 > a.0 { b } else { a },
+            seed ^ 0xBE57,
+        );
+
+        // Complete-pattern table: fingerprints of whole patterns.
+        let mut whole: HashMap<(u64, u32), u32> = HashMap::with_capacity(dict.num_patterns());
+        pram.ledger().round(dict.num_patterns() as u64);
+        for t in 0..dict.num_patterns() {
+            let (off, len) = (dict.offset(t), dict.pattern_len(t));
+            let fp = st.hashes().substring(off, len);
+            whole.entry((fp, len as u32)).or_insert(t as u32);
+        }
+
+        // Indicator per D̂ position, then segmented prefix max per pattern.
+        let ind: Vec<(u32, u32, u32)> = pram.tabulate(d, |j| {
+            let t = dict.pattern_of(j);
+            let off = dict.offset(t);
+            let l = (j - off + 1) as u32;
+            let fp = st.hashes().substring(off, l as usize);
+            match whole.get(&(fp, l)) {
+                Some(&p) => (t as u32, l, p),
+                None => (t as u32, 0, u32::MAX),
+            }
+        });
+        let scanned = pram.scan_inclusive(&ind, (u32::MAX, 0, u32::MAX), |a, b| {
+            // New segment resets; within a segment the larger length wins.
+            if a.0 != b.0 || b.1 >= a.1 {
+                b
+            } else {
+                a
+            }
+        });
+        let f_len: Vec<u32> = pram.map(&scanned, |_, &(_, l, _)| l);
+        let f_pat: Vec<u32> = pram.map(&scanned, |_, &(_, _, p)| p);
+
+        // Duplicate chains: identical patterns share a (fp, len) key.
+        let mut groups: HashMap<(u64, u32), u32> = HashMap::new();
+        let mut dup_next = vec![u32::MAX; dict.num_patterns()];
+        pram.ledger().round(dict.num_patterns() as u64);
+        for t in (0..dict.num_patterns()).rev() {
+            let (off, len) = (dict.offset(t), dict.pattern_len(t));
+            let key = (st.hashes().substring(off, len), len as u32);
+            if let Some(&nxt) = groups.get(&key) {
+                dup_next[t] = nxt;
+            }
+            groups.insert(key, t as u32);
+        }
+
+        Self {
+            best_len: best.iter().map(|&(l, _)| l).collect(),
+            best_cert: best.iter().map(|&(_, c)| c).collect(),
+            f_len,
+            f_pat,
+            dup_next,
+        }
+    }
+
+    /// `B[i]`: longest pattern-prefix length for a substring locus, with
+    /// its certificate pattern. O(1).
+    pub(crate) fn pattern_prefix(&self, dict: &Dictionary, locus: Locus) -> Option<(u32, u32)> {
+        if locus.len == 0 {
+            return None;
+        }
+        let v = locus.below as usize;
+        let b = self.best_len[v].min(locus.len);
+        if b == 0 {
+            return None;
+        }
+        let cert = self.best_cert[v];
+        debug_assert_ne!(cert, u32::MAX);
+        let t = dict.pattern_of(cert as usize) as u32;
+        Some((b, t))
+    }
+
+    /// All complete patterns that occur at a position, longest first, by
+    /// walking the `F` chain from `B[i]` downwards and expanding duplicate
+    /// groups. O(1) per reported match (output-sensitive).
+    pub(crate) fn all_patterns_at(&self, dict: &Dictionary, locus: Locus) -> Vec<Match> {
+        let mut out = Vec::new();
+        let Some((b, t)) = self.pattern_prefix(dict, locus) else {
+            return out;
+        };
+        let off = dict.offset(t as usize);
+        let mut l = b;
+        while l >= 1 {
+            let j = off + l as usize - 1;
+            let len = self.f_len[j];
+            if len == 0 {
+                break;
+            }
+            let mut id = self.f_pat[j];
+            while id != u32::MAX {
+                out.push(Match { id, len });
+                id = self.dup_next[id as usize];
+            }
+            l = len - 1;
+        }
+        out
+    }
+
+    /// `M[i]`: the longest complete pattern from `B[i]` and its
+    /// certificate. O(1).
+    pub(crate) fn longest_pattern(
+        &self,
+        dict: &Dictionary,
+        locus: Locus,
+    ) -> Option<Match> {
+        let (b, t) = self.pattern_prefix(dict, locus)?;
+        let j = dict.offset(t as usize) + b as usize - 1;
+        let len = self.f_len[j];
+        if len == 0 {
+            return None;
+        }
+        Some(Match {
+            id: self.f_pat[j],
+            len,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsm::{substring_match, SubstringMatcher};
+    use pardict_workloads::{random_dictionary, text_with_planted_matches, Alphabet};
+
+    /// Oracle for B[i]: longest prefix of text[i..] that is a prefix of
+    /// some pattern.
+    fn oracle_b(dict: &Dictionary, text: &[u8], i: usize) -> usize {
+        let mut best = 0;
+        for p in dict.patterns() {
+            let mut l = 0;
+            while l < p.len() && i + l < text.len() && p[l] == text[i + l] {
+                l += 1;
+            }
+            best = best.max(l);
+        }
+        best
+    }
+
+    #[test]
+    fn pattern_prefix_matches_oracle() {
+        for seed in 0..4u64 {
+            let alpha = Alphabet::dna();
+            let pram = Pram::seq();
+            let dict = Dictionary::new(random_dictionary(seed, 12, 2, 9, alpha));
+            let sub = SubstringMatcher::build(&pram, &dict, seed);
+            let tables = Step2Tables::build(&pram, &dict, sub.tree(), seed);
+            let text = text_with_planted_matches(seed + 9, dict.patterns(), 300, 30, alpha);
+            let loci = substring_match(&pram, &sub, &text);
+            for i in 0..text.len() {
+                let want = oracle_b(&dict, &text, i);
+                let got = tables
+                    .pattern_prefix(&dict, loci[i])
+                    .map_or(0, |(b, _)| b as usize);
+                assert_eq!(got, want, "seed={seed} i={i}");
+                if let Some((b, t)) = tables.pattern_prefix(&dict, loci[i]) {
+                    // Certificate really has this prefix.
+                    let p = &dict.patterns()[t as usize];
+                    assert_eq!(&p[..b as usize], &text[i..i + b as usize]);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Arithmetic modulo the Mersenne prime p = 2⁶¹ − 1.
+//!
+//! Mersenne reduction needs no division: `x mod p = (x & p) + (x >> 61)`
+//! (with one conditional correction), which keeps fingerprint composition a
+//! handful of cycles — important because every string comparison in the
+//! matcher goes through it.
+
+/// The Mersenne prime 2⁶¹ − 1.
+pub const P61: u64 = (1 << 61) - 1;
+
+/// `(a + b) mod p` for `a, b < p`.
+#[inline]
+#[must_use]
+pub fn m61_add(a: u64, b: u64) -> u64 {
+    debug_assert!(a < P61 && b < P61);
+    let s = a + b;
+    if s >= P61 {
+        s - P61
+    } else {
+        s
+    }
+}
+
+/// `(a - b) mod p` for `a, b < p`.
+#[inline]
+#[must_use]
+pub fn m61_sub(a: u64, b: u64) -> u64 {
+    debug_assert!(a < P61 && b < P61);
+    if a >= b {
+        a - b
+    } else {
+        a + P61 - b
+    }
+}
+
+/// `(a · b) mod p` for `a, b < p`, via 128-bit product + Mersenne folding.
+#[inline]
+#[must_use]
+pub fn m61_mul(a: u64, b: u64) -> u64 {
+    debug_assert!(a < P61 && b < P61);
+    let prod = u128::from(a) * u128::from(b);
+    let lo = (prod as u64) & P61;
+    let hi = (prod >> 61) as u64;
+    let s = lo + hi;
+    if s >= P61 {
+        s - P61
+    } else {
+        s
+    }
+}
+
+/// `base^exp mod p` by binary exponentiation.
+#[must_use]
+pub fn m61_pow(base: u64, mut exp: u64) -> u64 {
+    let mut b = base % P61;
+    let mut acc = 1u64;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = m61_mul(acc, b);
+        }
+        b = m61_mul(b, b);
+        exp >>= 1;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_wraps() {
+        assert_eq!(m61_add(P61 - 1, 1), 0);
+        assert_eq!(m61_add(5, 7), 12);
+    }
+
+    #[test]
+    fn sub_wraps() {
+        assert_eq!(m61_sub(0, 1), P61 - 1);
+        assert_eq!(m61_sub(9, 4), 5);
+    }
+
+    #[test]
+    fn mul_matches_u128_reference() {
+        let pairs = [
+            (123_456_789u64, 987_654_321u64),
+            (P61 - 1, P61 - 1),
+            (1, P61 - 1),
+            (0, 5),
+            (1_u64 << 60, (1_u64 << 60) + 12345),
+        ];
+        for (a, b) in pairs {
+            let want = ((u128::from(a) * u128::from(b)) % u128::from(P61)) as u64;
+            assert_eq!(m61_mul(a, b), want, "a={a} b={b}");
+        }
+    }
+
+    #[test]
+    fn pow_matches_repeated_mul() {
+        let base = 1_000_003;
+        let mut acc = 1u64;
+        for e in 0..64u64 {
+            assert_eq!(m61_pow(base, e), acc);
+            acc = m61_mul(acc, base);
+        }
+    }
+
+    #[test]
+    fn fermat_little_theorem() {
+        // a^(p-1) = 1 mod p for a not divisible by p.
+        for a in [2u64, 3, 12345, P61 - 2] {
+            assert_eq!(m61_pow(a, P61 - 1), 1);
+        }
+    }
+}

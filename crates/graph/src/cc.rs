@@ -1,0 +1,123 @@
+//! Parallel connected components (Lemma 2.2).
+//!
+//! Min-hooking with full shortcutting: each round hooks the larger root of
+//! every cross-component edge onto the smaller, then collapses all parent
+//! chains by pointer jumping. Converges in `O(log n)` rounds. Work is
+//! `O((n + m) log² n)` worst case — Gazit's randomized algorithm achieves
+//! `O(m)`, but every consumer in this workspace that needs work-optimality
+//! (the §4.2 uncompression forest) goes through the Euler-tour `root_of`
+//! path instead; this general-graph routine exists for Lemma 2.2 parity and
+//! as a baseline.
+
+use pardict_pram::{pointer_jump_roots, Pram};
+
+/// Component label (the minimum node id in the component) for every node.
+///
+/// Edges may appear in either orientation and may repeat; self-loops are
+/// ignored.
+#[must_use]
+pub fn connected_components(pram: &Pram, n: usize, edges: &[(usize, usize)]) -> Vec<usize> {
+    let mut parent: Vec<usize> = (0..n).collect();
+    loop {
+        // Hook: arbitrary-CRCW concurrent writes resolved sequentially
+        // (min-hooking makes any serialization converge).
+        pram.ledger().round(edges.len() as u64);
+        let mut changed = false;
+        for &(u, v) in edges {
+            let (a, b) = (parent[u], parent[v]);
+            if a == b {
+                continue;
+            }
+            let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+            if parent[hi] > lo {
+                parent[hi] = lo;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+        // Shortcut: collapse every chain to its current root.
+        parent = pointer_jump_roots(pram, &parent);
+    }
+    parent
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pardict_pram::{Pram, SplitMix64};
+
+    /// Sequential union-find oracle.
+    fn oracle(n: usize, edges: &[(usize, usize)]) -> Vec<usize> {
+        let mut p: Vec<usize> = (0..n).collect();
+        fn find(p: &mut Vec<usize>, x: usize) -> usize {
+            if p[x] != x {
+                let r = find(p, p[x]);
+                p[x] = r;
+            }
+            p[x]
+        }
+        for &(u, v) in edges {
+            let (ru, rv) = (find(&mut p, u), find(&mut p, v));
+            if ru != rv {
+                let (lo, hi) = if ru < rv { (ru, rv) } else { (rv, ru) };
+                p[hi] = lo;
+            }
+        }
+        // Normalize to minimum label (min-union makes roots minimal).
+        (0..n).map(|v| find(&mut p, v)).collect()
+    }
+
+    #[test]
+    fn two_components() {
+        let pram = Pram::seq();
+        let labels = connected_components(&pram, 6, &[(0, 1), (1, 2), (3, 4)]);
+        assert_eq!(labels, vec![0, 0, 0, 3, 3, 5]);
+    }
+
+    #[test]
+    fn long_path_converges() {
+        let pram = Pram::seq();
+        let n = 2000;
+        let edges: Vec<(usize, usize)> = (1..n).map(|i| (i - 1, i)).collect();
+        let labels = connected_components(&pram, n, &edges);
+        assert!(labels.iter().all(|&l| l == 0));
+        // Depth must stay polylogarithmic even for a path.
+        let d = pram.cost().depth;
+        assert!(d < 2500, "depth {d} too large for a path of {n}");
+    }
+
+    #[test]
+    fn random_graphs_match_union_find() {
+        let pram = Pram::seq();
+        let mut rng = SplitMix64::new(31);
+        for _ in 0..5 {
+            let n = 300;
+            let m = 200;
+            let edges: Vec<(usize, usize)> = (0..m)
+                .map(|_| {
+                    (
+                        rng.next_below(n as u64) as usize,
+                        rng.next_below(n as u64) as usize,
+                    )
+                })
+                .collect();
+            assert_eq!(connected_components(&pram, n, &edges), oracle(n, &edges));
+        }
+    }
+
+    #[test]
+    fn self_loops_and_duplicates_ignored() {
+        let pram = Pram::seq();
+        let labels = connected_components(&pram, 3, &[(1, 1), (0, 2), (2, 0), (0, 2)]);
+        assert_eq!(labels, vec![0, 1, 0]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let pram = Pram::seq();
+        assert_eq!(connected_components(&pram, 0, &[]), Vec::<usize>::new());
+        assert_eq!(connected_components(&pram, 3, &[]), vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,176 @@
+//! Level ancestors by jump pointers.
+//!
+//! §4 lists "tree contraction, level ancestors, Euler tour techniques" as
+//! interchangeable ways to extract the parse path; the workspace defaults
+//! to Euler tours (linear work), and this jump-pointer structure is the
+//! level-ancestor alternative: `O(n log n)` preprocessing work/space,
+//! `O(log n)` per query, but it answers the more general question "the
+//! ancestor of `v` at depth `t`" that interval tests cannot.
+
+use crate::forest::Forest;
+use pardict_pram::{ceil_log2, Pram};
+
+/// Jump-pointer level-ancestor structure over a rooted forest.
+#[derive(Debug, Clone)]
+pub struct LevelAncestors {
+    /// `up[k][v]` = the 2^k-th ancestor of `v` (clamped at its root).
+    up: Vec<Vec<u32>>,
+    depth: Vec<u32>,
+}
+
+impl LevelAncestors {
+    /// Preprocess. `O(n log n)` work, `O(log n)` depth (each level is one
+    /// wide round composing the previous one).
+    #[must_use]
+    pub fn build(pram: &Pram, forest: &Forest) -> Self {
+        let n = forest.len();
+        let levels = ceil_log2(n.max(2)) as usize + 1;
+        let mut up: Vec<Vec<u32>> = Vec::with_capacity(levels);
+        up.push(pram.tabulate(n, |v| forest.parent(v) as u32));
+        for k in 1..levels {
+            let prev = &up[k - 1];
+            up.push(pram.tabulate(n, |v| prev[prev[v] as usize]));
+        }
+        // Depths by doubling over (parent, +1) pairs.
+        let mut depth: Vec<u32> = pram.tabulate(n, |v| u32::from(forest.parent(v) != v));
+        let mut ptr: Vec<u32> = up[0].clone();
+        for _ in 0..levels {
+            let nd: Vec<u32> = pram.tabulate(n, |v| depth[v] + depth[ptr[v] as usize]);
+            let np: Vec<u32> = pram.tabulate(n, |v| ptr[ptr[v] as usize]);
+            depth = nd;
+            ptr = np;
+        }
+        Self { up, depth }
+    }
+
+    /// Depth of `v` (roots have depth 0).
+    #[must_use]
+    pub fn depth(&self, v: usize) -> usize {
+        self.depth[v] as usize
+    }
+
+    /// The ancestor of `v` at depth `target`, or `None` if `target`
+    /// exceeds `v`'s depth. `O(log n)`.
+    #[must_use]
+    pub fn level_ancestor(&self, v: usize, target: usize) -> Option<usize> {
+        let d = self.depth(v);
+        if target > d {
+            return None;
+        }
+        let mut steps = d - target;
+        let mut cur = v as u32;
+        let mut k = 0;
+        while steps > 0 {
+            if steps & 1 == 1 {
+                cur = self.up[k][cur as usize];
+            }
+            steps >>= 1;
+            k += 1;
+        }
+        Some(cur as usize)
+    }
+
+    /// The `j`-th ancestor of `v` (0 = itself), clamped at the root.
+    #[must_use]
+    pub fn kth_ancestor(&self, v: usize, j: usize) -> usize {
+        let d = self.depth(v);
+        self.level_ancestor(v, d.saturating_sub(j))
+            .expect("clamped target is valid")
+    }
+
+    /// O(log n) ancestor test (cf. the O(1) Euler-interval test).
+    #[must_use]
+    pub fn is_ancestor(&self, u: usize, v: usize) -> bool {
+        self.level_ancestor(v, self.depth(u)) == Some(u)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::euler::EulerTour;
+    use pardict_pram::{Pram, SplitMix64};
+
+    fn random_forest(n: usize, roots: usize, seed: u64) -> Vec<usize> {
+        let mut rng = SplitMix64::new(seed);
+        (0..n)
+            .map(|v| {
+                if v < roots {
+                    v
+                } else {
+                    rng.next_below(v as u64) as usize
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn ancestors_on_a_path() {
+        let pram = Pram::seq();
+        let n = 200;
+        let parent: Vec<usize> = (0..n).map(|v: usize| v.saturating_sub(1)).collect();
+        let f = Forest::from_parents(&pram, &parent);
+        let la = LevelAncestors::build(&pram, &f);
+        assert_eq!(la.depth(0), 0);
+        assert_eq!(la.depth(n - 1), n - 1);
+        assert_eq!(la.level_ancestor(n - 1, 0), Some(0));
+        assert_eq!(la.level_ancestor(n - 1, 57), Some(57));
+        assert_eq!(la.level_ancestor(10, 11), None);
+        assert_eq!(la.kth_ancestor(50, 7), 43);
+        assert_eq!(la.kth_ancestor(5, 100), 0);
+    }
+
+    #[test]
+    fn matches_naive_on_random_forests() {
+        let pram = Pram::seq();
+        for seed in 0..4u64 {
+            let parent = random_forest(300, 3, seed);
+            let f = Forest::from_parents(&pram, &parent);
+            let la = LevelAncestors::build(&pram, &f);
+            let mut rng = SplitMix64::new(seed + 9);
+            for _ in 0..500 {
+                let v = rng.next_below(300) as usize;
+                // Naive chain walk.
+                let mut chain = vec![v];
+                let mut u = v;
+                while parent[u] != u {
+                    u = parent[u];
+                    chain.push(u);
+                }
+                assert_eq!(la.depth(v), chain.len() - 1);
+                let t = rng.next_below(chain.len() as u64) as usize;
+                assert_eq!(
+                    la.level_ancestor(v, t),
+                    Some(chain[chain.len() - 1 - t]),
+                    "v={v} t={t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ancestor_test_agrees_with_euler() {
+        let pram = Pram::seq();
+        let parent = random_forest(400, 2, 11);
+        let f = Forest::from_parents(&pram, &parent);
+        let la = LevelAncestors::build(&pram, &f);
+        let tour = EulerTour::build(&pram, &f, 11);
+        let mut rng = SplitMix64::new(12);
+        for _ in 0..2000 {
+            let u = rng.next_below(400) as usize;
+            let v = rng.next_below(400) as usize;
+            assert_eq!(la.is_ancestor(u, v), tour.is_ancestor(u, v), "u={u} v={v}");
+        }
+    }
+
+    #[test]
+    fn preprocessing_is_n_log_n() {
+        // The documented trade-off vs the Euler tour's O(n).
+        let pram = Pram::seq();
+        let parent = random_forest(1 << 14, 1, 5);
+        let f = Forest::from_parents(&pram, &parent);
+        let (_, cost) = pram.metered(|p| LevelAncestors::build(p, &f));
+        let n = 1u64 << 14;
+        assert!(cost.work > 10 * n, "expected Θ(n log n) work, got {}", cost.work);
+    }
+}

@@ -1,0 +1,104 @@
+#![warn(missing_docs)]
+
+//! # pardict-graph — parallel graph substrates
+//!
+//! Supplies the graph machinery the paper leans on:
+//!
+//! * **Lemma 2.2** (connected components): [`connected_components`] — a
+//!   hooking + pointer-jumping CRCW algorithm standing in for Gazit's
+//!   randomized optimal one (see DESIGN.md substitution table).
+//! * **Rooted forests**: [`Forest`] — parent-array forests with child
+//!   adjacency built by stable integer sorting.
+//! * **Level ancestors**: [`LevelAncestors`] — jump-pointer level/ kth
+//!   ancestor queries (the §4 alternative to Euler-interval tests).
+//! * **Euler tours**: [`EulerTour`] — work-optimal tour construction via
+//!   random-mate list ranking; yields entry/exit times, ±1 depth sequences
+//!   (feeding the O(1) LCA structure in `pardict-rmq`), per-node tree roots
+//!   (the §4.2 uncompression primitive), and subtree intervals.
+//!
+//! ```
+//! use pardict_pram::Pram;
+//! use pardict_graph::{EulerTour, Forest};
+//!
+//! let pram = Pram::seq();
+//! // 0 ← 1 ← 2 and a second tree {3}.
+//! let f = Forest::from_parents(&pram, &[0, 0, 1, 3]);
+//! let tour = EulerTour::build(&pram, &f, 7);
+//! assert!(tour.is_ancestor(0, 2));
+//! assert_eq!(tour.root_of, vec![0, 0, 0, 3]);
+//! ```
+
+mod cc;
+mod euler;
+mod forest;
+mod levelanc;
+mod rootfix;
+
+pub use cc::connected_components;
+pub use levelanc::LevelAncestors;
+pub use rootfix::{leaffix, rootfix};
+pub use euler::EulerTour;
+pub use forest::Forest;
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use pardict_pram::{Pram, SplitMix64};
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn rootfix_and_leaffix_match_walks(seed in 0u64..10_000, n in 1usize..250) {
+            let mut rng = SplitMix64::new(seed);
+            let parent: Vec<usize> = (0..n)
+                .map(|v| if v == 0 { 0 } else { rng.next_below(v as u64) as usize })
+                .collect();
+            let values: Vec<i64> = (0..n).map(|_| rng.next_below(40) as i64 - 20).collect();
+            let pram = Pram::seq();
+            let f = Forest::from_parents(&pram, &parent);
+            let tour = EulerTour::build(&pram, &f, seed);
+            let rf = rootfix(&pram, &f, &tour, &values, i64::MIN, |a, b| a.max(b), seed);
+            let lf = leaffix(&pram, &f, &tour, &values, i64::MIN, |a, b| a.max(b), seed);
+            for v in 0..n {
+                // Rootfix oracle: walk to the root.
+                let mut acc = values[v];
+                let mut u = v;
+                while parent[u] != u {
+                    u = parent[u];
+                    acc = acc.max(values[u]);
+                }
+                prop_assert_eq!(rf[v], acc, "rootfix at {}", v);
+                // Leaffix oracle: subtree max via ancestor scan.
+                let mut sub = values[v];
+                for w in 0..n {
+                    if tour.is_ancestor(v, w) {
+                        sub = sub.max(values[w]);
+                    }
+                }
+                prop_assert_eq!(lf[v], sub, "leaffix at {}", v);
+            }
+        }
+
+        #[test]
+        fn euler_entry_exit_are_consistent(seed in 0u64..10_000, n in 1usize..250) {
+            let mut rng = SplitMix64::new(seed);
+            let parent: Vec<usize> = (0..n)
+                .map(|v| if v == 0 { 0 } else { rng.next_below(v as u64) as usize })
+                .collect();
+            let pram = Pram::seq();
+            let f = Forest::from_parents(&pram, &parent);
+            let tour = EulerTour::build(&pram, &f, seed);
+            for v in 0..n {
+                prop_assert_eq!(tour.seq[tour.first[v]], v);
+                prop_assert_eq!(tour.seq[tour.last[v]], v);
+                prop_assert!(tour.first[v] <= tour.last[v]);
+                if parent[v] != v {
+                    prop_assert!(tour.is_ancestor(parent[v], v));
+                    prop_assert!(!tour.is_ancestor(v, parent[v]));
+                }
+            }
+        }
+    }
+}

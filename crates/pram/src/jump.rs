@@ -1,0 +1,310 @@
+//! Pointer jumping and list ranking.
+//!
+//! Three classic tools:
+//!
+//! * [`pointer_jump_roots`] — resolve every node of a parent forest to its
+//!   root by doubling (`O(n log n)` work, `O(log n)` depth). Fine whenever a
+//!   log factor is tolerable (the paper's §4.2 uncompression uses the
+//!   connected-components route instead when work-optimality matters).
+//! * [`list_rank_wyllie`] — Wyllie's list ranking, same envelope.
+//! * [`list_rank_random_mate`] — randomized contract-and-replay list ranking:
+//!   expected `O(n)` work and `O(log n)` depth, the work-optimal primitive
+//!   behind Euler-tour numbering (Lemma 2.1/2.7 machinery).
+
+use crate::ctx::Pram;
+use crate::rng::coin;
+
+/// Root of every node in a parent forest (`parent[r] == r` for roots),
+/// by pointer doubling. `O(n log n)` work, `O(log n)` depth.
+pub fn pointer_jump_roots(pram: &Pram, parent: &[usize]) -> Vec<usize> {
+    let n = parent.len();
+    let mut p = parent.to_vec();
+    loop {
+        let next: Vec<usize> = pram.map(&p, |_, &pi| p[pi]);
+        let changed = pram.reduce(
+            &pram.map(&next, |i, &x| u64::from(x != p[i])),
+            0u64,
+            |a, b| a + b,
+        );
+        p = next;
+        if changed == 0 {
+            break;
+        }
+        debug_assert!(n > 0);
+    }
+    p
+}
+
+/// Ranks and tails of a union of simple chains.
+#[derive(Debug, Clone)]
+pub struct ListRanks {
+    /// Number of links from each node to the tail of its list.
+    pub rank: Vec<u64>,
+    /// The tail node of each node's list (a tail `t` has `next[t] == t`).
+    pub tail: Vec<usize>,
+}
+
+/// Distance (number of links) from each node to the tail of its list.
+///
+/// `next[t] == t` marks a tail. Wyllie's algorithm: `O(n log n)` work,
+/// `O(log n)` depth. Input must be a union of simple chains (no cycles).
+pub fn list_rank_wyllie(pram: &Pram, next: &[usize]) -> Vec<u64> {
+    list_rank_wyllie_full(pram, next).rank
+}
+
+/// Wyllie list ranking also reporting each node's list tail.
+pub fn list_rank_wyllie_full(pram: &Pram, next: &[usize]) -> ListRanks {
+    let n = next.len();
+    let mut rank: Vec<u64> = pram.map(next, |i, &ni| u64::from(ni != i));
+    let mut nx = next.to_vec();
+    let rounds = crate::ceil_log2(n.max(1)) + 1;
+    for _ in 0..rounds {
+        let new_rank: Vec<u64> = pram.map(&rank, |i, &r| r + rank[nx[i]]);
+        let new_nx: Vec<usize> = pram.map(&nx, |_, &j| nx[j]);
+        rank = new_rank;
+        nx = new_nx;
+    }
+    ListRanks { rank, tail: nx }
+}
+
+/// Work-optimal randomized list ranking by random-mate contraction.
+///
+/// Repeatedly splices out an expected constant fraction of nodes (a node `v`
+/// is spliced when its predecessor `u` flips heads and `v` flips tails —
+/// such splices are provably independent), records each splice, contracts
+/// until `n / log n` nodes remain, ranks the remainder with Wyllie, then
+/// replays the splices in reverse to fill in every rank. Expected `O(n)`
+/// work, `O(log n)` depth. Input must be a union of simple chains.
+pub fn list_rank_random_mate(pram: &Pram, next: &[usize], seed: u64) -> Vec<u64> {
+    list_rank_random_mate_full(pram, next, seed).rank
+}
+
+/// Random-mate list ranking also reporting each node's list tail.
+///
+/// Same contract and cost envelope as [`list_rank_random_mate`]; the tail is
+/// propagated for free through the contraction replay, which is what makes
+/// the work-optimal forest-root resolution of §4.2 possible.
+pub fn list_rank_random_mate_full(pram: &Pram, next: &[usize], seed: u64) -> ListRanks {
+    let n = next.len();
+    if n <= 64 {
+        return list_rank_wyllie_full(pram, next);
+    }
+
+    let mut nx = next.to_vec();
+    // Weight of the (contracted) link i -> nx[i]: how many original links it
+    // stands for. Tails carry weight 0.
+    let mut w: Vec<u64> = pram.map(next, |i, &ni| u64::from(ni != i));
+    // pred[j] = unique i with nx[i] == j, or usize::MAX for heads/singletons.
+    let mut pred = vec![usize::MAX; n];
+    pram.ledger().round(n as u64);
+    for (i, &ni) in next.iter().enumerate() {
+        if ni != i {
+            pred[ni] = i;
+        }
+    }
+
+    let mut active: Vec<usize> = (0..n).collect();
+    let target = (n / (crate::ceil_log2(n) as usize).max(1)).max(64);
+    // Each round kills an expected 1/4 of the spliceable nodes; cap rounds
+    // defensively (unlucky coins just shift work to the Wyllie base case).
+    let max_rounds = 8 * (crate::ceil_log2(n) as u64 + 1);
+    let mut events: Vec<Vec<(usize, usize, u64)>> = Vec::new();
+
+    let mut round = 0u64;
+    while active.len() > target && round < max_rounds {
+        let m = active.len();
+        pram.ledger().round(m as u64);
+        let mut round_events = Vec::new();
+        // Splice v = nx[u] when coin(u) = heads, coin(v) = tails, v not tail.
+        // Reads of nx[v], w[v] are stable: v cannot itself splice (tails
+        // coin) and nx[v] cannot be spliced (its pred v has tails coin).
+        for &u in &active {
+            if !coin(seed, round, u) {
+                continue;
+            }
+            let v = nx[u];
+            if v == u || nx[v] == v || coin(seed, round, v) {
+                continue;
+            }
+            round_events.push((v, u, w[u]));
+            w[u] += w[v];
+            let x = nx[v];
+            nx[u] = x;
+            pred[x] = u;
+            // Mark v dead by self-looping its pred entry.
+            pred[v] = usize::MAX;
+            nx[v] = v;
+            w[v] = 0;
+        }
+        let dead: Vec<bool> = {
+            let mut d = vec![false; n];
+            for &(v, _, _) in &round_events {
+                d[v] = true;
+            }
+            d
+        };
+        pram.ledger().round(m as u64);
+        active.retain(|&u| !dead[u]);
+        events.push(round_events);
+        round += 1;
+    }
+
+    // Base case: Wyllie on the compacted remainder.
+    let m = active.len();
+    let mut remap = vec![usize::MAX; n];
+    pram.ledger().round(m as u64);
+    for (k, &u) in active.iter().enumerate() {
+        remap[u] = k;
+    }
+    let small_next: Vec<usize> = pram.map(&active, |k, &u| {
+        let t = remap[nx[u]];
+        if t == usize::MAX {
+            k
+        } else {
+            t
+        }
+    });
+    // Wyllie ranks count contracted links; scale by weights instead: run the
+    // weighted variant inline.
+    let mut rank_small: Vec<u64> = pram.map(&active, |_, &u| w[u]);
+    let mut nx_small = small_next;
+    let rounds = crate::ceil_log2(m.max(1)) + 1;
+    for _ in 0..rounds {
+        let nr: Vec<u64> = pram.map(&rank_small, |k, &r| r + rank_small[nx_small[k]]);
+        let nn: Vec<usize> = pram.map(&nx_small, |_, &j| nx_small[j]);
+        rank_small = nr;
+        nx_small = nn;
+    }
+
+    let mut rank = vec![0u64; n];
+    let mut tail = vec![usize::MAX; n];
+    pram.ledger().round(m as u64);
+    for (k, &u) in active.iter().enumerate() {
+        rank[u] = rank_small[k];
+        tail[u] = active[nx_small[k]];
+    }
+
+    // Replay splices in reverse: at splice time rank[u] = w_old + rank[v],
+    // and v shares u's tail.
+    for round_events in events.iter().rev() {
+        pram.ledger().round(round_events.len().max(1) as u64);
+        for &(v, u, w_old) in round_events {
+            rank[v] = rank[u] - w_old;
+            tail[v] = tail[u];
+        }
+    }
+    ListRanks { rank, tail }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Pram;
+    use crate::SplitMix64;
+
+    /// Build `next` for a single chain visiting `perm` in order.
+    fn chain_next(perm: &[usize]) -> Vec<usize> {
+        let n = perm.len();
+        let mut next = vec![0usize; n];
+        for w in perm.windows(2) {
+            next[w[0]] = w[1];
+        }
+        next[perm[n - 1]] = perm[n - 1];
+        next
+    }
+
+    fn oracle_ranks(perm: &[usize]) -> Vec<u64> {
+        let n = perm.len();
+        let mut rank = vec![0u64; n];
+        for (pos, &u) in perm.iter().enumerate() {
+            rank[u] = (n - 1 - pos) as u64;
+        }
+        rank
+    }
+
+    fn random_perm(n: usize, seed: u64) -> Vec<usize> {
+        let mut rng = SplitMix64::new(seed);
+        let mut p: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            let j = rng.next_below(i as u64 + 1) as usize;
+            p.swap(i, j);
+        }
+        p
+    }
+
+    #[test]
+    fn pointer_jump_finds_roots() {
+        let pram = Pram::seq();
+        // 0 <- 1 <- 2 <- 3, separate root 4.
+        let parent = vec![0, 0, 1, 2, 4];
+        assert_eq!(pointer_jump_roots(&pram, &parent), vec![0, 0, 0, 0, 4]);
+    }
+
+    #[test]
+    fn wyllie_ranks_identity_chain() {
+        let pram = Pram::seq();
+        let perm: Vec<usize> = (0..100).collect();
+        let next = chain_next(&perm);
+        assert_eq!(list_rank_wyllie(&pram, &next), oracle_ranks(&perm));
+    }
+
+    #[test]
+    fn wyllie_ranks_random_chain() {
+        let pram = Pram::seq();
+        let perm = random_perm(257, 3);
+        let next = chain_next(&perm);
+        assert_eq!(list_rank_wyllie(&pram, &next), oracle_ranks(&perm));
+    }
+
+    #[test]
+    fn random_mate_matches_oracle() {
+        let pram = Pram::seq();
+        for (n, seed) in [(65usize, 1u64), (500, 2), (4096, 3), (10_000, 4)] {
+            let perm = random_perm(n, seed);
+            let next = chain_next(&perm);
+            assert_eq!(
+                list_rank_random_mate(&pram, &next, seed * 1000 + 7),
+                oracle_ranks(&perm),
+                "n={n} seed={seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn random_mate_handles_multiple_chains() {
+        let pram = Pram::seq();
+        // Two chains: 0->1->2 and 3->4; singleton 5.
+        let next = vec![1, 2, 2, 4, 4, 5];
+        let mut padded = next.clone();
+        // Pad to force the contraction path.
+        let base = next.len();
+        for i in 0..200 {
+            let a = base + 2 * i;
+            padded.push(a + 1);
+            padded.push(a + 1);
+        }
+        let ranks = list_rank_random_mate(&pram, &padded, 99);
+        assert_eq!(&ranks[..6], &[2, 1, 0, 1, 0, 0]);
+        for i in 0..200 {
+            assert_eq!(ranks[base + 2 * i], 1);
+            assert_eq!(ranks[base + 2 * i + 1], 0);
+        }
+    }
+
+    #[test]
+    fn random_mate_work_is_linear() {
+        let mut per_elem = Vec::new();
+        for n in [1usize << 12, 1 << 15, 1 << 17] {
+            let pram = Pram::seq();
+            let perm = random_perm(n, 11);
+            let next = chain_next(&perm);
+            list_rank_random_mate(&pram, &next, 5);
+            per_elem.push(pram.cost().work as f64 / n as f64);
+        }
+        // Work per element must not grow with n (Wyllie's would grow by ~5).
+        assert!(
+            per_elem[2] < per_elem[0] * 1.5 + 2.0,
+            "work/elem grew: {per_elem:?}"
+        );
+    }
+}

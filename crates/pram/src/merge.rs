@@ -1,0 +1,152 @@
+//! Work-optimal parallel merge.
+//!
+//! Splits one input into `Θ(log n)`-sized chunks, binary-searches each
+//! splitter into the other input (one `O(log n)`-deep round), then merges
+//! the induced chunk pairs independently. `O(n)` work, `O(log n)` depth.
+
+use crate::ctx::Pram;
+
+impl Pram {
+    /// Merge two slices already sorted under `less` into one sorted vector.
+    ///
+    /// `less(a, b)` must be a strict weak ordering; equal elements keep
+    /// `a`-before-`b` order (stable with respect to the pair of inputs).
+    pub fn merge_by<T, F>(&self, a: &[T], b: &[T], less: F) -> Vec<T>
+    where
+        T: Copy + Send + Sync,
+        F: Fn(&T, &T) -> bool + Sync + Send,
+    {
+        let (n, m) = (a.len(), b.len());
+        if n == 0 {
+            return b.to_vec();
+        }
+        if m == 0 {
+            return a.to_vec();
+        }
+        let chunk = (crate::ceil_log2(n + m) as usize).max(1);
+        let nchunks = n.div_ceil(chunk);
+
+        // Splitter k sits at a[k * chunk]; find how much of b precedes it.
+        // For stability, an equal b-element does NOT precede (a wins ties).
+        let cuts: Vec<usize> = self.tabulate_costed(nchunks + 1, |k| {
+            if k == 0 {
+                // Everything in b smaller than a[0] still belongs to the
+                // first chunk pair.
+                return (0, 1);
+            }
+            let pos = (k * chunk).min(n);
+            if pos == n {
+                return (m, 1);
+            }
+            let pivot = &a[pos];
+            // partition_point: first b-index j with !(b[j] < pivot).
+            let (mut lo, mut hi) = (0usize, m);
+            let mut ops = 1u64;
+            while lo < hi {
+                let mid = (lo + hi) / 2;
+                ops += 1;
+                if less(&b[mid], pivot) {
+                    lo = mid + 1;
+                } else {
+                    hi = mid;
+                }
+            }
+            (lo, ops)
+        });
+
+        // Merge chunk pairs independently.
+        let pieces: Vec<Vec<T>> = self.tabulate_costed(nchunks, |k| {
+            let (alo, ahi) = ((k * chunk).min(n), ((k + 1) * chunk).min(n));
+            let (blo, bhi) = (cuts[k], cuts[k + 1]);
+            let mut out = Vec::with_capacity(ahi - alo + bhi - blo);
+            let (mut i, mut j) = (alo, blo);
+            while i < ahi && j < bhi {
+                if less(&b[j], &a[i]) {
+                    out.push(b[j]);
+                    j += 1;
+                } else {
+                    out.push(a[i]);
+                    i += 1;
+                }
+            }
+            out.extend_from_slice(&a[i..ahi]);
+            out.extend_from_slice(&b[j..bhi]);
+            let cost = out.len() as u64 + 1;
+            (out, cost)
+        });
+
+        // Concatenate (positions are disjoint and ordered).
+        self.ledger().round((n + m) as u64);
+        let mut out = Vec::with_capacity(n + m);
+        for p in pieces {
+            out.extend(p);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SplitMix64;
+
+    #[test]
+    fn merges_sorted_runs() {
+        let pram = Pram::seq();
+        let a: Vec<u32> = (0..100).map(|i| i * 3).collect();
+        let b: Vec<u32> = (0..150).map(|i| i * 2 + 1).collect();
+        let got = pram.merge_by(&a, &b, |x, y| x < y);
+        let mut want = [a, b].concat();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn stability_prefers_a_on_ties() {
+        let pram = Pram::seq();
+        // Tag elements by source; compare only the key.
+        let a: Vec<(u32, char)> = vec![(1, 'a'), (2, 'a'), (2, 'a')];
+        let b: Vec<(u32, char)> = vec![(1, 'b'), (2, 'b')];
+        let got = pram.merge_by(&a, &b, |x, y| x.0 < y.0);
+        assert_eq!(
+            got,
+            vec![(1, 'a'), (1, 'b'), (2, 'a'), (2, 'a'), (2, 'b')]
+        );
+    }
+
+    #[test]
+    fn empty_sides() {
+        let pram = Pram::seq();
+        let a: Vec<u32> = vec![1, 2];
+        assert_eq!(pram.merge_by(&a, &[], |x, y| x < y), vec![1, 2]);
+        assert_eq!(pram.merge_by(&[], &a, |x, y| x < y), vec![1, 2]);
+    }
+
+    #[test]
+    fn random_merges_match_sort() {
+        let pram = Pram::seq();
+        let mut rng = SplitMix64::new(8);
+        for _ in 0..5 {
+            let mut a: Vec<u64> = (0..777).map(|_| rng.next_below(100)).collect();
+            let mut b: Vec<u64> = (0..1234).map(|_| rng.next_below(100)).collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            let got = pram.merge_by(&a, &b, |x, y| x < y);
+            let mut want = [a, b].concat();
+            want.sort_unstable();
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn cost_envelope() {
+        let pram = Pram::seq();
+        let n = 1 << 15;
+        let a: Vec<u32> = (0..n as u32).collect();
+        let b: Vec<u32> = (0..n as u32).collect();
+        pram.merge_by(&a, &b, |x, y| x < y);
+        let c = pram.cost();
+        assert!(c.work < 10 * 2 * n as u64, "work {}", c.work);
+        assert!(c.depth < 10 * u64::from(crate::ceil_log2(2 * n)), "depth {}", c.depth);
+    }
+}

@@ -1,0 +1,116 @@
+//! Min-cartesian trees from arrays, via ANSV.
+//!
+//! The cartesian tree is the bridge from *array* range-minimum queries to
+//! *tree* LCA queries (and, in `pardict-suffix`, from LCP arrays to suffix
+//! trees): node `i`'s parent is whichever of its nearest smaller neighbours
+//! is larger. Using `≤` on the left and `<` on the right makes the tree
+//! unique with the *leftmost* minimum as the root of every subrange.
+
+use crate::ansv::{ansv_par, Side, Strictness, NONE};
+use pardict_pram::Pram;
+
+/// Parent array of the min-cartesian tree of `xs` (`parent[root] == root`).
+///
+/// Expected `O(n)` work, `O(log n)` depth (one ANSV pair plus a round).
+#[must_use]
+pub fn cartesian_parents(pram: &Pram, xs: &[i64]) -> Vec<usize> {
+    let n = xs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let left = ansv_par(pram, xs, Side::Left, Strictness::WeakOrEqual);
+    let right = ansv_par(pram, xs, Side::Right, Strictness::Strict);
+    pram.tabulate(n, |i| {
+        let (l, r) = (left[i], right[i]);
+        match (l == NONE, r == NONE) {
+            (true, true) => i, // global (leftmost) minimum = root
+            (true, false) => r,
+            (false, true) => l,
+            (false, false) => {
+                // The parent is the larger (deeper) of the two smaller
+                // neighbours. On equal values the right one wins: among
+                // equal minima the leftmost is the subrange root, so the
+                // right equal value is the deeper ancestor.
+                if xs[l] > xs[r] {
+                    l
+                } else {
+                    r
+                }
+            }
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pardict_pram::{Pram, SplitMix64};
+
+    /// Check the defining property: for every pair (l, r), the leftmost
+    /// minimum of xs[l..=r] is an ancestor of both l and r, and no deeper
+    /// common ancestor exists — equivalently, LCA(l, r) == leftmost argmin.
+    fn check_rmq_property(xs: &[i64]) {
+        let pram = Pram::seq();
+        let parent = cartesian_parents(&pram, xs);
+        let n = xs.len();
+        let ancestors = |mut v: usize| -> Vec<usize> {
+            let mut path = vec![v];
+            while parent[v] != v {
+                v = parent[v];
+                path.push(v);
+            }
+            path
+        };
+        for l in 0..n {
+            for r in l..n.min(l + 25) {
+                let mut best = l;
+                for i in l + 1..=r {
+                    if xs[i] < xs[best] {
+                        best = i;
+                    }
+                }
+                // LCA by path intersection.
+                let pa: Vec<usize> = ancestors(l);
+                let pb: Vec<usize> = ancestors(r);
+                let lca = *pa
+                    .iter()
+                    .find(|v| pb.contains(v))
+                    .expect("common root exists");
+                assert_eq!(lca, best, "range [{l},{r}] xs={xs:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn simple_cases() {
+        check_rmq_property(&[2, 1, 2]);
+        check_rmq_property(&[1, 2, 3, 4]);
+        check_rmq_property(&[4, 3, 2, 1]);
+        check_rmq_property(&[1, 1, 1]);
+        check_rmq_property(&[5]);
+    }
+
+    #[test]
+    fn random_with_duplicates() {
+        let mut rng = SplitMix64::new(13);
+        for _ in 0..5 {
+            let xs: Vec<i64> = (0..120).map(|_| rng.next_below(6) as i64).collect();
+            check_rmq_property(&xs);
+        }
+    }
+
+    #[test]
+    fn root_is_leftmost_minimum() {
+        let pram = Pram::seq();
+        let xs = vec![3i64, 0, 2, 0, 1];
+        let parent = cartesian_parents(&pram, &xs);
+        let roots: Vec<usize> = (0..xs.len()).filter(|&v| parent[v] == v).collect();
+        assert_eq!(roots, vec![1]);
+    }
+
+    #[test]
+    fn empty() {
+        let pram = Pram::seq();
+        assert!(cartesian_parents(&pram, &[]).is_empty());
+    }
+}

@@ -1,0 +1,166 @@
+//! O(1) lowest common ancestors: Euler tour + ±1 RMQ.
+
+use crate::pm1::Pm1Rmq;
+use pardict_graph::{EulerTour, Forest};
+use pardict_pram::Pram;
+
+/// Constant-time LCA over a rooted forest.
+///
+/// Preprocessing is `O(n)` work / `O(log n)` depth: the forest's Euler tour
+/// (list ranking) plus the four-russians ±1 RMQ over its depth sequence.
+/// This is the engine behind Lemma 2.6's O(1) string LCP queries and the
+/// skeleton-tree LCAs of §3.2.
+#[derive(Debug, Clone)]
+pub struct TreeLca {
+    tour: EulerTour,
+    rmq: Pm1Rmq,
+}
+
+impl TreeLca {
+    /// Build for `forest`.
+    #[must_use]
+    pub fn new(pram: &Pram, forest: &Forest, seed: u64) -> Self {
+        let tour = EulerTour::build(pram, forest, seed);
+        Self::from_tour(pram, tour)
+    }
+
+    /// Build from a pre-computed Euler tour.
+    #[must_use]
+    pub fn from_tour(pram: &Pram, tour: EulerTour) -> Self {
+        let rmq = Pm1Rmq::new(pram, &tour.depth);
+        Self { tour, rmq }
+    }
+
+    /// The underlying Euler tour (entry/exit times, depths, roots).
+    #[must_use]
+    pub fn tour(&self) -> &EulerTour {
+        &self.tour
+    }
+
+    /// Lowest common ancestor of `u` and `v`.
+    ///
+    /// `u` and `v` must belong to the same tree (checked in debug builds).
+    #[must_use]
+    pub fn lca(&self, u: usize, v: usize) -> usize {
+        debug_assert_eq!(
+            self.tour.root_of[u], self.tour.root_of[v],
+            "lca of nodes in different trees"
+        );
+        let (a, b) = {
+            let (fu, fv) = (self.tour.first[u], self.tour.first[v]);
+            if fu <= fv {
+                (fu, fv)
+            } else {
+                (fv, fu)
+            }
+        };
+        self.tour.seq[self.rmq.argmin(a, b)]
+    }
+
+    /// Depth of `v` in its tree.
+    #[must_use]
+    pub fn depth(&self, v: usize) -> u32 {
+        self.tour.node_depth(v)
+    }
+
+    /// O(1) inclusive ancestor test.
+    #[must_use]
+    pub fn is_ancestor(&self, u: usize, v: usize) -> bool {
+        self.tour.is_ancestor(u, v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pardict_pram::{Pram, SplitMix64};
+
+    fn naive_lca(parent: &[usize], mut u: usize, mut v: usize) -> usize {
+        let depth = |mut x: usize| {
+            let mut d = 0;
+            while parent[x] != x {
+                x = parent[x];
+                d += 1;
+            }
+            d
+        };
+        let (mut du, mut dv) = (depth(u), depth(v));
+        while du > dv {
+            u = parent[u];
+            du -= 1;
+        }
+        while dv > du {
+            v = parent[v];
+            dv -= 1;
+        }
+        while u != v {
+            u = parent[u];
+            v = parent[v];
+        }
+        u
+    }
+
+    fn random_tree(n: usize, seed: u64) -> Vec<usize> {
+        let mut rng = SplitMix64::new(seed);
+        (0..n)
+            .map(|v: usize| {
+                if v == 0 {
+                    0
+                } else {
+                    rng.next_below(v as u64) as usize
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_naive_on_random_trees() {
+        let pram = Pram::seq();
+        for (n, seed) in [(2usize, 1u64), (30, 2), (500, 3)] {
+            let parent = random_tree(n, seed);
+            let f = Forest::from_parents(&pram, &parent);
+            let lca = TreeLca::new(&pram, &f, seed);
+            let mut rng = SplitMix64::new(seed + 7);
+            for _ in 0..300 {
+                let u = rng.next_below(n as u64) as usize;
+                let v = rng.next_below(n as u64) as usize;
+                assert_eq!(lca.lca(u, v), naive_lca(&parent, u, v), "u={u} v={v}");
+            }
+        }
+    }
+
+    #[test]
+    fn lca_of_node_with_itself_and_ancestor() {
+        let pram = Pram::seq();
+        let parent = vec![0, 0, 1, 2, 3];
+        let f = Forest::from_parents(&pram, &parent);
+        let lca = TreeLca::new(&pram, &f, 1);
+        assert_eq!(lca.lca(4, 4), 4);
+        assert_eq!(lca.lca(4, 1), 1);
+        assert_eq!(lca.lca(1, 4), 1);
+        assert_eq!(lca.depth(4), 4);
+        assert!(lca.is_ancestor(0, 4));
+    }
+
+    #[test]
+    fn works_on_forest_within_trees() {
+        let pram = Pram::seq();
+        // Two trees: {0,1,2} rooted at 0 and {3,4} rooted at 3.
+        let f = Forest::from_parents(&pram, &[0, 0, 1, 3, 3]);
+        let lca = TreeLca::new(&pram, &f, 2);
+        assert_eq!(lca.lca(1, 2), 1);
+        assert_eq!(lca.lca(2, 0), 0);
+        assert_eq!(lca.lca(3, 4), 3);
+    }
+
+    #[test]
+    fn path_tree() {
+        let pram = Pram::seq();
+        let n = 300;
+        let parent: Vec<usize> = (0..n).map(|v: usize| v.saturating_sub(1)).collect();
+        let f = Forest::from_parents(&pram, &parent);
+        let lca = TreeLca::new(&pram, &f, 3);
+        assert_eq!(lca.lca(120, 250), 120);
+        assert_eq!(lca.lca(299, 0), 0);
+    }
+}

@@ -1,0 +1,150 @@
+//! Linear-work O(1)-query RMQ for general arrays (Lemma 2.3).
+//!
+//! The full reduction: array → min-cartesian tree (ANSV) → Euler tour →
+//! ±1 RMQ. Preprocessing is `O(n)` work / `O(log n)` depth, which is what
+//! keeps Lemma 2.3-style tables (e.g. the legal-length maxima of Step 2A)
+//! inside the paper's linear preprocessing budget — a sparse table alone
+//! would silently spend `O(n log n)`.
+
+use crate::cartesian::cartesian_parents;
+use crate::lca::TreeLca;
+use pardict_graph::Forest;
+use pardict_pram::Pram;
+
+/// Direction of the query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Min,
+    Max,
+}
+
+/// O(n)-work, O(1)-query range min/max (leftmost argbest on ties).
+#[derive(Debug, Clone)]
+pub struct LinearRmq {
+    lca: TreeLca,
+    kind: Kind,
+}
+
+impl LinearRmq {
+    /// Range-minimum structure.
+    #[must_use]
+    pub fn new_min(pram: &Pram, values: &[i64], seed: u64) -> Self {
+        Self::build(pram, values, seed, Kind::Min)
+    }
+
+    /// Range-maximum structure (Lemma 2.3 flavour).
+    #[must_use]
+    pub fn new_max(pram: &Pram, values: &[i64], seed: u64) -> Self {
+        Self::build(pram, values, seed, Kind::Max)
+    }
+
+    fn build(pram: &Pram, values: &[i64], seed: u64, kind: Kind) -> Self {
+        let vals: Vec<i64> = match kind {
+            Kind::Min => values.to_vec(),
+            Kind::Max => pram.map(values, |_, &v| -v),
+        };
+        let parents = cartesian_parents(pram, &vals);
+        let forest = Forest::from_parents(pram, &parents);
+        let lca = TreeLca::new(pram, &forest, seed ^ 0x11CA);
+        Self { lca, kind }
+    }
+
+    /// Number of elements (0 for an empty build).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.lca.tour().num_nodes()
+    }
+
+    /// True when built over an empty array.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Index of the best element in the inclusive range `[l, r]`
+    /// (leftmost on ties). O(1).
+    #[must_use]
+    pub fn query(&self, l: usize, r: usize) -> usize {
+        assert!(l <= r && r < self.len(), "bad range [{l}, {r}]");
+        self.lca.lca(l, r)
+    }
+
+    /// Whether this is a min or max structure.
+    #[must_use]
+    pub fn is_min(&self) -> bool {
+        self.kind == Kind::Min
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sparse::SparseTable;
+    use pardict_pram::{ceil_log2, Pram, SplitMix64};
+
+    #[test]
+    fn min_agrees_with_sparse_table() {
+        let pram = Pram::seq();
+        let mut rng = SplitMix64::new(21);
+        for _ in 0..3 {
+            let xs: Vec<i64> = (0..400).map(|_| rng.next_below(12) as i64).collect();
+            let lin = LinearRmq::new_min(&pram, &xs, 5);
+            let st = SparseTable::new_min(&pram, &xs);
+            for _ in 0..1000 {
+                let l = rng.next_below(xs.len() as u64) as usize;
+                let r = l + rng.next_below((xs.len() - l) as u64) as usize;
+                assert_eq!(lin.query(l, r), st.query(l, r), "[{l},{r}]");
+            }
+        }
+    }
+
+    #[test]
+    fn max_agrees_with_sparse_table() {
+        let pram = Pram::seq();
+        let mut rng = SplitMix64::new(22);
+        let xs: Vec<i64> = (0..300).map(|_| rng.next_below(9) as i64 - 4).collect();
+        let lin = LinearRmq::new_max(&pram, &xs, 6);
+        let st = SparseTable::new_max(&pram, &xs);
+        for l in 0..xs.len() {
+            for r in l..xs.len().min(l + 30) {
+                assert_eq!(lin.query(l, r), st.query(l, r), "[{l},{r}]");
+            }
+        }
+        assert!(!lin.is_min());
+    }
+
+    #[test]
+    fn preprocessing_work_is_linear() {
+        let mut ratios = Vec::new();
+        for n in [1usize << 12, 1 << 15, 1 << 17] {
+            let pram = Pram::seq();
+            let mut rng = SplitMix64::new(2);
+            let xs: Vec<i64> = (0..n).map(|_| rng.next_below(1000) as i64).collect();
+            let _ = LinearRmq::new_min(&pram, &xs, 7);
+            ratios.push(pram.cost().work as f64 / n as f64);
+        }
+        assert!(
+            ratios[2] <= ratios[0] * 1.5 + 2.0,
+            "LinearRmq preprocessing superlinear: {ratios:?}"
+        );
+    }
+
+    #[test]
+    fn depth_is_logarithmic() {
+        let n = 1 << 15;
+        let pram = Pram::seq();
+        let mut rng = SplitMix64::new(3);
+        let xs: Vec<i64> = (0..n).map(|_| rng.next_below(50) as i64).collect();
+        let _ = LinearRmq::new_min(&pram, &xs, 8);
+        let d = pram.cost().depth;
+        assert!(d < 80 * u64::from(ceil_log2(n)), "depth {d}");
+    }
+
+    #[test]
+    fn singleton() {
+        let pram = Pram::seq();
+        let lin = LinearRmq::new_min(&pram, &[7], 1);
+        assert_eq!(lin.query(0, 0), 0);
+        assert_eq!(lin.len(), 1);
+    }
+}

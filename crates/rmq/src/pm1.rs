@@ -1,0 +1,232 @@
+//! ±1 RMQ: linear-work preprocessing, O(1) queries (Berkman–Vishkin /
+//! four-russians).
+//!
+//! Input: an array whose adjacent entries differ by ±1 — exactly the depth
+//! sequence of an Euler tour. Blocks of `b ≈ ½·log₂ n` entries are encoded
+//! as `(b−1)`-bit shape masks; a shared table answers in-block queries per
+//! mask, and a sparse table over the `n/b` block minima answers the
+//! cross-block part. Total preprocessing work: `O(n + √n·log²n + (n/b)·log n)
+//! = O(n)`.
+//!
+//! Forest depth sequences contain 0-steps at tree boundaries; they are
+//! encoded arbitrarily, which is sound because valid queries never span
+//! trees (`pardict-graph`'s tours lay trees out contiguously).
+
+use crate::sparse::SparseTable;
+use pardict_pram::{ceil_log2, Pram};
+
+/// O(1) range-minimum (leftmost argmin) structure for ±1 arrays.
+#[derive(Debug, Clone)]
+pub struct Pm1Rmq {
+    values: Vec<u32>,
+    block: usize,
+    /// Shape mask of each block.
+    masks: Vec<u32>,
+    /// `tables[mask][i * block + j]` = in-block argmin offset for `[i, j]`.
+    tables: Vec<Vec<u8>>,
+    /// Leftmost argmin position (global index) of each block.
+    block_argmin: Vec<usize>,
+    /// Sparse table over block minimum values.
+    summary: SparseTable,
+}
+
+impl Pm1Rmq {
+    /// Build over `values`. `O(n)` work, `O(log n)` depth.
+    #[must_use]
+    pub fn new(pram: &Pram, values: &[u32]) -> Self {
+        let n = values.len();
+        let b = ((ceil_log2(n.max(2)) as usize) / 2).max(2);
+        let nblocks = n.div_ceil(b).max(1);
+
+        // Shape masks: bit t set iff the step from offset t to t+1 rises.
+        let masks: Vec<u32> = pram.tabulate_costed(nblocks, |k| {
+            let lo = k * b;
+            let hi = (lo + b).min(n);
+            let mut m = 0u32;
+            for t in 0..b - 1 {
+                if lo + t + 1 < hi && values[lo + t + 1] > values[lo + t] {
+                    m |= 1 << t;
+                }
+            }
+            (m, b as u64)
+        });
+
+        // Shared four-russians tables (built once per mask value; the mask
+        // space is O(√n), sublinear).
+        let nmasks = 1usize << (b - 1);
+        let tables: Vec<Vec<u8>> = pram.tabulate_costed(nmasks, |mask| {
+            let mut rel = vec![0i32; b];
+            for t in 0..b - 1 {
+                rel[t + 1] = rel[t] + if mask >> t & 1 == 1 { 1 } else { -1 };
+            }
+            let mut table = vec![0u8; b * b];
+            for i in 0..b {
+                let mut arg = i;
+                for j in i..b {
+                    if rel[j] < rel[arg] {
+                        arg = j;
+                    }
+                    table[i * b + j] = arg as u8;
+                }
+            }
+            (table, (b * b) as u64)
+        });
+
+        // Leftmost argmin of each block, and the summary sparse table.
+        let block_argmin: Vec<usize> = pram.tabulate_costed(nblocks, |k| {
+            let lo = k * b;
+            let hi = (lo + b).min(n);
+            let mut arg = lo;
+            for i in lo..hi {
+                if values[i] < values[arg] {
+                    arg = i;
+                }
+            }
+            (arg, (hi - lo) as u64)
+        });
+        let block_min: Vec<i64> = pram.map(&block_argmin, |_, &a| {
+            if values.is_empty() {
+                0
+            } else {
+                i64::from(values[a])
+            }
+        });
+        let summary = SparseTable::new_min(pram, &block_min);
+
+        Self {
+            values: values.to_vec(),
+            block: b,
+            masks,
+            tables,
+            block_argmin,
+            summary,
+        }
+    }
+
+    /// Number of entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when built over an empty array.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// In-block leftmost argmin for global inclusive range inside block `k`.
+    #[inline]
+    fn in_block(&self, k: usize, l: usize, r: usize) -> usize {
+        let lo = k * self.block;
+        let t = &self.tables[self.masks[k] as usize];
+        lo + t[(l - lo) * self.block + (r - lo)] as usize
+    }
+
+    /// Leftmost index of the minimum value in the inclusive range `[l, r]`.
+    /// O(1).
+    #[must_use]
+    pub fn argmin(&self, l: usize, r: usize) -> usize {
+        assert!(l <= r && r < self.values.len(), "bad range [{l}, {r}]");
+        let (kl, kr) = (l / self.block, r / self.block);
+        if kl == kr {
+            return self.in_block(kl, l, r);
+        }
+        let mut best = self.in_block(kl, l, (kl + 1) * self.block - 1);
+        if kl < kr - 1 {
+            let mid = self.block_argmin[self.summary.query(kl + 1, kr - 1)];
+            if self.values[mid] < self.values[best] {
+                best = mid;
+            }
+        }
+        let right = self.in_block(kr, kr * self.block, r);
+        if self.values[right] < self.values[best] {
+            best = right;
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pardict_pram::{Pram, SplitMix64};
+
+    fn naive(values: &[u32], l: usize, r: usize) -> usize {
+        let mut best = l;
+        for i in l + 1..=r {
+            if values[i] < values[best] {
+                best = i;
+            }
+        }
+        best
+    }
+
+    fn pm1_walk(n: usize, seed: u64) -> Vec<u32> {
+        let mut rng = SplitMix64::new(seed);
+        let mut v = vec![(n / 2) as u32];
+        for _ in 1..n {
+            let last = *v.last().unwrap();
+            let next = if last == 0 || rng.next_below(2) == 1 {
+                last + 1
+            } else {
+                last - 1
+            };
+            v.push(next);
+        }
+        v
+    }
+
+    #[test]
+    fn matches_naive_on_random_walks() {
+        let pram = Pram::seq();
+        for (n, seed) in [(10usize, 1u64), (64, 2), (257, 3), (2000, 4)] {
+            let vals = pm1_walk(n, seed);
+            let rmq = Pm1Rmq::new(&pram, &vals);
+            let mut rng = SplitMix64::new(seed + 100);
+            for _ in 0..500 {
+                let l = rng.next_below(n as u64) as usize;
+                let r = l + rng.next_below((n - l) as u64) as usize;
+                assert_eq!(rmq.argmin(l, r), naive(&vals, l, r), "[{l},{r}] n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn exhaustive_small() {
+        let pram = Pram::seq();
+        let vals = pm1_walk(40, 9);
+        let rmq = Pm1Rmq::new(&pram, &vals);
+        for l in 0..40 {
+            for r in l..40 {
+                assert_eq!(rmq.argmin(l, r), naive(&vals, l, r));
+            }
+        }
+    }
+
+    #[test]
+    fn leftmost_on_ties() {
+        let pram = Pram::seq();
+        // 1 0 1 0 1 0 ... minima at odd positions.
+        let vals: Vec<u32> = (0..50).map(|i| 1 - (i % 2) as u32).collect();
+        let rmq = Pm1Rmq::new(&pram, &vals);
+        assert_eq!(rmq.argmin(0, 49), 1);
+        assert_eq!(rmq.argmin(2, 49), 3);
+        assert_eq!(rmq.argmin(1, 1), 1);
+    }
+
+    #[test]
+    fn linear_work_preprocessing() {
+        let mut ratios = Vec::new();
+        for n in [1usize << 12, 1 << 15, 1 << 17] {
+            let pram = Pram::seq();
+            let vals = pm1_walk(n, 5);
+            let _ = Pm1Rmq::new(&pram, &vals);
+            ratios.push(pram.cost().work as f64 / n as f64);
+        }
+        assert!(
+            ratios[2] <= ratios[0] * 1.5 + 1.0,
+            "preprocess work grew superlinearly: {ratios:?}"
+        );
+    }
+}

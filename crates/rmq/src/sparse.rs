@@ -1,0 +1,183 @@
+//! Sparse-table RMQ: O(n log n) construction, O(1) queries.
+
+use pardict_pram::{ceil_log2, Pram};
+
+/// Index-returning sparse table for range minimum (or maximum) queries.
+///
+/// Stores, for every power-of-two length, the index of the best element of
+/// each window; ties resolve to the *leftmost* index, which downstream code
+/// (cartesian trees, suffix-tree node representatives) relies on.
+#[derive(Debug, Clone)]
+pub struct SparseTable {
+    /// Level k holds best-index of windows `[i, i + 2^k)`.
+    levels: Vec<Vec<u32>>,
+    values: Vec<i64>,
+    min: bool,
+}
+
+impl SparseTable {
+    /// Build a range-minimum table.
+    #[must_use]
+    pub fn new_min(pram: &Pram, values: &[i64]) -> Self {
+        Self::build(pram, values, true)
+    }
+
+    /// Build a range-maximum table (Lemma 2.3 flavour).
+    #[must_use]
+    pub fn new_max(pram: &Pram, values: &[i64]) -> Self {
+        Self::build(pram, values, false)
+    }
+
+    fn build(pram: &Pram, values: &[i64], min: bool) -> Self {
+        let n = values.len();
+        let mut levels: Vec<Vec<u32>> = Vec::new();
+        if n > 0 {
+            levels.push(pram.tabulate(n, |i| i as u32));
+            let max_k = ceil_log2(n) as usize;
+            for k in 1..=max_k {
+                let half = 1usize << (k - 1);
+                if half >= n {
+                    break;
+                }
+                let prev = &levels[k - 1];
+                let width = n - (1usize << k).min(n) + 1;
+                let next: Vec<u32> = pram.tabulate(width, |i| {
+                    let a = prev[i];
+                    let b = prev[(i + half).min(prev.len() - 1)];
+                    pick(values, a, b, min)
+                });
+                levels.push(next);
+            }
+        }
+        Self {
+            levels,
+            values: values.to_vec(),
+            min,
+        }
+    }
+
+    /// Number of elements.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when built over an empty array.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Index of the best element in the **inclusive** range `[l, r]`;
+    /// leftmost on ties. O(1).
+    #[must_use]
+    pub fn query(&self, l: usize, r: usize) -> usize {
+        assert!(l <= r && r < self.len(), "bad range [{l}, {r}]");
+        let k = usize::BITS as usize - 1 - (r - l + 1).leading_zeros() as usize;
+        let a = self.levels[k][l];
+        let b = self.levels[k][r + 1 - (1 << k)];
+        pick(&self.values, a, b, self.min) as usize
+    }
+
+    /// The best value in `[l, r]`.
+    #[must_use]
+    pub fn query_value(&self, l: usize, r: usize) -> i64 {
+        self.values[self.query(l, r)]
+    }
+}
+
+/// Choose between indices `a` (earlier window) and `b`, leftmost on ties.
+#[inline]
+fn pick(values: &[i64], a: u32, b: u32, min: bool) -> u32 {
+    let (va, vb) = (values[a as usize], values[b as usize]);
+    let a_wins = if min {
+        va < vb || (va == vb && a <= b)
+    } else {
+        va > vb || (va == vb && a <= b)
+    };
+    if a_wins {
+        a
+    } else {
+        b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pardict_pram::{Pram, SplitMix64};
+
+    fn naive_argmin(xs: &[i64], l: usize, r: usize) -> usize {
+        let mut best = l;
+        for i in l + 1..=r {
+            if xs[i] < xs[best] {
+                best = i;
+            }
+        }
+        best
+    }
+
+    fn naive_argmax(xs: &[i64], l: usize, r: usize) -> usize {
+        let mut best = l;
+        for i in l + 1..=r {
+            if xs[i] > xs[best] {
+                best = i;
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn min_queries_match_naive() {
+        let pram = Pram::seq();
+        let mut rng = SplitMix64::new(1);
+        let xs: Vec<i64> = (0..300).map(|_| rng.next_below(50) as i64).collect();
+        let st = SparseTable::new_min(&pram, &xs);
+        for l in 0..xs.len() {
+            for r in l..xs.len().min(l + 40) {
+                assert_eq!(st.query(l, r), naive_argmin(&xs, l, r), "[{l},{r}]");
+            }
+        }
+    }
+
+    #[test]
+    fn max_queries_match_naive() {
+        let pram = Pram::seq();
+        let mut rng = SplitMix64::new(2);
+        let xs: Vec<i64> = (0..200).map(|_| rng.next_below(10) as i64 - 5).collect();
+        let st = SparseTable::new_max(&pram, &xs);
+        for l in 0..xs.len() {
+            for r in l..xs.len() {
+                assert_eq!(st.query(l, r), naive_argmax(&xs, l, r), "[{l},{r}]");
+            }
+        }
+    }
+
+    #[test]
+    fn ties_go_leftmost() {
+        let pram = Pram::seq();
+        let xs = vec![5i64, 3, 3, 3, 7];
+        let st = SparseTable::new_min(&pram, &xs);
+        assert_eq!(st.query(0, 4), 1);
+        assert_eq!(st.query(2, 4), 2);
+        let st = SparseTable::new_max(&pram, &xs);
+        assert_eq!(st.query(1, 3), 1);
+    }
+
+    #[test]
+    fn singleton_and_full_range() {
+        let pram = Pram::seq();
+        let xs = vec![42i64];
+        let st = SparseTable::new_min(&pram, &xs);
+        assert_eq!(st.query(0, 0), 0);
+        assert_eq!(st.query_value(0, 0), 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad range")]
+    fn rejects_reversed_range() {
+        let pram = Pram::seq();
+        let st = SparseTable::new_min(&pram, &[1, 2, 3]);
+        let _ = st.query(2, 1);
+    }
+}

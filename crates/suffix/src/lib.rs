@@ -1,0 +1,99 @@
+#![warn(missing_docs)]
+
+//! # pardict-suffix — suffix arrays and suffix trees (Lemmas 2.1 and 2.6)
+//!
+//! The paper's algorithms all start from the suffix tree of the dictionary
+//! concatenation or of the text. This crate builds that object in PRAM
+//! rounds — suffix array (DC3 with radix-sort rounds), LCP array (blocked
+//! fingerprint galloping), tree structure (ANSV + list ranking), suffix and
+//! Weiner links (via LCA) — and exposes the query surface the paper uses:
+//! child navigation, subtree leaf ranges, LCA, and O(1) string LCP /
+//! equality queries (Lemma 2.6).
+//!
+//! ```
+//! use pardict_pram::Pram;
+//! use pardict_suffix::SuffixTree;
+//!
+//! let pram = Pram::seq();
+//! let st = SuffixTree::build(&pram, b"banana", 1);
+//! assert!(st.contains(b"nan"));
+//! let mut occ = st.occurrences(b"ana");
+//! occ.sort_unstable();
+//! assert_eq!(occ, vec![1, 3]);
+//! assert_eq!(st.lcp_positions(1, 3), 3); // "anana" vs "ana"
+//! ```
+
+mod doubling;
+mod lcp;
+mod sa;
+mod tree;
+
+pub use doubling::suffix_array_doubling;
+pub use lcp::{lcp_kasai, lcp_parallel};
+pub use sa::{suffix_array, suffix_array_naive};
+pub use tree::{sym_code, SuffixTree, SymCode, SENTINEL_CODE};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use pardict_pram::Pram;
+    use proptest::prelude::*;
+
+    fn nul_free_text(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
+        prop::collection::vec(prop::sample::select(vec![b'a', b'b', b'c', b'd']), 0..max_len)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn dc3_and_doubling_match_naive(text in nul_free_text(250)) {
+            let pram = Pram::seq();
+            let want = suffix_array_naive(&text);
+            prop_assert_eq!(suffix_array(&pram, &text), want.clone());
+            prop_assert_eq!(suffix_array_doubling(&pram, &text), want);
+        }
+
+        #[test]
+        fn lcp_parallel_matches_kasai(text in nul_free_text(250), seed in 0u64..500) {
+            let pram = Pram::seq();
+            let sa = suffix_array(&pram, &text);
+            prop_assert_eq!(
+                lcp_parallel(&pram, &text, &sa, seed),
+                lcp_kasai(&text, &sa)
+            );
+        }
+
+        #[test]
+        fn tree_find_matches_window_scan(text in nul_free_text(200), pat in nul_free_text(6)) {
+            prop_assume!(!pat.is_empty());
+            let pram = Pram::seq();
+            let st = SuffixTree::build(&pram, &text, 5);
+            let mut got = st.occurrences(&pat);
+            got.sort_unstable();
+            let want: Vec<usize> = if pat.len() > text.len() {
+                Vec::new()
+            } else {
+                (0..=text.len() - pat.len())
+                    .filter(|&i| &text[i..i + pat.len()] == pat.as_slice())
+                    .collect()
+            };
+            prop_assert_eq!(got, want);
+        }
+
+        #[test]
+        fn suffix_links_shorten_by_one(text in nul_free_text(150)) {
+            let pram = Pram::seq();
+            let st = SuffixTree::build(&pram, &text, 9);
+            for v in 0..st.num_nodes() {
+                if v == st.root() || st.str_depth(v) == 0 {
+                    continue;
+                }
+                if st.is_leaf(v) && st.leaf_pos(v) == st.num_leaves() - 1 {
+                    continue;
+                }
+                prop_assert_eq!(st.str_depth(st.slink(v)), st.str_depth(v) - 1);
+            }
+        }
+    }
+}

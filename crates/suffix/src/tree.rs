@@ -1,0 +1,710 @@
+//! Suffix trees (Lemma 2.1) with suffix links, Weiner links, LCA, and O(1)
+//! string LCP queries (Lemma 2.6).
+//!
+//! Construction is the SA + LCP + ANSV route (see DESIGN.md): internal
+//! nodes are the distinct LCP-interval representatives found by nearest
+//! smaller values, duplicate-value boundaries are merged by list ranking
+//! over equal-value chains, and leaves attach to the deeper of their two
+//! neighbouring boundaries. Everything is PRAM rounds: expected `O(n)` work,
+//! polylog depth.
+//!
+//! A unique sentinel (byte 0) is appended internally, so the input text must
+//! be NUL-free; every suffix then ends at a distinct leaf and every edge has
+//! a non-empty label.
+
+use crate::lcp::lcp_parallel;
+use crate::sa::suffix_array;
+use pardict_fingerprint::{random_base, PrefixHashes};
+use pardict_graph::Forest;
+use pardict_pram::{list_rank_random_mate_full, Pram, SplitMix64};
+use pardict_rmq::{ansv_par, Side, Strictness, TreeLca};
+use std::collections::HashMap;
+
+/// Character code on edges: 0 is the sentinel, byte `c` is `c + 1`.
+pub type SymCode = u16;
+
+/// Code for the sentinel symbol.
+pub const SENTINEL_CODE: SymCode = 0;
+
+/// Code for a text byte.
+#[inline]
+#[must_use]
+pub fn sym_code(c: u8) -> SymCode {
+    SymCode::from(c) + 1
+}
+
+/// A suffix tree over `text · $`.
+///
+/// Node ids: `0..num_leaves()` are leaves in suffix-array order;
+/// `num_leaves()..num_nodes()` are internal nodes (the root among them).
+#[derive(Debug)]
+pub struct SuffixTree {
+    /// Original text (without the sentinel).
+    text: Vec<u8>,
+    /// Text plus sentinel; label positions index into this.
+    padded: Vec<u8>,
+    sa: Vec<u32>,
+    lcp: Vec<u32>,
+    /// Text position (0..=n) → SA position.
+    rank: Vec<u32>,
+    /// Per node: string depth (length of its path label).
+    str_depth: Vec<u32>,
+    /// Per node: a position in `padded` where its path label occurs.
+    label_pos: Vec<u32>,
+    /// Per node: inclusive range of SA positions of the leaves below it.
+    leaf_lo: Vec<u32>,
+    leaf_hi: Vec<u32>,
+    /// Per node: suffix link target (root/self for root and sentinel leaf).
+    slink: Vec<u32>,
+    /// (node << 9 | code) → child with that leading symbol.
+    child_by_sym: HashMap<u64, u32>,
+    /// (node << 9 | code) → Weiner link: the node labelled `code · σ(node)`.
+    wlink_by_sym: HashMap<u64, u32>,
+    root: usize,
+    forest: Forest,
+    lca: TreeLca,
+    hashes: PrefixHashes,
+}
+
+#[inline]
+fn sym_key(node: usize, code: SymCode) -> u64 {
+    ((node as u64) << 9) | u64::from(code)
+}
+
+impl SuffixTree {
+    /// Build the suffix tree of `text` (NUL-free). Expected `O(n)` work.
+    ///
+    /// # Panics
+    /// Panics if `text` contains a 0 byte (reserved for the sentinel).
+    #[must_use]
+    pub fn build(pram: &Pram, text: &[u8], seed: u64) -> Self {
+        assert!(
+            text.iter().all(|&c| c != 0),
+            "suffix tree input must be NUL-free (0 is the internal sentinel)"
+        );
+        let mut rng = SplitMix64::new(seed ^ 0x5F1F);
+        let mut padded = Vec::with_capacity(text.len() + 1);
+        padded.extend_from_slice(text);
+        padded.push(0);
+        let m = padded.len(); // number of suffixes / leaves
+
+        let sa = suffix_array(pram, &padded);
+        let lcp = lcp_parallel(pram, &padded, &sa, rng.next_u64());
+        let mut rank = vec![0u32; m];
+        pram.ledger().round(m as u64);
+        for (k, &i) in sa.iter().enumerate() {
+            rank[i as usize] = k as u32;
+        }
+
+        // Boundary value array with -1 sentinels at 0 and m.
+        let ell: Vec<i64> = pram.tabulate(m + 1, |k| {
+            if k == 0 || k == m {
+                -1
+            } else {
+                i64::from(lcp[k])
+            }
+        });
+        let left = ansv_par(pram, &ell, Side::Left, Strictness::Strict);
+        let right = ansv_par(pram, &ell, Side::Right, Strictness::Strict);
+        let lefteq = ansv_par(pram, &ell, Side::Left, Strictness::WeakOrEqual);
+
+        // Equal-value chains: each boundary points to the nearest equal
+        // boundary on its left (nothing smaller between, by nearest-≤);
+        // chain tails are the node representatives.
+        let chain_next: Vec<usize> = pram.tabulate(m + 1, |k| {
+            if k == 0 || k == m {
+                return k;
+            }
+            let j = lefteq[k];
+            if j != usize::MAX && ell[j] == ell[k] && j != 0 {
+                j
+            } else {
+                k
+            }
+        });
+        let rep = list_rank_random_mate_full(pram, &chain_next, rng.next_u64()).tail;
+
+        // Compact ids for representative boundaries.
+        let is_rep: Vec<bool> =
+            pram.tabulate(m + 1, |k| k >= 1 && k < m && rep[k] == k);
+        let rep_list = pram.pack_indices(&is_rep);
+        let num_internal = rep_list.len().max(1); // ≥ 1: the root
+        let mut internal_idx = vec![u32::MAX; m + 1];
+        pram.ledger().round(rep_list.len() as u64);
+        for (x, &k) in rep_list.iter().enumerate() {
+            internal_idx[k] = x as u32;
+        }
+        let num_nodes = m + num_internal;
+
+        // The root: representative of the 0-valued chain (always present
+        // for m >= 2: the sentinel suffix gives a 0 boundary at k = 1).
+        let root = if rep_list.is_empty() {
+            m // degenerate single-leaf text: synthesize a root
+        } else {
+            debug_assert_eq!(ell[rep[1]], 0);
+            m + internal_idx[rep[1]] as usize
+        };
+
+        // Node id of the representative of boundary k.
+        let node_of_boundary = |k: usize| -> usize { m + internal_idx[rep[k]] as usize };
+
+        // Parents, depths, label positions, leaf ranges.
+        let mut parent = vec![0usize; num_nodes];
+        let mut str_depth = vec![0u32; num_nodes];
+        let mut label_pos = vec![0u32; num_nodes];
+        let mut leaf_lo = vec![0u32; num_nodes];
+        let mut leaf_hi = vec![0u32; num_nodes];
+
+        // Leaves.
+        pram.ledger().round(m as u64);
+        for k in 0..m {
+            let node = k;
+            str_depth[node] = (m - sa[k] as usize) as u32;
+            label_pos[node] = sa[k];
+            leaf_lo[node] = k as u32;
+            leaf_hi[node] = k as u32;
+            // Deeper neighbouring boundary (k or k + 1 in ell coordinates).
+            let (bl, br) = (ell[k], ell[k + 1]);
+            parent[node] = if bl < 0 && br < 0 {
+                root
+            } else if bl >= br {
+                node_of_boundary(k)
+            } else {
+                node_of_boundary(k + 1)
+            };
+        }
+
+        // Internal nodes.
+        pram.ledger().round(rep_list.len() as u64);
+        for &k in &rep_list {
+            let node = m + internal_idx[k] as usize;
+            str_depth[node] = ell[k] as u32;
+            label_pos[node] = sa[k];
+            leaf_lo[node] = left[k] as u32;
+            leaf_hi[node] = (right[k] - 1) as u32;
+            if node == root {
+                parent[node] = node;
+            } else {
+                let (l, r) = (left[k], right[k]);
+                let pb = if ell[l] >= ell[r] { l } else { r };
+                parent[node] = if ell[pb] < 0 { root } else { node_of_boundary(pb) };
+            }
+        }
+        if rep_list.is_empty() {
+            // Single-leaf degenerate tree.
+            parent[root] = root;
+            str_depth[root] = 0;
+            label_pos[root] = 0;
+            leaf_lo[root] = 0;
+            leaf_hi[root] = (m - 1) as u32;
+            parent[0] = root;
+        }
+
+        let forest = Forest::from_parents(pram, &parent);
+        let lca = TreeLca::new(pram, &forest, rng.next_u64());
+
+        // Child lookup by leading edge symbol.
+        let mut child_by_sym = HashMap::with_capacity(num_nodes);
+        pram.ledger().round(num_nodes as u64);
+        for v in 0..num_nodes {
+            if v == root {
+                continue;
+            }
+            let p = parent[v];
+            let c = padded[(label_pos[v] + str_depth[p]) as usize];
+            let code = if (label_pos[v] + str_depth[p]) as usize == m - 1 {
+                SENTINEL_CODE
+            } else {
+                sym_code(c)
+            };
+            let prev = child_by_sym.insert(sym_key(p, code), v as u32);
+            debug_assert!(prev.is_none(), "two children with one symbol");
+        }
+
+        // Suffix links: slink(v) = lca(next-leaf of two separated leaves).
+        let slink: Vec<u32> = pram.tabulate(num_nodes, |v| {
+            if v < m {
+                // Leaf for text position sa[v]; its suffix link is the leaf
+                // of the next position (self for the sentinel leaf).
+                let p = sa[v] as usize;
+                if p + 1 < m {
+                    rank[p + 1]
+                } else {
+                    v as u32
+                }
+            } else if v == root || str_depth[v] == 0 {
+                root as u32
+            } else {
+                let k = rep_list[v - m];
+                let (p1, p2) = (sa[k - 1] as usize, sa[k] as usize);
+                debug_assert!(p1 + 1 < m && p2 + 1 < m);
+                lca.lca(rank[p1 + 1] as usize, rank[p2 + 1] as usize) as u32
+            }
+        });
+
+        // Weiner links: invert the suffix links, keyed by leading symbol.
+        let mut wlink_by_sym = HashMap::with_capacity(num_nodes);
+        pram.ledger().round(num_nodes as u64);
+        for v in 0..num_nodes {
+            if v == root || (v >= m && str_depth[v] == 0) {
+                continue;
+            }
+            if v < m && sa[v] as usize == m - 1 {
+                continue; // sentinel leaf has no inverse link
+            }
+            let lp = label_pos[v] as usize;
+            let code = if lp == m - 1 {
+                SENTINEL_CODE
+            } else {
+                sym_code(padded[lp])
+            };
+            let target = slink[v] as usize;
+            let prev = wlink_by_sym.insert(sym_key(target, code), v as u32);
+            debug_assert!(prev.is_none(), "duplicate Weiner link");
+        }
+
+        let hashes = PrefixHashes::build(pram, &padded, random_base(rng.next_u64()));
+
+        Self {
+            text: text.to_vec(),
+            padded,
+            sa,
+            lcp,
+            rank,
+            str_depth,
+            label_pos,
+            leaf_lo,
+            leaf_hi,
+            slink,
+            child_by_sym,
+            wlink_by_sym,
+            root,
+            forest,
+            lca,
+            hashes,
+        }
+    }
+
+    /// The original text (without the sentinel).
+    #[must_use]
+    pub fn text(&self) -> &[u8] {
+        &self.text
+    }
+
+    /// Text plus sentinel byte; `label_pos` indexes into this.
+    #[must_use]
+    pub fn padded(&self) -> &[u8] {
+        &self.padded
+    }
+
+    /// Number of leaves (= text length + 1, counting the sentinel suffix).
+    #[must_use]
+    pub fn num_leaves(&self) -> usize {
+        self.sa.len()
+    }
+
+    /// Total number of nodes.
+    #[must_use]
+    pub fn num_nodes(&self) -> usize {
+        self.str_depth.len()
+    }
+
+    /// The root node id.
+    #[must_use]
+    pub fn root(&self) -> usize {
+        self.root
+    }
+
+    /// True when `v` is a leaf.
+    #[must_use]
+    pub fn is_leaf(&self, v: usize) -> bool {
+        v < self.num_leaves()
+    }
+
+    /// Text position of the suffix ending at leaf `v`.
+    #[must_use]
+    pub fn leaf_pos(&self, v: usize) -> usize {
+        debug_assert!(self.is_leaf(v));
+        self.sa[v] as usize
+    }
+
+    /// Leaf node for the suffix starting at text position `pos` (0..=n).
+    #[must_use]
+    pub fn leaf_node(&self, pos: usize) -> usize {
+        self.rank[pos] as usize
+    }
+
+    /// Parent of `v` (root maps to itself).
+    #[must_use]
+    pub fn parent(&self, v: usize) -> usize {
+        self.forest.parent(v)
+    }
+
+    /// String depth `|σ(v)|`.
+    #[must_use]
+    pub fn str_depth(&self, v: usize) -> usize {
+        self.str_depth[v] as usize
+    }
+
+    /// A position in [`Self::padded`] where `σ(v)` occurs.
+    #[must_use]
+    pub fn label_pos(&self, v: usize) -> usize {
+        self.label_pos[v] as usize
+    }
+
+    /// Children of `v` (unordered with respect to edge symbols).
+    #[must_use]
+    pub fn children(&self, v: usize) -> &[usize] {
+        self.forest.children(v)
+    }
+
+    /// Child of `v` whose edge starts with symbol `code`.
+    #[must_use]
+    pub fn child(&self, v: usize, code: SymCode) -> Option<usize> {
+        self.child_by_sym.get(&sym_key(v, code)).map(|&c| c as usize)
+    }
+
+    /// Child of `v` whose edge starts with text byte `c`.
+    #[must_use]
+    pub fn child_by_byte(&self, v: usize, c: u8) -> Option<usize> {
+        self.child(v, sym_code(c))
+    }
+
+    /// Inclusive SA-position range of the leaves below `v`.
+    #[must_use]
+    pub fn leaf_range(&self, v: usize) -> (usize, usize) {
+        (self.leaf_lo[v] as usize, self.leaf_hi[v] as usize)
+    }
+
+    /// The suffix array (over text + sentinel).
+    #[must_use]
+    pub fn sa(&self) -> &[u32] {
+        &self.sa
+    }
+
+    /// The LCP array (`lcp[k]` between SA[k-1] and SA[k]).
+    #[must_use]
+    pub fn lcp(&self) -> &[u32] {
+        &self.lcp
+    }
+
+    /// Lowest common ancestor of two nodes.
+    #[must_use]
+    pub fn lca(&self, u: usize, v: usize) -> usize {
+        self.lca.lca(u, v)
+    }
+
+    /// The LCA structure (exposes the Euler tour).
+    #[must_use]
+    pub fn tree_lca(&self) -> &TreeLca {
+        &self.lca
+    }
+
+    /// The underlying forest (parents + children CSR).
+    #[must_use]
+    pub fn forest(&self) -> &Forest {
+        &self.forest
+    }
+
+    /// Suffix link: the node labelled `σ(v)` minus its first symbol.
+    #[must_use]
+    pub fn slink(&self, v: usize) -> usize {
+        self.slink[v] as usize
+    }
+
+    /// Weiner link: the node labelled `code · σ(v)`, if explicit.
+    #[must_use]
+    pub fn wlink(&self, v: usize, code: SymCode) -> Option<usize> {
+        self.wlink_by_sym.get(&sym_key(v, code)).map(|&u| u as usize)
+    }
+
+    /// O(1) longest common prefix of the suffixes at text positions `i`
+    /// and `j` (Lemma 2.6), not counting the sentinel.
+    #[must_use]
+    pub fn lcp_positions(&self, i: usize, j: usize) -> usize {
+        let n = self.text.len();
+        debug_assert!(i <= n && j <= n);
+        if i == j {
+            return n - i;
+        }
+        let v = self.lca.lca(self.leaf_node(i), self.leaf_node(j));
+        self.str_depth(v)
+    }
+
+    /// O(1) Monte-Carlo-free equality of `text[i..i+l]` and `text[j..j+l]`
+    /// (Lemma 2.6): exact, via the LCA depth.
+    #[must_use]
+    pub fn eq_substrings(&self, i: usize, j: usize, l: usize) -> bool {
+        let n = self.text.len();
+        i + l <= n && j + l <= n && self.lcp_positions(i, j) >= l
+    }
+
+    /// Karp–Rabin prefix hashes of the padded text (for fingerprint tables).
+    #[must_use]
+    pub fn hashes(&self) -> &PrefixHashes {
+        &self.hashes
+    }
+
+    /// Locate a pattern by walking from the root: returns the inclusive SA
+    /// range of suffixes starting with `pattern`, or `None` if it does not
+    /// occur. `O(|pattern|)` character comparisons.
+    #[must_use]
+    pub fn find(&self, pattern: &[u8]) -> Option<(usize, usize)> {
+        if pattern.contains(&0) {
+            return None;
+        }
+        let mut v = self.root;
+        let mut matched = 0usize;
+        while matched < pattern.len() {
+            let c = self.child(v, sym_code(pattern[matched]))?;
+            let lo = self.label_pos(c) + matched;
+            let hi = (self.label_pos(c) + self.str_depth(c)).min(self.padded.len());
+            for t in lo..hi {
+                if matched == pattern.len() {
+                    break;
+                }
+                if self.padded[t] != pattern[matched] {
+                    return None;
+                }
+                matched += 1;
+            }
+            v = c;
+        }
+        Some(self.leaf_range(v))
+    }
+
+    /// All occurrence start positions of `pattern`, unordered.
+    /// `O(|pattern| + occ)`.
+    #[must_use]
+    pub fn occurrences(&self, pattern: &[u8]) -> Vec<usize> {
+        match self.find(pattern) {
+            None => Vec::new(),
+            Some((lo, hi)) => (lo..=hi)
+                .map(|k| self.leaf_pos(k))
+                .filter(|&p| p + pattern.len() <= self.text.len())
+                .collect(),
+        }
+    }
+
+    /// True when `pattern` occurs in the text. `O(|pattern|)`.
+    #[must_use]
+    pub fn contains(&self, pattern: &[u8]) -> bool {
+        self.find(pattern).is_some()
+    }
+
+    /// First symbol code of the edge entering `v` (undefined for the root).
+    #[must_use]
+    pub fn edge_first_code(&self, v: usize) -> SymCode {
+        debug_assert_ne!(v, self.root);
+        let p = self.parent(v);
+        let pos = self.label_pos(v) + self.str_depth(p);
+        if pos == self.padded.len() - 1 {
+            SENTINEL_CODE
+        } else {
+            sym_code(self.padded[pos])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pardict_pram::Pram;
+
+    fn build(text: &[u8]) -> SuffixTree {
+        let pram = Pram::seq();
+        SuffixTree::build(&pram, text, 12345)
+    }
+
+    /// Walk the tree from the root following the suffix at `pos`; must end
+    /// exactly at that suffix's leaf.
+    fn walk_suffix(st: &SuffixTree, pos: usize) {
+        let padded = st.padded();
+        let m = padded.len();
+        let mut v = st.root();
+        let mut matched = 0usize;
+        while matched < m - pos {
+            let code = if pos + matched == m - 1 {
+                SENTINEL_CODE
+            } else {
+                sym_code(padded[pos + matched])
+            };
+            let c = st
+                .child(v, code)
+                .unwrap_or_else(|| panic!("no child at depth {matched} for suffix {pos}"));
+            // Verify the whole edge label matches.
+            let lo = st.label_pos(c) + st.str_depth(v);
+            let hi = st.label_pos(c) + st.str_depth(c);
+            for (off, t) in (lo..hi).enumerate() {
+                assert_eq!(
+                    padded[t],
+                    padded[pos + matched + off],
+                    "edge mismatch, suffix {pos}"
+                );
+            }
+            matched = st.str_depth(c);
+            v = c;
+        }
+        assert!(st.is_leaf(v));
+        assert_eq!(st.leaf_pos(v), pos);
+    }
+
+    fn full_check(text: &[u8]) {
+        let st = build(text);
+        let m = text.len() + 1;
+        assert_eq!(st.num_leaves(), m);
+        for pos in 0..m {
+            walk_suffix(&st, pos);
+        }
+        // Structural sanity.
+        for v in 0..st.num_nodes() {
+            if v == st.root() {
+                continue;
+            }
+            let p = st.parent(v);
+            assert!(st.str_depth(p) < st.str_depth(v), "depth order v={v}");
+            let (lo, hi) = st.leaf_range(v);
+            let (plo, phi) = st.leaf_range(p);
+            assert!(plo <= lo && hi <= phi, "leaf range nesting");
+            if !st.is_leaf(v) {
+                assert!(st.children(v).len() >= 2, "internal node with < 2 children");
+            }
+        }
+        // Suffix links: σ(slink(v)) == σ(v)[1..].
+        for v in 0..st.num_nodes() {
+            if v == st.root() || st.str_depth(v) == 0 {
+                continue;
+            }
+            if st.is_leaf(v) && st.leaf_pos(v) == m - 1 {
+                continue;
+            }
+            let s = st.slink(v);
+            assert_eq!(st.str_depth(s), st.str_depth(v) - 1, "slink depth v={v}");
+            let a = st.label_pos(v) + 1;
+            let b = st.label_pos(s);
+            for off in 0..st.str_depth(s) {
+                assert_eq!(st.padded()[a + off], st.padded()[b + off], "slink label");
+            }
+            // Weiner link inverts it.
+            let lp = st.label_pos(v);
+            let code = if lp == m - 1 {
+                SENTINEL_CODE
+            } else {
+                sym_code(st.padded()[lp])
+            };
+            assert_eq!(st.wlink(s, code), Some(v), "wlink inverse v={v}");
+        }
+    }
+
+    #[test]
+    fn classic_texts() {
+        full_check(b"banana");
+        full_check(b"mississippi");
+        full_check(b"abracadabra");
+        full_check(b"a");
+        full_check(b"ab");
+        full_check(b"aa");
+        full_check(b"");
+    }
+
+    #[test]
+    fn repetitive_texts() {
+        full_check(&[b'a'; 64]);
+        full_check(&b"ab".repeat(40));
+        full_check(&b"abc".repeat(25));
+    }
+
+    #[test]
+    fn random_texts() {
+        use pardict_pram::SplitMix64;
+        let mut rng = SplitMix64::new(55);
+        for sigma in [2u64, 4, 26] {
+            for n in [17usize, 100, 400] {
+                let text: Vec<u8> =
+                    (0..n).map(|_| (rng.next_below(sigma) + 97) as u8).collect();
+                full_check(&text);
+            }
+        }
+    }
+
+    #[test]
+    fn lcp_positions_matches_naive() {
+        use pardict_pram::SplitMix64;
+        let mut rng = SplitMix64::new(77);
+        let text: Vec<u8> = (0..300).map(|_| (rng.next_below(3) + 97) as u8).collect();
+        let st = build(&text);
+        for _ in 0..2000 {
+            let i = rng.next_below(text.len() as u64) as usize;
+            let j = rng.next_below(text.len() as u64) as usize;
+            let naive = text[i..]
+                .iter()
+                .zip(&text[j..])
+                .take_while(|(a, b)| a == b)
+                .count();
+            let got = st.lcp_positions(i, j);
+            if i == j {
+                assert_eq!(got, text.len() - i);
+            } else {
+                assert_eq!(got, naive, "i={i} j={j}");
+            }
+        }
+    }
+
+    #[test]
+    fn eq_substrings_is_exact() {
+        let st = build(b"xyxyxyxy");
+        assert!(st.eq_substrings(0, 2, 6));
+        assert!(!st.eq_substrings(0, 1, 2));
+        assert!(!st.eq_substrings(0, 2, 7)); // out of range
+    }
+
+    #[test]
+    #[should_panic(expected = "NUL-free")]
+    fn rejects_nul_bytes() {
+        build(&[1, 2, 0, 3]);
+    }
+
+    #[test]
+    fn find_and_occurrences() {
+        let st = build(b"banana");
+        assert!(st.contains(b"ana"));
+        assert!(st.contains(b"banana"));
+        assert!(!st.contains(b"nanab"));
+        assert!(!st.contains(b"x"));
+        assert!(st.contains(b""));
+        let mut occ = st.occurrences(b"ana");
+        occ.sort_unstable();
+        assert_eq!(occ, vec![1, 3]);
+        let mut occ = st.occurrences(b"a");
+        occ.sort_unstable();
+        assert_eq!(occ, vec![1, 3, 5]);
+        assert!(st.occurrences(b"nan\0").is_empty());
+    }
+
+    #[test]
+    fn occurrences_match_naive_on_random_text() {
+        use pardict_pram::SplitMix64;
+        let mut rng = SplitMix64::new(91);
+        let text: Vec<u8> = (0..400).map(|_| (rng.next_below(3) + 97) as u8).collect();
+        let st = build(&text);
+        for _ in 0..200 {
+            let l = 1 + rng.next_below(6) as usize;
+            let i = rng.next_below((text.len() - l) as u64) as usize;
+            let pat = &text[i..i + l];
+            let mut got = st.occurrences(pat);
+            got.sort_unstable();
+            let want: Vec<usize> = (0..=text.len() - l)
+                .filter(|&j| &text[j..j + l] == pat)
+                .collect();
+            assert_eq!(got, want, "pattern {:?}", String::from_utf8_lossy(pat));
+        }
+    }
+
+    #[test]
+    fn leaf_node_roundtrip() {
+        let st = build(b"banana");
+        for pos in 0..=6 {
+            assert_eq!(st.leaf_pos(st.leaf_node(pos)), pos);
+        }
+    }
+}

@@ -1,0 +1,274 @@
+//! `pardict` — command-line front end for the library.
+//!
+//! ```text
+//! pardict match   --dict words.txt text.bin      longest pattern per position
+//! pardict grep    --dict words.txt text.bin      all occurrences, one per line
+//! pardict compress   in.bin -o out.plz           parallel LZ1 → token stream
+//! pardict decompress out.plz -o back.bin         parallel LZ1 inverse
+//! pardict parse   --dict words.txt text.bin      §5 optimal static parse stats
+//! pardict delta   base.bin new.bin -o out.pdz    differential compression
+//! pardict patch   base.bin out.pdz -o new.bin    apply a delta
+//! pardict stats   in.bin                         ledger work/depth summary
+//! ```
+//!
+//! Dictionary files contain one pattern per line (empty lines ignored).
+//! Inputs must be NUL-free (byte 0 is the library's sentinel).
+
+use pardict::prelude::*;
+use std::io::Write;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("pardict: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(cmd) = args.first() else {
+        return Err(usage());
+    };
+    let rest = &args[1..];
+    match cmd.as_str() {
+        "match" => cmd_match(rest, false),
+        "grep" => cmd_match(rest, true),
+        "compress" => cmd_compress(rest),
+        "decompress" => cmd_decompress(rest),
+        "parse" => cmd_parse(rest),
+        "delta" => cmd_delta(rest),
+        "patch" => cmd_patch(rest),
+        "stats" => cmd_stats(rest),
+        "help" | "--help" | "-h" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n{}", usage())),
+    }
+}
+
+fn usage() -> String {
+    "usage: pardict <match|grep|compress|decompress|parse|delta|patch|stats> \
+     [--dict FILE] [-o FILE] [INPUT...]"
+        .to_string()
+}
+
+/// Parsed flags: (positional args, --dict path, -o path).
+type ParsedArgs<'a> = (Vec<&'a str>, Option<String>, Option<String>);
+
+/// Split flags: returns (positional, dict path, output path).
+fn split_args(args: &[String]) -> Result<ParsedArgs<'_>, String> {
+    let mut pos = Vec::new();
+    let mut dict = None;
+    let mut out = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--dict" => {
+                dict = Some(it.next().ok_or("--dict needs a path")?.clone());
+            }
+            "-o" | "--output" => {
+                out = Some(it.next().ok_or("-o needs a path")?.clone());
+            }
+            other => pos.push(other),
+        }
+    }
+    Ok((pos, dict, out))
+}
+
+fn read_input(pos: &[&str]) -> Result<Vec<u8>, String> {
+    let path = pos.first().ok_or("missing input file")?;
+    let data = std::fs::read(path).map_err(|e| format!("reading {path}: {e}"))?;
+    Ok(data)
+}
+
+fn read_dict(path: Option<String>) -> Result<Dictionary, String> {
+    let path = path.ok_or("this command needs --dict FILE")?;
+    let data = std::fs::read(&path).map_err(|e| format!("reading {path}: {e}"))?;
+    let patterns: Vec<Vec<u8>> = data
+        .split(|&c| c == b'\n')
+        .filter(|l| !l.is_empty())
+        .map(|l| l.strip_suffix(b"\r").unwrap_or(l).to_vec())
+        .collect();
+    if patterns.is_empty() {
+        return Err(format!("{path}: no patterns"));
+    }
+    if patterns.iter().any(|p| p.contains(&0)) {
+        return Err("patterns must be NUL-free".into());
+    }
+    Ok(Dictionary::new(patterns))
+}
+
+fn write_output(out: Option<String>, data: &[u8]) -> Result<(), String> {
+    match out {
+        Some(path) => std::fs::write(&path, data).map_err(|e| format!("writing {path}: {e}")),
+        None => std::io::stdout()
+            .write_all(data)
+            .map_err(|e| format!("stdout: {e}")),
+    }
+}
+
+fn check_text(text: &[u8]) -> Result<(), String> {
+    if text.contains(&0) {
+        return Err("input contains NUL bytes (reserved for the sentinel)".into());
+    }
+    Ok(())
+}
+
+fn cmd_match(args: &[String], all: bool) -> Result<(), String> {
+    let (pos, dict, out) = split_args(args)?;
+    let dict = read_dict(dict)?;
+    let text = read_input(&pos)?;
+    check_text(&text)?;
+    let pram = Pram::par();
+    let mut buf = Vec::new();
+    if all {
+        let matcher = DictMatcher::build(&pram, dict.clone(), 0xC11);
+        for (i, m) in matcher.find_all(&pram, &text) {
+            writeln!(
+                buf,
+                "{i}\t{}\t{}",
+                m.id,
+                String::from_utf8_lossy(&dict.patterns()[m.id as usize])
+            )
+            .unwrap();
+        }
+    } else {
+        let matches = dictionary_match(&pram, &dict, &text, 0xC11);
+        for (i, m) in matches.iter_hits() {
+            writeln!(
+                buf,
+                "{i}\t{}\t{}",
+                m.id,
+                String::from_utf8_lossy(&dict.patterns()[m.id as usize])
+            )
+            .unwrap();
+        }
+    }
+    write_output(out, &buf)
+}
+
+fn cmd_compress(args: &[String]) -> Result<(), String> {
+    let (pos, _, out) = split_args(args)?;
+    let text = read_input(&pos)?;
+    check_text(&text)?;
+    let pram = Pram::par();
+    let tokens = lz1_compress(&pram, &text, 0x10);
+    let bytes = pardict::compress::encode_tokens(&tokens);
+    eprintln!(
+        "pardict: {} -> {} bytes ({:.1}%), {} phrases",
+        text.len(),
+        bytes.len(),
+        100.0 * bytes.len() as f64 / text.len().max(1) as f64,
+        tokens.len()
+    );
+    write_output(out, &bytes)
+}
+
+fn cmd_decompress(args: &[String]) -> Result<(), String> {
+    let (pos, _, out) = split_args(args)?;
+    let data = read_input(&pos)?;
+    let tokens = pardict::compress::decode_tokens(&data).map_err(|e| e.to_string())?;
+    let pram = Pram::par();
+    let text = lz1_decompress(&pram, &tokens, 0x11);
+    write_output(out, &text)
+}
+
+fn cmd_parse(args: &[String]) -> Result<(), String> {
+    let (pos, dict, out) = split_args(args)?;
+    let dict = read_dict(dict)?;
+    let text = read_input(&pos)?;
+    check_text(&text)?;
+    let pram = Pram::par();
+    let matcher = DictMatcher::build(&pram, dict.clone(), 0x12);
+    let parse = optimal_parse(&pram, &matcher, &text)
+        .ok_or("text is not parseable with this dictionary (add single-symbol words?)")?;
+    let greedy = greedy_parse(&pram, &matcher, &text);
+    let mut buf = Vec::new();
+    writeln!(
+        buf,
+        "optimal: {} phrases{}",
+        parse.num_phrases(),
+        match greedy {
+            Some(g) => format!(" (greedy would use {})", g.num_phrases()),
+            None => " (greedy dead-ends)".to_string(),
+        }
+    )
+    .unwrap();
+    for ph in &parse.phrases {
+        let p = &dict.patterns()[ph.pattern as usize];
+        writeln!(
+            buf,
+            "{}\t{}",
+            ph.start,
+            String::from_utf8_lossy(&p[..ph.len])
+        )
+        .unwrap();
+    }
+    write_output(out, &buf)
+}
+
+fn cmd_delta(args: &[String]) -> Result<(), String> {
+    let (pos, _, out) = split_args(args)?;
+    if pos.len() != 2 {
+        return Err("delta needs BASE and NEW files".into());
+    }
+    let base = std::fs::read(pos[0]).map_err(|e| format!("{}: {e}", pos[0]))?;
+    let new = std::fs::read(pos[1]).map_err(|e| format!("{}: {e}", pos[1]))?;
+    check_text(&base)?;
+    check_text(&new)?;
+    let pram = Pram::par();
+    let tokens = delta_compress(&pram, &base, &new, 0x0D17A);
+    let bytes = pardict::compress::encode_tokens(&tokens);
+    eprintln!(
+        "pardict: delta of {} B against {} B base -> {} B ({} tokens)",
+        new.len(),
+        base.len(),
+        bytes.len(),
+        tokens.len()
+    );
+    write_output(out, &bytes)
+}
+
+fn cmd_patch(args: &[String]) -> Result<(), String> {
+    let (pos, _, out) = split_args(args)?;
+    if pos.len() != 2 {
+        return Err("patch needs BASE and DELTA files".into());
+    }
+    let base = std::fs::read(pos[0]).map_err(|e| format!("{}: {e}", pos[0]))?;
+    let data = std::fs::read(pos[1]).map_err(|e| format!("{}: {e}", pos[1]))?;
+    let tokens = pardict::compress::decode_tokens_from(&data, base.len())
+        .map_err(|e| e.to_string())?;
+    let pram = Pram::par();
+    let new = delta_decompress(&pram, &base, &tokens);
+    write_output(out, &new)
+}
+
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let (pos, _, _) = split_args(args)?;
+    let text = read_input(&pos)?;
+    check_text(&text)?;
+    let n = text.len().max(1);
+    let pram = Pram::par();
+    let (tokens, c1) = pram.metered(|p| lz1_compress(p, &text, 0x13));
+    let (_, c2) = pram.metered(|p| lz1_decompress(p, &tokens, 0x14));
+    println!("input: {} bytes", text.len());
+    println!(
+        "LZ1 compress:   {:>12} work ({:>7.1}/char)  depth {:>6}  -> {} phrases",
+        c1.work,
+        c1.work as f64 / n as f64,
+        c1.depth,
+        tokens.len()
+    );
+    println!(
+        "LZ1 decompress: {:>12} work ({:>7.1}/char)  depth {:>6}",
+        c2.work,
+        c2.work as f64 / n as f64,
+        c2.depth
+    );
+    Ok(())
+}

@@ -1,0 +1,146 @@
+//! End-to-end tests of the `pardict` CLI binary.
+
+use std::io::Write;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_pardict"))
+}
+
+fn write_tmp(name: &str, data: &[u8]) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("pardict-cli-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    let mut f = std::fs::File::create(&path).unwrap();
+    f.write_all(data).unwrap();
+    path
+}
+
+#[test]
+fn match_lists_longest_hits() {
+    let dict = write_tmp("d1.txt", b"he\nshe\nhers\n");
+    let text = write_tmp("t1.bin", b"ushers");
+    let out = bin()
+        .args(["match", "--dict"])
+        .arg(&dict)
+        .arg(&text)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("1\t1\tshe"), "{stdout}");
+    assert!(stdout.contains("2\t2\thers"), "{stdout}");
+    // Longest-only: "he" at 2 must NOT be listed by `match`.
+    assert!(!stdout.contains("\the\n"), "{stdout}");
+}
+
+#[test]
+fn grep_lists_all_hits() {
+    let dict = write_tmp("d2.txt", b"he\nshe\nhers\n");
+    let text = write_tmp("t2.bin", b"ushers");
+    let out = bin()
+        .args(["grep", "--dict"])
+        .arg(&dict)
+        .arg(&text)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("2\t0\the"), "grep must include shorter hits: {stdout}");
+    assert!(stdout.contains("2\t2\thers"), "{stdout}");
+}
+
+#[test]
+fn compress_decompress_roundtrip() {
+    let data = b"a rose is a rose is a rose, said the rose".repeat(20);
+    let input = write_tmp("t3.bin", &data);
+    let packed = std::env::temp_dir().join("pardict-cli-tests/t3.plz");
+    let unpacked = std::env::temp_dir().join("pardict-cli-tests/t3.out");
+
+    let out = bin()
+        .args(["compress"])
+        .arg(&input)
+        .args(["-o"])
+        .arg(&packed)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(std::fs::metadata(&packed).unwrap().len() < data.len() as u64);
+
+    let out = bin()
+        .args(["decompress"])
+        .arg(&packed)
+        .args(["-o"])
+        .arg(&unpacked)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert_eq!(std::fs::read(&unpacked).unwrap(), data);
+}
+
+#[test]
+fn decompress_rejects_garbage() {
+    let garbage = write_tmp("t4.plz", &[9, 9, 9]);
+    let out = bin().args(["decompress"]).arg(&garbage).output().unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("tag"), "{err}");
+}
+
+#[test]
+fn parse_reports_optimal_vs_greedy() {
+    let dict = write_tmp("d5.txt", b"aab\nabbb\nb\n");
+    let text = write_tmp("t5.bin", b"aabbb");
+    let out = bin()
+        .args(["parse", "--dict"])
+        .arg(&dict)
+        .arg(&text)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("optimal: 2 phrases"), "{stdout}");
+    assert!(stdout.contains("greedy would use 3"), "{stdout}");
+}
+
+#[test]
+fn delta_and_patch_roundtrip() {
+    let base_data = b"version one of the document with shared content".repeat(30);
+    let mut new_data = base_data.clone();
+    new_data.extend_from_slice(b" plus an appendix");
+    let base = write_tmp("t6.base", &base_data);
+    let new = write_tmp("t6.new", &new_data);
+    let delta = std::env::temp_dir().join("pardict-cli-tests/t6.pdz");
+    let restored = std::env::temp_dir().join("pardict-cli-tests/t6.out");
+
+    let out = bin()
+        .args(["delta"])
+        .arg(&base)
+        .arg(&new)
+        .args(["-o"])
+        .arg(&delta)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        std::fs::metadata(&delta).unwrap().len() < 100,
+        "delta should be tiny"
+    );
+    let out = bin()
+        .args(["patch"])
+        .arg(&base)
+        .arg(&delta)
+        .args(["-o"])
+        .arg(&restored)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert_eq!(std::fs::read(&restored).unwrap(), new_data);
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let out = bin().args(["frobnicate"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}

@@ -1,0 +1,131 @@
+//! Theorem-shaped cost assertions at the workspace level: the paper's
+//! bounds, checked as inequalities on the ledger. These are the
+//! quick-running cousins of the EXPERIMENTS.md sweeps; they fail the build
+//! if a change quietly destroys an asymptotic property.
+
+use pardict::prelude::*;
+use pardict::workloads::{markov_text, random_dictionary, text_with_planted_matches};
+
+/// Fit: does `ys[i] / xs[i]` stay (roughly) constant? Returns the max/min
+/// ratio spread.
+fn flatness(xs: &[usize], ys: &[u64]) -> f64 {
+    let per: Vec<f64> = xs.iter().zip(ys).map(|(&x, &y)| y as f64 / x as f64).collect();
+    let lo = per.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = per.iter().cloned().fold(0.0, f64::max);
+    hi / lo
+}
+
+#[test]
+fn theorem_3_1_matching_work_is_linear_and_depth_logarithmic() {
+    let alpha = Alphabet::dna();
+    let dict = Dictionary::new(random_dictionary(1, 64, 4, 12, alpha));
+    let pram = Pram::seq();
+    let matcher = DictMatcher::build(&pram, dict.clone(), 2);
+    let ns = [1usize << 11, 1 << 13, 1 << 15];
+    let mut works = Vec::new();
+    let mut depths = Vec::new();
+    for &n in &ns {
+        let text = text_with_planted_matches(n as u64, dict.patterns(), n, 25, alpha);
+        let (_, c) = pram.metered(|p| matcher.match_text(p, &text));
+        works.push(c.work);
+        depths.push(c.depth);
+    }
+    assert!(
+        flatness(&ns, &works) < 1.35,
+        "matching work/n not flat: {works:?} over {ns:?}"
+    );
+    // Depth grows at most additively with log n (window count is fixed by
+    // d; anchors add log-ish rounds).
+    assert!(
+        depths[2] < depths[0] + 200,
+        "matching depth grew too fast: {depths:?}"
+    );
+}
+
+#[test]
+fn theorem_4_2_compression_work_linear() {
+    let ns = [1usize << 12, 1 << 14, 1 << 16];
+    let mut works = Vec::new();
+    for &n in &ns {
+        let pram = Pram::seq();
+        let text = markov_text(n as u64, n, Alphabet::dna());
+        let (_, c) = pram.metered(|p| lz1_compress(p, &text, 1));
+        works.push(c.work);
+    }
+    // Allow the radix-pass step at 2^16 (documented).
+    assert!(
+        flatness(&ns, &works) < 1.45,
+        "lz1 work/n not flat: {works:?}"
+    );
+}
+
+#[test]
+fn theorem_4_3_decompression_work_linear_depth_log() {
+    let ns = [1usize << 12, 1 << 14, 1 << 16];
+    let mut works = Vec::new();
+    for &n in &ns {
+        let pram = Pram::seq();
+        let text = markov_text(7, n, Alphabet::dna());
+        let tokens = lz1_compress(&pram, &text, 2);
+        let (back, c) = pram.metered(|p| lz1_decompress(p, &tokens, 3));
+        assert_eq!(back, text);
+        works.push(c.work);
+        assert!(
+            c.depth < 120 * u64::from(pardict::pram::ceil_log2(n)),
+            "depth {} too deep at n={n}",
+            c.depth
+        );
+    }
+    assert!(flatness(&ns, &works) < 1.45, "unlz1 work/n not flat: {works:?}");
+}
+
+#[test]
+fn theorem_5_3_static_parse_work_linear() {
+    let alpha = Alphabet::dna();
+    let mut words: Vec<Vec<u8>> = (0..alpha.size()).map(|i| vec![alpha.symbol(i)]).collect();
+    let training = markov_text(1, 8000, alpha);
+    words.extend(pardict::workloads::dictionary_from_text(2, &training, 40, 2, 10));
+    let dict = Dictionary::new(words);
+    let pram = Pram::seq();
+    let matcher = DictMatcher::build(&pram, dict, 3);
+    let ns = [1usize << 11, 1 << 13, 1 << 15];
+    let mut works = Vec::new();
+    for &n in &ns {
+        let msg = markov_text(10 + n as u64, n, alpha);
+        let (p, c) = pram.metered(|q| optimal_parse(q, &matcher, &msg));
+        assert!(p.is_some());
+        works.push(c.work);
+    }
+    assert!(flatness(&ns, &works) < 1.35, "parse work/n not flat: {works:?}");
+}
+
+#[test]
+fn seq_and_par_ledgers_are_identical() {
+    // The simulation invariant everything else relies on.
+    let text = markov_text(9, 20_000, Alphabet::lowercase());
+    let s = Pram::seq();
+    let p = Pram::par();
+    let a = lz1_compress(&s, &text, 4);
+    let b = lz1_compress(&p, &text, 4);
+    assert_eq!(a, b);
+    assert_eq!(s.cost(), p.cost());
+}
+
+#[test]
+fn preprocessing_depth_is_logarithmic() {
+    let alpha = Alphabet::dna();
+    let mut depths = Vec::new();
+    for dexp in [11u32, 13, 15] {
+        let d = 1usize << dexp;
+        let dict = Dictionary::new(random_dictionary(d as u64, d / 8, 4, 12, alpha));
+        let pram = Pram::seq();
+        let (_, c) = pram.metered(|p| DictMatcher::build(p, dict, 5));
+        depths.push(c.depth);
+    }
+    // Depth may grow by a (log-proportional) additive amount per 4x in d,
+    // never multiplicatively.
+    assert!(
+        depths[2] < depths[0] * 2,
+        "preprocessing depth grew multiplicatively: {depths:?}"
+    );
+}

@@ -1,0 +1,135 @@
+//! Property-based tests (proptest) over the core invariants.
+
+use pardict::prelude::*;
+use proptest::prelude::*;
+
+/// Strategy: NUL-free byte strings over a small alphabet (dense repeats).
+fn small_alpha_text(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(prop::sample::select(vec![b'a', b'b', b'c']), 0..max_len)
+}
+
+/// Strategy: a non-empty dictionary of 1..8 non-empty patterns.
+fn dictionary() -> impl Strategy<Value = Vec<Vec<u8>>> {
+    prop::collection::vec(
+        prop::collection::vec(prop::sample::select(vec![b'a', b'b', b'c']), 1..8),
+        1..8,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn lz1_roundtrips(text in small_alpha_text(300), seed in 0u64..1000) {
+        let pram = Pram::seq();
+        let tokens = lz1_compress(&pram, &text, seed);
+        prop_assert_eq!(lz1_decompress(&pram, &tokens, seed ^ 1), text.clone());
+        // Greedy parse: phrase count equals the sequential reference.
+        prop_assert_eq!(tokens.len(), lz77_sequential(&text).len());
+    }
+
+    #[test]
+    fn dictionary_matching_equals_brute_force(
+        patterns in dictionary(),
+        text in small_alpha_text(200),
+        seed in 0u64..1000,
+    ) {
+        let pram = Pram::seq();
+        let dict = Dictionary::new(patterns);
+        let got = dictionary_match(&pram, &dict, &text, seed);
+        let want = pardict::core::brute_force_matches(&dict, &text);
+        for i in 0..text.len() {
+            prop_assert_eq!(got.get(i).map(|m| m.len), want.get(i).map(|m| m.len));
+        }
+    }
+
+    #[test]
+    fn suffix_tree_lcp_queries_are_exact(text in small_alpha_text(150), seed in 0u64..100) {
+        prop_assume!(!text.is_empty());
+        let pram = Pram::seq();
+        let st = SuffixTree::build(&pram, &text, seed);
+        for i in 0..text.len().min(20) {
+            for j in 0..text.len().min(20) {
+                let naive = text[i..]
+                    .iter()
+                    .zip(&text[j..])
+                    .take_while(|(a, b)| a == b)
+                    .count();
+                let got = st.lcp_positions(i, j);
+                if i == j {
+                    prop_assert_eq!(got, text.len() - i);
+                } else {
+                    prop_assert_eq!(got, naive);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn optimal_parse_is_never_beaten(
+        text in small_alpha_text(120),
+        extra in prop::collection::vec(
+            prop::collection::vec(prop::sample::select(vec![b'a', b'b', b'c']), 2..6), 0..6),
+        seed in 0u64..100,
+    ) {
+        let pram = Pram::seq();
+        // Single chars guarantee parseability.
+        let mut words = vec![vec![b'a'], vec![b'b'], vec![b'c']];
+        words.extend(extra);
+        let dict = Dictionary::new(words);
+        let matcher = DictMatcher::build(&pram, dict.clone(), seed);
+        let opt = optimal_parse(&pram, &matcher, &text).expect("parseable");
+        let bfs = bfs_parse(&pram, &matcher, &text).expect("parseable");
+        let greedy = greedy_parse(&pram, &matcher, &text).expect("parseable");
+        prop_assert_eq!(opt.num_phrases(), bfs.num_phrases());
+        prop_assert!(opt.num_phrases() <= greedy.num_phrases());
+        prop_assert_eq!(opt.expand(&dict), text.clone());
+    }
+
+    #[test]
+    fn checker_accepts_truth(
+        patterns in dictionary(),
+        text in small_alpha_text(150),
+        seed in 0u64..100,
+    ) {
+        let pram = Pram::seq();
+        let dict = Dictionary::new(patterns);
+        let matcher = DictMatcher::build(&pram, dict.clone(), seed);
+        // Aho–Corasick output is ground truth; the checker must accept it.
+        let truth = AhoCorasick::build(&dict).match_text(&text);
+        prop_assert!(matcher.check(&pram, &text, &truth).is_ok());
+    }
+
+    #[test]
+    fn lz78_roundtrips(text in small_alpha_text(400)) {
+        use pardict::compress::{lz78_compress, lz78_decompress};
+        prop_assert_eq!(lz78_decompress(&lz78_compress(&text)), text);
+    }
+
+    #[test]
+    fn substring_match_lengths_maximal_and_real(
+        patterns in dictionary(),
+        text in small_alpha_text(120),
+        seed in 0u64..100,
+    ) {
+        let pram = Pram::seq();
+        let dict = Dictionary::new(patterns);
+        let matcher = SubstringMatcher::build(&pram, &dict, seed);
+        let loci = substring_match(&pram, &matcher, &text);
+        let dhat = dict.dhat();
+        for i in 0..text.len() {
+            let len = loci[i].len as usize;
+            // Claimed occurrence is real.
+            let pos = loci[i].dhat_pos(matcher.tree());
+            prop_assert_eq!(&dhat[pos..pos + len], &text[i..i + len]);
+            // And maximal: one more character never occurs.
+            if i + len < text.len() {
+                let longer = &text[i..i + len + 1];
+                prop_assert!(
+                    !dhat.windows(longer.len()).any(|w| w == longer),
+                    "S[{}] not maximal", i
+                );
+            }
+        }
+    }
+}

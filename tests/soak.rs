@@ -1,0 +1,134 @@
+//! Long-running randomized soak tests — `#[ignore]`d by default; run with
+//!
+//! ```sh
+//! cargo test --release --test soak -- --ignored
+//! ```
+
+use pardict::prelude::*;
+use pardict::pram::SplitMix64;
+use pardict::workloads::{
+    dictionary_from_text, dna_text, fibonacci_word, markov_text, periodic_text,
+    prefix_heavy_dictionary, random_dictionary, random_text, repetitive_text,
+    text_with_planted_matches, zipf_text,
+};
+
+fn corpora(seed: u64, n: usize) -> Vec<Vec<u8>> {
+    vec![
+        random_text(seed, n, Alphabet::binary()),
+        random_text(seed + 1, n, Alphabet::lowercase()),
+        markov_text(seed + 2, n, Alphabet::dna()),
+        dna_text(seed + 3, n),
+        repetitive_text(seed + 4, n, Alphabet::dna()),
+        zipf_text(seed + 5, n, 80, Alphabet::lowercase()),
+        fibonacci_word(n),
+        periodic_text(b"abcab", n),
+    ]
+}
+
+#[test]
+#[ignore = "soak: minutes of runtime"]
+fn dictionary_matching_soak() {
+    let pram = Pram::seq();
+    let mut rng = SplitMix64::new(2025);
+    for round in 0..20u64 {
+        let alpha = [Alphabet::binary(), Alphabet::dna(), Alphabet::lowercase()]
+            [(round % 3) as usize];
+        let k = 5 + rng.next_below(40) as usize;
+        let maxlen = 2 + rng.next_below(18) as usize;
+        let patterns = if round % 2 == 0 {
+            random_dictionary(round, k, 1, maxlen, alpha)
+        } else {
+            prefix_heavy_dictionary(round, k, 3, maxlen, alpha)
+        };
+        let dict = Dictionary::new(patterns);
+        let n = 2000 + rng.next_below(6000) as usize;
+        let text = text_with_planted_matches(round + 99, dict.patterns(), n, 30, alpha);
+        let got = dictionary_match(&pram, &dict, &text, round);
+        let want = AhoCorasick::build(&dict).match_text(&text);
+        for i in 0..text.len() {
+            assert_eq!(
+                got.get(i).map(|m| m.len),
+                want.get(i).map(|m| m.len),
+                "round {round}, position {i}"
+            );
+        }
+    }
+}
+
+#[test]
+#[ignore = "soak: minutes of runtime"]
+fn lz1_roundtrip_soak() {
+    let pram = Pram::seq();
+    for (k, text) in corpora(7, 60_000).into_iter().enumerate() {
+        let tokens = lz1_compress(&pram, &text, k as u64);
+        assert_eq!(
+            lz1_decompress(&pram, &tokens, k as u64 + 1),
+            text,
+            "corpus {k}"
+        );
+        assert_eq!(tokens.len(), lz77_sequential(&text).len(), "corpus {k}");
+        // Wire format survives too.
+        let wire = pardict::compress::encode_tokens(&tokens);
+        assert_eq!(
+            pardict::compress::decode_tokens(&wire).unwrap(),
+            tokens,
+            "corpus {k}"
+        );
+    }
+}
+
+#[test]
+#[ignore = "soak: minutes of runtime"]
+fn static_parse_soak() {
+    let pram = Pram::seq();
+    for seed in 0..8u64 {
+        let alpha = Alphabet::dna();
+        let corpus = markov_text(seed, 30_000, alpha);
+        let mut words: Vec<Vec<u8>> =
+            (0..alpha.size()).map(|i| vec![alpha.symbol(i)]).collect();
+        words.extend(dictionary_from_text(seed + 1, &corpus, 100, 2, 16));
+        let dict = Dictionary::new(words);
+        let matcher = DictMatcher::build(&pram, dict.clone(), seed + 2);
+        let msg = &corpus[5000..15_000];
+        let opt = optimal_parse(&pram, &matcher, msg).unwrap();
+        let bfs = bfs_parse(&pram, &matcher, msg).unwrap();
+        assert_eq!(opt.num_phrases(), bfs.num_phrases(), "seed {seed}");
+        assert_eq!(opt.expand(&dict), msg);
+    }
+}
+
+#[test]
+#[ignore = "soak: minutes of runtime"]
+fn adaptive_churn_soak() {
+    use pardict::core::AdaptiveDictMatcher;
+    let pram = Pram::seq();
+    let mut adm = AdaptiveDictMatcher::new(3);
+    let mut rng = SplitMix64::new(11);
+    let alpha = Alphabet::dna();
+    let text = markov_text(5, 4000, alpha);
+    let mut handles = Vec::new();
+    for step in 0..150u64 {
+        if handles.is_empty() || rng.next_below(5) != 0 {
+            let len = 1 + rng.next_below(10) as usize;
+            let mut rng2 = SplitMix64::new(step);
+            let p: Vec<u8> = (0..len).map(|_| alpha.sample(&mut rng2)).collect();
+            handles.push((adm.insert(&pram, p.clone()), p));
+        } else {
+            let k = rng.next_below(handles.len() as u64) as usize;
+            let (h, _) = handles.swap_remove(k);
+            adm.remove(&pram, h);
+        }
+        if step % 10 == 9 {
+            let live: Vec<Vec<u8>> = handles.iter().map(|(_, p)| p.clone()).collect();
+            let want = pardict::core::brute_force_matches(&Dictionary::new(live), &text);
+            let got = adm.match_text(&pram, &text);
+            for i in 0..text.len() {
+                assert_eq!(
+                    got.get(i).map(|m| m.len),
+                    want.get(i).map(|m| m.len),
+                    "step {step}, position {i}"
+                );
+            }
+        }
+    }
+}
