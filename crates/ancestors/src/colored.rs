@@ -43,7 +43,6 @@ struct PerColor {
     up: HashMap<u32, u32>,
 }
 
-
 impl ColoredAncestors {
     /// Build over `forest` with `colors` = (node, color) pairs (a node may
     /// appear with several colors). `O(n + C)` work beyond the Euler tour.

@@ -1,0 +1,101 @@
+//! Criterion wall-clock benches for the serving layer: publish (cold build
+//! vs preprocessing-cache hit), and request throughput through the batched
+//! engine vs direct library calls — the operational face of the §3
+//! "preprocess once, match many" amortization.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pardict_core::{dictionary_match, Dictionary};
+use pardict_pram::Pram;
+use pardict_service::{Engine, EngineConfig, Metrics, OpRequest, Registry, Request};
+use pardict_workloads::{random_dictionary, text_with_planted_matches, Alphabet};
+use std::sync::Arc;
+
+fn service_engine(workers: usize) -> Engine {
+    let metrics = Arc::new(Metrics::default());
+    let registry = Arc::new(Registry::new(Arc::clone(&metrics)));
+    Engine::new(
+        EngineConfig {
+            workers,
+            queue_depth: 4096,
+            max_batch: 32,
+            seq_threshold: 512,
+        },
+        registry,
+        metrics,
+    )
+}
+
+fn bench_publish(c: &mut Criterion) {
+    let mut g = c.benchmark_group("service_publish");
+    g.sample_size(10);
+    let patterns = random_dictionary(3, 512, 4, 12, Alphabet::dna());
+
+    g.bench_with_input(BenchmarkId::new("cold", 512), &patterns, |b, pats| {
+        b.iter(|| {
+            // Fresh registry every time: no cache to hit.
+            let metrics = Arc::new(Metrics::default());
+            let registry = Registry::new(metrics);
+            registry.publish("d", pats.clone()).unwrap()
+        });
+    });
+
+    let metrics = Arc::new(Metrics::default());
+    let warm = Registry::new(metrics);
+    warm.publish("d", patterns.clone()).unwrap();
+    g.bench_with_input(BenchmarkId::new("cache_hit", 512), &patterns, |b, pats| {
+        b.iter(|| warm.publish("d", pats.clone()).unwrap());
+    });
+    g.finish();
+}
+
+fn bench_match_throughput(c: &mut Criterion) {
+    let alpha = Alphabet::dna();
+    let patterns = random_dictionary(5, 256, 4, 12, alpha);
+    let dict = Dictionary::new(patterns.clone());
+
+    let engine = service_engine(0);
+    engine.registry().publish("d", patterns.clone()).unwrap();
+
+    let mut g = c.benchmark_group("service_match");
+    g.sample_size(10);
+    for nexp in [12u32, 14] {
+        let n = 1usize << nexp;
+        let text = text_with_planted_matches(n as u64, &patterns, n, 25, alpha);
+
+        // One-shot library call: re-pays matcher construction every time.
+        g.bench_with_input(BenchmarkId::new("library_oneshot", n), &text, |b, t| {
+            b.iter(|| dictionary_match(&Pram::par(), &dict, t, 0xB0B));
+        });
+
+        // Engine call: preprocessing amortized at publish time.
+        g.bench_with_input(BenchmarkId::new("engine", n), &text, |b, t| {
+            b.iter(|| {
+                engine.call(Request::new(OpRequest::Match {
+                    dict: "d".into(),
+                    text: t.to_vec(),
+                }))
+            });
+        });
+
+        // A burst of 8 queued requests drained as batches.
+        g.bench_with_input(BenchmarkId::new("engine_burst8", n), &text, |b, t| {
+            b.iter(|| {
+                let tickets: Vec<_> = (0..8)
+                    .map(|_| {
+                        engine
+                            .submit(Request::new(OpRequest::Match {
+                                dict: "d".into(),
+                                text: t.to_vec(),
+                            }))
+                            .unwrap()
+                    })
+                    .collect();
+                tickets.into_iter().map(|t| t.wait()).count()
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_publish, bench_match_throughput);
+criterion_main!(benches);

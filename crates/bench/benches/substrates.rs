@@ -31,9 +31,13 @@ fn bench_substrates(c: &mut Criterion) {
     g.bench_with_input(BenchmarkId::new("list_rank_wyllie", n), &next, |b, nx| {
         b.iter(|| list_rank_wyllie(&Pram::par(), nx));
     });
-    g.bench_with_input(BenchmarkId::new("list_rank_random_mate", n), &next, |b, nx| {
-        b.iter(|| list_rank_random_mate(&Pram::par(), nx, 3));
-    });
+    g.bench_with_input(
+        BenchmarkId::new("list_rank_random_mate", n),
+        &next,
+        |b, nx| {
+            b.iter(|| list_rank_random_mate(&Pram::par(), nx, 3));
+        },
+    );
 
     let parent: Vec<usize> = (0..n)
         .map(|v: usize| {

@@ -11,18 +11,16 @@
 //! implemented baselines. See DESIGN.md §4 for the index.
 
 use pardict_bench::{per, per_log, sample};
-use pardict_core::{
-    dictionary_match, encode_binary, mp93_baseline, AhoCorasick, DictMatcher, Dictionary,
-    Match, Matches,
-};
 use pardict_compress::{
     bfs_parse, encoded_size, greedy_parse, lff_parse, lz1_compress, lz1_decompress,
     lz1_nlogn_baseline, lz77_sequential, lz78_compress, optimal_parse,
 };
-use pardict_graph::{EulerTour, Forest};
-use pardict_pram::{
-    ceil_log2, list_rank_random_mate, list_rank_wyllie, Mode, Pram, SplitMix64,
+use pardict_core::{
+    dictionary_match, encode_binary, mp93_baseline, AhoCorasick, DictMatcher, Dictionary, Match,
+    Matches,
 };
+use pardict_graph::{EulerTour, Forest};
+use pardict_pram::{ceil_log2, list_rank_random_mate, list_rank_wyllie, Mode, Pram, SplitMix64};
 use pardict_rmq::{ansv_par, LinearRmq, Side, Strictness};
 use pardict_suffix::{suffix_array, SuffixTree};
 use pardict_veb::VebTree;
@@ -85,7 +83,11 @@ fn main() {
 }
 
 fn sizes(quick: bool, full: &[usize], small: &[usize]) -> Vec<usize> {
-    if quick { small.to_vec() } else { full.to_vec() }
+    if quick {
+        small.to_vec()
+    } else {
+        full.to_vec()
+    }
 }
 
 // --- E1: Theorem 3.1 preprocessing --------------------------------------
@@ -94,15 +96,18 @@ fn e1_preprocessing(quick: bool) {
     println!("*(our separator build carries an extra log d; see DESIGN.md)\n");
     println!("| d | work | work/d | work/(d log d) | depth | depth/log d |");
     println!("|---|------|--------|-----------------|-------|-------------|");
-    let ds = sizes(quick, &[1 << 12, 1 << 14, 1 << 16, 1 << 17], &[1 << 12, 1 << 14]);
+    let ds = sizes(
+        quick,
+        &[1 << 12, 1 << 14, 1 << 16, 1 << 17],
+        &[1 << 12, 1 << 14],
+    );
     let mut breakdowns = Vec::new();
     for &d in &ds {
         let k = d / 8;
         let dict = Dictionary::new(random_dictionary(d as u64, k, 4, 12, Alphabet::dna()));
         let dd = dict.total_len();
         let pram = Pram::seq();
-        let ((_, profile), s) =
-            sample(&pram, |p| DictMatcher::build_profiled(p, dict.clone(), 1));
+        let ((_, profile), s) = sample(&pram, |p| DictMatcher::build_profiled(p, dict.clone(), 1));
         breakdowns.push((dd, profile));
         let lg = f64::from(ceil_log2(dd));
         println!(
@@ -217,8 +222,10 @@ fn e3_alphabets(quick: bool) {
         // Theorem 3.3 route: binary encode (log σ blow-up), then match.
         // Symbols are bytes 1..=σ, so a span of σ+1 values suffices.
         let span = usize::from(sigma) + 1;
-        let enc_pats: Vec<Vec<u8>> =
-            patterns.iter().map(|p| encode_binary(p, span).data).collect();
+        let enc_pats: Vec<Vec<u8>> = patterns
+            .iter()
+            .map(|p| encode_binary(p, span).data)
+            .collect();
         let enc = encode_binary(&text, span);
         let pram = Pram::seq();
         let enc_dict = Dictionary::new(enc_pats);
@@ -368,8 +375,7 @@ fn e6_static(quick: bool) {
     let n = 1 << 13;
     for wl in sizes(quick, &[8, 32, 128, 512], &[8, 64]) {
         let corpus = pardict_workloads::periodic_text(b"ACGTA", 4 * n);
-        let mut words: Vec<Vec<u8>> =
-            (0..alpha.size()).map(|i| vec![alpha.symbol(i)]).collect();
+        let mut words: Vec<Vec<u8>> = (0..alpha.size()).map(|i| vec![alpha.symbol(i)]).collect();
         words.extend(dictionary_from_text(78, &corpus, 40, 2, wl));
         let dict = Dictionary::new(words);
         let pram = Pram::seq();
@@ -463,7 +469,11 @@ fn e8_checker(quick: bool) {
     let p1 = Pram::seq();
     let (ok, s) = sample(&p1, |p| matcher.check(p, &text, &good).is_ok());
     assert!(ok);
-    println!("\nchecker work/n on clean output: {:.1} (depth {})", per(s.cost.work, n), s.cost.depth);
+    println!(
+        "\nchecker work/n on clean output: {:.1} (depth {})",
+        per(s.cost.work, n),
+        s.cost.depth
+    );
 
     // Corruption trials: claim a random pattern at a random position.
     let mut rng = SplitMix64::new(4);
@@ -571,7 +581,9 @@ fn e10_substrates(quick: bool) {
         // ANSV (Lemma 2.4)
         let vals: Vec<i64> = (0..n).map(|_| rng.next_below(1000) as i64).collect();
         let pram = Pram::seq();
-        let (_, s) = sample(&pram, |p| ansv_par(p, &vals, Side::Left, Strictness::Strict));
+        let (_, s) = sample(&pram, |p| {
+            ansv_par(p, &vals, Side::Left, Strictness::Strict)
+        });
         row("ANSV (blocked)", n, s.cost);
         // Linear RMQ (Lemma 2.3)
         let pram = Pram::seq();
@@ -767,8 +779,7 @@ fn e11_speedup(quick: bool) {
             if mode_runs {
                 let _ = lz1_compress(&pram, &text, 3);
             } else {
-                let dict =
-                    Dictionary::new(random_dictionary(5, 256, 4, 12, Alphabet::dna()));
+                let dict = Dictionary::new(random_dictionary(5, 256, 4, 12, Alphabet::dna()));
                 let _ = dictionary_match(&pram, &dict, &text, 6);
             }
             walls.push(t0.elapsed().as_secs_f64() * 1e3);

@@ -81,7 +81,11 @@ mod tests {
             }
             new.extend_from_slice(&random_text(round, 50, Alphabet::lowercase()));
             let tokens = delta_compress(&pram, &base, &new, round);
-            assert_eq!(delta_decompress(&pram, &base, &tokens), new, "round {round}");
+            assert_eq!(
+                delta_decompress(&pram, &base, &tokens),
+                new,
+                "round {round}"
+            );
         }
     }
 
@@ -93,7 +97,11 @@ mod tests {
         new[4000] = if new[4000] == b'A' { b'C' } else { b'A' };
         let delta = delta_compress(&pram, &base, &new, 1);
         // One edit → a handful of tokens regardless of size.
-        assert!(delta.len() <= 5, "{} tokens for a one-byte edit", delta.len());
+        assert!(
+            delta.len() <= 5,
+            "{} tokens for a one-byte edit",
+            delta.len()
+        );
         let plain = crate::lz1_compress(&pram, &new, 2);
         assert!(
             encoded_size(&delta) * 4 < encoded_size(&plain),

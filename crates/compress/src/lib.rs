@@ -38,15 +38,15 @@ mod static_parse;
 mod tokens;
 mod window;
 
-pub use lz1::{
-    longest_previous_factor, longest_previous_factor_from_tree, lz1_compress, lz1_decompress, lz1_decompress_jump,
-    lz1_nlogn_baseline, lz77_sequential,
-};
 pub use delta::{delta_compress, delta_decompress};
-pub use window::lz77_windowed;
+pub use lz1::{
+    longest_previous_factor, longest_previous_factor_from_tree, lz1_compress, lz1_decompress,
+    lz1_decompress_jump, lz1_nlogn_baseline, lz77_sequential,
+};
 pub use lz78::{lz78_compress, lz78_decompress, Lz78Token};
 pub use static_parse::{bfs_parse, greedy_parse, lff_parse, optimal_parse, Parse, Phrase};
 pub use tokens::{
     decode_naive, decode_tokens, decode_tokens_from, encode_tokens, encoded_size, DecodeError,
     Token,
 };
+pub use window::lz77_windowed;

@@ -63,12 +63,7 @@ fn previous_matches(pram: &Pram, st: &SuffixTree) -> Vec<(u32, u32)> {
         let p = st.parent(v);
         p == v || lmin[p] != lmin[v]
     });
-    let nma = pardict_ancestors::NearestMarkedAncestor::build(
-        pram,
-        st.forest(),
-        &marked,
-        0x17EE,
-    );
+    let nma = pardict_ancestors::NearestMarkedAncestor::build(pram, st.forest(), &marked, 0x17EE);
 
     pram.tabulate(n, |i| {
         let leaf = st.leaf_node(i);
@@ -141,13 +136,18 @@ pub fn lz1_decompress(pram: &Pram, tokens: &[Token], seed: u64) -> Vec<u8> {
     for (t, &s) in starts.iter().enumerate() {
         start_marks[s as usize] = (1, t as u64);
     }
-    let block_of = pram.scan_inclusive(&start_marks, (0u64, u64::MAX), |a, b| {
-        if b.0 == 1 {
-            b
-        } else {
-            a
-        }
-    });
+    let block_of =
+        pram.scan_inclusive(
+            &start_marks,
+            (0u64, u64::MAX),
+            |a, b| {
+                if b.0 == 1 {
+                    b
+                } else {
+                    a
+                }
+            },
+        );
 
     // Copy-forest: every copied position points at its (strictly earlier)
     // source; literal positions are roots carrying the character.
@@ -188,13 +188,18 @@ pub fn lz1_decompress_jump(pram: &Pram, tokens: &[Token]) -> Vec<u8> {
     for (t, &s) in starts.iter().enumerate() {
         start_marks[s as usize] = (1, t as u64);
     }
-    let block_of = pram.scan_inclusive(&start_marks, (0u64, u64::MAX), |a, b| {
-        if b.0 == 1 {
-            b
-        } else {
-            a
-        }
-    });
+    let block_of =
+        pram.scan_inclusive(
+            &start_marks,
+            (0u64, u64::MAX),
+            |a, b| {
+                if b.0 == 1 {
+                    b
+                } else {
+                    a
+                }
+            },
+        );
     let parent: Vec<usize> = pram.tabulate(n, |i| {
         let t = block_of[i].1 as usize;
         match tokens[t] {

@@ -94,7 +94,10 @@ mod tests {
         let t = lz78_compress(b"aaa");
         assert_eq!(
             t,
-            vec![Lz78Token { prev: 0, ch: b'a' }, Lz78Token { prev: 1, ch: b'a' }]
+            vec![
+                Lz78Token { prev: 0, ch: b'a' },
+                Lz78Token { prev: 1, ch: b'a' }
+            ]
         );
     }
 
@@ -116,6 +119,11 @@ mod tests {
     fn repetitive_compresses() {
         let text = repetitive_text(5, 4000, Alphabet::dna());
         let t = lz78_compress(&text);
-        assert!(t.len() * 2 < text.len(), "{} phrases for {}", t.len(), text.len());
+        assert!(
+            t.len() * 2 < text.len(),
+            "{} phrases for {}",
+            t.len(),
+            text.len()
+        );
     }
 }

@@ -79,7 +79,11 @@ pub fn optimal_parse(pram: &Pram, matcher: &DictMatcher, text: &[u8]) -> Option<
 
     // reach[x] = x + M[x]; inclusive prefix max (value, argmax).
     let reaches: Vec<(u64, u64)> = pram.tabulate(n, |x| ((x + m[x].0 as usize) as u64, x as u64));
-    let pm = pram.scan_inclusive(&reaches, (0, u64::MAX), |a, b| if b.0 > a.0 { b } else { a });
+    let pm = pram.scan_inclusive(
+        &reaches,
+        (0, u64::MAX),
+        |a, b| if b.0 > a.0 { b } else { a },
+    );
 
     // Lemma 5.2: the dominating edge into y is (L[y], y) with L[y] the
     // first x whose prefix-max reach is ≥ y. Blocked two-pointer ranking
@@ -111,7 +115,11 @@ pub fn optimal_parse(pram: &Pram, matcher: &DictMatcher, text: &[u8]) -> Option<
                 ops += 1;
             }
             // x = first position with prefix-max reach >= y, or n if none.
-            out.push(if x < n && pm[x].0 >= y as u64 { x } else { usize::MAX });
+            out.push(if x < n && pm[x].0 >= y as u64 {
+                x
+            } else {
+                usize::MAX
+            });
             ops += 1;
         }
         (out, ops)
@@ -188,7 +196,8 @@ pub fn lff_parse(pram: &Pram, matcher: &DictMatcher, text: &[u8]) -> Option<Pars
     // Positions by decreasing fragment length.
     let mut order: Vec<usize> = (0..n).collect();
     order.sort_unstable_by_key(|&i| std::cmp::Reverse(m[i].0));
-    pram.ledger().charge_work((n as u64) * u64::from(ceil_log2(n.max(2))));
+    pram.ledger()
+        .charge_work((n as u64) * u64::from(ceil_log2(n.max(2))));
     pram.ledger().charge_depth(u64::from(ceil_log2(n.max(2))));
 
     let mut covered = vec![false; n];
@@ -266,7 +275,8 @@ pub fn bfs_parse(pram: &Pram, matcher: &DictMatcher, text: &[u8]) -> Option<Pars
         }
     }
     pram.ledger().charge_work(work);
-    pram.ledger().charge_depth(u64::from(dist[n].min(n as u32)) + 1);
+    pram.ledger()
+        .charge_depth(u64::from(dist[n].min(n as u32)) + 1);
     if n > 0 && dist[n] == u32::MAX {
         return None;
     }
@@ -324,7 +334,11 @@ mod tests {
             check_parse(&bfs, &dict, &text);
             check_parse(&greedy, &dict, &text);
             check_parse(&lff, &dict, &text);
-            assert_eq!(opt.num_phrases(), bfs.num_phrases(), "optimality (seed {seed})");
+            assert_eq!(
+                opt.num_phrases(),
+                bfs.num_phrases(),
+                "optimality (seed {seed})"
+            );
             assert!(opt.num_phrases() <= greedy.num_phrases());
             assert!(opt.num_phrases() <= lff.num_phrases());
         }

@@ -42,9 +42,7 @@ pub fn encoded_size(tokens: &[Token]) -> usize {
         .iter()
         .map(|t| match *t {
             Token::Literal(_) => 2,
-            Token::Copy { src, len } => {
-                1 + varint_len(u64::from(src)) + varint_len(u64::from(len))
-            }
+            Token::Copy { src, len } => 1 + varint_len(u64::from(src)) + varint_len(u64::from(len)),
         })
         .sum()
 }
@@ -246,10 +244,7 @@ mod tests {
 
     #[test]
     fn encoded_size_counts_varints() {
-        let tokens = vec![
-            Token::Literal(b'a'),
-            Token::Copy { src: 5, len: 300 },
-        ];
+        let tokens = vec![Token::Literal(b'a'), Token::Copy { src: 5, len: 300 }];
         // literal: 2; copy: 1 + 1 (src) + 2 (len 300 needs two 7-bit groups)
         assert_eq!(encoded_size(&tokens), 2 + 4);
     }

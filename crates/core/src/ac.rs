@@ -147,7 +147,9 @@ pub fn brute_force_matches(dict: &Dictionary, text: &[u8]) -> Matches {
                     id: t as u32,
                     len: p.len() as u32,
                 };
-                if best[i].is_none_or(|b| (b.len, std::cmp::Reverse(b.id)) < (m.len, std::cmp::Reverse(m.id))) {
+                if best[i].is_none_or(|b| {
+                    (b.len, std::cmp::Reverse(b.id)) < (m.len, std::cmp::Reverse(m.id))
+                }) {
                     best[i] = Some(m);
                 }
             }

@@ -205,11 +205,7 @@ mod tests {
     use crate::ac::brute_force_matches;
     use pardict_workloads::{random_dictionary, text_with_planted_matches, Alphabet};
 
-    fn assert_matches_live_oracle(
-        adm: &AdaptiveDictMatcher,
-        pram: &Pram,
-        text: &[u8],
-    ) {
+    fn assert_matches_live_oracle(adm: &AdaptiveDictMatcher, pram: &Pram, text: &[u8]) {
         let live: Vec<Vec<u8>> = adm.patterns.iter().flatten().cloned().collect();
         if live.is_empty() {
             return;
@@ -317,13 +313,8 @@ mod tests {
         let mut rng = pardict_pram::SplitMix64::new(8);
         let alpha = Alphabet::dna();
         let mut handles = Vec::new();
-        let text = text_with_planted_matches(
-            9,
-            &random_dictionary(10, 10, 2, 6, alpha),
-            300,
-            25,
-            alpha,
-        );
+        let text =
+            text_with_planted_matches(9, &random_dictionary(10, 10, 2, 6, alpha), 300, 25, alpha);
         for step in 0..40 {
             if handles.is_empty() || rng.next_below(3) != 0 {
                 let len = 1 + rng.next_below(6) as usize;

@@ -29,7 +29,9 @@ pub fn mp93_baseline(pram: &Pram, dict: &Dictionary, text: &[u8], seed: u64) -> 
     pram.ledger().round(dict.num_patterns() as u64);
     for t in 0..dict.num_patterns() {
         let fp = dhashes.substring(dict.offset(t), dict.pattern_len(t));
-        whole.entry((fp, dict.pattern_len(t) as u32)).or_insert(t as u32);
+        whole
+            .entry((fp, dict.pattern_len(t) as u32))
+            .or_insert(t as u32);
     }
     let mut prefixes: HashMap<(u64, u32), Option<Match>> = HashMap::with_capacity(dict.total_len());
     pram.ledger().round(dict.total_len() as u64);
@@ -39,10 +41,7 @@ pub fn mp93_baseline(pram: &Pram, dict: &Dictionary, text: &[u8], seed: u64) -> 
         for l in 1..=dict.pattern_len(t) {
             let fp = dhashes.substring(off, l);
             if let Some(&id) = whole.get(&(fp, l as u32)) {
-                best = Some(Match {
-                    id,
-                    len: l as u32,
-                });
+                best = Some(Match { id, len: l as u32 });
             }
             prefixes.entry((fp, l as u32)).or_insert(best);
         }

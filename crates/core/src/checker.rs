@@ -95,13 +95,17 @@ pub fn check_matches(
         ((i + len) as u64, i as u64)
     });
     // Inclusive prefix max by reach (ties: earliest index wins).
-    let pm = pram.scan_inclusive(&reaches, (0u64, u64::MAX), |a, b| {
-        if b.0 > a.0 {
-            b
-        } else {
-            a
-        }
-    });
+    let pm = pram.scan_inclusive(
+        &reaches,
+        (0u64, u64::MAX),
+        |a, b| {
+            if b.0 > a.0 {
+                b
+            } else {
+                a
+            }
+        },
+    );
 
     // Exact equality of the overlap of two claims, via Lemma 2.6 on D̂
     // (claims are substrings of D̂; singleton claims compare directly).

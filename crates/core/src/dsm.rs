@@ -150,8 +150,7 @@ impl SubstringMatcher {
             let code = u32::from(sym_code(st.text()[lp]));
             colors.push((st.slink(v), code));
         }
-        let distinct: std::collections::HashSet<u32> =
-            colors.iter().map(|&(_, c)| c).collect();
+        let distinct: std::collections::HashSet<u32> = colors.iter().map(|&(_, c)| c).collect();
         let num_colors = distinct.len();
         let (colored, c_colored) = pram.metered(|p| {
             if num_colors <= NAIVE_COLOR_LIMIT {
@@ -177,7 +176,10 @@ impl SubstringMatcher {
                 colored,
                 num_colors,
             },
-            vec![("separator tree", c_centroid), ("colored ancestors", c_colored)],
+            vec![
+                ("separator tree", c_centroid),
+                ("colored ancestors", c_colored),
+            ],
         )
     }
 
@@ -214,8 +216,7 @@ impl SubstringMatcher {
         // Fingerprint test: does σ(node) prefix-match text[i..]?
         let label_matches = |v: usize| -> bool {
             let ds = st.str_depth(v);
-            ds <= qlen
-                && st.hashes().substring(st.label_pos(v), ds) == t_hashes.substring(i, ds)
+            ds <= qlen && st.hashes().substring(st.label_pos(v), ds) == t_hashes.substring(i, ds)
         };
 
         let anchor = self
@@ -415,13 +416,7 @@ pub fn substring_match(pram: &Pram, matcher: &SubstringMatcher, text: &[u8]) -> 
         let lo = b * l_win;
         let hi = ((b + 1) * l_win).min(n);
         let mut ops = 0u64;
-        let mut out = vec![
-            Locus {
-                below: 0,
-                len: 0
-            };
-            hi - lo
-        ];
+        let mut out = vec![Locus { below: 0, len: 0 }; hi - lo];
         let (anchor, a_ops) = matcher.anchor(text, &t_hashes, hi - 1);
         ops += a_ops;
         out[hi - 1 - lo] = anchor;

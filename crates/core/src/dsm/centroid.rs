@@ -135,10 +135,7 @@ impl CentroidIndex {
                     let v = order[qi];
                     qi += 1;
                     for nb in neighbors(v as usize) {
-                        if nb != NONE
-                            && stamp[nb as usize] == my
-                            && !parent_of.contains_key(&nb)
-                        {
+                        if nb != NONE && stamp[nb as usize] == my && !parent_of.contains_key(&nb) {
                             parent_of.insert(nb, v);
                             order.push(nb);
                         }
@@ -331,8 +328,7 @@ mod tests {
                 let qlen = text.len() - i;
                 let lm = |v: usize| {
                     let ds = st.str_depth(v);
-                    ds <= qlen
-                        && st.hashes().substring(st.label_pos(v), ds) == th.substring(i, ds)
+                    ds <= qlen && st.hashes().substring(st.label_pos(v), ds) == th.substring(i, ds)
                 };
                 let mut ops = 0;
                 let got = idx.descend(&st, qlen, i, &text, &lm, &mut ops);

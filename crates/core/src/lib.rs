@@ -63,5 +63,5 @@ pub use baseline::mp93_baseline;
 pub use dict::{Dictionary, Match, Matches};
 pub use dsm::{substring_match, Locus, SubstringMatcher};
 pub use matcher::{dictionary_match, DictMatcher};
-pub use offline::dictionary_match_offline;
 pub use mstats::matching_statistics_seq;
+pub use offline::dictionary_match_offline;

@@ -118,12 +118,7 @@ impl DictMatcher {
     ///
     /// # Errors
     /// Returns the detected inconsistency, if any.
-    pub fn check(
-        &self,
-        pram: &Pram,
-        text: &[u8],
-        matches: &Matches,
-    ) -> Result<(), CheckError> {
+    pub fn check(&self, pram: &Pram, text: &[u8], matches: &Matches) -> Result<(), CheckError> {
         check_matches(pram, &self.dict, self.tree(), text, matches)
     }
 }
@@ -176,7 +171,11 @@ mod tests {
             if let Some(m) = got.get(i) {
                 let p = &dict.patterns()[m.id as usize];
                 assert_eq!(p.len() as u32, m.len);
-                assert_eq!(&text[i..i + p.len()], p.as_slice(), "claimed pattern at {i}");
+                assert_eq!(
+                    &text[i..i + p.len()],
+                    p.as_slice(),
+                    "claimed pattern at {i}"
+                );
             }
         }
     }
@@ -261,7 +260,11 @@ mod tests {
         let got = dictionary_match(&pram, &dict, text, 5);
         let want = brute_force_matches(&dict, text);
         for i in 0..text.len() {
-            assert_eq!(got.get(i).map(|m| m.len), want.get(i).map(|m| m.len), "i={i}");
+            assert_eq!(
+                got.get(i).map(|m| m.len),
+                want.get(i).map(|m| m.len),
+                "i={i}"
+            );
         }
     }
 
@@ -299,7 +302,11 @@ mod tests {
         let dict = Dictionary::new(vec![b"ab".to_vec(), b"ab".to_vec(), b"b".to_vec()]);
         let matcher = DictMatcher::build(&pram, dict, 1);
         let hits = matcher.find_all(&pram, b"ab");
-        let at0: Vec<u32> = hits.iter().filter(|&&(i, _)| i == 0).map(|&(_, m)| m.id).collect();
+        let at0: Vec<u32> = hits
+            .iter()
+            .filter(|&&(i, _)| i == 0)
+            .map(|&(_, m)| m.id)
+            .collect();
         assert_eq!(at0, vec![0, 1], "both duplicate ids reported");
     }
 

@@ -34,7 +34,9 @@ pub fn matching_statistics_seq(st: &SuffixTree, text: &[u8]) -> Vec<(u32, u32)> 
         loop {
             if let Some(b) = below {
                 let e = eff(b);
-                while matched < e && i + matched < n && padded[st.label_pos(b) + matched] == text[i + matched]
+                while matched < e
+                    && i + matched < n
+                    && padded[st.label_pos(b) + matched] == text[i + matched]
                 {
                     matched += 1;
                 }

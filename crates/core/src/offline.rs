@@ -23,11 +23,7 @@ use pardict_suffix::SuffixTree;
 /// byte values are all used by `D̂` or the text — impossible for any
 /// realistic alphabet).
 #[must_use]
-pub fn dictionary_match_offline(
-    pram: &Pram,
-    dict: &Dictionary,
-    text: &[u8],
-) -> Option<Matches> {
+pub fn dictionary_match_offline(pram: &Pram, dict: &Dictionary, text: &[u8]) -> Option<Matches> {
     let n = text.len();
     if n == 0 {
         return Some(Matches::new(Vec::new()));
@@ -54,7 +50,7 @@ pub fn dictionary_match_offline(
     joint.extend_from_slice(text);
     // The seed only randomizes internal tie-breaking (list ranking) and the
     // fingerprint table (unused here): outputs are deterministic.
-    let st = SuffixTree::build(pram, &joint, 0x0FF1_1E);
+    let st = SuffixTree::build(pram, &joint, 0x000F_F11E);
 
     // For each SA position, the nearest D̂-suffix (start < d) above/below,
     // with the min-LCP of the gap — two monoid scans over (SA, LCP).
@@ -95,12 +91,7 @@ pub fn dictionary_match_offline(
 /// (`sa < d`) strictly before (`rev = false`) or after (`rev = true`) `k`,
 /// together with the minimum LCP between them — i.e.
 /// `lcp(suffix(sa[k]), suffix(sa[that]))`.
-fn scan_nearest(
-    pram: &Pram,
-    st: &SuffixTree,
-    d: usize,
-    rev: bool,
-) -> Vec<(u32, u32)> {
+fn scan_nearest(pram: &Pram, st: &SuffixTree, d: usize, rev: bool) -> Vec<(u32, u32)> {
     let m = st.num_leaves();
     // Scan over SA positions carrying (has-D̂-pos, last D̂ pos, min LCP of
     // the steps after it). Build per-position elements in scan direction.
@@ -131,20 +122,16 @@ fn scan_nearest(
     });
     // Inclusive scan: state = (pos, min_lcp). Combining a = state, b = elem:
     // if b is a D̂ suffix: reset to (b, inf). Else extend: min with step.
-    let scanned = pram.scan_inclusive(
-        &elems,
-        (0u32, u32::MAX, u32::MAX),
-        |a, b| {
-            // (run-contains-a-D̂-pos, last D̂ pos, min steps after it).
-            // If the right run has its own D̂ position, its state stands;
-            // otherwise the left state extends across the right's steps.
-            if b.0 == 1 {
-                b
-            } else {
-                (a.0, a.1, a.2.min(b.2))
-            }
-        },
-    );
+    let scanned = pram.scan_inclusive(&elems, (0u32, u32::MAX, u32::MAX), |a, b| {
+        // (run-contains-a-D̂-pos, last D̂ pos, min steps after it).
+        // If the right run has its own D̂ position, its state stands;
+        // otherwise the left state extends across the right's steps.
+        if b.0 == 1 {
+            b
+        } else {
+            (a.0, a.1, a.2.min(b.2))
+        }
+    });
     // The state at position t describes the nearest D̂ suffix at-or-before
     // (in scan order) position idx(t) — but we want *strictly* before and
     // the min LCP must include the step into the current position. Shift by
@@ -255,6 +242,9 @@ mod tests {
             let (_, cost) = pram.metered(|p| dictionary_match_offline(p, &dict, &text));
             per.push(cost.work as f64 / (n + dict.total_len()) as f64);
         }
-        assert!(per[2] < per[0] * 1.5 + 4.0, "offline work superlinear: {per:?}");
+        assert!(
+            per[2] < per[0] * 1.5 + 4.0,
+            "offline work superlinear: {per:?}"
+        );
     }
 }

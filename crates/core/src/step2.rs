@@ -196,11 +196,7 @@ impl Step2Tables {
 
     /// `M[i]`: the longest complete pattern from `B[i]` and its
     /// certificate. O(1).
-    pub(crate) fn longest_pattern(
-        &self,
-        dict: &Dictionary,
-        locus: Locus,
-    ) -> Option<Match> {
+    pub(crate) fn longest_pattern(&self, dict: &Dictionary, locus: Locus) -> Option<Match> {
         let (b, t) = self.pattern_prefix(dict, locus)?;
         let j = dict.offset(t as usize) + b as usize - 1;
         let len = self.f_len[j];

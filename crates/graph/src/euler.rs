@@ -95,12 +95,11 @@ impl EulerTour {
         // order). Roots are a compacted subset; the scan over them is O(n).
         let is_root_flags: Vec<bool> = pram.tabulate(n, |v| forest.is_root(v));
         let roots = pram.pack_indices(&is_root_flags);
-        let len_edges_per_root: Vec<u64> = pram.map(&roots, |_, &r| {
-            match forest.children(r).first() {
+        let len_edges_per_root: Vec<u64> =
+            pram.map(&roots, |_, &r| match forest.children(r).first() {
                 Some(&c) => ranks.rank[2 * c] + 1,
                 None => 0,
-            }
-        });
+            });
         let sizes: Vec<u64> = pram.map(&len_edges_per_root, |_, &e| e + 1);
         let bases = pram.scan_exclusive_sum(&sizes);
         let seq_len = (*bases.last().unwrap() + *sizes.last().unwrap()) as usize;

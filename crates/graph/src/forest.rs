@@ -27,10 +27,7 @@ impl Forest {
         assert!(parent.iter().all(|&p| p < n), "parent index out of range");
         // Stable sort node ids by parent: children end up contiguous per
         // parent and in increasing id order.
-        let nonroots: Vec<usize> = pram.filter(
-            &(0..n).collect::<Vec<_>>(),
-            |_, &v| parent[v] != v,
-        );
+        let nonroots: Vec<usize> = pram.filter(&(0..n).collect::<Vec<_>>(), |_, &v| parent[v] != v);
         // Radix sort (8-bit passes) keeps depth logarithmic; a single
         // counting sort with n buckets would charge O(n) depth.
         let sorted = if n == 0 {

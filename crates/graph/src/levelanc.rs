@@ -171,6 +171,10 @@ mod tests {
         let f = Forest::from_parents(&pram, &parent);
         let (_, cost) = pram.metered(|p| LevelAncestors::build(p, &f));
         let n = 1u64 << 14;
-        assert!(cost.work > 10 * n, "expected Θ(n log n) work, got {}", cost.work);
+        assert!(
+            cost.work > 10 * n,
+            "expected Θ(n log n) work, got {}",
+            cost.work
+        );
     }
 }

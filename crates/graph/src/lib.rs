@@ -35,10 +35,10 @@ mod levelanc;
 mod rootfix;
 
 pub use cc::connected_components;
-pub use levelanc::LevelAncestors;
-pub use rootfix::{leaffix, rootfix};
 pub use euler::EulerTour;
 pub use forest::Forest;
+pub use levelanc::LevelAncestors;
+pub use rootfix::{leaffix, rootfix};
 
 #[cfg(test)]
 mod proptests {

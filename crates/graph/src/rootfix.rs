@@ -323,7 +323,11 @@ mod tests {
     use super::*;
     use pardict_pram::{Pram, SplitMix64};
 
-    fn naive_leaffix(parent: &[usize], values: &[i64], op: impl Fn(i64, i64) -> i64 + Copy) -> Vec<i64> {
+    fn naive_leaffix(
+        parent: &[usize],
+        values: &[i64],
+        op: impl Fn(i64, i64) -> i64 + Copy,
+    ) -> Vec<i64> {
         let n = parent.len();
         // Accumulate children into parents in decreasing-depth order.
         let mut depth = vec![0usize; n];
@@ -388,7 +392,9 @@ mod tests {
         let star: Vec<usize> = (0..n).map(|v| if v == 0 { 0 } else { 0 }).collect();
         check_max_and_sum(&star, 2);
         // Balanced binary.
-        let bin: Vec<usize> = (0..n).map(|v| if v == 0 { 0 } else { (v - 1) / 2 }).collect();
+        let bin: Vec<usize> = (0..n)
+            .map(|v| if v == 0 { 0 } else { (v - 1) / 2 })
+            .collect();
         check_max_and_sum(&bin, 3);
     }
 

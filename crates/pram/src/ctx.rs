@@ -248,7 +248,13 @@ mod tests {
         let pram = Pram::seq();
         pram.tabulate(10, |i| i);
         let (_, cost) = pram.metered(|p| p.tabulate(100, |i| i));
-        assert_eq!(cost, Cost { work: 100, depth: 1 });
+        assert_eq!(
+            cost,
+            Cost {
+                work: 100,
+                depth: 1
+            }
+        );
     }
 
     #[test]

@@ -132,7 +132,16 @@ mod tests {
     #[test]
     fn plus_adds() {
         let a = Cost { work: 1, depth: 2 };
-        let b = Cost { work: 10, depth: 20 };
-        assert_eq!(a.plus(b), Cost { work: 11, depth: 22 });
+        let b = Cost {
+            work: 10,
+            depth: 20,
+        };
+        assert_eq!(
+            a.plus(b),
+            Cost {
+                work: 11,
+                depth: 22
+            }
+        );
     }
 }

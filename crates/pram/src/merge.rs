@@ -108,10 +108,7 @@ mod tests {
         let a: Vec<(u32, char)> = vec![(1, 'a'), (2, 'a'), (2, 'a')];
         let b: Vec<(u32, char)> = vec![(1, 'b'), (2, 'b')];
         let got = pram.merge_by(&a, &b, |x, y| x.0 < y.0);
-        assert_eq!(
-            got,
-            vec![(1, 'a'), (1, 'b'), (2, 'a'), (2, 'a'), (2, 'b')]
-        );
+        assert_eq!(got, vec![(1, 'a'), (1, 'b'), (2, 'a'), (2, 'a'), (2, 'b')]);
     }
 
     #[test]
@@ -147,6 +144,10 @@ mod tests {
         pram.merge_by(&a, &b, |x, y| x < y);
         let c = pram.cost();
         assert!(c.work < 10 * 2 * n as u64, "work {}", c.work);
-        assert!(c.depth < 10 * u64::from(crate::ceil_log2(2 * n)), "depth {}", c.depth);
+        assert!(
+            c.depth < 10 * u64::from(crate::ceil_log2(2 * n)),
+            "depth {}",
+            c.depth
+        );
     }
 }

@@ -67,7 +67,10 @@ impl Pram {
         // Phase 1: local block reductions. Depth = block length.
         self.ledger().charge_work(n as u64);
         self.ledger().charge_depth(b as u64);
-        let mut sums: Vec<T> = xs.chunks(b).map(|c| c.iter().copied().fold(id, &op)).collect();
+        let mut sums: Vec<T> = xs
+            .chunks(b)
+            .map(|c| c.iter().copied().fold(id, &op))
+            .collect();
 
         // Phase 2: Blelloch up/down sweep over the block sums, turning them
         // into exclusive block offsets. Depth = 2·ceil(log2(#blocks)).
@@ -86,7 +89,12 @@ impl Pram {
             out
         };
         if self.mode() == crate::Mode::Par && nblocks >= PAR_BLOCKS {
-            xs.chunks(b).enumerate().collect::<Vec<_>>().into_par_iter().flat_map_iter(emit).collect()
+            xs.chunks(b)
+                .enumerate()
+                .collect::<Vec<_>>()
+                .into_par_iter()
+                .flat_map_iter(emit)
+                .collect()
         } else {
             xs.chunks(b).enumerate().flat_map(emit).collect()
         }

@@ -54,7 +54,9 @@ where
             out[pos as usize] = Some(item.clone());
         }
     }
-    out.into_iter().map(|o| o.expect("all slots filled")).collect()
+    out.into_iter()
+        .map(|o| o.expect("all slots filled"))
+        .collect()
 }
 
 /// Stable LSD radix sort by a `u64` key, in 8-bit digit passes.
@@ -70,11 +72,7 @@ where
     if n <= 1 {
         return items.to_vec();
     }
-    let max_key = pram.reduce(
-        &pram.map(items, |_, it| key(it)),
-        0u64,
-        |a, b| a.max(b),
-    );
+    let max_key = pram.reduce(&pram.map(items, |_, it| key(it)), 0u64, |a, b| a.max(b));
     let bits = 64 - max_key.leading_zeros();
     let passes = bits.div_ceil(8).max(1);
     let mut cur = items.to_vec();

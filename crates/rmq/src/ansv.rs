@@ -256,7 +256,9 @@ mod tests {
 
     #[test]
     fn sawtooth_stress() {
-        let xs: Vec<i64> = (0..1000).map(|i| i64::from(i % 17 == 0) * -5 + (i % 7) as i64).collect();
+        let xs: Vec<i64> = (0..1000)
+            .map(|i| i64::from(i % 17 == 0) * -5 + (i % 7) as i64)
+            .collect();
         all_variants(&xs);
     }
 

@@ -1,0 +1,605 @@
+//! Batched execution engine with admission control.
+//!
+//! Requests enter a bounded queue; worker threads drain up to
+//! [`EngineConfig::max_batch`] pending requests at a time and run the whole
+//! batch against one thread-local [`Pram::par()`]. Batching is what makes
+//! the §3 amortization visible operationally: preprocessing was paid at
+//! publish time, so a batch of `k` texts costs `O(Σ nᵢ)` work with each
+//! request's exact share attributed through [`Pram::metered`] and returned
+//! in its [`ResponseMeta`].
+//!
+//! Admission control is explicit: a full queue rejects with
+//! [`ServiceError::Overloaded`] instead of buffering unboundedly, and a
+//! request whose deadline passed while queued is answered
+//! [`ServiceError::DeadlineExceeded`] without being executed. Small match
+//! requests skip the parallel machinery entirely and run on the
+//! preprocessed Aho–Corasick automaton (the sequential fallback lane) —
+//! for a text shorter than [`EngineConfig::seq_threshold`] the simulator's
+//! parallel constant factors exceed the work saved.
+
+use crate::metrics::Metrics;
+use crate::registry::{DictVersion, Registry};
+use crate::types::{
+    check_text, Hit, Lane, OpRequest, Reply, Request, Response, ResponseMeta, ServiceError,
+};
+use pardict_compress::{encode_tokens, greedy_parse, lz1_compress, optimal_parse};
+use pardict_pram::Pram;
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Seed for the LZ1 fingerprint family; fixed so compression output is
+/// reproducible across runs and replicas (decompression must supply it).
+pub const LZ1_SEED: u64 = 0x5EED_1235_9ABC_DEF1;
+
+/// Engine sizing and policy knobs.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Worker threads. `0` means no background workers: requests are
+    /// executed inline by `wait()`-ing callers (useful for deterministic
+    /// tests).
+    pub workers: usize,
+    /// Bounded queue depth; submissions beyond it are rejected.
+    pub queue_depth: usize,
+    /// Max requests a worker drains into one batch.
+    pub max_batch: usize,
+    /// Match texts shorter than this run on the sequential fallback lane.
+    pub seq_threshold: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            workers: std::thread::available_parallelism()
+                .map_or(2, std::num::NonZeroUsize::get)
+                .min(8),
+            queue_depth: 1024,
+            max_batch: 32,
+            seq_threshold: 512,
+        }
+    }
+}
+
+/// One queued request plus its completion slot.
+struct Job {
+    req: Request,
+    enqueued: Instant,
+    ticket: Arc<TicketState>,
+}
+
+#[derive(Default)]
+struct TicketState {
+    slot: Mutex<Option<Response>>,
+    cv: Condvar,
+}
+
+impl TicketState {
+    fn fulfill(&self, resp: Response) {
+        *self.slot.lock().expect("ticket poisoned") = Some(resp);
+        self.cv.notify_all();
+    }
+}
+
+/// Handle to one in-flight request.
+pub struct Ticket {
+    state: Arc<TicketState>,
+    engine: Engine,
+}
+
+impl Ticket {
+    /// Block until the response is ready. With a zero-worker engine this
+    /// drains the queue inline on the calling thread.
+    #[must_use]
+    pub fn wait(self) -> Response {
+        loop {
+            {
+                let mut slot = self.state.slot.lock().expect("ticket poisoned");
+                if self.engine.inner.cfg.workers > 0 {
+                    while slot.is_none() {
+                        slot = self.state.cv.wait(slot).expect("ticket poisoned");
+                    }
+                }
+                if let Some(resp) = slot.take() {
+                    return resp;
+                }
+            }
+            // Inline mode: run one batch ourselves and re-check.
+            self.engine.run_one_batch_inline();
+        }
+    }
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+struct Inner {
+    cfg: EngineConfig,
+    registry: Arc<Registry>,
+    metrics: Arc<Metrics>,
+    q: Mutex<QueueState>,
+    cv: Condvar,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// The batched execution engine. Cheap to clone; clones share state.
+#[derive(Clone)]
+pub struct Engine {
+    inner: Arc<Inner>,
+}
+
+impl Engine {
+    /// Build an engine over `registry`/`metrics` and start its workers.
+    #[must_use]
+    pub fn new(cfg: EngineConfig, registry: Arc<Registry>, metrics: Arc<Metrics>) -> Self {
+        let engine = Self {
+            inner: Arc::new(Inner {
+                cfg: cfg.clone(),
+                registry,
+                metrics,
+                q: Mutex::new(QueueState {
+                    jobs: VecDeque::new(),
+                    shutdown: false,
+                }),
+                cv: Condvar::new(),
+                workers: Mutex::new(Vec::new()),
+            }),
+        };
+        let mut handles = Vec::with_capacity(cfg.workers);
+        for i in 0..cfg.workers {
+            let e = engine.clone();
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("pardict-worker-{i}"))
+                    .spawn(move || e.worker_loop())
+                    .expect("spawn worker"),
+            );
+        }
+        *engine.inner.workers.lock().expect("workers poisoned") = handles;
+        engine
+    }
+
+    /// Engine with default config over fresh registry/metrics.
+    #[must_use]
+    pub fn with_defaults() -> Self {
+        let metrics = Arc::new(Metrics::default());
+        let registry = Arc::new(Registry::new(Arc::clone(&metrics)));
+        Self::new(EngineConfig::default(), registry, metrics)
+    }
+
+    /// The dictionary registry this engine executes against.
+    #[must_use]
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.inner.registry
+    }
+
+    /// The shared metrics sink.
+    #[must_use]
+    pub fn metrics(&self) -> &Arc<Metrics> {
+        &self.inner.metrics
+    }
+
+    /// The engine configuration.
+    #[must_use]
+    pub fn config(&self) -> &EngineConfig {
+        &self.inner.cfg
+    }
+
+    /// Enqueue a request.
+    ///
+    /// # Errors
+    /// [`ServiceError::Overloaded`] when the queue is full,
+    /// [`ServiceError::ShuttingDown`] after [`Engine::shutdown`].
+    pub fn submit(&self, req: Request) -> Result<Ticket, ServiceError> {
+        let inner = &self.inner;
+        let mut q = inner.q.lock().expect("queue poisoned");
+        if q.shutdown {
+            return Err(ServiceError::ShuttingDown);
+        }
+        if q.jobs.len() >= inner.cfg.queue_depth {
+            inner.metrics.rejected_overloaded.inc();
+            return Err(ServiceError::Overloaded);
+        }
+        let state = Arc::new(TicketState::default());
+        q.jobs.push_back(Job {
+            req,
+            enqueued: Instant::now(),
+            ticket: Arc::clone(&state),
+        });
+        inner.metrics.submitted.inc();
+        drop(q);
+        inner.cv.notify_one();
+        Ok(Ticket {
+            state,
+            engine: self.clone(),
+        })
+    }
+
+    /// Submit and wait: the synchronous convenience path.
+    #[must_use]
+    pub fn call(&self, req: Request) -> Response {
+        match self.submit(req) {
+            Ok(ticket) => ticket.wait(),
+            Err(e) => Response::rejected(e),
+        }
+    }
+
+    /// Stop accepting work, answer everything still queued with
+    /// [`ServiceError::ShuttingDown`], and join the workers.
+    pub fn shutdown(&self) {
+        let drained: Vec<Job> = {
+            let mut q = self.inner.q.lock().expect("queue poisoned");
+            q.shutdown = true;
+            q.jobs.drain(..).collect()
+        };
+        self.inner.cv.notify_all();
+        for job in drained {
+            job.ticket
+                .fulfill(Response::rejected(ServiceError::ShuttingDown));
+        }
+        let handles = std::mem::take(&mut *self.inner.workers.lock().expect("workers poisoned"));
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+
+    fn worker_loop(&self) {
+        loop {
+            let batch = {
+                let mut q = self.inner.q.lock().expect("queue poisoned");
+                loop {
+                    if q.shutdown {
+                        return;
+                    }
+                    if !q.jobs.is_empty() {
+                        break;
+                    }
+                    q = self.inner.cv.wait(q).expect("queue poisoned");
+                }
+                let take = q.jobs.len().min(self.inner.cfg.max_batch);
+                q.jobs.drain(..take).collect::<Vec<_>>()
+            };
+            self.run_batch(batch);
+        }
+    }
+
+    /// Inline execution used by zero-worker engines: drain one batch on the
+    /// calling thread (no-op if the queue is empty).
+    fn run_one_batch_inline(&self) {
+        let batch = {
+            let mut q = self.inner.q.lock().expect("queue poisoned");
+            let take = q.jobs.len().min(self.inner.cfg.max_batch);
+            q.jobs.drain(..take).collect::<Vec<_>>()
+        };
+        if !batch.is_empty() {
+            self.run_batch(batch);
+        }
+    }
+
+    /// Execute one drained batch on a fresh `Pram::par()`. One Pram per
+    /// batch (not per engine) because the ledger is `Cell`-based and the
+    /// context is deliberately `!Sync`.
+    fn run_batch(&self, batch: Vec<Job>) {
+        let metrics = &self.inner.metrics;
+        let batch_size = batch.len() as u32;
+        metrics.batches.inc();
+        metrics.batched_requests.add(u64::from(batch_size));
+        let pram = Pram::par();
+
+        for job in batch {
+            let queued = job.enqueued.elapsed();
+            let kind = job.req.op.kind();
+            let exec_start = Instant::now();
+
+            let outcome = if job.req.deadline.is_some_and(|d| Instant::now() > d) {
+                metrics.deadline_expired.inc();
+                Err(ServiceError::DeadlineExceeded)
+            } else {
+                Ok(())
+            };
+
+            let (result, cost, lane) = match outcome {
+                Err(e) => (Err(e), pardict_pram::Cost::default(), Lane::Batched),
+                Ok(()) => {
+                    let mut lane = Lane::Batched;
+                    let (result, cost) = pram.metered(|p| self.execute(p, &job.req.op, &mut lane));
+                    (result, cost, lane)
+                }
+            };
+
+            let exec = exec_start.elapsed();
+            if lane == Lane::SeqFallback {
+                metrics.seq_fallback.inc();
+            }
+            let stats = metrics.op(kind);
+            match &result {
+                Ok(_) => stats.count.inc(),
+                Err(_) => stats.errors.inc(),
+            }
+            stats.latency_us.record((queued + exec).as_micros() as u64);
+            stats.work.record(cost.work);
+            stats.depth.record(cost.depth);
+            metrics.completed.inc();
+
+            job.ticket.fulfill(Response {
+                result,
+                meta: ResponseMeta {
+                    cost,
+                    batch_size,
+                    queued,
+                    exec,
+                    lane,
+                },
+            });
+        }
+    }
+
+    /// Run one operation under the batch's Pram, recording which lane
+    /// served it.
+    fn execute(&self, pram: &Pram, op: &OpRequest, lane: &mut Lane) -> Result<Reply, ServiceError> {
+        check_text(op.text())?;
+        match op {
+            OpRequest::Match { dict, text } => {
+                let dv = self.resolve(dict)?;
+                if text.len() < self.inner.cfg.seq_threshold {
+                    *lane = Lane::SeqFallback;
+                    // Charge the automaton scan to the ledger by hand: the
+                    // AC baseline runs outside the Pram combinators.
+                    pram.ledger().charge_work(text.len() as u64);
+                    pram.ledger().charge_depth(text.len() as u64);
+                    let matches = dv.pre.ac.match_text(text);
+                    return Ok(Reply::Match {
+                        version: dv.version,
+                        hits: to_hits(matches.iter_hits()),
+                    });
+                }
+                let matches = dv.pre.matcher.match_text(pram, text);
+                // Las Vegas without rebuilding: verify with the exact §3.4
+                // checker; on the (astronomically rare) fingerprint
+                // collision, recompute exactly with the preprocessed
+                // automaton instead of rebuilding the matcher.
+                let matches = if dv.pre.matcher.check(pram, text, &matches).is_ok() {
+                    matches
+                } else {
+                    dv.pre.ac.match_text(text)
+                };
+                Ok(Reply::Match {
+                    version: dv.version,
+                    hits: to_hits(matches.iter_hits()),
+                })
+            }
+            OpRequest::Grep { dict, text } => {
+                let dv = self.resolve(dict)?;
+                let occs = dv.pre.matcher.find_all(pram, text);
+                Ok(Reply::Grep {
+                    version: dv.version,
+                    hits: to_hits(occs.into_iter()),
+                })
+            }
+            OpRequest::Compress { text } => {
+                let tokens = lz1_compress(pram, text, LZ1_SEED);
+                Ok(Reply::Compress {
+                    phrases: tokens.len() as u32,
+                    payload: encode_tokens(&tokens),
+                })
+            }
+            OpRequest::Parse { dict, text } => {
+                let dv = self.resolve(dict)?;
+                let parse =
+                    optimal_parse(pram, &dv.pre.matcher, text).ok_or(ServiceError::Unparseable)?;
+                let greedy = greedy_parse(pram, &dv.pre.matcher, text);
+                Ok(Reply::Parse {
+                    version: dv.version,
+                    phrases: parse.num_phrases() as u32,
+                    greedy_phrases: greedy.map(|g| g.num_phrases() as u32),
+                })
+            }
+        }
+    }
+
+    fn resolve(&self, name: &str) -> Result<Arc<DictVersion>, ServiceError> {
+        self.inner
+            .registry
+            .current(name)
+            .ok_or_else(|| ServiceError::NoSuchDictionary(name.to_string()))
+    }
+}
+
+fn to_hits(iter: impl Iterator<Item = (usize, pardict_core::Match)>) -> Vec<Hit> {
+    iter.map(|(pos, m)| Hit {
+        pos: pos as u64,
+        id: m.id,
+        len: m.len,
+    })
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine_with(workers: usize, queue_depth: usize) -> Engine {
+        let metrics = Arc::new(Metrics::default());
+        let registry = Arc::new(Registry::new(Arc::clone(&metrics)));
+        Engine::new(
+            EngineConfig {
+                workers,
+                queue_depth,
+                max_batch: 8,
+                seq_threshold: 16,
+            },
+            registry,
+            metrics,
+        )
+    }
+
+    fn publish(e: &Engine, name: &str, pats: &[&str]) {
+        e.registry()
+            .publish(name, pats.iter().map(|s| s.as_bytes().to_vec()).collect())
+            .unwrap();
+    }
+
+    #[test]
+    fn inline_engine_matches() {
+        let e = engine_with(0, 64);
+        publish(&e, "d", &["ana", "ban"]);
+        let resp = e.call(Request::new(OpRequest::Match {
+            dict: "d".into(),
+            text: b"banana".to_vec(),
+        }));
+        let reply = resp.result.unwrap();
+        match reply {
+            Reply::Match { version, hits } => {
+                assert_eq!(version, 1);
+                assert!(hits.iter().any(|h| h.pos == 0 && h.len == 3)); // "ban"
+                assert!(hits.iter().any(|h| h.pos == 1 && h.len == 3)); // "ana"
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+        assert_eq!(resp.meta.lane, Lane::SeqFallback); // 6 < 16
+        assert!(resp.meta.cost.work > 0);
+    }
+
+    #[test]
+    fn threaded_engine_matches_and_shuts_down() {
+        let e = engine_with(2, 64);
+        publish(&e, "d", &["abra"]);
+        let text = b"abracadabra".repeat(8); // 88 bytes > threshold 16
+        let resp = e.call(Request::new(OpRequest::Match {
+            dict: "d".into(),
+            text,
+        }));
+        match resp.result.unwrap() {
+            Reply::Match { hits, .. } => assert_eq!(hits.len(), 16),
+            other => panic!("unexpected reply {other:?}"),
+        }
+        assert_eq!(resp.meta.lane, Lane::Batched);
+        e.shutdown();
+        let after = e.submit(Request::new(OpRequest::Compress {
+            text: b"x".to_vec(),
+        }));
+        assert!(matches!(after, Err(ServiceError::ShuttingDown)));
+    }
+
+    #[test]
+    fn full_queue_rejects_overloaded() {
+        let e = engine_with(0, 2);
+        publish(&e, "d", &["a"]);
+        let mk = || {
+            Request::new(OpRequest::Compress {
+                text: b"abcabc".to_vec(),
+            })
+        };
+        let t1 = e.submit(mk()).unwrap();
+        let _t2 = e.submit(mk()).unwrap();
+        assert!(matches!(e.submit(mk()), Err(ServiceError::Overloaded)));
+        assert_eq!(e.metrics().rejected_overloaded.get(), 1);
+        // Draining makes room again.
+        assert!(t1.wait().result.is_ok());
+        assert!(e.submit(mk()).is_ok());
+    }
+
+    #[test]
+    fn expired_deadline_is_rejected_not_executed() {
+        let e = engine_with(0, 8);
+        let req = Request {
+            op: OpRequest::Compress {
+                text: b"abc".to_vec(),
+            },
+            deadline: Some(Instant::now() - std::time::Duration::from_millis(1)),
+        };
+        let resp = e.call(req);
+        assert!(matches!(resp.result, Err(ServiceError::DeadlineExceeded)));
+        assert_eq!(e.metrics().deadline_expired.get(), 1);
+    }
+
+    #[test]
+    fn unknown_dictionary_and_nul_text_error() {
+        let e = engine_with(0, 8);
+        let resp = e.call(Request::new(OpRequest::Grep {
+            dict: "nope".into(),
+            text: b"abc".to_vec(),
+        }));
+        assert!(matches!(
+            resp.result,
+            Err(ServiceError::NoSuchDictionary(_))
+        ));
+        publish(&e, "d", &["a"]);
+        let resp = e.call(Request::new(OpRequest::Match {
+            dict: "d".into(),
+            text: vec![b'a', 0],
+        }));
+        assert!(matches!(resp.result, Err(ServiceError::BadRequest(_))));
+    }
+
+    #[test]
+    fn compress_roundtrips_and_parse_counts() {
+        let e = engine_with(0, 8);
+        publish(&e, "d", &["ab", "ra", "cad", "abra"]);
+        let text = b"abracadabra".to_vec();
+        let resp = e.call(Request::new(OpRequest::Compress { text: text.clone() }));
+        match resp.result.unwrap() {
+            Reply::Compress { payload, phrases } => {
+                assert!(phrases > 0);
+                let tokens = pardict_compress::decode_tokens(&payload).unwrap();
+                let pram = Pram::seq();
+                assert_eq!(
+                    pardict_compress::lz1_decompress(&pram, &tokens, LZ1_SEED),
+                    text
+                );
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+        let resp = e.call(Request::new(OpRequest::Parse {
+            dict: "d".into(),
+            text,
+        }));
+        match resp.result.unwrap() {
+            Reply::Parse {
+                phrases,
+                greedy_phrases,
+                ..
+            } => {
+                // abra|cad|abra is optimal (3); greedy also terminates.
+                assert_eq!(phrases, 3);
+                assert!(greedy_phrases.unwrap() >= 3);
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+        // Unparseable text surfaces the dedicated error.
+        let resp = e.call(Request::new(OpRequest::Parse {
+            dict: "d".into(),
+            text: b"zzz".to_vec(),
+        }));
+        assert!(matches!(resp.result, Err(ServiceError::Unparseable)));
+    }
+
+    #[test]
+    fn batches_group_queued_requests() {
+        let e = engine_with(0, 64);
+        publish(&e, "d", &["aa"]);
+        let tickets: Vec<_> = (0..6)
+            .map(|_| {
+                e.submit(Request::new(OpRequest::Match {
+                    dict: "d".into(),
+                    text: b"aaaa".to_vec(),
+                }))
+                .unwrap()
+            })
+            .collect();
+        let sizes: Vec<u32> = tickets
+            .into_iter()
+            .map(|t| {
+                let r = t.wait();
+                assert!(r.result.is_ok());
+                r.meta.batch_size
+            })
+            .collect();
+        // All six were queued before any wait, so the first inline batch
+        // grabbed max_batch=8-capped all 6.
+        assert!(sizes.iter().any(|&s| s >= 2), "sizes = {sizes:?}");
+        assert!(e.metrics().batches.get() >= 1);
+    }
+}

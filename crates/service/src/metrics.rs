@@ -1,0 +1,282 @@
+//! Lock-free service metrics: counters and log₂-bucket histograms.
+//!
+//! Everything here is `AtomicU64`-based so the hot path (worker threads,
+//! submission) never takes a lock to record an observation. Histograms
+//! bucket by `ceil(log2(value))`, which is coarse but monotone — good
+//! enough for p50/p95 reporting without allocation or locking.
+
+use crate::types::{OpKind, NUM_OPS};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotone lock-free counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Add one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of histogram buckets: bucket `i` holds values in `(2^(i-1), 2^i]`,
+/// bucket 0 holds zero; 64 covers the full `u64` range.
+const BUCKETS: usize = 65;
+
+/// Lock-free log₂-bucket histogram with exact count/sum/max.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            buckets: [(); BUCKETS].map(|()| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    fn bucket_of(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            // ceil(log2(value)) + 1, so bucket i covers (2^(i-2), 2^(i-1)].
+            (64 - (value - 1).leading_zeros()) as usize + 1
+        }
+    }
+
+    /// Upper bound of bucket `i` (inclusive).
+    fn bucket_upper(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else {
+            1u64.checked_shl((i - 1) as u32).unwrap_or(u64::MAX)
+        }
+    }
+
+    /// Record one observation.
+    pub fn record(&self, value: u64) {
+        let b = Self::bucket_of(value).min(BUCKETS - 1);
+        self.buckets[b].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Exact mean (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> u64 {
+        self.sum
+            .load(Ordering::Relaxed)
+            .checked_div(self.count())
+            .unwrap_or(0)
+    }
+
+    /// Exact maximum observed value.
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Bucket-upper-bound estimate of quantile `q` in `[0, 1]`.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return Self::bucket_upper(i).min(self.max());
+            }
+        }
+        self.max()
+    }
+}
+
+/// Per-operation counters and distributions.
+#[derive(Debug, Default)]
+pub struct OpStats {
+    /// Successful completions.
+    pub count: Counter,
+    /// Failed completions (errors surfaced to the caller).
+    pub errors: Counter,
+    /// End-to-end latency (submission → response), microseconds.
+    pub latency_us: Histogram,
+    /// Ledger work attributed to the request.
+    pub work: Histogram,
+    /// Ledger depth attributed to the request.
+    pub depth: Histogram,
+}
+
+/// All service metrics; shared via `Arc` between registry, engine, server.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Requests accepted into the queue.
+    pub submitted: Counter,
+    /// Requests that produced a response (success or error).
+    pub completed: Counter,
+    /// Requests rejected at submission because the queue was full.
+    pub rejected_overloaded: Counter,
+    /// Requests whose deadline expired before execution.
+    pub deadline_expired: Counter,
+    /// Dictionary publishes (including republish of identical content).
+    pub publishes: Counter,
+    /// Publishes served from the preprocessing cache.
+    pub cache_hits: Counter,
+    /// Publishes that had to build a matcher.
+    pub cache_misses: Counter,
+    /// Batches executed by workers.
+    pub batches: Counter,
+    /// Requests executed through batches (sum of batch sizes).
+    pub batched_requests: Counter,
+    /// Requests served on the sequential small-request fallback lane.
+    pub seq_fallback: Counter,
+    /// Per-operation stats, indexed by [`OpKind`].
+    pub per_op: [OpStats; NUM_OPS],
+}
+
+impl Metrics {
+    /// Stats slot for one operation family.
+    #[must_use]
+    pub fn op(&self, kind: OpKind) -> &OpStats {
+        &self.per_op[kind as usize]
+    }
+
+    /// Plain-text report of every counter and per-op distribution.
+    #[must_use]
+    pub fn report(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "== pardict-service metrics ==");
+        let _ = writeln!(
+            out,
+            "requests:  submitted {}  completed {}  overloaded {}  deadline-expired {}",
+            self.submitted.get(),
+            self.completed.get(),
+            self.rejected_overloaded.get(),
+            self.deadline_expired.get(),
+        );
+        let _ = writeln!(
+            out,
+            "registry:  publishes {}  cache-hits {}  cache-misses {}",
+            self.publishes.get(),
+            self.cache_hits.get(),
+            self.cache_misses.get(),
+        );
+        let batches = self.batches.get();
+        let batched = self.batched_requests.get();
+        let mean_batch = batched.checked_div(batches).unwrap_or(0);
+        let _ = writeln!(
+            out,
+            "batching:  batches {}  batched-requests {}  mean-batch {}  seq-fallback {}",
+            batches,
+            batched,
+            mean_batch,
+            self.seq_fallback.get(),
+        );
+        let _ = writeln!(
+            out,
+            "{:<10} {:>8} {:>7} | {:>9} {:>9} {:>9} | {:>12} {:>9}",
+            "op", "count", "errors", "lat-p50us", "lat-p95us", "lat-max", "work-mean", "depth-p95",
+        );
+        for kind in OpKind::all() {
+            let s = self.op(kind);
+            let _ = writeln!(
+                out,
+                "{:<10} {:>8} {:>7} | {:>9} {:>9} {:>9} | {:>12} {:>9}",
+                kind.name(),
+                s.count.get(),
+                s.errors.get(),
+                s.latency_us.quantile(0.50),
+                s.latency_us.quantile(0.95),
+                s.latency_us.max(),
+                s.work.mean(),
+                s.depth.quantile(0.95),
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts() {
+        let c = Counter::default();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn histogram_buckets_are_monotone() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 1);
+        assert_eq!(Histogram::bucket_of(2), 2);
+        assert_eq!(Histogram::bucket_of(3), 3);
+        assert_eq!(Histogram::bucket_of(4), 3);
+        assert_eq!(Histogram::bucket_of(5), 4);
+        for v in 1..4096u64 {
+            assert!(Histogram::bucket_of(v) >= Histogram::bucket_of(v - 1));
+            assert!(v <= Histogram::bucket_upper(Histogram::bucket_of(v)));
+        }
+    }
+
+    #[test]
+    fn histogram_quantiles_bound_observations() {
+        let h = Histogram::default();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.max(), 1000);
+        assert_eq!(h.mean(), 500);
+        let p50 = h.quantile(0.5);
+        // Bucket upper bound for 500 is 512.
+        assert!((500..=512).contains(&p50), "p50 = {p50}");
+        assert_eq!(h.quantile(1.0), 1000);
+        assert!(h.quantile(0.95) >= 950 / 2);
+    }
+
+    #[test]
+    fn report_mentions_every_op() {
+        let m = Metrics::default();
+        m.op(OpKind::Match).count.inc();
+        m.op(OpKind::Match).latency_us.record(123);
+        let r = m.report();
+        for kind in OpKind::all() {
+            assert!(r.contains(kind.name()), "missing {} in:\n{r}", kind.name());
+        }
+    }
+}

@@ -1,0 +1,358 @@
+//! In-process mixed-workload selftest behind `pardict serve --selftest`.
+//!
+//! Drives the full serving stack — registry, batched engine, admission
+//! control, metrics, and a TCP loopback round trip — with a seeded
+//! workload from `pardict-workloads`, verifying a sample of every
+//! operation family against independent oracles and exercising a
+//! mid-run dictionary hot-swap. Returns the metrics report on success so
+//! the CLI can print it.
+
+use crate::engine::{Engine, EngineConfig};
+use crate::metrics::Metrics;
+use crate::registry::Registry;
+use crate::server::{Client, Server};
+use crate::types::{OpRequest, Reply, Request, ServiceError};
+use crate::wire;
+use pardict_core::AhoCorasick;
+use pardict_pram::{Pram, SplitMix64};
+use pardict_workloads::{random_dictionary, text_with_planted_matches, Alphabet};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Selftest knobs.
+#[derive(Debug, Clone)]
+pub struct SelftestOptions {
+    /// Total requests the client threads issue (≥ 1000 per the serving
+    /// acceptance bar).
+    pub requests: usize,
+    /// Engine worker threads.
+    pub workers: usize,
+    /// Client driver threads.
+    pub clients: usize,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl Default for SelftestOptions {
+    fn default() -> Self {
+        Self {
+            requests: 1200,
+            workers: EngineConfig::default().workers,
+            clients: 8,
+            seed: 0xDEC0_DE42,
+        }
+    }
+}
+
+/// Run the selftest; returns a human-readable summary + metrics report.
+///
+/// # Errors
+/// A description of the first failed verification or infrastructure step.
+#[allow(clippy::too_many_lines)]
+pub fn run(opts: &SelftestOptions) -> Result<String, String> {
+    let metrics = Arc::new(Metrics::default());
+    let registry = Arc::new(Registry::new(Arc::clone(&metrics)));
+    let engine = Engine::new(
+        EngineConfig {
+            workers: opts.workers.max(1),
+            queue_depth: 4096,
+            max_batch: 32,
+            seq_threshold: 512,
+        },
+        Arc::clone(&registry),
+        Arc::clone(&metrics),
+    );
+
+    // --- publish round: v1 of "corpus", plus an identical-content "aux"
+    // dictionary that must come from the preprocessing cache.
+    let alpha = Alphabet::dna();
+    let pats_v1 = random_dictionary(opts.seed, 24, 3, 10, alpha);
+    let pats_v2 = random_dictionary(opts.seed ^ 0x5A5A, 24, 3, 10, alpha);
+    let out1 = registry
+        .publish("corpus", pats_v1.clone())
+        .map_err(|e| format!("publish corpus v1: {e}"))?;
+    if out1.version != 1 || out1.cache_hit {
+        return Err(format!("unexpected v1 outcome: {out1:?}"));
+    }
+    let out_aux = registry
+        .publish("aux", pats_v1.clone())
+        .map_err(|e| format!("publish aux: {e}"))?;
+    if !out_aux.cache_hit {
+        return Err("identical-content republish missed the cache".into());
+    }
+
+    // Independent oracles per version, for sampled verification.
+    let v1 = registry.current("corpus").expect("corpus v1");
+    let oracle_v1 = Arc::new(AhoCorasick::build(v1.pre.dictionary()));
+
+    // Pre-swap sanity: a synchronous match must report version 1.
+    let pre = engine.call(Request::new(OpRequest::Match {
+        dict: "corpus".into(),
+        text: text_with_planted_matches(opts.seed ^ 1, &pats_v1, 2000, 20, alpha),
+    }));
+    match &pre.result {
+        Ok(Reply::Match { version: 1, .. }) => {}
+        other => return Err(format!("pre-swap match: expected v1 reply, got {other:?}")),
+    }
+
+    // --- mixed workload from client threads, hot-swap at the halfway mark.
+    let issued = Arc::new(AtomicUsize::new(0));
+    let swapped = Arc::new(AtomicUsize::new(0));
+    let halfway = opts.requests / 2;
+    let failures: Arc<std::sync::Mutex<Vec<String>>> = Arc::new(std::sync::Mutex::new(Vec::new()));
+
+    std::thread::scope(|s| {
+        for c in 0..opts.clients.max(1) {
+            let engine = engine.clone();
+            let registry = Arc::clone(&registry);
+            let issued = Arc::clone(&issued);
+            let swapped = Arc::clone(&swapped);
+            let failures = Arc::clone(&failures);
+            let oracle_v1 = Arc::clone(&oracle_v1);
+            let pats_v1 = pats_v1.clone();
+            let pats_v2 = pats_v2.clone();
+            s.spawn(move || {
+                let mut rng = SplitMix64::new(opts.seed ^ (c as u64 + 1).wrapping_mul(0x9E37));
+                let mut fail = |msg: String| {
+                    failures.lock().expect("failures poisoned").push(msg);
+                };
+                loop {
+                    let i = issued.fetch_add(1, Ordering::Relaxed);
+                    if i >= opts.requests {
+                        break;
+                    }
+                    // Exactly one thread performs the hot swap, mid-run.
+                    if i >= halfway && swapped.swap(1, Ordering::SeqCst) == 0 {
+                        if let Err(e) = registry.publish("corpus", pats_v2.clone()) {
+                            fail(format!("hot-swap publish failed: {e}"));
+                        }
+                    }
+                    let n = if rng.next_u64().is_multiple_of(4) {
+                        64
+                    } else {
+                        1500
+                    };
+                    let text = text_with_planted_matches(
+                        opts.seed ^ ((i as u64) << 8),
+                        &pats_v1,
+                        n,
+                        15,
+                        Alphabet::dna(),
+                    );
+                    let roll = rng.next_u64() % 100;
+                    let op = if roll < 50 {
+                        OpRequest::Match {
+                            dict: "corpus".into(),
+                            text: text.clone(),
+                        }
+                    } else if roll < 70 {
+                        OpRequest::Grep {
+                            dict: "corpus".into(),
+                            text: text.clone(),
+                        }
+                    } else if roll < 85 {
+                        OpRequest::Compress { text: text.clone() }
+                    } else {
+                        OpRequest::Parse {
+                            dict: "corpus".into(),
+                            text: text.clone(),
+                        }
+                    };
+                    let resp = engine.call(Request::new(op));
+                    match resp.result {
+                        Err(ServiceError::Unparseable) => {} // legitimate for parse
+                        Err(e) => fail(format!("request {i} failed: {e}")),
+                        Ok(reply) => {
+                            if let Some(v) = reply.version() {
+                                if v != 1 && v != 2 {
+                                    fail(format!("request {i}: impossible version {v}"));
+                                }
+                            }
+                            // Sampled deep verification (~1 in 8).
+                            if i.is_multiple_of(8) {
+                                verify_reply(&reply, &text, &oracle_v1, i, &mut fail);
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    let failures = Arc::try_unwrap(failures)
+        .map_err(|_| "failure log still shared".to_string())?
+        .into_inner()
+        .map_err(|_| "failure log poisoned".to_string())?;
+    if let Some(first) = failures.first() {
+        return Err(format!(
+            "{} verification failures; first: {first}",
+            failures.len()
+        ));
+    }
+
+    // Post-swap: a fresh match must now see version 2.
+    let post = engine.call(Request::new(OpRequest::Match {
+        dict: "corpus".into(),
+        text: text_with_planted_matches(opts.seed ^ 2, &pats_v2, 2000, 20, alpha),
+    }));
+    match &post.result {
+        Ok(Reply::Match { version: 2, .. }) => {}
+        other => return Err(format!("post-swap match: expected v2 reply, got {other:?}")),
+    }
+
+    // Admission control: already-expired deadlines must be rejected.
+    for _ in 0..3 {
+        let resp = engine.call(Request {
+            op: OpRequest::Compress {
+                text: b"deadline probe".to_vec(),
+            },
+            deadline: Some(std::time::Instant::now() - Duration::from_millis(1)),
+        });
+        if !matches!(resp.result, Err(ServiceError::DeadlineExceeded)) {
+            return Err(format!("expired deadline not rejected: {:?}", resp.result));
+        }
+    }
+
+    // TCP loopback: one full wire round trip against the same engine.
+    let mut server =
+        Server::start(engine.clone(), "127.0.0.1:0").map_err(|e| format!("server start: {e}"))?;
+    {
+        let mut client =
+            Client::connect(server.addr()).map_err(|e| format!("client connect: {e}"))?;
+        client.ping().map_err(|e| format!("ping: {e}"))?;
+        let resp = client
+            .op(wire::tag::MATCH, "corpus", b"ACGTACGTACGT", 1000)
+            .map_err(|e| format!("wire match: {e}"))?
+            .map_err(|e| format!("wire match rejected: {e}"))?;
+        if !matches!(resp, wire::WireResponse::Hits { version: 2, .. }) {
+            return Err(format!("wire match: expected v2 hits, got {resp:?}"));
+        }
+        let report = client.metrics().map_err(|e| format!("wire metrics: {e}"))?;
+        if !report.contains("pardict-service metrics") {
+            return Err("wire metrics report missing header".into());
+        }
+    }
+    server.stop();
+    engine.shutdown();
+
+    // --- closing assertions on the counters the run must have moved.
+    if metrics.batches.get() == 0 {
+        return Err("no batches executed".into());
+    }
+    if metrics.cache_hits.get() == 0 {
+        return Err("no preprocessing cache hits".into());
+    }
+    if metrics.deadline_expired.get() < 3 {
+        return Err("deadline rejections not recorded".into());
+    }
+    if metrics.completed.get() < opts.requests as u64 {
+        return Err(format!(
+            "completed {} < issued {}",
+            metrics.completed.get(),
+            opts.requests
+        ));
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "selftest ok: {} requests across {} client threads, {} workers\n",
+        opts.requests,
+        opts.clients.max(1),
+        opts.workers.max(1),
+    ));
+    out.push_str(
+        "hot-swap corpus v1 -> v2 mid-run; every versioned reply was v1 or v2 (never mixed)\n",
+    );
+    out.push_str("sampled oracle verification: match vs Aho-Corasick, compress roundtrip, parse optimality\n");
+    out.push_str("TCP loopback: publish/match/metrics round trip ok\n\n");
+    out.push_str(&metrics.report());
+    Ok(out)
+}
+
+/// Verify one sampled reply against an independent oracle.
+fn verify_reply(
+    reply: &Reply,
+    text: &[u8],
+    oracle_v1: &AhoCorasick,
+    i: usize,
+    fail: &mut impl FnMut(String),
+) {
+    let pram = Pram::seq();
+    match reply {
+        Reply::Match { version, hits } => {
+            // Only version-1 replies can be checked against the v1 oracle;
+            // v2 replies were already range-checked above.
+            if *version == 1 {
+                let expect: Vec<(u64, u32, u32)> = oracle_v1
+                    .match_text(text)
+                    .iter_hits()
+                    .map(|(p, m)| (p as u64, m.id, m.len))
+                    .collect();
+                let got: Vec<(u64, u32, u32)> = hits.iter().map(|h| (h.pos, h.id, h.len)).collect();
+                if got != expect {
+                    fail(format!(
+                        "request {i}: v1 match disagrees with Aho-Corasick oracle \
+                         ({} vs {} hits)",
+                        got.len(),
+                        expect.len()
+                    ));
+                }
+            }
+        }
+        Reply::Grep { hits, .. } => {
+            // Structural check: every hit must fit inside the text.
+            for h in hits {
+                if h.pos + u64::from(h.len) > text.len() as u64 {
+                    fail(format!("request {i}: grep hit out of bounds"));
+                }
+            }
+        }
+        Reply::Compress { payload, .. } => match pardict_compress::decode_tokens(payload) {
+            Err(e) => fail(format!("request {i}: undecodable tokens: {e:?}")),
+            Ok(tokens) => {
+                let back =
+                    pardict_compress::lz1_decompress(&pram, &tokens, crate::engine::LZ1_SEED);
+                if back != text {
+                    fail(format!("request {i}: compress roundtrip mismatch"));
+                }
+            }
+        },
+        Reply::Parse {
+            phrases,
+            greedy_phrases,
+            ..
+        } => {
+            if *phrases == 0 && !text.is_empty() {
+                fail(format!(
+                    "request {i}: empty optimal parse for nonempty text"
+                ));
+            }
+            if let Some(g) = greedy_phrases {
+                if g < phrases {
+                    fail(format!(
+                        "request {i}: greedy ({g}) beat optimal ({phrases})"
+                    ));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_selftest_passes() {
+        let opts = SelftestOptions {
+            requests: 60,
+            workers: 2,
+            clients: 3,
+            seed: 7,
+        };
+        let report = run(&opts).expect("selftest should pass");
+        assert!(report.contains("selftest ok"));
+        assert!(report.contains("pardict-service metrics"));
+    }
+}

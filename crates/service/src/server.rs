@@ -1,0 +1,319 @@
+//! TCP front end: a `std::net` listener speaking the [`crate::wire`]
+//! protocol, plus a small blocking [`Client`].
+//!
+//! Thread-per-connection with a nonblocking accept loop so the server can
+//! stop promptly; each connection thread decodes frames, drives the shared
+//! [`Engine`], and writes one response frame per request frame.
+
+use crate::engine::Engine;
+use crate::types::{OpRequest, Request, ServiceError};
+use crate::wire::{self, error_from_wire, read_frame, write_frame, WireRequest, WireResponse};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A running TCP server bound to a local address.
+pub struct Server {
+    engine: Engine,
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind `addr` (use port 0 for an ephemeral port) and start accepting.
+    ///
+    /// # Errors
+    /// Socket bind/configuration failures.
+    pub fn start(engine: Engine, addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_engine = engine.clone();
+        let accept_stop = Arc::clone(&stop);
+        let accept_thread = std::thread::Builder::new()
+            .name("pardict-accept".into())
+            .spawn(move || accept_loop(&listener, &accept_engine, &accept_stop))
+            .expect("spawn accept thread");
+        Ok(Self {
+            engine,
+            addr,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (useful with ephemeral ports).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The engine this server fronts.
+    #[must_use]
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Stop accepting connections and join the accept thread. Existing
+    /// connections keep serving until their clients disconnect, and the
+    /// engine is not shut down — the owner decides that.
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, engine: &Engine, stop: &Arc<AtomicBool>) {
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let engine = engine.clone();
+                // Detached: a connection thread exits on client EOF or I/O
+                // error. Joining here would deadlock `stop()` against
+                // clients that outlive the server handle.
+                let _ = std::thread::Builder::new()
+                    .name("pardict-conn".into())
+                    .spawn(move || {
+                        let _ = serve_connection(stream, &engine);
+                    });
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+/// Serve one connection until EOF or an I/O error.
+fn serve_connection(stream: TcpStream, engine: &Engine) -> io::Result<()> {
+    let mut reader = stream.try_clone()?;
+    let mut writer = stream;
+    while let Some(payload) = read_frame(&mut reader)? {
+        let resp = match WireRequest::decode(&payload) {
+            Err(e) => WireResponse::Error {
+                code: ServiceError::BadRequest(String::new()).code(),
+                message: format!("malformed request: {e}"),
+            },
+            Ok(req) => handle(engine, req),
+        };
+        write_frame(&mut writer, &resp.encode())?;
+    }
+    Ok(())
+}
+
+fn handle(engine: &Engine, req: WireRequest) -> WireResponse {
+    match req {
+        WireRequest::Ping => WireResponse::Pong,
+        WireRequest::Metrics => WireResponse::MetricsReport(engine.metrics().report()),
+        WireRequest::Publish { name, patterns } => {
+            match engine.registry().publish(&name, patterns) {
+                Ok(out) => WireResponse::Published {
+                    version: out.version,
+                    cache_hit: out.cache_hit,
+                },
+                Err(e) => WireResponse::Error {
+                    code: e.code(),
+                    message: e.to_string(),
+                },
+            }
+        }
+        WireRequest::Op {
+            tag,
+            dict,
+            text,
+            timeout_ms,
+        } => {
+            let op = match tag {
+                wire::tag::MATCH => OpRequest::Match { dict, text },
+                wire::tag::GREP => OpRequest::Grep { dict, text },
+                wire::tag::COMPRESS => OpRequest::Compress { text },
+                wire::tag::PARSE => OpRequest::Parse { dict, text },
+                _ => unreachable!("decode only yields op tags"),
+            };
+            let req = if timeout_ms == 0 {
+                Request::new(op)
+            } else {
+                Request::with_timeout(op, Duration::from_millis(u64::from(timeout_ms)))
+            };
+            WireResponse::from_engine(&engine.call(req))
+        }
+    }
+}
+
+/// Blocking wire-protocol client used by tests and `--selftest`.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connect to a running server.
+    ///
+    /// # Errors
+    /// Connection failures.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        Ok(Self {
+            stream: TcpStream::connect(addr)?,
+        })
+    }
+
+    fn roundtrip(&mut self, req: &WireRequest) -> io::Result<WireResponse> {
+        write_frame(&mut self.stream, &req.encode())?;
+        let payload = read_frame(&mut self.stream)?.ok_or_else(|| {
+            io::Error::new(io::ErrorKind::UnexpectedEof, "server closed connection")
+        })?;
+        WireResponse::decode(&payload)
+    }
+
+    /// Liveness probe.
+    ///
+    /// # Errors
+    /// I/O or protocol errors.
+    pub fn ping(&mut self) -> io::Result<()> {
+        match self.roundtrip(&WireRequest::Ping)? {
+            WireResponse::Pong => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Publish a dictionary; returns `(version, cache_hit)`.
+    ///
+    /// # Errors
+    /// I/O errors; service errors surface as `Err(io::Error)` with the
+    /// wire message.
+    pub fn publish(
+        &mut self,
+        name: &str,
+        patterns: Vec<Vec<u8>>,
+    ) -> io::Result<Result<(u64, bool), ServiceError>> {
+        match self.roundtrip(&WireRequest::Publish {
+            name: name.to_string(),
+            patterns,
+        })? {
+            WireResponse::Published { version, cache_hit } => Ok(Ok((version, cache_hit))),
+            WireResponse::Error { code, message } => Ok(Err(error_from_wire(code, &message))),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Run one operation (`tag::MATCH` … `tag::PARSE`).
+    ///
+    /// # Errors
+    /// I/O or protocol errors; service-level failures are in the inner
+    /// `Result`.
+    pub fn op(
+        &mut self,
+        tag: u8,
+        dict: &str,
+        text: &[u8],
+        timeout_ms: u32,
+    ) -> io::Result<Result<WireResponse, ServiceError>> {
+        match self.roundtrip(&WireRequest::Op {
+            tag,
+            dict: dict.to_string(),
+            text: text.to_vec(),
+            timeout_ms,
+        })? {
+            WireResponse::Error { code, message } => Ok(Err(error_from_wire(code, &message))),
+            ok => Ok(Ok(ok)),
+        }
+    }
+
+    /// Fetch the plain-text metrics report.
+    ///
+    /// # Errors
+    /// I/O or protocol errors.
+    pub fn metrics(&mut self) -> io::Result<String> {
+        match self.roundtrip(&WireRequest::Metrics)? {
+            WireResponse::MetricsReport(s) => Ok(s),
+            other => Err(unexpected(&other)),
+        }
+    }
+}
+
+fn unexpected(resp: &WireResponse) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("unexpected response: {resp:?}"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+    use crate::metrics::Metrics;
+    use crate::registry::Registry;
+    use crate::types::Hit;
+
+    fn test_engine() -> Engine {
+        let metrics = Arc::new(Metrics::default());
+        let registry = Arc::new(Registry::new(Arc::clone(&metrics)));
+        Engine::new(
+            EngineConfig {
+                workers: 2,
+                queue_depth: 64,
+                max_batch: 8,
+                seq_threshold: 4,
+            },
+            registry,
+            metrics,
+        )
+    }
+
+    #[test]
+    fn tcp_round_trip_publish_match_metrics() {
+        let engine = test_engine();
+        let mut server = Server::start(engine.clone(), "127.0.0.1:0").unwrap();
+        let mut client = Client::connect(server.addr()).unwrap();
+
+        client.ping().unwrap();
+        let (version, cache_hit) = client
+            .publish("d", vec![b"ana".to_vec(), b"ban".to_vec()])
+            .unwrap()
+            .unwrap();
+        assert_eq!(version, 1);
+        assert!(!cache_hit);
+
+        let resp = client
+            .op(wire::tag::MATCH, "d", b"banana", 0)
+            .unwrap()
+            .unwrap();
+        match resp {
+            WireResponse::Hits { version, hits } => {
+                assert_eq!(version, 1);
+                assert!(hits.contains(&Hit {
+                    pos: 0,
+                    id: 1,
+                    len: 3
+                }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+
+        let err = client
+            .op(wire::tag::GREP, "missing", b"abc", 0)
+            .unwrap()
+            .unwrap_err();
+        assert!(matches!(err, ServiceError::NoSuchDictionary(_)));
+
+        let report = client.metrics().unwrap();
+        assert!(report.contains("pardict-service metrics"));
+
+        server.stop();
+        engine.shutdown();
+    }
+}

@@ -1,0 +1,332 @@
+//! Request/response vocabulary shared by the engine, wire codec, and server.
+
+use pardict_pram::Cost;
+use std::time::{Duration, Instant};
+
+/// The four operation families the service batches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// Longest pattern per text position (Theorem 3.1).
+    Match = 0,
+    /// Every pattern occurrence (`find_all`).
+    Grep = 1,
+    /// Parallel LZ1 compression (§4).
+    Compress = 2,
+    /// Optimal static-dictionary parse (§5).
+    Parse = 3,
+}
+
+/// Number of [`OpKind`] variants (sizing per-op metric arrays).
+pub const NUM_OPS: usize = 4;
+
+impl OpKind {
+    /// Stable display name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            OpKind::Match => "match",
+            OpKind::Grep => "grep",
+            OpKind::Compress => "compress",
+            OpKind::Parse => "parse",
+        }
+    }
+
+    /// All kinds, in wire-tag order.
+    #[must_use]
+    pub fn all() -> [OpKind; NUM_OPS] {
+        [OpKind::Match, OpKind::Grep, OpKind::Compress, OpKind::Parse]
+    }
+}
+
+/// One operation against the service.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OpRequest {
+    /// Longest pattern at every position of `text` against dictionary `dict`.
+    Match {
+        /// Registered dictionary name.
+        dict: String,
+        /// Text to match (NUL-free).
+        text: Vec<u8>,
+    },
+    /// All pattern occurrences in `text` against dictionary `dict`.
+    Grep {
+        /// Registered dictionary name.
+        dict: String,
+        /// Text to search (NUL-free).
+        text: Vec<u8>,
+    },
+    /// LZ1-compress `text` (no dictionary needed).
+    Compress {
+        /// Text to compress (NUL-free).
+        text: Vec<u8>,
+    },
+    /// Fewest-phrases static parse of `text` against dictionary `dict`.
+    Parse {
+        /// Registered dictionary name.
+        dict: String,
+        /// Text to parse (NUL-free).
+        text: Vec<u8>,
+    },
+}
+
+impl OpRequest {
+    /// The operation family.
+    #[must_use]
+    pub fn kind(&self) -> OpKind {
+        match self {
+            OpRequest::Match { .. } => OpKind::Match,
+            OpRequest::Grep { .. } => OpKind::Grep,
+            OpRequest::Compress { .. } => OpKind::Compress,
+            OpRequest::Parse { .. } => OpKind::Parse,
+        }
+    }
+
+    /// The subject text.
+    #[must_use]
+    pub fn text(&self) -> &[u8] {
+        match self {
+            OpRequest::Match { text, .. }
+            | OpRequest::Grep { text, .. }
+            | OpRequest::Compress { text }
+            | OpRequest::Parse { text, .. } => text,
+        }
+    }
+
+    /// The dictionary name, when the op needs one.
+    #[must_use]
+    pub fn dict_name(&self) -> Option<&str> {
+        match self {
+            OpRequest::Match { dict, .. }
+            | OpRequest::Grep { dict, .. }
+            | OpRequest::Parse { dict, .. } => Some(dict),
+            OpRequest::Compress { .. } => None,
+        }
+    }
+}
+
+/// A submitted operation plus its admission-control envelope.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// The operation.
+    pub op: OpRequest,
+    /// Absolute deadline; requests past it are rejected instead of executed.
+    pub deadline: Option<Instant>,
+}
+
+impl Request {
+    /// Request without a deadline.
+    #[must_use]
+    pub fn new(op: OpRequest) -> Self {
+        Self { op, deadline: None }
+    }
+
+    /// Request that must start executing within `timeout` from now.
+    #[must_use]
+    pub fn with_timeout(op: OpRequest, timeout: Duration) -> Self {
+        Self {
+            op,
+            deadline: Some(Instant::now() + timeout),
+        }
+    }
+}
+
+/// One reported occurrence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hit {
+    /// Text position.
+    pub pos: u64,
+    /// Pattern index in the dictionary.
+    pub id: u32,
+    /// Pattern length.
+    pub len: u32,
+}
+
+/// Successful operation payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Reply {
+    /// Longest match per position (positions with no match omitted).
+    Match {
+        /// Dictionary version that served the request.
+        version: u64,
+        /// One hit per position with a match.
+        hits: Vec<Hit>,
+    },
+    /// All occurrences.
+    Grep {
+        /// Dictionary version that served the request.
+        version: u64,
+        /// Every `(position, pattern)` occurrence.
+        hits: Vec<Hit>,
+    },
+    /// LZ1 token stream.
+    Compress {
+        /// `encode_tokens` wire bytes.
+        payload: Vec<u8>,
+        /// Number of LZ1 phrases.
+        phrases: u32,
+    },
+    /// Optimal static parse summary.
+    Parse {
+        /// Dictionary version that served the request.
+        version: u64,
+        /// Fewest-phrases count.
+        phrases: u32,
+        /// Greedy comparator phrase count, when greedy terminates.
+        greedy_phrases: Option<u32>,
+    },
+}
+
+impl Reply {
+    /// The dictionary version a reply was computed against, if any.
+    #[must_use]
+    pub fn version(&self) -> Option<u64> {
+        match self {
+            Reply::Match { version, .. }
+            | Reply::Grep { version, .. }
+            | Reply::Parse { version, .. } => Some(*version),
+            Reply::Compress { .. } => None,
+        }
+    }
+}
+
+/// Why the service declined or failed a request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceError {
+    /// Submission queue is full; retry with backoff.
+    Overloaded,
+    /// The request's deadline passed before execution started.
+    DeadlineExceeded,
+    /// The engine is shutting down.
+    ShuttingDown,
+    /// No dictionary registered under this name.
+    NoSuchDictionary(String),
+    /// The text cannot be parsed with this dictionary (§5 needs coverage).
+    Unparseable,
+    /// Malformed request (empty dictionary, NUL bytes, …).
+    BadRequest(String),
+}
+
+impl ServiceError {
+    /// Stable wire code.
+    #[must_use]
+    pub fn code(&self) -> u8 {
+        match self {
+            ServiceError::Overloaded => 1,
+            ServiceError::DeadlineExceeded => 2,
+            ServiceError::ShuttingDown => 3,
+            ServiceError::NoSuchDictionary(_) => 4,
+            ServiceError::Unparseable => 5,
+            ServiceError::BadRequest(_) => 6,
+        }
+    }
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Overloaded => write!(f, "overloaded: submission queue full"),
+            ServiceError::DeadlineExceeded => write!(f, "deadline exceeded before execution"),
+            ServiceError::ShuttingDown => write!(f, "service shutting down"),
+            ServiceError::NoSuchDictionary(name) => write!(f, "no dictionary named {name:?}"),
+            ServiceError::Unparseable => write!(f, "text not parseable with this dictionary"),
+            ServiceError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// Which execution path served a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lane {
+    /// Batched PRAM path (`Pram::par()` + Theorem 3.1 matcher).
+    Batched = 0,
+    /// Sequential small-request fallback (Aho–Corasick baseline).
+    SeqFallback = 1,
+}
+
+/// Per-request accounting surfaced with every response.
+#[derive(Debug, Clone, Copy)]
+pub struct ResponseMeta {
+    /// Ledger cost attributed to this request.
+    pub cost: Cost,
+    /// Number of requests in the batch that served this one.
+    pub batch_size: u32,
+    /// Time spent queued before a worker picked the request up.
+    pub queued: Duration,
+    /// Execution time inside the worker.
+    pub exec: Duration,
+    /// Execution path taken.
+    pub lane: Lane,
+}
+
+impl Default for ResponseMeta {
+    fn default() -> Self {
+        Self {
+            cost: Cost::default(),
+            batch_size: 0,
+            queued: Duration::ZERO,
+            exec: Duration::ZERO,
+            lane: Lane::Batched,
+        }
+    }
+}
+
+/// Outcome of one request: payload or error, plus accounting.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Payload or failure.
+    pub result: Result<Reply, ServiceError>,
+    /// Ledger/batch/latency attribution.
+    pub meta: ResponseMeta,
+}
+
+impl Response {
+    /// An error response with default accounting (pre-execution rejects).
+    #[must_use]
+    pub fn rejected(err: ServiceError) -> Self {
+        Self {
+            result: Err(err),
+            meta: ResponseMeta::default(),
+        }
+    }
+}
+
+/// Reject texts containing the suffix-tree sentinel byte.
+pub(crate) fn check_text(text: &[u8]) -> Result<(), ServiceError> {
+    if text.contains(&0) {
+        return Err(ServiceError::BadRequest(
+            "text contains NUL bytes (reserved for the sentinel)".into(),
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_kind_round_trips_names() {
+        for k in OpKind::all() {
+            assert!(!k.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn request_deadline_is_in_the_future() {
+        let r = Request::with_timeout(
+            OpRequest::Compress {
+                text: b"x".to_vec(),
+            },
+            Duration::from_secs(5),
+        );
+        assert!(r.deadline.unwrap() > Instant::now());
+    }
+
+    #[test]
+    fn nul_text_is_rejected() {
+        assert!(check_text(b"ok").is_ok());
+        assert!(check_text(&[1, 0, 2]).is_err());
+    }
+}

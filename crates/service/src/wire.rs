@@ -1,0 +1,568 @@
+//! Length-prefixed binary framing for `pardict serve`.
+//!
+//! Built on `std` only (the registry is unreachable, so no serde/tokio):
+//! each frame is a `u32` big-endian byte length followed by that many
+//! payload bytes. The first payload byte is a tag selecting the message
+//! kind; integers are big-endian, byte strings are `u32` length-prefixed.
+//! Responses repeat a tag so decoding is context-free.
+
+use crate::types::{Hit, Reply, Response, ServiceError};
+use std::io::{self, Read, Write};
+
+/// Refuse frames larger than this (64 MiB) instead of allocating blindly.
+pub const MAX_FRAME: u32 = 64 << 20;
+
+/// Request tags (first payload byte, client → server).
+pub mod tag {
+    /// Publish a dictionary: `name, count, patterns…`.
+    pub const PUBLISH: u8 = 1;
+    /// Match: `dict, text, timeout_ms`.
+    pub const MATCH: u8 = 2;
+    /// Grep: `dict, text, timeout_ms`.
+    pub const GREP: u8 = 3;
+    /// Compress: `text, timeout_ms`.
+    pub const COMPRESS: u8 = 4;
+    /// Parse: `dict, text, timeout_ms`.
+    pub const PARSE: u8 = 5;
+    /// Fetch the plain-text metrics report.
+    pub const METRICS: u8 = 6;
+    /// Liveness probe.
+    pub const PING: u8 = 7;
+    /// Response: success payload follows.
+    pub const OK: u8 = 0x80;
+    /// Response: error code + message follow.
+    pub const ERR: u8 = 0x81;
+}
+
+/// Read one frame; `Ok(None)` on clean EOF at a frame boundary.
+///
+/// # Errors
+/// I/O errors, oversized frames, or EOF mid-frame.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut len_buf = [0u8; 4];
+    match r.read_exact(&mut len_buf) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_be_bytes(len_buf);
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds {MAX_FRAME}"),
+        ));
+    }
+    let mut buf = vec![0u8; len as usize];
+    r.read_exact(&mut buf)?;
+    Ok(Some(buf))
+}
+
+/// Write one frame.
+///
+/// # Errors
+/// I/O errors or a payload larger than [`MAX_FRAME`].
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(payload.len())
+        .ok()
+        .filter(|&l| l <= MAX_FRAME)
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "frame too large"))?;
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+// ---- payload primitives ----
+
+fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    out.extend_from_slice(&(b.len() as u32).to_be_bytes());
+    out.extend_from_slice(b);
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn err(msg: &str) -> io::Error {
+        io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+    }
+
+    fn u8(&mut self) -> io::Result<u8> {
+        let b = *self
+            .buf
+            .get(self.pos)
+            .ok_or_else(|| Self::err("truncated payload"))?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn u32(&mut self) -> io::Result<u32> {
+        let end = self.pos + 4;
+        let s = self
+            .buf
+            .get(self.pos..end)
+            .ok_or_else(|| Self::err("truncated u32"))?;
+        self.pos = end;
+        Ok(u32::from_be_bytes(s.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> io::Result<u64> {
+        let end = self.pos + 8;
+        let s = self
+            .buf
+            .get(self.pos..end)
+            .ok_or_else(|| Self::err("truncated u64"))?;
+        self.pos = end;
+        Ok(u64::from_be_bytes(s.try_into().expect("8 bytes")))
+    }
+
+    fn bytes(&mut self) -> io::Result<Vec<u8>> {
+        let len = self.u32()? as usize;
+        let end = self.pos + len;
+        let s = self
+            .buf
+            .get(self.pos..end)
+            .ok_or_else(|| Self::err("truncated byte string"))?;
+        self.pos = end;
+        Ok(s.to_vec())
+    }
+
+    fn string(&mut self) -> io::Result<String> {
+        String::from_utf8(self.bytes()?).map_err(|_| Self::err("invalid UTF-8"))
+    }
+
+    fn finish(&self) -> io::Result<()> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(Self::err("trailing bytes in payload"))
+        }
+    }
+}
+
+// ---- request codec ----
+
+/// A decoded client request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireRequest {
+    /// Install `patterns` under `name`.
+    Publish {
+        /// Dictionary name.
+        name: String,
+        /// Pattern set.
+        patterns: Vec<Vec<u8>>,
+    },
+    /// An operation; `timeout_ms == 0` means no deadline.
+    Op {
+        /// Which operation (`tag::MATCH` … `tag::PARSE`).
+        tag: u8,
+        /// Dictionary name (empty for compress).
+        dict: String,
+        /// Subject text.
+        text: Vec<u8>,
+        /// Deadline budget in milliseconds; 0 = none.
+        timeout_ms: u32,
+    },
+    /// Fetch the metrics report.
+    Metrics,
+    /// Liveness probe.
+    Ping,
+}
+
+impl WireRequest {
+    /// Encode to a frame payload.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            WireRequest::Publish { name, patterns } => {
+                out.push(tag::PUBLISH);
+                put_bytes(&mut out, name.as_bytes());
+                put_u32(&mut out, patterns.len() as u32);
+                for p in patterns {
+                    put_bytes(&mut out, p);
+                }
+            }
+            WireRequest::Op {
+                tag: t,
+                dict,
+                text,
+                timeout_ms,
+            } => {
+                out.push(*t);
+                put_bytes(&mut out, dict.as_bytes());
+                put_bytes(&mut out, text);
+                put_u32(&mut out, *timeout_ms);
+            }
+            WireRequest::Metrics => out.push(tag::METRICS),
+            WireRequest::Ping => out.push(tag::PING),
+        }
+        out
+    }
+
+    /// Decode a frame payload.
+    ///
+    /// # Errors
+    /// `InvalidData` on unknown tags or malformed payloads.
+    pub fn decode(payload: &[u8]) -> io::Result<Self> {
+        let mut c = Cursor::new(payload);
+        let t = c.u8()?;
+        let req = match t {
+            tag::PUBLISH => {
+                let name = c.string()?;
+                let n = c.u32()? as usize;
+                if n > payload.len() {
+                    return Err(Cursor::err("pattern count exceeds payload"));
+                }
+                let mut patterns = Vec::with_capacity(n);
+                for _ in 0..n {
+                    patterns.push(c.bytes()?);
+                }
+                WireRequest::Publish { name, patterns }
+            }
+            tag::MATCH | tag::GREP | tag::COMPRESS | tag::PARSE => WireRequest::Op {
+                tag: t,
+                dict: c.string()?,
+                text: c.bytes()?,
+                timeout_ms: c.u32()?,
+            },
+            tag::METRICS => WireRequest::Metrics,
+            tag::PING => WireRequest::Ping,
+            other => return Err(Cursor::err(&format!("unknown request tag {other}"))),
+        };
+        c.finish()?;
+        Ok(req)
+    }
+}
+
+// ---- response codec ----
+
+/// A decoded server response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireResponse {
+    /// Publish succeeded.
+    Published {
+        /// Installed version.
+        version: u64,
+        /// Whether the build came from the preprocessing cache.
+        cache_hit: bool,
+    },
+    /// Match/grep hits.
+    Hits {
+        /// Dictionary version that served the request.
+        version: u64,
+        /// Occurrences.
+        hits: Vec<Hit>,
+    },
+    /// Compression result.
+    Compressed {
+        /// `encode_tokens` bytes.
+        payload: Vec<u8>,
+        /// LZ1 phrase count.
+        phrases: u32,
+    },
+    /// Parse result.
+    Parsed {
+        /// Dictionary version that served the request.
+        version: u64,
+        /// Optimal phrase count.
+        phrases: u32,
+        /// Greedy phrase count, `u32::MAX` encoding `None`.
+        greedy_phrases: Option<u32>,
+    },
+    /// Metrics report text.
+    MetricsReport(String),
+    /// Ping reply.
+    Pong,
+    /// Service error.
+    Error {
+        /// [`ServiceError::code`] value.
+        code: u8,
+        /// Human-readable message.
+        message: String,
+    },
+}
+
+/// Sub-tags for OK responses.
+mod ok {
+    pub const PUBLISHED: u8 = 1;
+    pub const HITS: u8 = 2;
+    pub const COMPRESSED: u8 = 3;
+    pub const PARSED: u8 = 4;
+    pub const METRICS: u8 = 5;
+    pub const PONG: u8 = 6;
+}
+
+impl WireResponse {
+    /// Encode to a frame payload.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            WireResponse::Error { code, message } => {
+                out.push(tag::ERR);
+                out.push(*code);
+                put_bytes(&mut out, message.as_bytes());
+            }
+            WireResponse::Published { version, cache_hit } => {
+                out.push(tag::OK);
+                out.push(ok::PUBLISHED);
+                put_u64(&mut out, *version);
+                out.push(u8::from(*cache_hit));
+            }
+            WireResponse::Hits { version, hits } => {
+                out.push(tag::OK);
+                out.push(ok::HITS);
+                put_u64(&mut out, *version);
+                put_u32(&mut out, hits.len() as u32);
+                for h in hits {
+                    put_u64(&mut out, h.pos);
+                    put_u32(&mut out, h.id);
+                    put_u32(&mut out, h.len);
+                }
+            }
+            WireResponse::Compressed { payload, phrases } => {
+                out.push(tag::OK);
+                out.push(ok::COMPRESSED);
+                put_u32(&mut out, *phrases);
+                put_bytes(&mut out, payload);
+            }
+            WireResponse::Parsed {
+                version,
+                phrases,
+                greedy_phrases,
+            } => {
+                out.push(tag::OK);
+                out.push(ok::PARSED);
+                put_u64(&mut out, *version);
+                put_u32(&mut out, *phrases);
+                put_u32(&mut out, greedy_phrases.unwrap_or(u32::MAX));
+            }
+            WireResponse::MetricsReport(s) => {
+                out.push(tag::OK);
+                out.push(ok::METRICS);
+                put_bytes(&mut out, s.as_bytes());
+            }
+            WireResponse::Pong => {
+                out.push(tag::OK);
+                out.push(ok::PONG);
+            }
+        }
+        out
+    }
+
+    /// Decode a frame payload.
+    ///
+    /// # Errors
+    /// `InvalidData` on unknown tags or malformed payloads.
+    pub fn decode(payload: &[u8]) -> io::Result<Self> {
+        let mut c = Cursor::new(payload);
+        let resp = match c.u8()? {
+            tag::ERR => WireResponse::Error {
+                code: c.u8()?,
+                message: c.string()?,
+            },
+            tag::OK => match c.u8()? {
+                ok::PUBLISHED => WireResponse::Published {
+                    version: c.u64()?,
+                    cache_hit: c.u8()? != 0,
+                },
+                ok::HITS => {
+                    let version = c.u64()?;
+                    let n = c.u32()? as usize;
+                    if n.saturating_mul(16) > payload.len() {
+                        return Err(Cursor::err("hit count exceeds payload"));
+                    }
+                    let mut hits = Vec::with_capacity(n);
+                    for _ in 0..n {
+                        hits.push(Hit {
+                            pos: c.u64()?,
+                            id: c.u32()?,
+                            len: c.u32()?,
+                        });
+                    }
+                    WireResponse::Hits { version, hits }
+                }
+                ok::COMPRESSED => WireResponse::Compressed {
+                    phrases: c.u32()?,
+                    payload: c.bytes()?,
+                },
+                ok::PARSED => WireResponse::Parsed {
+                    version: c.u64()?,
+                    phrases: c.u32()?,
+                    greedy_phrases: match c.u32()? {
+                        u32::MAX => None,
+                        g => Some(g),
+                    },
+                },
+                ok::METRICS => WireResponse::MetricsReport(c.string()?),
+                ok::PONG => WireResponse::Pong,
+                other => return Err(Cursor::err(&format!("unknown ok sub-tag {other}"))),
+            },
+            other => return Err(Cursor::err(&format!("unknown response tag {other}"))),
+        };
+        c.finish()?;
+        Ok(resp)
+    }
+
+    /// Convert an engine [`Response`] to its wire form.
+    #[must_use]
+    pub fn from_engine(resp: &Response) -> Self {
+        match &resp.result {
+            Err(e) => WireResponse::Error {
+                code: e.code(),
+                message: e.to_string(),
+            },
+            Ok(Reply::Match { version, hits }) | Ok(Reply::Grep { version, hits }) => {
+                WireResponse::Hits {
+                    version: *version,
+                    hits: hits.clone(),
+                }
+            }
+            Ok(Reply::Compress { payload, phrases }) => WireResponse::Compressed {
+                payload: payload.clone(),
+                phrases: *phrases,
+            },
+            Ok(Reply::Parse {
+                version,
+                phrases,
+                greedy_phrases,
+            }) => WireResponse::Parsed {
+                version: *version,
+                phrases: *phrases,
+                greedy_phrases: *greedy_phrases,
+            },
+        }
+    }
+}
+
+/// Recover a [`ServiceError`] from a wire error `(code, message)` pair.
+#[must_use]
+pub fn error_from_wire(code: u8, message: &str) -> ServiceError {
+    match code {
+        1 => ServiceError::Overloaded,
+        2 => ServiceError::DeadlineExceeded,
+        3 => ServiceError::ShuttingDown,
+        4 => ServiceError::NoSuchDictionary(message.to_string()),
+        5 => ServiceError::Unparseable,
+        _ => ServiceError::BadRequest(message.to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"");
+        assert!(read_frame(&mut r).unwrap().is_none());
+    }
+
+    #[test]
+    fn oversized_frame_is_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(MAX_FRAME + 1).to_be_bytes());
+        assert!(read_frame(&mut &buf[..]).is_err());
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        let reqs = [
+            WireRequest::Publish {
+                name: "corpus".into(),
+                patterns: vec![b"ana".to_vec(), b"ban".to_vec()],
+            },
+            WireRequest::Op {
+                tag: tag::MATCH,
+                dict: "corpus".into(),
+                text: b"banana".to_vec(),
+                timeout_ms: 250,
+            },
+            WireRequest::Op {
+                tag: tag::COMPRESS,
+                dict: String::new(),
+                text: b"aaaa".to_vec(),
+                timeout_ms: 0,
+            },
+            WireRequest::Metrics,
+            WireRequest::Ping,
+        ];
+        for req in reqs {
+            assert_eq!(WireRequest::decode(&req.encode()).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let resps = [
+            WireResponse::Published {
+                version: 7,
+                cache_hit: true,
+            },
+            WireResponse::Hits {
+                version: 2,
+                hits: vec![
+                    Hit {
+                        pos: 0,
+                        id: 1,
+                        len: 3,
+                    },
+                    Hit {
+                        pos: 9,
+                        id: 0,
+                        len: 2,
+                    },
+                ],
+            },
+            WireResponse::Compressed {
+                payload: vec![1, 2, 3],
+                phrases: 3,
+            },
+            WireResponse::Parsed {
+                version: 1,
+                phrases: 4,
+                greedy_phrases: None,
+            },
+            WireResponse::MetricsReport("ok".into()),
+            WireResponse::Pong,
+            WireResponse::Error {
+                code: 1,
+                message: "overloaded".into(),
+            },
+        ];
+        for resp in resps {
+            assert_eq!(WireResponse::decode(&resp.encode()).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn malformed_payloads_error_cleanly() {
+        assert!(WireRequest::decode(&[]).is_err());
+        assert!(WireRequest::decode(&[99]).is_err());
+        assert!(WireRequest::decode(&[tag::MATCH, 0, 0]).is_err());
+        // Trailing garbage is rejected.
+        let mut p = WireRequest::Ping.encode();
+        p.push(0);
+        assert!(WireRequest::decode(&p).is_err());
+        assert!(WireResponse::decode(&[tag::OK, 42]).is_err());
+    }
+}

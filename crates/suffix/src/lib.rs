@@ -40,7 +40,10 @@ mod proptests {
     use proptest::prelude::*;
 
     fn nul_free_text(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
-        prop::collection::vec(prop::sample::select(vec![b'a', b'b', b'c', b'd']), 0..max_len)
+        prop::collection::vec(
+            prop::sample::select(vec![b'a', b'b', b'c', b'd']),
+            0..max_len,
+        )
     }
 
     proptest! {

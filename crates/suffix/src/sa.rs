@@ -214,7 +214,9 @@ mod tests {
     fn all_lengths_mod_three() {
         let mut rng = SplitMix64::new(7);
         for n in 3..40usize {
-            let text: Vec<u8> = (0..n).map(|_| (rng.next_below(3) + b'a' as u64) as u8).collect();
+            let text: Vec<u8> = (0..n)
+                .map(|_| (rng.next_below(3) + b'a' as u64) as u8)
+                .collect();
             check(&text);
         }
     }

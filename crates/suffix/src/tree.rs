@@ -125,8 +125,7 @@ impl SuffixTree {
         let rep = list_rank_random_mate_full(pram, &chain_next, rng.next_u64()).tail;
 
         // Compact ids for representative boundaries.
-        let is_rep: Vec<bool> =
-            pram.tabulate(m + 1, |k| k >= 1 && k < m && rep[k] == k);
+        let is_rep: Vec<bool> = pram.tabulate(m + 1, |k| k >= 1 && k < m && rep[k] == k);
         let rep_list = pram.pack_indices(&is_rep);
         let num_internal = rep_list.len().max(1); // ≥ 1: the root
         let mut internal_idx = vec![u32::MAX; m + 1];
@@ -187,7 +186,11 @@ impl SuffixTree {
             } else {
                 let (l, r) = (left[k], right[k]);
                 let pb = if ell[l] >= ell[r] { l } else { r };
-                parent[node] = if ell[pb] < 0 { root } else { node_of_boundary(pb) };
+                parent[node] = if ell[pb] < 0 {
+                    root
+                } else {
+                    node_of_boundary(pb)
+                };
             }
         }
         if rep_list.is_empty() {
@@ -361,7 +364,9 @@ impl SuffixTree {
     /// Child of `v` whose edge starts with symbol `code`.
     #[must_use]
     pub fn child(&self, v: usize, code: SymCode) -> Option<usize> {
-        self.child_by_sym.get(&sym_key(v, code)).map(|&c| c as usize)
+        self.child_by_sym
+            .get(&sym_key(v, code))
+            .map(|&c| c as usize)
     }
 
     /// Child of `v` whose edge starts with text byte `c`.
@@ -415,7 +420,9 @@ impl SuffixTree {
     /// Weiner link: the node labelled `code · σ(v)`, if explicit.
     #[must_use]
     pub fn wlink(&self, v: usize, code: SymCode) -> Option<usize> {
-        self.wlink_by_sym.get(&sym_key(v, code)).map(|&u| u as usize)
+        self.wlink_by_sym
+            .get(&sym_key(v, code))
+            .map(|&u| u as usize)
     }
 
     /// O(1) longest common prefix of the suffixes at text positions `i`
@@ -620,8 +627,7 @@ mod tests {
         let mut rng = SplitMix64::new(55);
         for sigma in [2u64, 4, 26] {
             for n in [17usize, 100, 400] {
-                let text: Vec<u8> =
-                    (0..n).map(|_| (rng.next_below(sigma) + 97) as u8).collect();
+                let text: Vec<u8> = (0..n).map(|_| (rng.next_below(sigma) + 97) as u8).collect();
                 full_check(&text);
             }
         }

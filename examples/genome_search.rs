@@ -45,7 +45,11 @@ fn main() {
 
     // Match three "reads" of different sizes drawn from the genome with
     // mutations (fresh random tails).
-    for (label, n, offset) in [("read A", 20_000usize, 1000usize), ("read B", 50_000, 60_000), ("read C", 100_000, 90_000)] {
+    for (label, n, offset) in [
+        ("read A", 20_000usize, 1000usize),
+        ("read B", 50_000, 60_000),
+        ("read C", 100_000, 90_000),
+    ] {
         let mut read = genome[offset..offset + n / 2].to_vec();
         read.extend(dna_text(n as u64, n - n / 2));
         let (matches, cost) = pram.metered(|p| matcher.match_text(p, &read));

@@ -13,8 +13,8 @@
 //! ```
 
 use pardict::compress::{encoded_size, lz78_compress};
-use pardict::prelude::*;
 use pardict::pram::SplitMix64;
+use pardict::prelude::*;
 
 /// A fake but structured log: repeated templates with random fields.
 fn synth_log(seed: u64, lines: usize) -> Vec<u8> {

@@ -64,7 +64,9 @@ fn main() {
     report("linear RMQ preprocessing", n, c);
 
     // Suffix tree (Lemma 2.1 object).
-    let text: Vec<u8> = (0..n).map(|_| (rng.next_below(4) + b'A' as u64) as u8).collect();
+    let text: Vec<u8> = (0..n)
+        .map(|_| (rng.next_below(4) + b'A' as u64) as u8)
+        .collect();
     let pram = Pram::par();
     let (_, c) = pram.metered(|p| SuffixTree::build(p, &text, 6));
     report("suffix tree (SA+LCP+ANSV)", n, c);

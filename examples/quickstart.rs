@@ -20,7 +20,10 @@ fn main() {
     ]);
     let text = b"ushers and fishers say she sells seashells";
     let (matches, cost) = pram.metered(|p| dictionary_match(p, &dict, text, 42));
-    println!("dictionary matching over {:?}:", String::from_utf8_lossy(text));
+    println!(
+        "dictionary matching over {:?}:",
+        String::from_utf8_lossy(text)
+    );
     for (pos, m) in matches.iter_hits() {
         println!(
             "  pos {pos:2}: {:?} (pattern #{}, longest at that position)",

@@ -31,7 +31,10 @@ fn main() {
         dict.total_len()
     );
 
-    println!("{:>8}  {:>8} {:>8} {:>8} {:>8}   {:>12} {:>12}", "n", "optimal", "greedy", "LFF", "BFS", "opt work", "BFS work");
+    println!(
+        "{:>8}  {:>8} {:>8} {:>8} {:>8}   {:>12} {:>12}",
+        "n", "optimal", "greedy", "LFF", "BFS", "opt work", "BFS work"
+    );
     for n in [1_000usize, 5_000, 20_000] {
         // Messages are excerpts of the corpus the codebook was trained on
         // (the realistic transmission case), so codebook words hit often.
@@ -40,12 +43,7 @@ fn main() {
         let (bfs, c_bfs) = pram.metered(|p| bfs_parse(p, &matcher, &msg));
         let greedy = greedy_parse(&pram, &matcher, &msg);
         let lff = lff_parse(&pram, &matcher, &msg);
-        let (opt, bfs, greedy, lff) = (
-            opt.unwrap(),
-            bfs.unwrap(),
-            greedy.unwrap(),
-            lff.unwrap(),
-        );
+        let (opt, bfs, greedy, lff) = (opt.unwrap(), bfs.unwrap(), greedy.unwrap(), lff.unwrap());
         assert_eq!(opt.expand(&dict), msg);
         assert_eq!(opt.num_phrases(), bfs.num_phrases(), "optimality");
         println!(

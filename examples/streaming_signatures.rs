@@ -12,8 +12,8 @@
 //! ```
 
 use pardict::core::AdaptiveDictMatcher;
-use pardict::prelude::*;
 use pardict::pram::SplitMix64;
+use pardict::prelude::*;
 use pardict::workloads::{random_text, Alphabet};
 
 fn main() {

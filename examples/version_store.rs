@@ -11,8 +11,8 @@
 //! ```
 
 use pardict::compress::{encode_tokens, encoded_size};
-use pardict::prelude::*;
 use pardict::pram::SplitMix64;
+use pardict::prelude::*;
 use pardict::workloads::{markov_text, Alphabet};
 
 fn main() {
@@ -92,5 +92,8 @@ fn main() {
         doc = delta_decompress(&pram, &doc, &stored[r]);
     }
     assert_eq!(&doc, revisions.last().unwrap());
-    println!("replayed {} deltas; final revision verified ✔", stored.len() - 1);
+    println!(
+        "replayed {} deltas; final revision verified ✔",
+        stored.len() - 1
+    );
 }

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Offline CI gate: formatting, lints, release build, and the test suite.
+# Must not require network access — all dependencies resolve inside the
+# workspace (see vendor/README.md).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+echo "== cargo fmt --check"
+cargo fmt --check
+
+echo "== cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace -- -D warnings
+
+echo "== cargo build --release"
+cargo build --release
+
+echo "== cargo test -q"
+cargo test -q
+
+echo "ci.sh: all green"

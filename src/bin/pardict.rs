@@ -9,6 +9,8 @@
 //! pardict delta   base.bin new.bin -o out.pdz    differential compression
 //! pardict patch   base.bin out.pdz -o new.bin    apply a delta
 //! pardict stats   in.bin                         ledger work/depth summary
+//! pardict serve   --addr 127.0.0.1:7878          concurrent serving engine
+//! pardict serve   --selftest                     in-process serving selftest
 //! ```
 //!
 //! Dictionary files contain one pattern per line (empty lines ignored).
@@ -43,6 +45,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "delta" => cmd_delta(rest),
         "patch" => cmd_patch(rest),
         "stats" => cmd_stats(rest),
+        "serve" => cmd_serve(rest),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             Ok(())
@@ -52,8 +55,10 @@ fn run(args: &[String]) -> Result<(), String> {
 }
 
 fn usage() -> String {
-    "usage: pardict <match|grep|compress|decompress|parse|delta|patch|stats> \
-     [--dict FILE] [-o FILE] [INPUT...]"
+    "usage: pardict <match|grep|compress|decompress|parse|delta|patch|stats|serve> \
+     [--dict FILE] [-o FILE] [INPUT...]\n\
+     serve: pardict serve [--addr HOST:PORT] [--dict FILE [--name NAME]] [--workers N]\n\
+     \x20       pardict serve --selftest [--requests N] [--workers N]"
         .to_string()
 }
 
@@ -135,7 +140,7 @@ fn cmd_match(args: &[String], all: bool) -> Result<(), String> {
                 m.id,
                 String::from_utf8_lossy(&dict.patterns()[m.id as usize])
             )
-            .unwrap();
+            .map_err(|e| format!("formatting output: {e}"))?;
         }
     } else {
         let matches = dictionary_match(&pram, &dict, &text, 0xC11);
@@ -146,7 +151,7 @@ fn cmd_match(args: &[String], all: bool) -> Result<(), String> {
                 m.id,
                 String::from_utf8_lossy(&dict.patterns()[m.id as usize])
             )
-            .unwrap();
+            .map_err(|e| format!("formatting output: {e}"))?;
         }
     }
     write_output(out, &buf)
@@ -198,7 +203,7 @@ fn cmd_parse(args: &[String]) -> Result<(), String> {
             None => " (greedy dead-ends)".to_string(),
         }
     )
-    .unwrap();
+    .map_err(|e| format!("formatting output: {e}"))?;
     for ph in &parse.phrases {
         let p = &dict.patterns()[ph.pattern as usize];
         writeln!(
@@ -207,7 +212,7 @@ fn cmd_parse(args: &[String]) -> Result<(), String> {
             ph.start,
             String::from_utf8_lossy(&p[..ph.len])
         )
-        .unwrap();
+        .map_err(|e| format!("formatting output: {e}"))?;
     }
     write_output(out, &buf)
 }
@@ -241,11 +246,94 @@ fn cmd_patch(args: &[String]) -> Result<(), String> {
     }
     let base = std::fs::read(pos[0]).map_err(|e| format!("{}: {e}", pos[0]))?;
     let data = std::fs::read(pos[1]).map_err(|e| format!("{}: {e}", pos[1]))?;
-    let tokens = pardict::compress::decode_tokens_from(&data, base.len())
-        .map_err(|e| e.to_string())?;
+    let tokens =
+        pardict::compress::decode_tokens_from(&data, base.len()).map_err(|e| e.to_string())?;
     let pram = Pram::par();
     let new = delta_decompress(&pram, &base, &tokens);
     write_output(out, &new)
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    use pardict::service::{selftest, Engine, EngineConfig, Metrics, Registry, Server};
+    use std::sync::Arc;
+
+    let mut addr = "127.0.0.1:7878".to_string();
+    let mut dict_path: Option<String> = None;
+    let mut name = "default".to_string();
+    let mut workers: Option<usize> = None;
+    let mut requests: Option<usize> = None;
+    let mut run_selftest = false;
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => addr = it.next().ok_or("--addr needs HOST:PORT")?.clone(),
+            "--dict" => dict_path = Some(it.next().ok_or("--dict needs a path")?.clone()),
+            "--name" => name = it.next().ok_or("--name needs a name")?.clone(),
+            "--workers" => {
+                workers = Some(
+                    it.next()
+                        .ok_or("--workers needs a count")?
+                        .parse()
+                        .map_err(|e| format!("--workers: {e}"))?,
+                );
+            }
+            "--requests" => {
+                requests = Some(
+                    it.next()
+                        .ok_or("--requests needs a count")?
+                        .parse()
+                        .map_err(|e| format!("--requests: {e}"))?,
+                );
+            }
+            "--selftest" => run_selftest = true,
+            other => return Err(format!("serve: unknown flag {other:?}\n{}", usage())),
+        }
+    }
+
+    if run_selftest {
+        let mut opts = selftest::SelftestOptions::default();
+        if let Some(r) = requests {
+            opts.requests = r;
+        }
+        if let Some(w) = workers {
+            opts.workers = w;
+        }
+        let report = selftest::run(&opts)?;
+        println!("{report}");
+        return Ok(());
+    }
+
+    let metrics = Arc::new(Metrics::default());
+    let registry = Arc::new(Registry::new(Arc::clone(&metrics)));
+    let mut cfg = EngineConfig::default();
+    if let Some(w) = workers {
+        cfg.workers = w.max(1);
+    }
+    let engine = Engine::new(cfg, Arc::clone(&registry), metrics);
+
+    if let Some(path) = dict_path {
+        let dict = read_dict(Some(path))?;
+        let patterns = dict.patterns().to_vec();
+        let out = registry
+            .publish(&name, patterns)
+            .map_err(|e| format!("publishing {name}: {e}"))?;
+        eprintln!(
+            "pardict: serving dictionary {name:?} v{} ({} patterns)",
+            out.version,
+            dict.num_patterns()
+        );
+    }
+
+    let server = Server::start(engine, &*addr).map_err(|e| format!("binding {addr}: {e}"))?;
+    eprintln!(
+        "pardict: listening on {} ({} workers); stop with ^C",
+        server.addr(),
+        server.engine().config().workers
+    );
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
 }
 
 fn cmd_stats(args: &[String]) -> Result<(), String> {

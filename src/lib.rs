@@ -67,6 +67,7 @@
 //! | [`core`] | the dictionary matcher (§3) with checker and baselines |
 //! | [`compress`] | LZ1, LZ78, optimal static parsing (§4–§5) |
 //! | [`workloads`] | seeded synthetic corpora and dictionaries |
+//! | [`service`] | concurrent serving: hot-swap registry, batching, metrics |
 
 pub use pardict_ancestors as ancestors;
 pub use pardict_compress as compress;
@@ -75,6 +76,7 @@ pub use pardict_fingerprint as fingerprint;
 pub use pardict_graph as graph;
 pub use pardict_pram as pram;
 pub use pardict_rmq as rmq;
+pub use pardict_service as service;
 pub use pardict_suffix as suffix;
 pub use pardict_veb as veb;
 pub use pardict_workloads as workloads;
@@ -83,9 +85,8 @@ pub use pardict_workloads as workloads;
 pub mod prelude {
     pub use pardict_compress::{
         bfs_parse, delta_compress, delta_decompress, greedy_parse, lff_parse,
-        longest_previous_factor, lz1_compress,
-        lz1_decompress, lz1_nlogn_baseline, lz77_sequential, lz77_windowed, lz78_compress,
-        lz78_decompress, optimal_parse, Parse, Phrase, Token,
+        longest_previous_factor, lz1_compress, lz1_decompress, lz1_nlogn_baseline, lz77_sequential,
+        lz77_windowed, lz78_compress, lz78_decompress, optimal_parse, Parse, Phrase, Token,
     };
     pub use pardict_core::{
         dictionary_match, dictionary_match_offline, substring_match, AdaptiveDictMatcher,

@@ -26,7 +26,11 @@ fn match_lists_longest_hits() {
         .arg(&text)
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8(out.stdout).unwrap();
     assert!(stdout.contains("1\t1\tshe"), "{stdout}");
     assert!(stdout.contains("2\t2\thers"), "{stdout}");
@@ -46,7 +50,10 @@ fn grep_lists_all_hits() {
         .unwrap();
     assert!(out.status.success());
     let stdout = String::from_utf8(out.stdout).unwrap();
-    assert!(stdout.contains("2\t0\the"), "grep must include shorter hits: {stdout}");
+    assert!(
+        stdout.contains("2\t0\the"),
+        "grep must include shorter hits: {stdout}"
+    );
     assert!(stdout.contains("2\t2\thers"), "{stdout}");
 }
 
@@ -64,7 +71,11 @@ fn compress_decompress_roundtrip() {
         .arg(&packed)
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(std::fs::metadata(&packed).unwrap().len() < data.len() as u64);
 
     let out = bin()
@@ -121,7 +132,11 @@ fn delta_and_patch_roundtrip() {
         .arg(&delta)
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(
         std::fs::metadata(&delta).unwrap().len() < 100,
         "delta should be tiny"

@@ -9,7 +9,11 @@ use pardict::workloads::{markov_text, random_dictionary, text_with_planted_match
 /// Fit: does `ys[i] / xs[i]` stay (roughly) constant? Returns the max/min
 /// ratio spread.
 fn flatness(xs: &[usize], ys: &[u64]) -> f64 {
-    let per: Vec<f64> = xs.iter().zip(ys).map(|(&x, &y)| y as f64 / x as f64).collect();
+    let per: Vec<f64> = xs
+        .iter()
+        .zip(ys)
+        .map(|(&x, &y)| y as f64 / x as f64)
+        .collect();
     let lo = per.iter().cloned().fold(f64::INFINITY, f64::min);
     let hi = per.iter().cloned().fold(0.0, f64::max);
     hi / lo
@@ -76,7 +80,10 @@ fn theorem_4_3_decompression_work_linear_depth_log() {
             c.depth
         );
     }
-    assert!(flatness(&ns, &works) < 1.45, "unlz1 work/n not flat: {works:?}");
+    assert!(
+        flatness(&ns, &works) < 1.45,
+        "unlz1 work/n not flat: {works:?}"
+    );
 }
 
 #[test]
@@ -84,7 +91,9 @@ fn theorem_5_3_static_parse_work_linear() {
     let alpha = Alphabet::dna();
     let mut words: Vec<Vec<u8>> = (0..alpha.size()).map(|i| vec![alpha.symbol(i)]).collect();
     let training = markov_text(1, 8000, alpha);
-    words.extend(pardict::workloads::dictionary_from_text(2, &training, 40, 2, 10));
+    words.extend(pardict::workloads::dictionary_from_text(
+        2, &training, 40, 2, 10,
+    ));
     let dict = Dictionary::new(words);
     let pram = Pram::seq();
     let matcher = DictMatcher::build(&pram, dict, 3);
@@ -96,7 +105,10 @@ fn theorem_5_3_static_parse_work_linear() {
         assert!(p.is_some());
         works.push(c.work);
     }
-    assert!(flatness(&ns, &works) < 1.35, "parse work/n not flat: {works:?}");
+    assert!(
+        flatness(&ns, &works) < 1.35,
+        "parse work/n not flat: {works:?}"
+    );
 }
 
 #[test]

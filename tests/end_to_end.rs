@@ -74,7 +74,11 @@ fn theorems_4_2_4_3_lz1_roundtrip_on_all_corpora() {
     ];
     for (k, text) in corpora.into_iter().enumerate() {
         let tokens = lz1_compress(&pram, &text, 50 + k as u64);
-        assert_eq!(lz1_decompress(&pram, &tokens, 60 + k as u64), text, "corpus {k}");
+        assert_eq!(
+            lz1_decompress(&pram, &tokens, 60 + k as u64),
+            text,
+            "corpus {k}"
+        );
         // The parallel parse must equal the sequential greedy one.
         let seq_tokens = lz77_sequential(&text);
         assert_eq!(tokens.len(), seq_tokens.len(), "corpus {k} phrase count");
@@ -89,8 +93,7 @@ fn theorem_5_3_optimal_parse_equals_bfs_on_workloads() {
     let pram = Pram::seq();
     for seed in 0..4u64 {
         let alpha = Alphabet::dna();
-        let mut words: Vec<Vec<u8>> =
-            (0..alpha.size()).map(|i| vec![alpha.symbol(i)]).collect();
+        let mut words: Vec<Vec<u8>> = (0..alpha.size()).map(|i| vec![alpha.symbol(i)]).collect();
         let training = markov_text(seed, 4000, alpha);
         words.extend(dictionary_from_text(seed + 1, &training, 50, 2, 10));
         let dict = Dictionary::new(words);
@@ -192,7 +195,10 @@ fn binary_alphabet_reduction_roundtrip() {
     let patterns = random_dictionary(41, 12, 2, 6, alpha);
     let text = text_with_planted_matches(42, &patterns, 500, 30, alpha);
 
-    let enc_pats: Vec<Vec<u8>> = patterns.iter().map(|p| encode_binary(p, 256).data).collect();
+    let enc_pats: Vec<Vec<u8>> = patterns
+        .iter()
+        .map(|p| encode_binary(p, 256).data)
+        .collect();
     let enc = encode_binary(&text, 256);
     let enc_dict = Dictionary::new(enc_pats);
     let matches = dictionary_match(&pram, &enc_dict, &enc.data, 43);
@@ -200,6 +206,10 @@ fn binary_alphabet_reduction_roundtrip() {
 
     let want = AhoCorasick::build(&Dictionary::new(patterns)).match_text(&text);
     for i in 0..text.len() {
-        assert_eq!(decoded.get(i).map(|m| m.len), want.get(i).map(|m| m.len), "i={i}");
+        assert_eq!(
+            decoded.get(i).map(|m| m.len),
+            want.get(i).map(|m| m.len),
+            "i={i}"
+        );
     }
 }

@@ -1,0 +1,209 @@
+//! Integration tests for `pardict-service`: the engine must be
+//! observationally equivalent to one-shot library calls, including across
+//! a mid-stream dictionary hot-swap.
+
+use pardict::prelude::*;
+use pardict::service::{
+    Engine, EngineConfig, Lane, Metrics, OpRequest, Registry, Reply, Request, ServiceError,
+};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Strategy: NUL-free byte strings over a small alphabet (dense repeats).
+fn small_alpha_text(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(prop::sample::select(vec![b'a', b'b', b'c']), 0..max_len)
+}
+
+/// Strategy: a non-empty dictionary of 1..8 non-empty patterns.
+fn dictionary() -> impl Strategy<Value = Vec<Vec<u8>>> {
+    prop::collection::vec(
+        prop::collection::vec(prop::sample::select(vec![b'a', b'b', b'c']), 1..8),
+        1..8,
+    )
+}
+
+/// A deterministic single-threaded engine: callers drain the queue inline,
+/// so tests see every batch-size and lane effect without timing races.
+fn inline_engine(seq_threshold: usize) -> Engine {
+    let metrics = Arc::new(Metrics::default());
+    let registry = Arc::new(Registry::new(Arc::clone(&metrics)));
+    Engine::new(
+        EngineConfig {
+            workers: 0,
+            queue_depth: 256,
+            max_batch: 16,
+            seq_threshold,
+        },
+        registry,
+        metrics,
+    )
+}
+
+/// Longest-match hit list straight from the library, for comparison.
+fn library_hits(patterns: &[Vec<u8>], text: &[u8]) -> Vec<(u64, u32)> {
+    let pram = Pram::seq();
+    let dict = Dictionary::new(patterns.to_vec());
+    dictionary_match(&pram, &dict, text, 0xA5)
+        .iter_hits()
+        .map(|(i, m)| (i as u64, m.len))
+        .collect()
+}
+
+fn engine_hits(engine: &Engine, dict: &str, text: &[u8]) -> (u64, Vec<(u64, u32)>) {
+    let resp = engine.call(Request::new(OpRequest::Match {
+        dict: dict.to_string(),
+        text: text.to_vec(),
+    }));
+    match resp.result.expect("match should succeed") {
+        Reply::Match { version, hits } => {
+            (version, hits.into_iter().map(|h| (h.pos, h.len)).collect())
+        }
+        other => panic!("unexpected reply {other:?}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Batched `match` responses equal direct `dictionary_match` results,
+    /// on both the batched and the sequential-fallback lane.
+    #[test]
+    fn engine_match_equals_library(
+        patterns in dictionary(),
+        text in small_alpha_text(200),
+    ) {
+        // threshold 0: everything batched; threshold usize::MAX: everything
+        // on the Aho-Corasick fallback lane. Both must agree with the
+        // library.
+        for threshold in [0, usize::MAX] {
+            let engine = inline_engine(threshold);
+            engine.registry().publish("d", patterns.clone()).unwrap();
+            let (version, got) = engine_hits(&engine, "d", &text);
+            prop_assert_eq!(version, 1);
+            prop_assert_eq!(&got, &library_hits(&patterns, &text));
+        }
+    }
+
+    /// Hot-swap consistency: every reply is computed entirely against the
+    /// version it names — answers are never a mix of versions — and after
+    /// the swap new requests see the new version.
+    #[test]
+    fn engine_match_consistent_across_hot_swap(
+        pats_v1 in dictionary(),
+        pats_v2 in dictionary(),
+        text in small_alpha_text(160),
+    ) {
+        let engine = inline_engine(64);
+        engine.registry().publish("d", pats_v1.clone()).unwrap();
+
+        let expect_v1 = library_hits(&pats_v1, &text);
+        let expect_v2 = library_hits(&pats_v2, &text);
+
+        let (v_before, got_before) = engine_hits(&engine, "d", &text);
+        prop_assert_eq!(v_before, 1);
+        prop_assert_eq!(&got_before, &expect_v1);
+
+        // Mid-stream: queue requests, swap the dictionary while they are
+        // still pending, then queue more. Each response must match the
+        // library output for exactly the version it reports.
+        let mk = || Request::new(OpRequest::Match { dict: "d".into(), text: text.clone() });
+        let pending: Vec<_> = (0..4).map(|_| engine.submit(mk()).unwrap()).collect();
+        engine.registry().publish("d", pats_v2.clone()).unwrap();
+        let after: Vec<_> = (0..4).map(|_| engine.submit(mk()).unwrap()).collect();
+
+        for ticket in pending.into_iter().chain(after) {
+            let resp = ticket.wait();
+            match resp.result.expect("match should succeed") {
+                Reply::Match { version, hits } => {
+                    let got: Vec<(u64, u32)> =
+                        hits.into_iter().map(|h| (h.pos, h.len)).collect();
+                    match version {
+                        1 => prop_assert_eq!(&got, &expect_v1),
+                        2 => prop_assert_eq!(&got, &expect_v2),
+                        v => prop_assert!(false, "impossible version {}", v),
+                    }
+                }
+                other => prop_assert!(false, "unexpected reply {:?}", other),
+            }
+        }
+
+        // A fresh synchronous request must now see version 2.
+        let (v_after, got_after) = engine_hits(&engine, "d", &text);
+        prop_assert_eq!(v_after, 2);
+        prop_assert_eq!(&got_after, &expect_v2);
+    }
+
+    /// The engine's `parse` agrees with the library's `optimal_parse`
+    /// (phrase count), including the unparseable case.
+    #[test]
+    fn engine_parse_equals_library(
+        patterns in dictionary(),
+        text in small_alpha_text(120),
+    ) {
+        let engine = inline_engine(64);
+        engine.registry().publish("d", patterns.clone()).unwrap();
+        let pram = Pram::seq();
+        let matcher = DictMatcher::build(&pram, Dictionary::new(patterns), 0xA5);
+        let want = optimal_parse(&pram, &matcher, &text);
+
+        let resp = engine.call(Request::new(OpRequest::Parse {
+            dict: "d".into(),
+            text: text.clone(),
+        }));
+        match (want, resp.result) {
+            (Some(p), Ok(Reply::Parse { phrases, .. })) => {
+                prop_assert_eq!(phrases as usize, p.num_phrases());
+            }
+            (None, Err(ServiceError::Unparseable)) => {}
+            (want, got) => prop_assert!(
+                false,
+                "parse disagreement: library {:?} vs engine {:?}",
+                want.map(|p| p.num_phrases()),
+                got
+            ),
+        }
+    }
+}
+
+#[test]
+fn per_request_cost_attribution_is_nonzero_and_lane_tagged() {
+    let engine = inline_engine(32);
+    engine
+        .registry()
+        .publish("d", vec![b"abra".to_vec(), b"cad".to_vec()])
+        .unwrap();
+
+    // Small text: sequential fallback lane.
+    let small = engine.call(Request::new(OpRequest::Match {
+        dict: "d".into(),
+        text: b"abracadabra".to_vec(),
+    }));
+    assert!(small.result.is_ok());
+    assert_eq!(small.meta.lane, Lane::SeqFallback);
+    assert!(small.meta.cost.work > 0);
+
+    // Large text: batched PRAM lane, with ledger work at least linear-ish.
+    let large = engine.call(Request::new(OpRequest::Match {
+        dict: "d".into(),
+        text: b"abracadabra".repeat(16),
+    }));
+    assert!(large.result.is_ok());
+    assert_eq!(large.meta.lane, Lane::Batched);
+    assert!(large.meta.cost.work > large.meta.cost.depth);
+    assert!(large.meta.batch_size >= 1);
+}
+
+#[test]
+fn selftest_smoke() {
+    // A small configuration of the same selftest `pardict serve --selftest`
+    // runs, kept cheap for the test suite.
+    let opts = pardict::service::selftest::SelftestOptions {
+        requests: 64,
+        workers: 2,
+        clients: 4,
+        seed: 11,
+    };
+    let report = pardict::service::selftest::run(&opts).expect("selftest must pass");
+    assert!(report.contains("selftest ok"));
+    assert!(report.contains("batches"));
+}

@@ -4,8 +4,8 @@
 //! cargo test --release --test soak -- --ignored
 //! ```
 
-use pardict::prelude::*;
 use pardict::pram::SplitMix64;
+use pardict::prelude::*;
 use pardict::workloads::{
     dictionary_from_text, dna_text, fibonacci_word, markov_text, periodic_text,
     prefix_heavy_dictionary, random_dictionary, random_text, repetitive_text,
@@ -31,8 +31,8 @@ fn dictionary_matching_soak() {
     let pram = Pram::seq();
     let mut rng = SplitMix64::new(2025);
     for round in 0..20u64 {
-        let alpha = [Alphabet::binary(), Alphabet::dna(), Alphabet::lowercase()]
-            [(round % 3) as usize];
+        let alpha =
+            [Alphabet::binary(), Alphabet::dna(), Alphabet::lowercase()][(round % 3) as usize];
         let k = 5 + rng.next_below(40) as usize;
         let maxlen = 2 + rng.next_below(18) as usize;
         let patterns = if round % 2 == 0 {
@@ -84,8 +84,7 @@ fn static_parse_soak() {
     for seed in 0..8u64 {
         let alpha = Alphabet::dna();
         let corpus = markov_text(seed, 30_000, alpha);
-        let mut words: Vec<Vec<u8>> =
-            (0..alpha.size()).map(|i| vec![alpha.symbol(i)]).collect();
+        let mut words: Vec<Vec<u8>> = (0..alpha.size()).map(|i| vec![alpha.symbol(i)]).collect();
         words.extend(dictionary_from_text(seed + 1, &corpus, 100, 2, 16));
         let dict = Dictionary::new(words);
         let matcher = DictMatcher::build(&pram, dict.clone(), seed + 2);

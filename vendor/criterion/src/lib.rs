@@ -1,0 +1,154 @@
+//! Offline drop-in for the subset of `criterion` this workspace uses.
+//!
+//! The crates.io registry is unreachable in this build environment, so the
+//! workspace vendors a minimal wall-clock bench runner with criterion's
+//! names (see `vendor/README.md`). Each benchmark runs a short warm-up
+//! followed by `sample_size` timed samples and prints median/min to
+//! stdout — no statistics engine, HTML reports, or CLI filtering.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level bench context handed to `criterion_group!` functions.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\n== {name}");
+        BenchmarkGroup {
+            _c: self,
+            sample_size: 10,
+        }
+    }
+}
+
+/// A named benchmark id, optionally parameterized.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only id.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run one benchmark against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            samples: Vec::new(),
+        };
+        // One untimed warm-up, then the timed samples.
+        f(&mut b, input);
+        b.samples.clear();
+        for _ in 0..self.sample_size {
+            f(&mut b, input);
+        }
+        report(&id.label, &mut b.samples);
+        self
+    }
+
+    /// Run one benchmark with no external input.
+    pub fn bench_function<F>(&mut self, id: BenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        b.samples.clear();
+        for _ in 0..self.sample_size {
+            f(&mut b);
+        }
+        report(&id.label, &mut b.samples);
+        self
+    }
+
+    /// End the group (printing is incremental; nothing left to do).
+    pub fn finish(self) {}
+}
+
+fn report(label: &str, samples: &mut [Duration]) {
+    samples.sort_unstable();
+    let median = samples.get(samples.len() / 2).copied().unwrap_or_default();
+    let min = samples.first().copied().unwrap_or_default();
+    println!(
+        "{label:<40} median {:>12.3?}  min {:>12.3?}  ({} samples)",
+        median,
+        min,
+        samples.len()
+    );
+}
+
+/// Timing harness passed to each benchmark closure.
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time one execution of `f` (criterion would loop adaptively; one
+    /// timed call per sample keeps totals bounded without a stats engine).
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let t0 = Instant::now();
+        black_box(f());
+        self.samples.push(t0.elapsed());
+    }
+}
+
+/// Collect bench functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

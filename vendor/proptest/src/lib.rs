@@ -1,0 +1,505 @@
+//! Offline drop-in for the subset of `proptest` this workspace uses.
+//!
+//! The crates.io registry is unreachable in this build environment, so the
+//! workspace vendors a miniature property-testing framework with proptest's
+//! names (see `vendor/README.md`). It generates deterministic pseudo-random
+//! inputs from composable [`Strategy`] values and runs each property body
+//! for `ProptestConfig::cases` cases. Differences from real proptest:
+//!
+//! * no shrinking — a failing case panics with the case number and the
+//!   deterministic seed, which is enough to replay it;
+//! * value generation is a plain function of an internal RNG rather than a
+//!   value tree.
+//!
+//! Supported surface: the `proptest!` macro (with optional
+//! `#![proptest_config(..)]`), `prop_assert!`/`prop_assert_eq!`/
+//! `prop_assert_ne!`/`prop_assume!`, `prop_oneof!`, `Just`, `any::<T>()`,
+//! integer range strategies, tuple strategies, `.prop_map`,
+//! `prop::collection::vec`, and `prop::sample::select`.
+
+/// Composable value generators.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A generator of test values.
+    ///
+    /// The associated `Value` mirrors real proptest so signatures like
+    /// `impl Strategy<Value = Vec<u8>>` work unchanged.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generate one value.
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Map generated values through `f`.
+        fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { base: self, f }
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).new_value(rng)
+        }
+    }
+
+    /// Strategy that always yields a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn new_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        base: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn new_value(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.base.new_value(rng))
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for ::std::ops::Range<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128) - (self.start as i128);
+                    (self.start as i128 + (rng.next_u64() as i128).rem_euclid(span)) as $t
+                }
+            }
+            impl Strategy for ::std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start() as i128, *self.end() as i128);
+                    assert!(lo <= hi, "empty range strategy");
+                    (lo + (rng.next_u64() as i128).rem_euclid(hi - lo + 1)) as $t
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! tuple_strategy {
+        ($(($($n:ident $i:tt),+))*) => {$(
+            impl<$($n: Strategy),+> Strategy for ($($n,)+) {
+                type Value = ($($n::Value,)+);
+                fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$i.new_value(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy! {
+        (A 0, B 1)
+        (A 0, B 1, C 2)
+        (A 0, B 1, C 2, D 3)
+        (A 0, B 1, C 2, D 3, E 4)
+    }
+
+    /// Object-safe strategy view used by [`Union`] (`prop_oneof!`).
+    pub trait DynStrategy<V> {
+        /// Generate one value.
+        fn dyn_new_value(&self, rng: &mut TestRng) -> V;
+    }
+
+    impl<V, S: Strategy<Value = V>> DynStrategy<V> for S {
+        fn dyn_new_value(&self, rng: &mut TestRng) -> V {
+            self.new_value(rng)
+        }
+    }
+
+    /// Box a strategy for use in a [`Union`].
+    pub fn boxed<V, S: Strategy<Value = V> + 'static>(s: S) -> Box<dyn DynStrategy<V>> {
+        Box::new(s)
+    }
+
+    /// Uniform choice between alternative strategies (`prop_oneof!`).
+    pub struct Union<V> {
+        arms: Vec<Box<dyn DynStrategy<V>>>,
+    }
+
+    impl<V> Union<V> {
+        /// Build from boxed arms.
+        pub fn new(arms: Vec<Box<dyn DynStrategy<V>>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Self { arms }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn new_value(&self, rng: &mut TestRng) -> V {
+            let k = (rng.next_u64() % self.arms.len() as u64) as usize;
+            self.arms[k].dyn_new_value(rng)
+        }
+    }
+}
+
+/// `any::<T>()` support.
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Generate one arbitrary value.
+        fn arbitrary_value(rng: &mut TestRng) -> Self;
+    }
+
+    /// The strategy returned by [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            T::arbitrary_value(rng)
+        }
+    }
+
+    /// Full-domain strategy for `T`.
+    #[must_use]
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    macro_rules! int_arbitrary {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary_value(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary_value(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// Collection strategies (`prop::collection`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Admissible element counts for [`vec`].
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self {
+                lo: n,
+                hi_inclusive: n,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            Self {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            Self {
+                lo: *r.start(),
+                hi_inclusive: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a size drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `prop::collection::vec(element, size)`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi_inclusive - self.size.lo + 1) as u64;
+            let len = self.size.lo + (rng.next_u64() % span) as usize;
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+/// Sampling strategies (`prop::sample`).
+pub mod sample {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Uniform choice from a fixed list.
+    pub struct Select<T: Clone>(Vec<T>);
+
+    /// `prop::sample::select(options)`.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select needs at least one option");
+        Select(options)
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            self.0[(rng.next_u64() % self.0.len() as u64) as usize].clone()
+        }
+    }
+}
+
+/// Test execution: config and deterministic RNG.
+pub mod test_runner {
+    /// Number of cases to run per property.
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Cases per property.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// Config running `cases` cases per property.
+        #[must_use]
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Self { cases: 64 }
+        }
+    }
+
+    /// Deterministic splitmix64 RNG driving value generation.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// RNG seeded from a case-specific seed.
+        #[must_use]
+        pub fn from_seed(seed: u64) -> Self {
+            Self { state: seed }
+        }
+
+        /// Next pseudo-random 64-bit value.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+/// The common imports, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    /// The `prop::` module alias used by `prop::collection::vec` etc.
+    pub mod prop {
+        pub use crate::{collection, sample};
+    }
+}
+
+/// Define property tests. See the crate docs for supported syntax.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])+
+            fn $name:ident($($param:pat in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                let config: $crate::test_runner::Config = $config;
+                for case in 0..config.cases {
+                    // Per-case seed: deterministic, distinct across cases.
+                    let seed = 0xC0FF_EE00_u64 ^ ((case as u64) << 16);
+                    let mut rng = $crate::test_runner::TestRng::from_seed(seed);
+                    let outcome = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(|| {
+                            let mut run = || -> ::std::result::Result<(), ()> {
+                                $(
+                                    let $param = $crate::strategy::Strategy::new_value(
+                                        &($strategy),
+                                        &mut rng,
+                                    );
+                                )+
+                                $body
+                                #[allow(unreachable_code)]
+                                ::std::result::Result::Ok(())
+                            };
+                            let _ = run();
+                        }),
+                    );
+                    if let ::std::result::Result::Err(e) = outcome {
+                        eprintln!(
+                            "proptest case {case} (seed {seed:#x}) of {} failed",
+                            stringify!($name),
+                        );
+                        ::std::panic::resume_unwind(e);
+                    }
+                }
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])+
+            fn $name:ident($($param:pat in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::test_runner::Config::default())]
+            $(
+                $(#[$meta])+
+                fn $name($($param in $strategy),+) $body
+            )*
+        }
+    };
+}
+
+/// Assert a condition inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Assert equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Assert inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Skip the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+/// Uniform choice among strategies yielding the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::boxed($arm)),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Op {
+        Add(u32),
+        Clear,
+    }
+
+    fn op() -> impl Strategy<Value = Op> {
+        prop_oneof![(0u32..100).prop_map(Op::Add), Just(Op::Clear)]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn vec_sizes_respect_range(xs in prop::collection::vec(0u8..10, 2..5)) {
+            prop_assert!(xs.len() >= 2 && xs.len() < 5);
+            prop_assert!(xs.iter().all(|&x| x < 10));
+        }
+
+        #[test]
+        fn tuples_and_selects(
+            (a, b) in (1u64..50, 0i64..5),
+            c in prop::sample::select(vec![b'x', b'y']),
+        ) {
+            prop_assert!((1..50).contains(&a));
+            prop_assert!((0..5).contains(&b));
+            prop_assert!(c == b'x' || c == b'y');
+        }
+
+        #[test]
+        fn assume_skips(n in 0u32..10) {
+            prop_assume!(n != 3);
+            prop_assert_ne!(n, 3);
+        }
+
+        #[test]
+        fn oneof_hits_all_arms(ops in prop::collection::vec(op(), 1..40)) {
+            for o in ops {
+                match o {
+                    Op::Add(x) => prop_assert!(x < 100),
+                    Op::Clear => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let s = prop::collection::vec(any::<u8>(), 0..32);
+        let mut r1 = crate::test_runner::TestRng::from_seed(7);
+        let mut r2 = crate::test_runner::TestRng::from_seed(7);
+        assert_eq!(s.new_value(&mut r1), s.new_value(&mut r2));
+    }
+}

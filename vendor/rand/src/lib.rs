@@ -1,0 +1,7 @@
+//! Offline placeholder for `rand`.
+//!
+//! The crates.io registry is unreachable in this build environment, so the
+//! workspace vendors stand-ins for its registry dependencies (see
+//! `vendor/README.md`). Nothing in the workspace currently imports `rand`
+//! (all randomness flows through `pardict_pram::SplitMix64`), so this crate
+//! only has to exist and resolve.

@@ -1,0 +1,477 @@
+//! Offline drop-in for the subset of `rayon` this workspace uses.
+//!
+//! The crates.io registry is unreachable in this build environment, so the
+//! workspace vendors a small data-parallelism layer with rayon's names
+//! (see `vendor/README.md`). Unlike a pure sequential shim, parallel
+//! iterators here genuinely fan out over `std::thread::scope`: the chain is
+//! kept lazy as a random-access pipeline and final operations split the
+//! index space into one contiguous chunk per hardware thread. Results are
+//! bit-identical to sequential execution (chunks are concatenated in
+//! order), matching the PRAM simulator's contract that `Mode::Par` only
+//! changes wall-clock, never output or ledger costs.
+//!
+//! Supported surface (all that the workspace touches):
+//!
+//! * `(range).into_par_iter()` / `vec.into_par_iter()` (items `Copy`)
+//! * `slice.par_iter()` / `slice.par_iter_mut()`
+//! * adapters: `.map(f)`, `.enumerate()`, `.flat_map_iter(f)`
+//! * drivers: `.collect::<Vec<_>>()`, `.for_each(f)`
+
+use std::num::NonZeroUsize;
+
+/// Everything a `use rayon::prelude::*;` caller expects in scope.
+pub mod prelude {
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelIterator,
+    };
+}
+
+/// Inputs shorter than this are evaluated inline: spawning threads costs
+/// more than the loop itself.
+const SPAWN_THRESHOLD: usize = 4096;
+
+fn num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(16)
+}
+
+/// A lazy random-access pipeline: the driver asks for arbitrary contiguous
+/// index sub-ranges, which makes chunked multi-threaded evaluation trivial
+/// while preserving output order.
+pub trait ParallelIterator: Sized + Sync {
+    /// Element type produced by the pipeline.
+    type Item: Send;
+
+    /// Total number of elements.
+    fn pi_len(&self) -> usize;
+
+    /// Evaluate elements `lo..hi` in order into `out`.
+    fn eval_chunk(&self, lo: usize, hi: usize, out: &mut Vec<Self::Item>);
+
+    /// Transform each element with `f`.
+    fn map<U: Send, F: Fn(Self::Item) -> U + Sync>(self, f: F) -> Map<Self, F> {
+        Map { base: self, f }
+    }
+
+    /// Pair each element with its index.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { base: self }
+    }
+
+    /// Map each element to a serial iterator and flatten, preserving order.
+    fn flat_map_iter<U, F>(self, f: F) -> FlatMapIter<Self, F>
+    where
+        U: IntoIterator,
+        U::Item: Send,
+        F: Fn(Self::Item) -> U + Sync,
+    {
+        FlatMapIter { base: self, f }
+    }
+
+    /// Evaluate the pipeline across threads, concatenating chunks in order.
+    fn collect<C: FromParallelIterator<Self::Item>>(self) -> C {
+        C::from_par_iter(self)
+    }
+
+    /// Consume every element with `f`, in parallel chunks.
+    fn for_each<F: Fn(Self::Item) + Sync>(self, f: F) {
+        let n = self.pi_len();
+        run_chunked(n, |lo, hi| {
+            let mut buf = Vec::with_capacity(hi - lo);
+            self.eval_chunk(lo, hi, &mut buf);
+            buf.into_iter().for_each(&f);
+        });
+    }
+}
+
+/// Split `0..n` into one chunk per thread and run `body` on each; falls back
+/// to a single inline call for small `n`.
+fn run_chunked(n: usize, body: impl Fn(usize, usize) + Sync) {
+    let threads = num_threads();
+    if n < SPAWN_THRESHOLD || threads == 1 {
+        body(0, n);
+        return;
+    }
+    let chunk = n.div_ceil(threads);
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let lo = t * chunk;
+            let hi = ((t + 1) * chunk).min(n);
+            if lo >= hi {
+                break;
+            }
+            let body = &body;
+            s.spawn(move || body(lo, hi));
+        }
+    });
+}
+
+/// Ordered parallel collection (rayon's `FromParallelIterator`).
+pub trait FromParallelIterator<T: Send>: Sized {
+    /// Build `Self` from a parallel pipeline.
+    fn from_par_iter<I: ParallelIterator<Item = T>>(iter: I) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<I: ParallelIterator<Item = T>>(iter: I) -> Self {
+        let n = iter.pi_len();
+        let threads = num_threads();
+        if n < SPAWN_THRESHOLD || threads == 1 {
+            let mut out = Vec::with_capacity(n);
+            iter.eval_chunk(0, n, &mut out);
+            return out;
+        }
+        let chunk = n.div_ceil(threads);
+        let mut parts: Vec<Vec<T>> = Vec::new();
+        std::thread::scope(|s| {
+            let mut handles = Vec::new();
+            for t in 0..threads {
+                let lo = t * chunk;
+                let hi = ((t + 1) * chunk).min(n);
+                if lo >= hi {
+                    break;
+                }
+                let iter = &iter;
+                handles.push(s.spawn(move || {
+                    let mut buf = Vec::with_capacity(hi - lo);
+                    iter.eval_chunk(lo, hi, &mut buf);
+                    buf
+                }));
+            }
+            parts = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        });
+        let mut out = Vec::with_capacity(n);
+        for p in parts {
+            out.extend(p);
+        }
+        out
+    }
+}
+
+// --- sources ----------------------------------------------------------------
+
+/// Pipeline over a `usize` range.
+pub struct RangeSource {
+    start: usize,
+    len: usize,
+}
+
+impl ParallelIterator for RangeSource {
+    type Item = usize;
+    fn pi_len(&self) -> usize {
+        self.len
+    }
+    fn eval_chunk(&self, lo: usize, hi: usize, out: &mut Vec<usize>) {
+        out.extend(self.start + lo..self.start + hi);
+    }
+}
+
+/// Pipeline over shared slice elements.
+pub struct SliceSource<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for SliceSource<'a, T> {
+    type Item = &'a T;
+    fn pi_len(&self) -> usize {
+        self.slice.len()
+    }
+    fn eval_chunk(&self, lo: usize, hi: usize, out: &mut Vec<&'a T>) {
+        out.extend(self.slice[lo..hi].iter());
+    }
+}
+
+/// Pipeline over owned `Copy` elements of a `Vec`.
+pub struct VecSource<T> {
+    items: Vec<T>,
+}
+
+impl<T: Copy + Send + Sync> ParallelIterator for VecSource<T> {
+    type Item = T;
+    fn pi_len(&self) -> usize {
+        self.items.len()
+    }
+    fn eval_chunk(&self, lo: usize, hi: usize, out: &mut Vec<T>) {
+        out.extend_from_slice(&self.items[lo..hi]);
+    }
+}
+
+// --- adapters ---------------------------------------------------------------
+
+/// See [`ParallelIterator::map`].
+pub struct Map<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<B, U, F> ParallelIterator for Map<B, F>
+where
+    B: ParallelIterator,
+    U: Send,
+    F: Fn(B::Item) -> U + Sync,
+{
+    type Item = U;
+    fn pi_len(&self) -> usize {
+        self.base.pi_len()
+    }
+    fn eval_chunk(&self, lo: usize, hi: usize, out: &mut Vec<U>) {
+        let mut buf = Vec::with_capacity(hi - lo);
+        self.base.eval_chunk(lo, hi, &mut buf);
+        out.extend(buf.into_iter().map(&self.f));
+    }
+}
+
+/// See [`ParallelIterator::enumerate`].
+pub struct Enumerate<B> {
+    base: B,
+}
+
+impl<B: ParallelIterator> ParallelIterator for Enumerate<B> {
+    type Item = (usize, B::Item);
+    fn pi_len(&self) -> usize {
+        self.base.pi_len()
+    }
+    fn eval_chunk(&self, lo: usize, hi: usize, out: &mut Vec<(usize, B::Item)>) {
+        let mut buf = Vec::with_capacity(hi - lo);
+        self.base.eval_chunk(lo, hi, &mut buf);
+        out.extend(buf.into_iter().enumerate().map(|(k, x)| (lo + k, x)));
+    }
+}
+
+/// See [`ParallelIterator::flat_map_iter`].
+pub struct FlatMapIter<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<B, U, F> ParallelIterator for FlatMapIter<B, F>
+where
+    B: ParallelIterator,
+    U: IntoIterator,
+    U::Item: Send,
+    F: Fn(B::Item) -> U + Sync,
+{
+    type Item = U::Item;
+    fn pi_len(&self) -> usize {
+        self.base.pi_len()
+    }
+    fn eval_chunk(&self, lo: usize, hi: usize, out: &mut Vec<U::Item>) {
+        let mut buf = Vec::with_capacity(hi - lo);
+        self.base.eval_chunk(lo, hi, &mut buf);
+        for x in buf {
+            out.extend((self.f)(x));
+        }
+    }
+}
+
+// --- conversion traits ------------------------------------------------------
+
+/// `into_par_iter()` — owned parallel pipelines.
+pub trait IntoParallelIterator {
+    /// Pipeline type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Element type.
+    type Item: Send;
+    /// Convert into a parallel pipeline.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Iter = RangeSource;
+    type Item = usize;
+    fn into_par_iter(self) -> RangeSource {
+        RangeSource {
+            start: self.start,
+            len: self.end.saturating_sub(self.start),
+        }
+    }
+}
+
+impl<T: Copy + Send + Sync> IntoParallelIterator for Vec<T> {
+    type Iter = VecSource<T>;
+    type Item = T;
+    fn into_par_iter(self) -> VecSource<T> {
+        VecSource { items: self }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
+    type Iter = SliceSource<'a, T>;
+    type Item = &'a T;
+    fn into_par_iter(self) -> SliceSource<'a, T> {
+        SliceSource { slice: self }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a Vec<T> {
+    type Iter = SliceSource<'a, T>;
+    type Item = &'a T;
+    fn into_par_iter(self) -> SliceSource<'a, T> {
+        SliceSource { slice: self }
+    }
+}
+
+/// `par_iter()` — by-shared-reference pipelines.
+pub trait IntoParallelRefIterator<'data> {
+    /// Pipeline type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Element type (a shared reference).
+    type Item: Send + 'data;
+    /// Borrowing parallel pipeline.
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+impl<'data, I: 'data + ?Sized> IntoParallelRefIterator<'data> for I
+where
+    &'data I: IntoParallelIterator,
+{
+    type Iter = <&'data I as IntoParallelIterator>::Iter;
+    type Item = <&'data I as IntoParallelIterator>::Item;
+    fn par_iter(&'data self) -> Self::Iter {
+        self.into_par_iter()
+    }
+}
+
+/// `par_iter_mut()` — exclusive-reference pipelines (driver-only: supports
+/// `.enumerate().for_each(..)`, the one pattern the workspace uses).
+pub trait IntoParallelRefMutIterator<'data> {
+    /// Pipeline type.
+    type Iter;
+    /// Mutably borrowing parallel pipeline.
+    fn par_iter_mut(&'data mut self) -> Self::Iter;
+}
+
+impl<'data, T: Send + 'data> IntoParallelRefMutIterator<'data> for [T] {
+    type Iter = SliceMut<'data, T>;
+    fn par_iter_mut(&'data mut self) -> SliceMut<'data, T> {
+        SliceMut { slice: self }
+    }
+}
+
+impl<'data, T: Send + 'data> IntoParallelRefMutIterator<'data> for Vec<T> {
+    type Iter = SliceMut<'data, T>;
+    fn par_iter_mut(&'data mut self) -> SliceMut<'data, T> {
+        SliceMut {
+            slice: self.as_mut_slice(),
+        }
+    }
+}
+
+/// Mutable-slice pipeline; splits with `split_at_mut`, so no unsafe.
+pub struct SliceMut<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T: Send> SliceMut<'a, T> {
+    /// Pair each element with its index.
+    pub fn enumerate(self) -> EnumerateMut<'a, T> {
+        EnumerateMut {
+            slice: self.slice,
+            offset: 0,
+        }
+    }
+
+    /// Apply `f` to every element in parallel chunks.
+    pub fn for_each<F: Fn(&mut T) + Sync>(self, f: F) {
+        self.enumerate().for_each(|(_, x)| f(x));
+    }
+}
+
+/// Enumerated mutable-slice pipeline.
+pub struct EnumerateMut<'a, T> {
+    slice: &'a mut [T],
+    offset: usize,
+}
+
+impl<'a, T: Send> EnumerateMut<'a, T> {
+    /// Apply `f` to every `(index, &mut element)` in parallel chunks.
+    pub fn for_each<F: Fn((usize, &mut T)) + Sync>(self, f: F) {
+        let n = self.slice.len();
+        let threads = num_threads();
+        if n < SPAWN_THRESHOLD || threads == 1 {
+            for (i, x) in self.slice.iter_mut().enumerate() {
+                f((self.offset + i, x));
+            }
+            return;
+        }
+        let chunk = n.div_ceil(threads);
+        std::thread::scope(|s| {
+            let mut rest = self.slice;
+            let mut base = self.offset;
+            while !rest.is_empty() {
+                let take = chunk.min(rest.len());
+                let (head, tail) = rest.split_at_mut(take);
+                let f = &f;
+                let lo = base;
+                s.spawn(move || {
+                    for (i, x) in head.iter_mut().enumerate() {
+                        f((lo + i, x));
+                    }
+                });
+                rest = tail;
+                base += take;
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn range_map_collect_matches_seq() {
+        let n = 100_000;
+        let par: Vec<usize> = (0..n).into_par_iter().map(|i| i * 3 + 1).collect();
+        let seq: Vec<usize> = (0..n).map(|i| i * 3 + 1).collect();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn slice_enumerate_map_collect() {
+        let xs: Vec<u64> = (0..50_000).collect();
+        let par: Vec<u64> = xs
+            .par_iter()
+            .enumerate()
+            .map(|(i, &x)| x + i as u64)
+            .collect();
+        let seq: Vec<u64> = xs.iter().enumerate().map(|(i, &x)| x + i as u64).collect();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn par_iter_mut_enumerate_for_each() {
+        let mut a: Vec<u64> = (0..30_000).collect();
+        let mut b = a.clone();
+        a.par_iter_mut()
+            .enumerate()
+            .for_each(|(i, x)| *x = *x * 2 + i as u64);
+        b.iter_mut()
+            .enumerate()
+            .for_each(|(i, x)| *x = *x * 2 + i as u64);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn flat_map_iter_preserves_order() {
+        let chunks: Vec<(usize, usize)> = (0..9000).map(|i| (i, 3)).collect();
+        let par: Vec<usize> = chunks
+            .clone()
+            .into_par_iter()
+            .flat_map_iter(|(i, k)| (0..k).map(move |j| i * 10 + j))
+            .collect();
+        let seq: Vec<usize> = chunks
+            .into_iter()
+            .flat_map(|(i, k)| (0..k).map(move |j| i * 10 + j))
+            .collect();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn small_inputs_stay_inline() {
+        let par: Vec<usize> = (0..10).into_par_iter().map(|i| i).collect();
+        assert_eq!(par, (0..10).collect::<Vec<_>>());
+    }
+}
