@@ -19,6 +19,7 @@ fn service_engine(workers: usize) -> Engine {
             queue_depth: 4096,
             max_batch: 32,
             seq_threshold: 512,
+            stream_threshold: 1 << 16,
         },
         registry,
         metrics,

@@ -1,0 +1,82 @@
+//! Criterion wall-clock benches for the chunked streaming pipeline:
+//! block-parallel container compression vs the whole-buffer parse, and
+//! random-access range reads vs full decompression.
+//!
+//! The streaming acceptance bar: on inputs spanning ≥4 blocks, the
+//! parallel pipeline should beat whole-buffer `lz1_compress` wall-clock
+//! while staying within ~15% of its compressed size (measured ratios are
+//! printed once per input so runs document the approximation gap).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pardict_compress::{encode_tokens, lz1_compress};
+use pardict_pram::Pram;
+use pardict_stream::{compress_stream, StreamConfig, StreamReader, STREAM_SEED};
+use pardict_workloads::{markov_text, Alphabet};
+
+/// One shared input: ~512 KiB of order-sensitive DNA-ish text, large
+/// enough that 64 KiB blocks give an 8-block container.
+fn corpus() -> Vec<u8> {
+    markov_text(0xBE9C_57E4, 1 << 19, Alphabet::dna())
+}
+
+fn bench_stream_compress(c: &mut Criterion) {
+    let text = corpus();
+    let whole = encode_tokens(&lz1_compress(&Pram::par(), &text, STREAM_SEED)).len();
+
+    let mut g = c.benchmark_group("stream_compress");
+    g.sample_size(10);
+    g.bench_with_input(
+        BenchmarkId::new("whole_buffer", text.len()),
+        &text,
+        |b, t| {
+            b.iter(|| lz1_compress(&Pram::par(), t, STREAM_SEED));
+        },
+    );
+    for bs_exp in [14u32, 16, 17] {
+        let cfg = StreamConfig::with_block_size(1 << bs_exp);
+        let (container, _) =
+            compress_stream(&Pram::par(), &mut &text[..], Vec::new(), &cfg).unwrap();
+        println!(
+            "stream block={}: container {} B vs whole {} B (ratio {:.3})",
+            1 << bs_exp,
+            container.len(),
+            whole,
+            container.len() as f64 / whole as f64
+        );
+        g.bench_with_input(
+            BenchmarkId::new("streamed", format!("block_{}", 1 << bs_exp)),
+            &text,
+            |b, t| {
+                b.iter(|| compress_stream(&Pram::par(), &mut &t[..], Vec::new(), &cfg).unwrap());
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_random_access(c: &mut Criterion) {
+    let text = corpus();
+    let cfg = StreamConfig::with_block_size(1 << 16); // 8 blocks
+    let (container, _) = compress_stream(&Pram::par(), &mut &text[..], Vec::new(), &cfg).unwrap();
+
+    let mut g = c.benchmark_group("stream_random_access");
+    g.sample_size(10);
+    g.bench_function("full_decode", |b| {
+        b.iter(|| {
+            let mut rdr = StreamReader::open(std::io::Cursor::new(&container)).unwrap();
+            rdr.read_all(&Pram::par()).unwrap()
+        });
+    });
+    // A 4 KiB slice from the middle touches one block of eight.
+    let mid = text.len() as u64 / 2;
+    g.bench_function("range_4k", |b| {
+        b.iter(|| {
+            let mut rdr = StreamReader::open(std::io::Cursor::new(&container)).unwrap();
+            rdr.read_range(&Pram::par(), mid, mid + 4096).unwrap()
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_stream_compress, bench_random_access);
+criterion_main!(benches);

@@ -46,6 +46,12 @@ pub struct EngineConfig {
     pub max_batch: usize,
     /// Match texts shorter than this run on the sequential fallback lane.
     pub seq_threshold: usize,
+    /// Compress texts larger than this route through the chunked streaming
+    /// pipeline (and this value becomes the pipeline's block size), so one
+    /// huge payload neither monopolizes a batch nor holds a whole-buffer
+    /// parse in memory. The reply payload is then a framed container
+    /// rather than a bare token stream — distinguishable by its magic.
+    pub stream_threshold: usize,
 }
 
 impl Default for EngineConfig {
@@ -57,6 +63,7 @@ impl Default for EngineConfig {
             queue_depth: 1024,
             max_batch: 32,
             seq_threshold: 512,
+            stream_threshold: pardict_stream::DEFAULT_BLOCK_SIZE,
         }
     }
 }
@@ -310,8 +317,10 @@ impl Engine {
             };
 
             let exec = exec_start.elapsed();
-            if lane == Lane::SeqFallback {
-                metrics.seq_fallback.inc();
+            match lane {
+                Lane::SeqFallback => metrics.seq_fallback.inc(),
+                Lane::Stream => metrics.stream_lane.inc(),
+                Lane::Batched => {}
             }
             let stats = metrics.op(kind);
             match &result {
@@ -379,11 +388,28 @@ impl Engine {
                 })
             }
             OpRequest::Compress { text } => {
-                let tokens = lz1_compress(pram, text, LZ1_SEED);
-                Ok(Reply::Compress {
-                    phrases: tokens.len() as u32,
-                    payload: encode_tokens(&tokens),
-                })
+                let (payload, phrases) = if text.len() > self.inner.cfg.stream_threshold {
+                    // Large payload: chunked block-parallel pipeline. The
+                    // reply carries the framed container (starts with the
+                    // stream magic), so clients and the selftest can tell
+                    // the two encodings apart without a wire change.
+                    *lane = Lane::Stream;
+                    let cfg = pardict_stream::StreamConfig::with_block_size(
+                        self.inner.cfg.stream_threshold.max(1),
+                    );
+                    let (container, summary) =
+                        pardict_stream::compress_stream(pram, &mut &text[..], Vec::new(), &cfg)
+                            .map_err(|e| ServiceError::BadRequest(e.to_string()))?;
+                    (container, summary.phrases.min(u64::from(u32::MAX)) as u32)
+                } else {
+                    let tokens = lz1_compress(pram, text, LZ1_SEED);
+                    (encode_tokens(&tokens), tokens.len() as u32)
+                };
+                self.inner
+                    .metrics
+                    .compress_ratio_pct
+                    .record((payload.len() as u64 * 100) / (text.len().max(1) as u64));
+                Ok(Reply::Compress { phrases, payload })
             }
             OpRequest::Parse { dict, text } => {
                 let dv = self.resolve(dict)?;
@@ -429,6 +455,7 @@ mod tests {
                 queue_depth,
                 max_batch: 8,
                 seq_threshold: 16,
+                stream_threshold: 1 << 16,
             },
             registry,
             metrics,
@@ -574,6 +601,45 @@ mod tests {
             text: b"zzz".to_vec(),
         }));
         assert!(matches!(resp.result, Err(ServiceError::Unparseable)));
+    }
+
+    #[test]
+    fn large_compress_routes_through_stream_lane() {
+        let metrics = Arc::new(Metrics::default());
+        let registry = Arc::new(Registry::new(Arc::clone(&metrics)));
+        let e = Engine::new(
+            EngineConfig {
+                workers: 0,
+                queue_depth: 8,
+                max_batch: 8,
+                seq_threshold: 16,
+                stream_threshold: 256, // tiny, so a 2 KiB text streams
+            },
+            registry,
+            metrics,
+        );
+        let small = b"tiny text".to_vec();
+        let resp = e.call(Request::new(OpRequest::Compress { text: small }));
+        assert_eq!(resp.meta.lane, Lane::Batched);
+
+        let text = b"the rain in spain stays mainly in the plain ".repeat(50); // 2200 B
+        let resp = e.call(Request::new(OpRequest::Compress { text: text.clone() }));
+        assert_eq!(resp.meta.lane, Lane::Stream);
+        assert_eq!(e.metrics().stream_lane.get(), 1);
+        assert_eq!(e.metrics().compress_ratio_pct.count(), 2);
+        match resp.result.unwrap() {
+            Reply::Compress { payload, phrases } => {
+                assert!(phrases > 0);
+                assert!(pardict_stream::is_container(&payload));
+                let pram = Pram::seq();
+                let (out, summary) =
+                    pardict_stream::decompress_stream(&pram, &mut &payload[..], Vec::new())
+                        .unwrap();
+                assert_eq!(out, text);
+                assert!(summary.issues.is_empty());
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
     }
 
     #[test]

@@ -160,6 +160,11 @@ pub struct Metrics {
     pub batched_requests: Counter,
     /// Requests served on the sequential small-request fallback lane.
     pub seq_fallback: Counter,
+    /// Compress requests routed through the chunked streaming pipeline.
+    pub stream_lane: Counter,
+    /// Compressed-size ÷ raw-size per Compress request, in percent (a 40
+    /// means the payload shrank to 40% of the input).
+    pub compress_ratio_pct: Histogram,
     /// Per-operation stats, indexed by [`OpKind`].
     pub per_op: [OpStats; NUM_OPS],
 }
@@ -197,11 +202,22 @@ impl Metrics {
         let mean_batch = batched.checked_div(batches).unwrap_or(0);
         let _ = writeln!(
             out,
-            "batching:  batches {}  batched-requests {}  mean-batch {}  seq-fallback {}",
+            "batching:  batches {}  batched-requests {}  mean-batch {}  seq-fallback {}  stream-lane {}",
             batches,
             batched,
             mean_batch,
             self.seq_fallback.get(),
+            self.stream_lane.get(),
+        );
+        let r = &self.compress_ratio_pct;
+        let _ = writeln!(
+            out,
+            "compress:  ratio%-p50 {}  ratio%-p95 {}  ratio%-mean {}  ratio%-max {}  samples {}",
+            r.quantile(0.50),
+            r.quantile(0.95),
+            r.mean(),
+            r.max(),
+            r.count(),
         );
         let _ = writeln!(
             out,
@@ -278,5 +294,18 @@ mod tests {
         for kind in OpKind::all() {
             assert!(r.contains(kind.name()), "missing {} in:\n{r}", kind.name());
         }
+    }
+
+    #[test]
+    fn compression_ratio_histogram_reaches_the_report() {
+        let m = Metrics::default();
+        m.compress_ratio_pct.record(38); // 38% of raw size
+        m.compress_ratio_pct.record(90);
+        assert_eq!(m.compress_ratio_pct.count(), 2);
+        assert_eq!(m.compress_ratio_pct.mean(), 64);
+        assert_eq!(m.compress_ratio_pct.max(), 90);
+        let r = m.report();
+        assert!(r.contains("ratio%"), "missing ratio line in:\n{r}");
+        assert!(r.contains("samples 2"), "missing sample count in:\n{r}");
     }
 }

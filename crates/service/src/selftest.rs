@@ -59,6 +59,9 @@ pub fn run(opts: &SelftestOptions) -> Result<String, String> {
             queue_depth: 4096,
             max_batch: 32,
             seq_threshold: 512,
+            // Well below the largest selftest texts so the streaming lane
+            // gets exercised and verified too.
+            stream_threshold: 1024,
         },
         Arc::clone(&registry),
         Arc::clone(&metrics),
@@ -308,16 +311,40 @@ fn verify_reply(
                 }
             }
         }
-        Reply::Compress { payload, .. } => match pardict_compress::decode_tokens(payload) {
-            Err(e) => fail(format!("request {i}: undecodable tokens: {e:?}")),
-            Ok(tokens) => {
-                let back =
-                    pardict_compress::lz1_decompress(&pram, &tokens, crate::engine::LZ1_SEED);
-                if back != text {
-                    fail(format!("request {i}: compress roundtrip mismatch"));
+        Reply::Compress { payload, .. } => {
+            // Large texts come back as a framed stream container, small
+            // ones as a bare token stream — the magic tells them apart.
+            if pardict_stream::is_container(payload) {
+                match pardict_stream::decompress_stream(&pram, &mut &payload[..], Vec::new()) {
+                    Err(e) => fail(format!("request {i}: undecodable container: {e}")),
+                    Ok((back, summary)) => {
+                        if !summary.issues.is_empty() {
+                            fail(format!(
+                                "request {i}: container reported corrupt blocks: {:?}",
+                                summary.issues
+                            ));
+                        }
+                        if back != text {
+                            fail(format!("request {i}: streamed roundtrip mismatch"));
+                        }
+                    }
+                }
+            } else {
+                match pardict_compress::decode_tokens(payload) {
+                    Err(e) => fail(format!("request {i}: undecodable tokens: {e:?}")),
+                    Ok(tokens) => {
+                        let back = pardict_compress::lz1_decompress(
+                            &pram,
+                            &tokens,
+                            crate::engine::LZ1_SEED,
+                        );
+                        if back != text {
+                            fail(format!("request {i}: compress roundtrip mismatch"));
+                        }
+                    }
                 }
             }
-        },
+        }
         Reply::Parse {
             phrases,
             greedy_phrases,

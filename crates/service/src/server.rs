@@ -268,6 +268,7 @@ mod tests {
                 queue_depth: 64,
                 max_batch: 8,
                 seq_threshold: 4,
+                stream_threshold: 1 << 16,
             },
             registry,
             metrics,

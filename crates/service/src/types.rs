@@ -243,6 +243,9 @@ pub enum Lane {
     Batched = 0,
     /// Sequential small-request fallback (Aho–Corasick baseline).
     SeqFallback = 1,
+    /// Chunked streaming pipeline for large compression payloads
+    /// (block-parallel LZ1, framed container output).
+    Stream = 2,
 }
 
 /// Per-request accounting surfaced with every response.

@@ -1,0 +1,428 @@
+//! Chunked parallel compression: fixed-size blocks, compressed
+//! independently in waves, framed into the container format.
+//!
+//! Fischer–Gagie–Gawrychowski–Kociumaka (*Approximating LZ77 via
+//! Small-Space Multiple-Pattern Matching*) is the licence for chunking:
+//! restricting back-references to a block-local window yields a provably
+//! bounded approximation of the full LZ77 parse, while buying block
+//! independence — bounded memory, parallel blocks, and O(1) random access.
+//!
+//! Parallel accounting follows the PRAM model the workspace is built on: a
+//! wave of in-flight blocks is one parallel super-step, so its ledger
+//! charge is the **sum of block work** and the **maximum of block depths**.
+//! Each block runs the full Theorem 4.2 pipeline (`lz1_compress`) on its
+//! own sequential context; the caller's [`Pram`] receives the aggregated
+//! attribution — the same scheme the service engine uses per batch.
+
+use crate::crc::crc32;
+use crate::error::StreamError;
+use crate::format::{
+    encode_footer, encode_header, encode_record_header, encode_trailer, BlockEntry, RecordHeader,
+    DEFAULT_BLOCK_SIZE, END_OF_BLOCKS, MAX_BLOCK_SIZE, METHOD_LZ1, METHOD_STORED,
+    RECORD_HEADER_LEN,
+};
+use pardict_compress::{encode_tokens, lz1_compress};
+use pardict_pram::{Cost, Mode, Pram, SplitMix64};
+use std::io::{Read, Write};
+
+/// Seed for the block-local LZ1 fingerprint family; fixed (and mixed with
+/// the block index) so container bytes are reproducible across runs and
+/// replicas.
+pub const STREAM_SEED: u64 = 0x57E4_A11B_10C5_EED5;
+
+/// Streaming pipeline knobs.
+#[derive(Debug, Clone)]
+pub struct StreamConfig {
+    /// Raw bytes per block. Larger blocks compress better (more window)
+    /// but cost more memory per in-flight block and coarser random access.
+    pub block_size: usize,
+    /// Blocks compressed concurrently per wave; bounds in-flight memory at
+    /// roughly `block_size * max_in_flight` plus outputs.
+    pub max_in_flight: usize,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        Self {
+            block_size: DEFAULT_BLOCK_SIZE,
+            max_in_flight: std::thread::available_parallelism()
+                .map_or(4, std::num::NonZeroUsize::get)
+                .min(16),
+        }
+    }
+}
+
+impl StreamConfig {
+    /// A config with the given block size and default parallelism.
+    ///
+    /// # Panics
+    /// When `block_size` is zero or exceeds [`MAX_BLOCK_SIZE`].
+    #[must_use]
+    pub fn with_block_size(block_size: usize) -> Self {
+        assert!(
+            (1..=MAX_BLOCK_SIZE).contains(&block_size),
+            "block size {block_size} out of range"
+        );
+        Self {
+            block_size,
+            ..Self::default()
+        }
+    }
+}
+
+/// What one finished compression run produced.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CompressSummary {
+    /// Raw bytes consumed.
+    pub raw_bytes: u64,
+    /// Total container bytes emitted (header through trailer).
+    pub container_bytes: u64,
+    /// Number of blocks.
+    pub blocks: u64,
+    /// Blocks stored verbatim (incompressible, or containing NUL).
+    pub stored_blocks: u64,
+    /// Total LZ1 phrases across compressed blocks.
+    pub phrases: u64,
+    /// Ledger cost attributed to this run (wave-aggregated).
+    pub cost: Cost,
+}
+
+/// Per-block seed: deterministic by index, independent of wave grouping.
+fn block_seed(index: u64) -> u64 {
+    SplitMix64::new(STREAM_SEED ^ index).next_u64()
+}
+
+struct BlockOut {
+    method: u8,
+    payload: Vec<u8>,
+    raw_len: u32,
+    phrases: u64,
+    cost: Cost,
+}
+
+/// Compress one block on its own sequential context. Blocks containing
+/// the NUL sentinel (reserved by the suffix tree) and blocks that LZ1
+/// fails to shrink are stored verbatim, so the container accepts
+/// arbitrary bytes.
+fn compress_block(block: &[u8], index: u64) -> BlockOut {
+    let raw_len = block.len() as u32;
+    if !block.contains(&0) {
+        let pram = Pram::seq();
+        let (tokens, cost) = pram.metered(|p| lz1_compress(p, block, block_seed(index)));
+        let payload = encode_tokens(&tokens);
+        if payload.len() < block.len() {
+            return BlockOut {
+                method: METHOD_LZ1,
+                payload,
+                raw_len,
+                phrases: tokens.len() as u64,
+                cost,
+            };
+        }
+        // Fall through: parse computed but not worth keeping — still a
+        // real cost, still attributed.
+        return BlockOut {
+            method: METHOD_STORED,
+            payload: block.to_vec(),
+            raw_len,
+            phrases: 0,
+            cost,
+        };
+    }
+    BlockOut {
+        method: METHOD_STORED,
+        payload: block.to_vec(),
+        raw_len,
+        phrases: 0,
+        cost: Cost {
+            work: block.len() as u64,
+            depth: 1,
+        },
+    }
+}
+
+/// Compress a wave of blocks — concurrently when the caller's context is
+/// parallel — and charge the caller's ledger one super-step: summed work,
+/// maximum depth.
+fn compress_wave(pram: &Pram, blocks: &[&[u8]], first_index: u64) -> Vec<BlockOut> {
+    let outs: Vec<BlockOut> = if pram.mode() == Mode::Par && blocks.len() > 1 {
+        std::thread::scope(|s| {
+            let handles: Vec<_> = blocks
+                .iter()
+                .enumerate()
+                .map(|(k, &b)| s.spawn(move || compress_block(b, first_index + k as u64)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("block compression worker panicked"))
+                .collect()
+        })
+    } else {
+        blocks
+            .iter()
+            .enumerate()
+            .map(|(k, &b)| compress_block(b, first_index + k as u64))
+            .collect()
+    };
+    let work: u64 = outs.iter().map(|o| o.cost.work).sum();
+    let depth = outs.iter().map(|o| o.cost.depth).max().unwrap_or(0);
+    pram.ledger().charge_work(work);
+    pram.ledger().charge_depth(depth);
+    outs
+}
+
+/// A `std::io::Write` adapter that frames everything written through it
+/// into the container format, compressing blocks in bounded-memory waves.
+///
+/// Bytes accumulate until a full wave (`block_size * max_in_flight`) is
+/// buffered, then the wave is compressed (in parallel under a
+/// `Pram::par()` caller) and written through. Call [`finish`] to flush the
+/// final partial wave and emit the index footer — dropping the adapter
+/// without finishing leaves a headless, footerless prefix.
+///
+/// [`finish`]: StreamCompressor::finish
+pub struct StreamCompressor<'p, W: Write> {
+    pram: &'p Pram,
+    inner: W,
+    cfg: StreamConfig,
+    buf: Vec<u8>,
+    entries: Vec<BlockEntry>,
+    offset: u64,
+    raw_bytes: u64,
+    phrases: u64,
+    stored_blocks: u64,
+    cost_before: Cost,
+}
+
+impl<'p, W: Write> StreamCompressor<'p, W> {
+    /// Start a container on `inner`, writing the fixed header immediately.
+    ///
+    /// # Errors
+    /// Propagates header-write I/O failures.
+    ///
+    /// # Panics
+    /// When `cfg.block_size` is zero or exceeds [`MAX_BLOCK_SIZE`].
+    pub fn new(pram: &'p Pram, mut inner: W, cfg: StreamConfig) -> Result<Self, StreamError> {
+        assert!(
+            (1..=MAX_BLOCK_SIZE).contains(&cfg.block_size),
+            "block size {} out of range",
+            cfg.block_size
+        );
+        let header = encode_header(cfg.block_size as u64);
+        inner.write_all(&header)?;
+        Ok(Self {
+            pram,
+            inner,
+            cfg,
+            buf: Vec::new(),
+            entries: Vec::new(),
+            offset: header.len() as u64,
+            raw_bytes: 0,
+            phrases: 0,
+            stored_blocks: 0,
+            cost_before: pram.cost(),
+        })
+    }
+
+    fn wave_bytes(&self) -> usize {
+        self.cfg.block_size * self.cfg.max_in_flight.max(1)
+    }
+
+    /// Compress and emit `nblocks` blocks from the front of the buffer.
+    fn emit_blocks(&mut self, nblocks: usize) -> Result<(), StreamError> {
+        let blocks: Vec<&[u8]> = self.buf[..]
+            .chunks(self.cfg.block_size)
+            .take(nblocks)
+            .collect();
+        let consumed: usize = blocks.iter().map(|b| b.len()).sum();
+        let outs = compress_wave(self.pram, &blocks, self.entries.len() as u64);
+        for out in outs {
+            let crc = crc32(&out.payload);
+            let header = encode_record_header(&RecordHeader {
+                method: out.method,
+                raw_len: out.raw_len,
+                comp_len: out.payload.len() as u32,
+                crc,
+            });
+            self.inner.write_all(&header)?;
+            self.inner.write_all(&out.payload)?;
+            self.entries.push(BlockEntry {
+                offset: self.offset,
+                raw_len: out.raw_len,
+                comp_len: out.payload.len() as u32,
+                crc,
+                method: out.method,
+            });
+            self.offset += (RECORD_HEADER_LEN + out.payload.len()) as u64;
+            self.phrases += out.phrases;
+            if out.method == METHOD_STORED {
+                self.stored_blocks += 1;
+            }
+        }
+        self.buf.drain(..consumed);
+        Ok(())
+    }
+
+    /// Flush every full wave currently buffered.
+    fn drain_full_waves(&mut self) -> Result<(), StreamError> {
+        while self.buf.len() >= self.wave_bytes() {
+            self.emit_blocks(self.cfg.max_in_flight.max(1))?;
+        }
+        Ok(())
+    }
+
+    /// Compress the remaining partial wave, write the end-of-blocks
+    /// marker, index footer, and trailer, and return the inner writer
+    /// with a summary of the run.
+    ///
+    /// # Errors
+    /// Propagates I/O failures from the final writes.
+    pub fn finish(mut self) -> Result<(W, CompressSummary), StreamError> {
+        while !self.buf.is_empty() {
+            let nblocks = self
+                .buf
+                .len()
+                .div_ceil(self.cfg.block_size)
+                .min(self.cfg.max_in_flight.max(1));
+            self.emit_blocks(nblocks)?;
+        }
+        self.inner.write_all(&[END_OF_BLOCKS])?;
+        let footer = encode_footer(&self.entries);
+        self.inner.write_all(&footer)?;
+        let trailer = encode_trailer(self.offset + 1, self.entries.len() as u64, crc32(&footer));
+        self.inner.write_all(&trailer)?;
+        self.inner.flush()?;
+        let container_bytes = self.offset + 1 + footer.len() as u64 + trailer.len() as u64;
+        let summary = CompressSummary {
+            raw_bytes: self.raw_bytes,
+            container_bytes,
+            blocks: self.entries.len() as u64,
+            stored_blocks: self.stored_blocks,
+            phrases: self.phrases,
+            cost: self.pram.cost().since(self.cost_before),
+        };
+        Ok((self.inner, summary))
+    }
+}
+
+impl<W: Write> Write for StreamCompressor<'_, W> {
+    fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+        self.buf.extend_from_slice(data);
+        self.raw_bytes += data.len() as u64;
+        self.drain_full_waves()?;
+        Ok(data.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        // Block boundaries are fixed-size, so flushing cannot force out a
+        // partial block; full waves are already drained eagerly.
+        self.inner.flush()
+    }
+}
+
+/// Pump `reader` through a [`StreamCompressor`] into `writer`: the
+/// whole-file convenience entry point with bounded in-flight memory.
+///
+/// # Errors
+/// Propagates I/O failures from either side.
+pub fn compress_stream<R: Read + ?Sized, W: Write>(
+    pram: &Pram,
+    reader: &mut R,
+    writer: W,
+    cfg: &StreamConfig,
+) -> Result<(W, CompressSummary), StreamError> {
+    let mut comp = StreamCompressor::new(pram, writer, cfg.clone())?;
+    let mut chunk = vec![0u8; cfg.block_size.clamp(1, 1 << 20)];
+    loop {
+        let n = reader.read(&mut chunk)?;
+        if n == 0 {
+            break;
+        }
+        comp.write_all(&chunk[..n])?;
+    }
+    comp.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::{parse_header, HEADER_LEN, TRAILER_LEN};
+
+    #[test]
+    fn empty_input_yields_blockless_container() {
+        let pram = Pram::seq();
+        let (bytes, summary) =
+            compress_stream(&pram, &mut &[][..], Vec::new(), &StreamConfig::default()).unwrap();
+        assert_eq!(summary.blocks, 0);
+        assert_eq!(summary.raw_bytes, 0);
+        // header + end marker + empty footer + trailer
+        assert_eq!(bytes.len(), HEADER_LEN + 1 + TRAILER_LEN);
+        assert_eq!(summary.container_bytes, bytes.len() as u64);
+        assert!(parse_header(&bytes).is_ok());
+    }
+
+    #[test]
+    fn block_count_and_sizes_follow_config() {
+        let pram = Pram::seq();
+        let data = b"abcabcabcabc".repeat(100); // 1200 bytes
+        let cfg = StreamConfig::with_block_size(500);
+        let (_, summary) = compress_stream(&pram, &mut &data[..], Vec::new(), &cfg).unwrap();
+        assert_eq!(summary.blocks, 3); // 500 + 500 + 200
+        assert_eq!(summary.raw_bytes, 1200);
+        assert!(
+            summary.container_bytes < 1200,
+            "repetitive data must shrink"
+        );
+    }
+
+    #[test]
+    fn nul_and_incompressible_blocks_are_stored() {
+        let pram = Pram::seq();
+        // Block 1: NUL-bearing. Block 2: too short to compress.
+        let mut data = vec![0u8; 8];
+        data.extend_from_slice(b"qzwxecrv");
+        let cfg = StreamConfig::with_block_size(8);
+        let (bytes, summary) = compress_stream(&pram, &mut &data[..], Vec::new(), &cfg).unwrap();
+        assert_eq!(summary.blocks, 2);
+        assert_eq!(summary.stored_blocks, 2);
+        assert!(bytes.len() > data.len(), "stored blocks only add framing");
+    }
+
+    #[test]
+    fn output_is_deterministic_and_mode_independent() {
+        let data = b"tick tock tick tock tick tock round and round".repeat(40);
+        let cfg = StreamConfig {
+            block_size: 256,
+            max_in_flight: 3,
+        };
+        let (a, ca) = compress_stream(&Pram::seq(), &mut &data[..], Vec::new(), &cfg).unwrap();
+        let (b, cb) = compress_stream(&Pram::par(), &mut &data[..], Vec::new(), &cfg).unwrap();
+        assert_eq!(a, b, "container bytes must not depend on execution mode");
+        assert_eq!(ca.cost, cb.cost, "ledger attribution must match");
+        // Wave aggregation: depth is a max, so it must be far below the
+        // serial sum of per-block depths while work is the full sum.
+        assert!(ca.cost.work > 0 && ca.cost.depth > 0);
+    }
+
+    #[test]
+    fn wave_depth_is_max_not_sum() {
+        let data = b"la la la la la la la la".repeat(64); // ~1.5 KiB
+        let one = StreamConfig {
+            block_size: 128,
+            max_in_flight: 1,
+        };
+        let many = StreamConfig {
+            block_size: 128,
+            max_in_flight: 8,
+        };
+        let (_, c1) = compress_stream(&Pram::seq(), &mut &data[..], Vec::new(), &one).unwrap();
+        let (_, c8) = compress_stream(&Pram::seq(), &mut &data[..], Vec::new(), &many).unwrap();
+        assert_eq!(c1.cost.work, c8.cost.work, "work is grouping-independent");
+        assert!(
+            c8.cost.depth * 4 < c1.cost.depth,
+            "8-wide waves must collapse depth: {} vs {}",
+            c8.cost.depth,
+            c1.cost.depth
+        );
+    }
+}

@@ -19,4 +19,35 @@ cargo build --release
 echo "== cargo test -q"
 cargo test -q
 
+echo "== stream container smoke"
+# End-to-end over the release binary: multi-block streaming round-trip,
+# random-access slice, and corruption detection with a nonzero exit.
+PARDICT=target/release/pardict
+SMOKE=$(mktemp -d)
+trap 'rm -rf "$SMOKE"' EXIT
+seq 1 200000 > "$SMOKE/input.bin"   # ~1.3 MB, NUL-free, ~20 blocks
+
+"$PARDICT" compress --stream "$SMOKE/input.bin" -o "$SMOKE/packed.pdzs"
+"$PARDICT" decompress "$SMOKE/packed.pdzs" -o "$SMOKE/roundtrip.bin"
+cmp "$SMOKE/input.bin" "$SMOKE/roundtrip.bin"
+
+# cat --range must equal the same slice of the original.
+"$PARDICT" cat --range 100000..164096 "$SMOKE/packed.pdzs" -o "$SMOKE/slice.bin"
+dd if="$SMOKE/input.bin" of="$SMOKE/slice.want" bs=1 skip=100000 count=64096 status=none
+cmp "$SMOKE/slice.bin" "$SMOKE/slice.want"
+
+# Corrupt one byte in the middle (guaranteed change: increment mod 256)
+# and require a nonzero exit that names the damaged block.
+cp "$SMOKE/packed.pdzs" "$SMOKE/corrupt.pdzs"
+SIZE=$(wc -c < "$SMOKE/packed.pdzs")
+MID=$((SIZE / 2))
+BYTE=$(dd if="$SMOKE/corrupt.pdzs" bs=1 skip="$MID" count=1 status=none | od -An -tu1 | tr -d ' ')
+printf "$(printf '\\%03o' $(( (BYTE + 1) % 256 )))" |
+  dd of="$SMOKE/corrupt.pdzs" bs=1 seek="$MID" count=1 conv=notrunc status=none
+if "$PARDICT" decompress "$SMOKE/corrupt.pdzs" -o /dev/null 2> "$SMOKE/err.txt"; then
+  echo "ci.sh: corrupted container decompressed cleanly" >&2
+  exit 1
+fi
+grep -qi "block" "$SMOKE/err.txt"
+
 echo "ci.sh: all green"

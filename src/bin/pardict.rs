@@ -4,7 +4,9 @@
 //! pardict match   --dict words.txt text.bin      longest pattern per position
 //! pardict grep    --dict words.txt text.bin      all occurrences, one per line
 //! pardict compress   in.bin -o out.plz           parallel LZ1 → token stream
-//! pardict decompress out.plz -o back.bin         parallel LZ1 inverse
+//! pardict compress --stream in.bin -o out.pdzs   chunked parallel → container
+//! pardict decompress out.plz -o back.bin         inverse (auto-detects both)
+//! pardict cat     --range A..B in.pdzs           random-access container slice
 //! pardict parse   --dict words.txt text.bin      §5 optimal static parse stats
 //! pardict delta   base.bin new.bin -o out.pdz    differential compression
 //! pardict patch   base.bin out.pdz -o new.bin    apply a delta
@@ -14,11 +16,32 @@
 //! ```
 //!
 //! Dictionary files contain one pattern per line (empty lines ignored).
-//! Inputs must be NUL-free (byte 0 is the library's sentinel).
+//! Whole-buffer inputs must be NUL-free (byte 0 is the library's
+//! sentinel); the streaming container stores NUL-bearing blocks verbatim,
+//! so `compress --stream` accepts arbitrary bytes. Inputs larger than one
+//! block stream automatically; `--whole` forces the single-buffer parse
+//! (capped at `PARDICT_MAX_WHOLE` bytes, default 64 MiB).
 
 use pardict::prelude::*;
 use std::io::Write;
 use std::process::ExitCode;
+
+/// Fingerprint seed for whole-buffer CLI (de)compression. The LZ1 wire
+/// format is seed-independent — the seed only randomizes internal
+/// fingerprints — but compress and decompress historically hard-coded two
+/// different magic numbers (0x10/0x11), which read as load-bearing when
+/// they were not. One shared named constant removes the trap.
+const CLI_LZ1_SEED: u64 = 0xC11_5EED;
+
+/// Whole-buffer inputs above this many bytes are refused with a pointer
+/// to `--stream` instead of being slurped into one parse. Overridable via
+/// `PARDICT_MAX_WHOLE` for tests and unusual machines.
+fn max_whole_bytes() -> u64 {
+    std::env::var("PARDICT_MAX_WHOLE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1 << 26)
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -41,6 +64,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "grep" => cmd_match(rest, true),
         "compress" => cmd_compress(rest),
         "decompress" => cmd_decompress(rest),
+        "cat" => cmd_cat(rest),
         "parse" => cmd_parse(rest),
         "delta" => cmd_delta(rest),
         "patch" => cmd_patch(rest),
@@ -55,8 +79,10 @@ fn run(args: &[String]) -> Result<(), String> {
 }
 
 fn usage() -> String {
-    "usage: pardict <match|grep|compress|decompress|parse|delta|patch|stats|serve> \
+    "usage: pardict <match|grep|compress|decompress|cat|parse|delta|patch|stats|serve> \
      [--dict FILE] [-o FILE] [INPUT...]\n\
+     compress: pardict compress [--stream|--whole] [--block-size N] IN [-o OUT]\n\
+     cat:      pardict cat --range A..B CONTAINER [-o OUT]\n\
      serve: pardict serve [--addr HOST:PORT] [--dict FILE [--name NAME]] [--workers N]\n\
      \x20       pardict serve --selftest [--requests N] [--workers N]"
         .to_string()
@@ -158,11 +184,97 @@ fn cmd_match(args: &[String], all: bool) -> Result<(), String> {
 }
 
 fn cmd_compress(args: &[String]) -> Result<(), String> {
-    let (pos, _, out) = split_args(args)?;
+    let mut pos: Vec<&str> = Vec::new();
+    let mut out: Option<String> = None;
+    let mut force_stream = false;
+    let mut force_whole = false;
+    let mut block_size = pardict::stream::DEFAULT_BLOCK_SIZE;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "-o" | "--output" => out = Some(it.next().ok_or("-o needs a path")?.clone()),
+            "--stream" => force_stream = true,
+            "--whole" => force_whole = true,
+            "--block-size" => {
+                block_size = it
+                    .next()
+                    .ok_or("--block-size needs a byte count")?
+                    .parse()
+                    .map_err(|e| format!("--block-size: {e}"))?;
+            }
+            other => pos.push(other),
+        }
+    }
+    if force_stream && force_whole {
+        return Err("--stream and --whole are mutually exclusive".into());
+    }
+    if block_size == 0 || block_size > pardict::stream::MAX_BLOCK_SIZE {
+        return Err(format!(
+            "--block-size must be in 1..={}",
+            pardict::stream::MAX_BLOCK_SIZE
+        ));
+    }
+    let path = *pos.first().ok_or("missing input file")?;
+    let file_len = std::fs::metadata(path)
+        .map_err(|e| format!("reading {path}: {e}"))?
+        .len();
+
+    // Inputs beyond one block (or beyond the whole-buffer cap) stream by
+    // default: bounded memory, parallel blocks, and a random-access
+    // container, at a small ratio cost.
+    let use_stream = force_stream
+        || (!force_whole && (file_len > block_size as u64 || file_len > max_whole_bytes()));
+    let pram = Pram::par();
+
+    if use_stream {
+        let mut reader = std::io::BufReader::new(
+            std::fs::File::open(path).map_err(|e| format!("reading {path}: {e}"))?,
+        );
+        let cfg = pardict::stream::StreamConfig::with_block_size(block_size);
+        let summary = match out {
+            Some(ref dest) => {
+                let file =
+                    std::fs::File::create(dest).map_err(|e| format!("creating {dest}: {e}"))?;
+                let (_, summary) = pardict::stream::compress_stream(
+                    &pram,
+                    &mut reader,
+                    std::io::BufWriter::new(file),
+                    &cfg,
+                )
+                .map_err(|e| e.to_string())?;
+                summary
+            }
+            None => {
+                let (bytes, summary) =
+                    pardict::stream::compress_stream(&pram, &mut reader, Vec::new(), &cfg)
+                        .map_err(|e| e.to_string())?;
+                write_output(None, &bytes)?;
+                summary
+            }
+        };
+        eprintln!(
+            "pardict: streamed {} -> {} bytes ({:.1}%), {} blocks ({} stored), {} phrases",
+            summary.raw_bytes,
+            summary.container_bytes,
+            100.0 * summary.container_bytes as f64 / summary.raw_bytes.max(1) as f64,
+            summary.blocks,
+            summary.stored_blocks,
+            summary.phrases
+        );
+        return Ok(());
+    }
+
+    if file_len > max_whole_bytes() {
+        return Err(format!(
+            "{path} is {file_len} bytes — too large for a single whole-buffer parse \
+             (cap {} bytes; set PARDICT_MAX_WHOLE to override). \
+             Use `pardict compress --stream` instead.",
+            max_whole_bytes()
+        ));
+    }
     let text = read_input(&pos)?;
     check_text(&text)?;
-    let pram = Pram::par();
-    let tokens = lz1_compress(&pram, &text, 0x10);
+    let tokens = lz1_compress(&pram, &text, CLI_LZ1_SEED);
     let bytes = pardict::compress::encode_tokens(&tokens);
     eprintln!(
         "pardict: {} -> {} bytes ({:.1}%), {} phrases",
@@ -176,11 +288,67 @@ fn cmd_compress(args: &[String]) -> Result<(), String> {
 
 fn cmd_decompress(args: &[String]) -> Result<(), String> {
     let (pos, _, out) = split_args(args)?;
+    let path = *pos.first().ok_or("missing input file")?;
+    let mut head = [0u8; 4];
+    let n = {
+        use std::io::Read as _;
+        let mut f = std::fs::File::open(path).map_err(|e| format!("reading {path}: {e}"))?;
+        f.read(&mut head)
+            .map_err(|e| format!("reading {path}: {e}"))?
+    };
+    let pram = Pram::par();
+
+    if pardict::stream::is_container(&head[..n]) {
+        let file = std::fs::File::open(path).map_err(|e| format!("reading {path}: {e}"))?;
+        let mut rdr = StreamReader::open(std::io::BufReader::new(file))
+            .map_err(|e| format!("{path}: {e}"))?;
+        let (data, issues) = rdr.read_all(&pram).map_err(|e| format!("{path}: {e}"))?;
+        write_output(out, &data)?;
+        if !issues.is_empty() {
+            let list: Vec<String> = issues.iter().map(ToString::to_string).collect();
+            return Err(format!(
+                "{path}: {} corrupt block(s) skipped: {}",
+                issues.len(),
+                list.join("; ")
+            ));
+        }
+        return Ok(());
+    }
+
     let data = read_input(&pos)?;
     let tokens = pardict::compress::decode_tokens(&data).map_err(|e| e.to_string())?;
-    let pram = Pram::par();
-    let text = lz1_decompress(&pram, &tokens, 0x11);
+    let text = lz1_decompress(&pram, &tokens, CLI_LZ1_SEED);
     write_output(out, &text)
+}
+
+fn cmd_cat(args: &[String]) -> Result<(), String> {
+    let mut pos: Vec<&str> = Vec::new();
+    let mut out: Option<String> = None;
+    let mut range: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "-o" | "--output" => out = Some(it.next().ok_or("-o needs a path")?.clone()),
+            "--range" => range = Some(it.next().ok_or("--range needs A..B")?.clone()),
+            other => pos.push(other),
+        }
+    }
+    let range = range.ok_or("cat needs --range A..B (byte offsets into the decoded stream)")?;
+    let (a, b) = range
+        .split_once("..")
+        .ok_or_else(|| format!("--range {range:?}: expected A..B"))?;
+    let start: u64 = a.parse().map_err(|e| format!("--range start: {e}"))?;
+    let end: u64 = b.parse().map_err(|e| format!("--range end: {e}"))?;
+    let path = *pos.first().ok_or("missing container file")?;
+
+    let file = std::fs::File::open(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let mut rdr =
+        StreamReader::open(std::io::BufReader::new(file)).map_err(|e| format!("{path}: {e}"))?;
+    let pram = Pram::par();
+    let data = rdr
+        .read_range(&pram, start, end)
+        .map_err(|e| format!("{path}: {e}"))?;
+    write_output(out, &data)
 }
 
 fn cmd_parse(args: &[String]) -> Result<(), String> {

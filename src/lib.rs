@@ -68,6 +68,7 @@
 //! | [`compress`] | LZ1, LZ78, optimal static parsing (§4–§5) |
 //! | [`workloads`] | seeded synthetic corpora and dictionaries |
 //! | [`service`] | concurrent serving: hot-swap registry, batching, metrics |
+//! | [`stream`] | chunked parallel LZ1 streaming, framed random-access container |
 
 pub use pardict_ancestors as ancestors;
 pub use pardict_compress as compress;
@@ -77,6 +78,7 @@ pub use pardict_graph as graph;
 pub use pardict_pram as pram;
 pub use pardict_rmq as rmq;
 pub use pardict_service as service;
+pub use pardict_stream as stream;
 pub use pardict_suffix as suffix;
 pub use pardict_veb as veb;
 pub use pardict_workloads as workloads;
@@ -93,6 +95,7 @@ pub mod prelude {
         AhoCorasick, DictMatcher, Dictionary, Match, Matches, SubstringMatcher,
     };
     pub use pardict_pram::{Cost, Mode, Pram};
+    pub use pardict_stream::{compress_stream, decompress_stream, StreamConfig, StreamReader};
     pub use pardict_suffix::SuffixTree;
     pub use pardict_workloads::Alphabet;
 }

@@ -154,6 +154,170 @@ fn delta_and_patch_roundtrip() {
 }
 
 #[test]
+fn stream_compress_roundtrip_and_cat_range() {
+    let data = b"round and round the garden like a teddy bear ".repeat(80); // ~3.7 KB
+    let input = write_tmp("t7.bin", &data);
+    let packed = std::env::temp_dir().join("pardict-cli-tests/t7.pdzs");
+    let unpacked = std::env::temp_dir().join("pardict-cli-tests/t7.out");
+    let sliced = std::env::temp_dir().join("pardict-cli-tests/t7.slice");
+
+    let out = bin()
+        .args(["compress", "--stream", "--block-size", "512"])
+        .arg(&input)
+        .args(["-o"])
+        .arg(&packed)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let container = std::fs::read(&packed).unwrap();
+    assert_eq!(&container[..4], b"PDZS", "missing container magic");
+    assert!(container.len() < data.len(), "repetitive data must shrink");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("blocks"));
+
+    // decompress auto-detects the container by its magic.
+    let out = bin()
+        .args(["decompress"])
+        .arg(&packed)
+        .args(["-o"])
+        .arg(&unpacked)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(std::fs::read(&unpacked).unwrap(), data);
+
+    // cat --range serves exactly the requested slice.
+    let out = bin()
+        .args(["cat", "--range", "700..1500"])
+        .arg(&packed)
+        .args(["-o"])
+        .arg(&sliced)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(std::fs::read(&sliced).unwrap(), &data[700..1500]);
+
+    // Out-of-bounds ranges are a clear error, not a panic.
+    let out = bin()
+        .args(["cat", "--range", "0..999999999"])
+        .arg(&packed)
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("out of bounds"));
+}
+
+#[test]
+fn multi_block_input_streams_automatically() {
+    // 200 KB > the 64 KiB default block size: must stream without --stream.
+    let data = b"the quick brown fox jumps over the lazy dog. ".repeat(4600);
+    let input = write_tmp("t8.bin", &data);
+    let packed = std::env::temp_dir().join("pardict-cli-tests/t8.pdzs");
+    let unpacked = std::env::temp_dir().join("pardict-cli-tests/t8.out");
+
+    let out = bin()
+        .args(["compress"])
+        .arg(&input)
+        .args(["-o"])
+        .arg(&packed)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("streamed"),
+        "large input should take the streaming path: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(&std::fs::read(&packed).unwrap()[..4], b"PDZS");
+
+    let out = bin()
+        .args(["decompress"])
+        .arg(&packed)
+        .args(["-o"])
+        .arg(&unpacked)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert_eq!(std::fs::read(&unpacked).unwrap(), data);
+}
+
+#[test]
+fn corrupt_container_fails_naming_the_block() {
+    let data = b"twinkle twinkle little star how I wonder what you are ".repeat(60);
+    let input = write_tmp("t9.bin", &data);
+    let packed = std::env::temp_dir().join("pardict-cli-tests/t9.pdzs");
+
+    let out = bin()
+        .args(["compress", "--stream", "--block-size", "256"])
+        .arg(&input)
+        .args(["-o"])
+        .arg(&packed)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+
+    // Flip a byte in the middle of the block section.
+    let mut container = std::fs::read(&packed).unwrap();
+    let mid = container.len() / 2;
+    container[mid] ^= 0x20;
+    let corrupted = write_tmp("t9.corrupt.pdzs", &container);
+
+    let out = bin().args(["decompress"]).arg(&corrupted).output().unwrap();
+    assert!(!out.status.success(), "corruption must fail the exit code");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("block"), "error must name the block: {err}");
+}
+
+#[test]
+fn oversized_whole_buffer_is_refused_with_guidance() {
+    let data = b"this input exceeds the tiny whole-buffer cap set below".repeat(4);
+    let input = write_tmp("t10.bin", &data);
+
+    let out = bin()
+        .args(["compress", "--whole"])
+        .arg(&input)
+        .env("PARDICT_MAX_WHOLE", "16")
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("--stream"),
+        "error must point at --stream: {err}"
+    );
+    assert!(err.contains("PARDICT_MAX_WHOLE"), "{err}");
+
+    // Without --whole the same input just streams (the cap only guards
+    // the single-buffer parse).
+    let out = bin()
+        .args(["compress"])
+        .arg(&input)
+        .env("PARDICT_MAX_WHOLE", "16")
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
 fn unknown_command_fails_with_usage() {
     let out = bin().args(["frobnicate"]).output().unwrap();
     assert!(!out.status.success());

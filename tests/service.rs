@@ -33,6 +33,7 @@ fn inline_engine(seq_threshold: usize) -> Engine {
             queue_depth: 256,
             max_batch: 16,
             seq_threshold,
+            stream_threshold: 1 << 16,
         },
         registry,
         metrics,

@@ -1,0 +1,228 @@
+//! Integration tests for the chunked streaming container: round-trips
+//! over arbitrary bytes, corruption detection (truncation and bit flips),
+//! random-access equivalence, ledger attribution of range reads, and the
+//! blockwise approximation bound against whole-buffer LZ1.
+
+use pardict::prelude::*;
+use pardict::stream::{self, compress_stream, decompress_stream, is_container, StreamError};
+use pardict::workloads::markov_text;
+use proptest::prelude::*;
+
+fn pack(data: &[u8], block_size: usize) -> Vec<u8> {
+    let pram = Pram::seq();
+    let cfg = StreamConfig {
+        block_size,
+        max_in_flight: 4,
+    };
+    compress_stream(&pram, &mut &data[..], Vec::new(), &cfg)
+        .unwrap()
+        .0
+}
+
+proptest! {
+    /// Arbitrary bytes (NULs included) at arbitrary block sizes round-trip
+    /// byte-identically through both decoders.
+    #[test]
+    fn container_roundtrips_arbitrary_bytes(
+        data in prop::collection::vec(any::<u8>(), 0..600),
+        block_size in 1usize..300,
+    ) {
+        let packed = pack(&data, block_size);
+        prop_assert!(is_container(&packed) );
+
+        let pram = Pram::seq();
+        let (streamed, summary) =
+            decompress_stream(&pram, &mut &packed[..], Vec::new()).unwrap();
+        prop_assert_eq!(&streamed, &data);
+        prop_assert!(summary.issues.is_empty());
+
+        let mut rdr = StreamReader::open(std::io::Cursor::new(&packed)).unwrap();
+        let (seeked, issues) = rdr.read_all(&pram).unwrap();
+        prop_assert_eq!(&seeked, &data);
+        prop_assert!(issues.is_empty());
+    }
+
+    /// Truncating the container anywhere must break the seekable open and
+    /// never let the streaming decoder return wrong data silently.
+    #[test]
+    fn truncation_never_passes_silently(
+        data in prop::collection::vec(any::<u8>(), 1..400),
+        block_size in 1usize..64,
+        cut_frac in 0usize..10_000,
+    ) {
+        let packed = pack(&data, block_size);
+        let cut = cut_frac % packed.len(); // strictly shorter than full
+        let sliced = &packed[..cut];
+        prop_assert!(StreamReader::open(std::io::Cursor::new(sliced)).is_err());
+        let pram = Pram::seq();
+        match decompress_stream(&pram, &mut &sliced[..], Vec::new()) {
+            Err(_) => {}
+            Ok((out, summary)) => {
+                // Acceptable only when the cut hit the index region (data
+                // intact) or the loss was reported per block.
+                prop_assert!(
+                    out == data || !summary.issues.is_empty() || out.len() < data.len(),
+                    "cut {} of {} produced silent wrong data", cut, packed.len()
+                );
+                if out != data {
+                    prop_assert!(
+                        !summary.issues.is_empty() || out.len() < data.len(),
+                        "wrong data with no report"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Any single-bit flip anywhere in the container is either rejected
+    /// structurally, reported as a block issue, or provably harmless
+    /// (identical output) — never silently wrong data.
+    #[test]
+    fn single_bit_flips_never_pass_silently(
+        data in prop::collection::vec(any::<u8>(), 1..400),
+        block_size in 1usize..64,
+        pos_frac in 0usize..10_000,
+        bit in 0usize..8,
+    ) {
+        let mut packed = pack(&data, block_size);
+        let pos = pos_frac % packed.len();
+        packed[pos] ^= 1 << bit;
+
+        let pram = Pram::seq();
+        match StreamReader::open(std::io::Cursor::new(&packed)) {
+            Err(_) => {} // structural detection
+            Ok(mut rdr) => {
+                let (out, issues) = rdr.read_all(&pram).unwrap();
+                prop_assert!(
+                    !issues.is_empty() || out == data,
+                    "seekable: flipped bit {} at {} passed silently", bit, pos
+                );
+            }
+        }
+        match decompress_stream(&pram, &mut &packed[..], Vec::new()) {
+            Err(_) => {}
+            Ok((out, summary)) => prop_assert!(
+                !summary.issues.is_empty() || out == data,
+                "streaming: flipped bit {} at {} passed silently", bit, pos
+            ),
+        }
+    }
+
+    /// `read_range` must equal the same slice of the full decompression,
+    /// for every range — the `cat --range` correctness contract.
+    #[test]
+    fn range_reads_equal_full_decode_slices(
+        data in prop::collection::vec(any::<u8>(), 0..500),
+        block_size in 1usize..48,
+        a_frac in 0usize..10_000,
+        b_frac in 0usize..10_000,
+    ) {
+        let packed = pack(&data, block_size);
+        let n = data.len() as u64;
+        let (mut start, mut end) = (
+            a_frac as u64 % (n + 1),
+            b_frac as u64 % (n + 1),
+        );
+        if start > end {
+            std::mem::swap(&mut start, &mut end);
+        }
+        let pram = Pram::seq();
+        let mut rdr = StreamReader::open(std::io::Cursor::new(&packed)).unwrap();
+        let got = rdr.read_range(&pram, start, end).unwrap();
+        prop_assert_eq!(&got, &data[start as usize..end as usize]);
+    }
+}
+
+/// A flip inside one specific block's payload must name that block.
+#[test]
+fn payload_flip_reports_the_exact_block() {
+    let data: Vec<u8> = (0..1000u32)
+        .flat_map(|i| [(i % 250 + 1) as u8, b'q'])
+        .collect();
+    let block_size = 256; // 8 blocks of 2000 bytes
+    let mut packed = pack(&data, block_size);
+
+    // Locate block 5's payload via the clean index, then flip its first byte.
+    let target = {
+        let rdr = StreamReader::open(std::io::Cursor::new(&packed)).unwrap();
+        let e = rdr.index().entries[5];
+        assert!(e.comp_len > 0);
+        e.offset as usize + stream::format::RECORD_HEADER_LEN
+    };
+    packed[target] ^= 0x01;
+
+    let pram = Pram::seq();
+    let mut rdr = StreamReader::open(std::io::Cursor::new(&packed)).unwrap();
+    let (out, issues) = rdr.read_all(&pram).unwrap();
+    assert_eq!(issues.len(), 1);
+    assert_eq!(issues[0].index, 5, "wrong block named: {:?}", issues[0]);
+    assert_eq!(
+        out.len() as u64 + u64::from(issues[0].raw_len),
+        data.len() as u64
+    );
+
+    // The other seven blocks must still be individually readable.
+    for i in (0..8).filter(|&i| i != 5) {
+        assert!(rdr.read_block(&pram, i).is_ok(), "block {i} unreadable");
+    }
+    assert!(matches!(
+        rdr.read_block(&pram, 5),
+        Err(StreamError::CorruptBlock { index: 5, .. })
+    ));
+}
+
+/// Range reads must be charged block-local work on the ledger — the
+/// work-attribution proof that `cat --range` decodes only covering blocks.
+#[test]
+fn range_read_work_is_block_local() {
+    let data = markov_text(0x5EED_CAFE, 64 * 1024, Alphabet::dna());
+    let packed = pack(&data, 4096); // 16 blocks
+    let mut rdr = StreamReader::open(std::io::Cursor::new(&packed)).unwrap();
+
+    let pram_full = Pram::seq();
+    let (_, full) = pram_full.metered(|p| rdr.read_all(p).unwrap());
+    let pram_range = Pram::seq();
+    let (slice, ranged) = pram_range.metered(|p| rdr.read_range(p, 10_000, 11_000).unwrap());
+    assert_eq!(slice, &data[10_000..11_000]);
+    assert!(
+        ranged.work * 8 < full.work,
+        "one-block range read must cost a fraction of a full decode: {} vs {}",
+        ranged.work,
+        full.work
+    );
+}
+
+/// On a realistic corpus spanning ≥4 blocks, the blockwise container stays
+/// within 15% of the whole-buffer LZ1 size — the Fischer et al.-style
+/// approximation bound the pipeline is allowed to pay for parallelism.
+#[test]
+fn approximation_ratio_within_15_percent() {
+    let text = markov_text(0xAB5_712, 128 * 1024, Alphabet::dna());
+    let cfg = StreamConfig::with_block_size(32 * 1024); // 4 blocks
+    let pram = Pram::par();
+    let (streamed, whole) = stream::approximation_sizes(&pram, &text, &cfg);
+    assert!(
+        (streamed as f64) <= (whole as f64) * 1.15,
+        "blockwise {streamed} B vs whole-buffer {whole} B exceeds 15%"
+    );
+}
+
+/// Seq and Par pipelines produce identical containers and identical ledger
+/// charges — the simulator invariant extended to the new subsystem.
+#[test]
+fn stream_output_is_mode_independent() {
+    let data = markov_text(0xD1CE, 20_000, Alphabet::lowercase());
+    let cfg = StreamConfig {
+        block_size: 2048,
+        max_in_flight: 4,
+    };
+    let seq = Pram::seq();
+    let par = Pram::par();
+    let ((a, sa), ca) =
+        seq.metered(|p| compress_stream(p, &mut &data[..], Vec::new(), &cfg).unwrap());
+    let ((b, sb), cb) =
+        par.metered(|p| compress_stream(p, &mut &data[..], Vec::new(), &cfg).unwrap());
+    assert_eq!(a, b);
+    assert_eq!(ca, cb);
+    assert_eq!(sa.blocks, sb.blocks);
+}
