@@ -1,0 +1,112 @@
+//! Criterion wall-clock benches for compressed-domain dictionary search:
+//! `grep_container` over a PDZS container vs the decompress-then-match
+//! baseline, at several block sizes, plus the range-grep locality win.
+//!
+//! The acceptance intuition: grep-over-container pays the same per-block
+//! decode the baseline pays, but skips materializing (and re-walking) one
+//! contiguous output buffer, and a range query touches only covering
+//! blocks — so the block-parallel search should track the baseline on
+//! full scans and crush it on ranges.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pardict_core::{DictMatcher, Dictionary};
+use pardict_pram::Pram;
+use pardict_search::{grep_container, grep_range, GrepConfig};
+use pardict_stream::{compress_stream, StreamConfig, StreamReader};
+use pardict_workloads::{markov_text, Alphabet};
+
+/// ~512 KiB of DNA-ish text; 64 KiB blocks give an 8-block container.
+fn corpus() -> Vec<u8> {
+    markov_text(0xBE9C_57E4, 1 << 19, Alphabet::dna())
+}
+
+fn matcher() -> DictMatcher {
+    let dict = Dictionary::new(vec![
+        b"ACGT".to_vec(),
+        b"TTAGGG".to_vec(),
+        b"GATTACA".to_vec(),
+        b"CCC".to_vec(),
+    ]);
+    DictMatcher::build(&Pram::seq(), dict, 0x5EA_2C4)
+}
+
+fn bench_grep_container(c: &mut Criterion) {
+    let text = corpus();
+    let m = matcher();
+
+    let mut g = c.benchmark_group("search_grep");
+    g.sample_size(10);
+    for bs_exp in [14u32, 16, 17] {
+        let cfg = StreamConfig::with_block_size(1 << bs_exp);
+        let (container, _) =
+            compress_stream(&Pram::par(), &mut &text[..], Vec::new(), &cfg).unwrap();
+
+        g.bench_with_input(
+            BenchmarkId::new("grep_container", format!("block_{}", 1 << bs_exp)),
+            &container,
+            |b, cont| {
+                b.iter(|| {
+                    let mut rdr = StreamReader::open(std::io::Cursor::new(cont)).unwrap();
+                    grep_container(&Pram::par(), &m, &mut rdr, &GrepConfig::default()).unwrap()
+                });
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("decompress_then_match", format!("block_{}", 1 << bs_exp)),
+            &container,
+            |b, cont| {
+                b.iter(|| {
+                    let pram = Pram::par();
+                    let mut rdr = StreamReader::open(std::io::Cursor::new(cont)).unwrap();
+                    let (raw, _) = rdr.read_all(&pram).unwrap();
+                    m.find_all(&pram, &raw)
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_range_grep(c: &mut Criterion) {
+    let text = corpus();
+    let m = matcher();
+    let cfg = StreamConfig::with_block_size(1 << 16); // 8 blocks
+    let (container, _) = compress_stream(&Pram::par(), &mut &text[..], Vec::new(), &cfg).unwrap();
+    let mid = text.len() as u64 / 2;
+
+    let mut g = c.benchmark_group("search_range");
+    g.sample_size(10);
+    // A 4 KiB window touches one block of eight.
+    g.bench_function(BenchmarkId::from_parameter("grep_range_4k"), |b| {
+        b.iter(|| {
+            let mut rdr = StreamReader::open(std::io::Cursor::new(&container)).unwrap();
+            grep_range(
+                &Pram::par(),
+                &m,
+                &mut rdr,
+                mid,
+                mid + 4096,
+                &GrepConfig::default(),
+            )
+            .unwrap()
+        });
+    });
+    g.bench_function(
+        BenchmarkId::from_parameter("decompress_then_match_4k"),
+        |b| {
+            b.iter(|| {
+                let pram = Pram::par();
+                let mut rdr = StreamReader::open(std::io::Cursor::new(&container)).unwrap();
+                let (raw, _) = rdr.read_all(&pram).unwrap();
+                m.find_all(&pram, &raw)
+                    .into_iter()
+                    .filter(|&(p, _)| (p as u64) >= mid && (p as u64) < mid + 4096)
+                    .collect::<Vec<_>>()
+            });
+        },
+    );
+    g.finish();
+}
+
+criterion_group!(benches, bench_grep_container, bench_range_grep);
+criterion_main!(benches);

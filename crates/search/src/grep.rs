@@ -1,0 +1,472 @@
+//! The grep engine: wave-parallel decode + match with overlap stitching.
+
+use pardict_core::DictMatcher;
+use pardict_pram::{Cost, Mode, Pram};
+use pardict_stream::{decode_block, BlockEntry, BlockIssue, StreamError, StreamReader};
+use std::io::{Read, Seek};
+
+/// One pattern occurrence in the decoded stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GrepHit {
+    /// Byte offset of the occurrence in the original (uncompressed) text.
+    pub pos: u64,
+    /// Pattern index in the dictionary.
+    pub id: u32,
+    /// Pattern length.
+    pub len: u32,
+}
+
+/// What one grep run over a container produced.
+#[derive(Debug, Clone, Default)]
+pub struct GrepSummary {
+    /// Every occurrence, ordered by position then decreasing length.
+    pub hits: Vec<GrepHit>,
+    /// Blocks decoded and searched (covering blocks only, not the whole
+    /// container).
+    pub blocks_searched: u64,
+    /// Corrupt blocks skipped; matches are suppressed only in the spans
+    /// these blocks cover (plus any overlap reaching into a neighbor).
+    pub issues: Vec<BlockIssue>,
+    /// Ledger cost attributed to this run (wave-aggregated).
+    pub cost: Cost,
+}
+
+/// Grep policy knobs.
+#[derive(Debug, Clone)]
+pub struct GrepConfig {
+    /// Blocks decoded and matched concurrently per wave; bounds resident
+    /// memory at roughly one wave of decoded blocks plus the overlap tail.
+    pub wave: usize,
+    /// When set, the first corrupt block aborts the run with
+    /// [`StreamError::CorruptBlock`] instead of being skipped-and-reported.
+    pub strict: bool,
+}
+
+impl Default for GrepConfig {
+    fn default() -> Self {
+        Self {
+            wave: std::thread::available_parallelism()
+                .map_or(4, std::num::NonZeroUsize::get)
+                .min(16),
+            strict: false,
+        }
+    }
+}
+
+impl GrepConfig {
+    /// Make the first corrupt block a hard error.
+    #[must_use]
+    pub fn strict(mut self) -> Self {
+        self.strict = true;
+        self
+    }
+}
+
+/// A block fetched from the container, not yet decoded. `payload` is
+/// `None` when the fetch itself already failed block-locally (header
+/// mismatch), which skips the decode but still occupies the slot so wave
+/// indices line up.
+struct Fetched {
+    index: usize,
+    start: u64,
+    entry: BlockEntry,
+    payload: Option<Vec<u8>>,
+}
+
+/// One decoded wave slot: the fetched block plus its decode outcome
+/// (`None` when the fetch itself already failed block-locally).
+type WaveSlot = (Fetched, Option<Result<Vec<u8>, BlockIssue>>);
+
+/// Decode one wave of fetched payloads — concurrently when the caller's
+/// context is parallel — charging the caller one super-step: summed work,
+/// maximum depth. Mirrors `pardict-stream`'s `compress_wave`.
+fn decode_wave(pram: &Pram, wave: Vec<Fetched>) -> Vec<WaveSlot> {
+    type Decoded = (Fetched, Option<Result<Vec<u8>, BlockIssue>>, Cost);
+    let decode_one = |mut f: Fetched| -> Decoded {
+        let Some(payload) = f.payload.take() else {
+            return (f, None, Cost::default());
+        };
+        let p = Pram::seq();
+        let (out, cost) = p.metered(|p| decode_block(p, f.index as u64, &f.entry, payload));
+        (f, Some(out), cost)
+    };
+    let outs: Vec<Decoded> = if pram.mode() == Mode::Par && wave.len() > 1 {
+        std::thread::scope(|s| {
+            let handles: Vec<_> = wave
+                .into_iter()
+                .map(|f| s.spawn(move || decode_one(f)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("block decode worker panicked"))
+                .collect()
+        })
+    } else {
+        wave.into_iter().map(decode_one).collect()
+    };
+    charge_superstep(pram, outs.iter().map(|(_, _, c)| *c));
+    outs.into_iter().map(|(f, out, _)| (f, out)).collect()
+}
+
+/// One block's search buffer: the overlap tail prefixed to the decoded
+/// block, with the global offset of the buffer's first byte.
+struct SearchBuf {
+    /// Global offset of the block's first raw byte (hits ending at or
+    /// before this were an earlier block's responsibility).
+    block_start: u64,
+    /// Global offset of `bytes[0]` (`block_start − tail length`).
+    buf_start: u64,
+    bytes: Vec<u8>,
+}
+
+/// Match one wave of search buffers — concurrently when parallel — again
+/// one super-step of Σ work / max depth.
+fn match_wave(pram: &Pram, matcher: &DictMatcher, wave: &[SearchBuf]) -> Vec<Vec<GrepHit>> {
+    let match_one = |b: &SearchBuf| -> (Vec<GrepHit>, Cost) {
+        let p = Pram::seq();
+        let (occs, cost) = p.metered(|p| matcher.find_all(p, &b.bytes));
+        let hits = occs
+            .into_iter()
+            .map(|(pos, m)| GrepHit {
+                pos: b.buf_start + pos as u64,
+                id: m.id,
+                len: m.len,
+            })
+            // A hit ending inside the tail belongs to an earlier block;
+            // keeping only hits that end past the block start makes each
+            // occurrence the responsibility of exactly one block.
+            .filter(|h| h.pos + u64::from(h.len) > b.block_start)
+            .collect();
+        (hits, cost)
+    };
+    let outs: Vec<(Vec<GrepHit>, Cost)> = if pram.mode() == Mode::Par && wave.len() > 1 {
+        std::thread::scope(|s| {
+            let handles: Vec<_> = wave.iter().map(|b| s.spawn(move || match_one(b))).collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("block match worker panicked"))
+                .collect()
+        })
+    } else {
+        wave.iter().map(match_one).collect()
+    };
+    charge_superstep(pram, outs.iter().map(|(_, c)| *c));
+    outs.into_iter().map(|(hits, _)| hits).collect()
+}
+
+fn charge_superstep(pram: &Pram, costs: impl Iterator<Item = Cost>) {
+    let (work, depth) = costs.fold((0u64, 0u64), |(w, d), c| (w + c.work, d.max(c.depth)));
+    pram.ledger().charge_work(work);
+    pram.ledger().charge_depth(depth);
+}
+
+/// Report every dictionary occurrence in the container's decoded stream,
+/// without materializing that stream.
+///
+/// Equivalent to decompressing and running [`DictMatcher::find_all`], but
+/// with at most one wave of blocks resident; see the crate docs for the
+/// stitching and accounting scheme.
+///
+/// # Errors
+/// Structural container failures always abort; block-local corruption
+/// aborts only under [`GrepConfig::strict`] and is otherwise reported in
+/// the summary with matches suppressed in the affected span.
+pub fn grep_container<R: Read + Seek>(
+    pram: &Pram,
+    matcher: &DictMatcher,
+    rdr: &mut StreamReader<R>,
+    cfg: &GrepConfig,
+) -> Result<GrepSummary, StreamError> {
+    let len = rdr.len();
+    grep_range(pram, matcher, rdr, 0, len, cfg)
+}
+
+/// Like [`grep_container`], but report only occurrences **starting** in
+/// `start..end`, decoding only the covering blocks plus the overlap needed
+/// to detect hits that straddle out of the range.
+///
+/// # Errors
+/// [`StreamError::RangeOutOfBounds`] for ranges past the end; otherwise
+/// as [`grep_container`].
+pub fn grep_range<R: Read + Seek>(
+    pram: &Pram,
+    matcher: &DictMatcher,
+    rdr: &mut StreamReader<R>,
+    start: u64,
+    end: u64,
+    cfg: &GrepConfig,
+) -> Result<GrepSummary, StreamError> {
+    let len = rdr.len();
+    if start > end || end > len {
+        return Err(StreamError::RangeOutOfBounds { start, end, len });
+    }
+    let before = pram.cost();
+    let mut summary = GrepSummary::default();
+    if start == end {
+        return Ok(summary);
+    }
+    let m = matcher.dictionary().max_pattern_len() as u64;
+    // A hit starting at `end − 1` extends at most `m` bytes; cover that
+    // far so straddling hits are detected, but never past the stream.
+    let cover_end = (end - 1).saturating_add(m).min(len);
+    let blocks = rdr.index().covering(start, cover_end);
+
+    // The overlap tail carried into the next block: the last `m − 1`
+    // bytes seen so far (accumulating across blocks shorter than `m − 1`).
+    let mut tail: Vec<u8> = Vec::new();
+    let wave_size = cfg.wave.max(1);
+    let mut next = blocks.start;
+    while next < blocks.end {
+        let wave_end = (next + wave_size).min(blocks.end);
+
+        // Fetch compressed payloads sequentially (seekable I/O is serial).
+        let mut fetched = Vec::with_capacity(wave_end - next);
+        for i in next..wave_end {
+            let entry = rdr.index().entries[i];
+            let start_i = rdr.index().block_start(i);
+            let payload = match rdr.raw_block(i) {
+                Ok(p) => Some(p),
+                Err(StreamError::CorruptBlock { index, kind }) => {
+                    if cfg.strict {
+                        return Err(StreamError::CorruptBlock { index, kind });
+                    }
+                    summary.issues.push(BlockIssue {
+                        index,
+                        raw_len: entry.raw_len,
+                        kind,
+                    });
+                    None
+                }
+                Err(e) => return Err(e),
+            };
+            fetched.push(Fetched {
+                index: i,
+                start: start_i,
+                entry,
+                payload,
+            });
+        }
+
+        // Super-step 1: decode the wave.
+        let decoded = decode_wave(pram, fetched);
+
+        // Stitch: build each block's search buffer (tail ++ block) and
+        // advance the tail. Sequential by necessity — the tail chains —
+        // but O(wave bytes), charged as one round.
+        let mut bufs = Vec::with_capacity(decoded.len());
+        let mut copied = 0u64;
+        for (f, d) in decoded {
+            match d {
+                Some(Ok(bytes)) => {
+                    let mut buf = Vec::with_capacity(tail.len() + bytes.len());
+                    buf.extend_from_slice(&tail);
+                    buf.extend_from_slice(&bytes);
+                    copied += buf.len() as u64;
+                    let keep = buf.len().min(m.saturating_sub(1) as usize);
+                    tail = buf[buf.len() - keep..].to_vec();
+                    bufs.push(SearchBuf {
+                        block_start: f.start,
+                        buf_start: f.start - (buf.len() - bytes.len()) as u64,
+                        bytes: buf,
+                    });
+                }
+                Some(Err(issue)) => {
+                    if cfg.strict {
+                        return Err(StreamError::CorruptBlock {
+                            index: issue.index,
+                            kind: issue.kind,
+                        });
+                    }
+                    summary.issues.push(issue);
+                    // The overlap into the successor is gone with the
+                    // block; matches resume cleanly at the next boundary.
+                    tail.clear();
+                }
+                // Fetch already failed and was reported; drop the tail for
+                // the same reason as a decode failure.
+                None => tail.clear(),
+            }
+        }
+        pram.ledger().round(copied);
+
+        // Super-step 2: match the wave.
+        for hits in match_wave(pram, matcher, &bufs) {
+            summary
+                .hits
+                .extend(hits.into_iter().filter(|h| h.pos >= start && h.pos < end));
+        }
+        summary.blocks_searched += bufs.len() as u64;
+        next = wave_end;
+    }
+
+    // Blocks report by *hit end*, so a straddling hit surfaces after
+    // same-position hits from the previous block; restore the canonical
+    // position-then-decreasing-length order.
+    summary.hits.sort_by(|a, b| {
+        a.pos
+            .cmp(&b.pos)
+            .then(b.len.cmp(&a.len))
+            .then(a.id.cmp(&b.id))
+    });
+    pram.ledger().round(summary.hits.len() as u64);
+    summary.cost = pram.cost().since(before);
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pardict_core::Dictionary;
+    use pardict_stream::{compress_stream, StreamConfig};
+
+    fn pack(data: &[u8], block_size: usize) -> Vec<u8> {
+        let pram = Pram::seq();
+        let cfg = StreamConfig {
+            block_size,
+            max_in_flight: 4,
+        };
+        compress_stream(&pram, &mut &data[..], Vec::new(), &cfg)
+            .unwrap()
+            .0
+    }
+
+    fn matcher(patterns: &[&str]) -> DictMatcher {
+        let dict = Dictionary::new(patterns.iter().map(|p| p.as_bytes().to_vec()).collect());
+        DictMatcher::build(&Pram::seq(), dict, 0xFEED)
+    }
+
+    fn oracle(matcher: &DictMatcher, text: &[u8]) -> Vec<GrepHit> {
+        let pram = Pram::seq();
+        let mut hits: Vec<GrepHit> = matcher
+            .find_all(&pram, text)
+            .into_iter()
+            .map(|(pos, m)| GrepHit {
+                pos: pos as u64,
+                id: m.id,
+                len: m.len,
+            })
+            .collect();
+        hits.sort_by(|a, b| {
+            a.pos
+                .cmp(&b.pos)
+                .then(b.len.cmp(&a.len))
+                .then(a.id.cmp(&b.id))
+        });
+        hits
+    }
+
+    #[test]
+    fn hits_match_the_uncompressed_oracle() {
+        let text = b"she sells sea shells by the sea shore ushers hush ".repeat(8);
+        let m = matcher(&["he", "she", "sea", "shells", "hers"]);
+        for block_size in [7, 16, 64, 512] {
+            let packed = pack(&text, block_size);
+            let pram = Pram::seq();
+            let mut rdr = StreamReader::open(std::io::Cursor::new(&packed)).unwrap();
+            let got = grep_container(&pram, &m, &mut rdr, &GrepConfig::default()).unwrap();
+            assert_eq!(got.hits, oracle(&m, &text), "block_size {block_size}");
+            assert!(got.issues.is_empty());
+        }
+    }
+
+    #[test]
+    fn pattern_longer_than_block_straddles_many_boundaries() {
+        // An 11-byte pattern over 4-byte blocks: every hit spans ≥ 2
+        // boundaries and must survive the accumulated tail.
+        let text = b"xxabracadabraxyxabracadabrazz".to_vec();
+        let m = matcher(&["abracadabra", "xy"]);
+        let packed = pack(&text, 4);
+        let pram = Pram::seq();
+        let mut rdr = StreamReader::open(std::io::Cursor::new(&packed)).unwrap();
+        let got = grep_container(&pram, &m, &mut rdr, &GrepConfig::default()).unwrap();
+        assert_eq!(got.hits, oracle(&m, &text));
+        assert!(got.hits.iter().any(|h| h.len == 11));
+    }
+
+    #[test]
+    fn range_grep_reports_only_hits_starting_in_range() {
+        let text = b"banana banana banana banana ".repeat(10);
+        let m = matcher(&["ban", "ana", "nan"]);
+        let packed = pack(&text, 32);
+        let pram = Pram::seq();
+        let mut rdr = StreamReader::open(std::io::Cursor::new(&packed)).unwrap();
+        let all = oracle(&m, &text);
+        for (a, b) in [(0u64, 10u64), (30, 95), (100, 101), (5, 5)] {
+            let got = grep_range(&pram, &m, &mut rdr, a, b, &GrepConfig::default()).unwrap();
+            let expect: Vec<GrepHit> = all
+                .iter()
+                .copied()
+                .filter(|h| h.pos >= a && h.pos < b)
+                .collect();
+            assert_eq!(got.hits, expect, "range {a}..{b}");
+        }
+        assert!(matches!(
+            grep_range(
+                &pram,
+                &m,
+                &mut rdr,
+                0,
+                text.len() as u64 + 1,
+                &GrepConfig::default()
+            ),
+            Err(StreamError::RangeOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn seq_and_par_agree_on_hits_and_ledger() {
+        let text = b"the cat sat on the mat with another cat and a rat ".repeat(40);
+        let m = matcher(&["cat", "at ", "the", "rat"]);
+        let packed = pack(&text, 256);
+        let cfg = GrepConfig {
+            wave: 3,
+            strict: false,
+        };
+        let mut rdr = StreamReader::open(std::io::Cursor::new(&packed)).unwrap();
+        let seq = Pram::seq();
+        let (a, ca) = seq.metered(|p| grep_container(p, &m, &mut rdr, &cfg).unwrap());
+        let par = Pram::par();
+        let (b, cb) = par.metered(|p| grep_container(p, &m, &mut rdr, &cfg).unwrap());
+        assert_eq!(a.hits, b.hits);
+        assert_eq!(ca, cb, "ledger attribution must be mode-independent");
+    }
+
+    #[test]
+    fn strict_mode_fails_on_corruption_lenient_reports() {
+        let text = b"one potato two potato three potato four ".repeat(30);
+        let m = matcher(&["potato", "two"]);
+        let mut packed = pack(&text, 128);
+        let target = {
+            let rdr = StreamReader::open(std::io::Cursor::new(&packed)).unwrap();
+            let e = rdr.index().entries[3];
+            e.offset as usize + pardict_stream::format::RECORD_HEADER_LEN
+        };
+        packed[target] ^= 0x08;
+        let pram = Pram::seq();
+        let mut rdr = StreamReader::open(std::io::Cursor::new(&packed)).unwrap();
+
+        let lenient = grep_container(&pram, &m, &mut rdr, &GrepConfig::default()).unwrap();
+        assert_eq!(lenient.issues.len(), 1);
+        assert_eq!(lenient.issues[0].index, 3);
+        // Every hit that does not intersect block 3's byte span must
+        // survive: ends before the span, or starts at/after its end (the
+        // successor needs no tail for those).
+        let s3 = 3 * 128u64;
+        let e3 = 4 * 128u64;
+        let survivors: Vec<GrepHit> = oracle(&m, &text)
+            .into_iter()
+            .filter(|h| h.pos + u64::from(h.len) <= s3 || h.pos >= e3)
+            .collect();
+        for h in &survivors {
+            assert!(
+                lenient.hits.contains(h),
+                "lost hit {h:?} outside corrupt span"
+            );
+        }
+
+        assert!(matches!(
+            grep_container(&pram, &m, &mut rdr, &GrepConfig::default().strict()),
+            Err(StreamError::CorruptBlock { index: 3, .. })
+        ));
+    }
+}

@@ -1,0 +1,49 @@
+//! `pardict-search`: block-parallel dictionary matching over compressed
+//! PDZS containers — grep the compressed data without materializing the
+//! underlying text.
+//!
+//! The paper's two halves meet here: a preprocessed §3 [`DictMatcher`]
+//! (Theorem 3.1, matcher reuse across requests) is run over the blockwise
+//! §4 LZ1 container produced by `pardict-stream`. The setting is the one
+//! studied by Gawrychowski (*Pattern matching in Lempel-Ziv compressed
+//! strings*, arXiv:1104.4203) and inverted by
+//! Fischer–Gagie–Gawrychowski–Kociumaka (*Approximating LZ77 via
+//! Small-Space Multiple-Pattern Matching*, arXiv:1504.06647): because the
+//! container restricts every back-reference to a block-local window,
+//! each block decodes independently, and searching compressed data reduces
+//! to decode-and-match per block plus overlap stitching at boundaries.
+//!
+//! ## How a match is never lost or double-counted
+//!
+//! Each block's search buffer is the block's decoded bytes prefixed by an
+//! **overlap tail**: the last `max_pattern_len() − 1` bytes of the
+//! preceding buffer. A pattern occurrence is reported by exactly the block
+//! containing its **last** byte — hits ending inside the tail were already
+//! reported by an earlier block, and a hit ending past the buffer cannot
+//! be detected yet. Tails accumulate across blocks, so the scheme is
+//! correct even when patterns are longer than whole blocks (a hit may
+//! straddle many boundaries).
+//!
+//! ## Accounting
+//!
+//! Blocks are processed in waves, mirroring `pardict-stream`'s wave
+//! discipline: each wave is two PRAM super-steps (decode, then match),
+//! each block running on a private sequential context, with the caller's
+//! ledger charged Σ work and max depth per super-step. At most one wave of
+//! blocks plus the overlap tail is resident, and a range query decodes
+//! only the covering blocks plus overlap — both properties the tests
+//! assert through the ledger.
+//!
+//! Corrupt blocks are skipped and reported ([`pardict_stream::BlockIssue`])
+//! with matches suppressed only in the affected span; [`GrepConfig::strict`]
+//! turns the first corrupt block into a hard error instead.
+
+#![warn(missing_docs)]
+
+mod grep;
+
+pub use grep::{grep_container, grep_range, GrepConfig, GrepHit, GrepSummary};
+
+// Re-exported so downstream callers can name the matcher type without
+// depending on pardict-core directly.
+pub use pardict_core::DictMatcher;

@@ -320,6 +320,7 @@ impl Engine {
             match lane {
                 Lane::SeqFallback => metrics.seq_fallback.inc(),
                 Lane::Stream => metrics.stream_lane.inc(),
+                Lane::Grep => metrics.grep_lane.inc(),
                 Lane::Batched => {}
             }
             let stats = metrics.op(kind);
@@ -348,7 +349,11 @@ impl Engine {
     /// Run one operation under the batch's Pram, recording which lane
     /// served it.
     fn execute(&self, pram: &Pram, op: &OpRequest, lane: &mut Lane) -> Result<Reply, ServiceError> {
-        check_text(op.text())?;
+        // Container payloads are binary (length fields, CRCs) — the NUL
+        // sentinel check only applies to raw-text operations.
+        if !matches!(op, OpRequest::GrepContainer { .. }) {
+            check_text(op.text())?;
+        }
         match op {
             OpRequest::Match { dict, text } => {
                 let dv = self.resolve(dict)?;
@@ -420,6 +425,33 @@ impl Engine {
                     version: dv.version,
                     phrases: parse.num_phrases() as u32,
                     greedy_phrases: greedy.map(|g| g.num_phrases() as u32),
+                })
+            }
+            OpRequest::GrepContainer { dict, container } => {
+                let dv = self.resolve(dict)?;
+                *lane = Lane::Grep;
+                let mut rdr =
+                    pardict_stream::StreamReader::open(std::io::Cursor::new(&container[..]))
+                        .map_err(|e| ServiceError::BadRequest(e.to_string()))?;
+                let summary = pardict_search::grep_container(
+                    pram,
+                    &dv.pre.matcher,
+                    &mut rdr,
+                    &pardict_search::GrepConfig::default(),
+                )
+                .map_err(|e| ServiceError::BadRequest(e.to_string()))?;
+                Ok(Reply::GrepContainer {
+                    version: dv.version,
+                    hits: summary
+                        .hits
+                        .into_iter()
+                        .map(|h| Hit {
+                            pos: h.pos,
+                            id: h.id,
+                            len: h.len,
+                        })
+                        .collect(),
+                    corrupt_blocks: summary.issues.iter().map(|i| i.index).collect(),
                 })
             }
         }

@@ -162,6 +162,8 @@ pub struct Metrics {
     pub seq_fallback: Counter,
     /// Compress requests routed through the chunked streaming pipeline.
     pub stream_lane: Counter,
+    /// Container-grep requests served on the compressed-domain search lane.
+    pub grep_lane: Counter,
     /// Compressed-size ÷ raw-size per Compress request, in percent (a 40
     /// means the payload shrank to 40% of the input).
     pub compress_ratio_pct: Histogram,
@@ -202,12 +204,13 @@ impl Metrics {
         let mean_batch = batched.checked_div(batches).unwrap_or(0);
         let _ = writeln!(
             out,
-            "batching:  batches {}  batched-requests {}  mean-batch {}  seq-fallback {}  stream-lane {}",
+            "batching:  batches {}  batched-requests {}  mean-batch {}  seq-fallback {}  stream-lane {}  grep-lane {}",
             batches,
             batched,
             mean_batch,
             self.seq_fallback.get(),
             self.stream_lane.get(),
+            self.grep_lane.get(),
         );
         let r = &self.compress_ratio_pct;
         let _ = writeln!(

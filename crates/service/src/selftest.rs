@@ -9,7 +9,7 @@
 
 use crate::engine::{Engine, EngineConfig};
 use crate::metrics::Metrics;
-use crate::registry::Registry;
+use crate::registry::{DictVersion, Registry};
 use crate::server::{Client, Server};
 use crate::types::{OpRequest, Reply, Request, ServiceError};
 use crate::wire;
@@ -113,6 +113,7 @@ pub fn run(opts: &SelftestOptions) -> Result<String, String> {
             let swapped = Arc::clone(&swapped);
             let failures = Arc::clone(&failures);
             let oracle_v1 = Arc::clone(&oracle_v1);
+            let v1 = Arc::clone(&v1);
             let pats_v1 = pats_v1.clone();
             let pats_v2 = pats_v2.clone();
             s.spawn(move || {
@@ -144,22 +145,38 @@ pub fn run(opts: &SelftestOptions) -> Result<String, String> {
                         Alphabet::dna(),
                     );
                     let roll = rng.next_u64() % 100;
-                    let op = if roll < 50 {
+                    let op = if roll < 45 {
                         OpRequest::Match {
                             dict: "corpus".into(),
                             text: text.clone(),
                         }
-                    } else if roll < 70 {
+                    } else if roll < 62 {
                         OpRequest::Grep {
                             dict: "corpus".into(),
                             text: text.clone(),
                         }
-                    } else if roll < 85 {
+                    } else if roll < 75 {
                         OpRequest::Compress { text: text.clone() }
-                    } else {
+                    } else if roll < 88 {
                         OpRequest::Parse {
                             dict: "corpus".into(),
                             text: text.clone(),
+                        }
+                    } else {
+                        // Grep lane: search the compressed form of the same
+                        // text, multi-block so boundary stitching is live
+                        // while the hot swap happens underneath.
+                        let cfg = pardict_stream::StreamConfig::with_block_size(256);
+                        let (container, _) = pardict_stream::compress_stream(
+                            &Pram::seq(),
+                            &mut &text[..],
+                            Vec::new(),
+                            &cfg,
+                        )
+                        .expect("selftest compress for grep lane");
+                        OpRequest::GrepContainer {
+                            dict: "corpus".into(),
+                            container,
                         }
                     };
                     let resp = engine.call(Request::new(op));
@@ -172,9 +189,10 @@ pub fn run(opts: &SelftestOptions) -> Result<String, String> {
                                     fail(format!("request {i}: impossible version {v}"));
                                 }
                             }
-                            // Sampled deep verification (~1 in 8).
-                            if i.is_multiple_of(8) {
-                                verify_reply(&reply, &text, &oracle_v1, i, &mut fail);
+                            // Sampled deep verification (~1 in 8); container
+                            // grep is always verified — it is the new lane.
+                            if i.is_multiple_of(8) || matches!(reply, Reply::GrepContainer { .. }) {
+                                verify_reply(&reply, &text, &oracle_v1, &v1, i, &mut fail);
                             }
                         }
                     }
@@ -249,6 +267,9 @@ pub fn run(opts: &SelftestOptions) -> Result<String, String> {
     if metrics.deadline_expired.get() < 3 {
         return Err("deadline rejections not recorded".into());
     }
+    if metrics.grep_lane.get() == 0 {
+        return Err("grep lane never exercised".into());
+    }
     if metrics.completed.get() < opts.requests as u64 {
         return Err(format!(
             "completed {} < issued {}",
@@ -268,6 +289,10 @@ pub fn run(opts: &SelftestOptions) -> Result<String, String> {
         "hot-swap corpus v1 -> v2 mid-run; every versioned reply was v1 or v2 (never mixed)\n",
     );
     out.push_str("sampled oracle verification: match vs Aho-Corasick, compress roundtrip, parse optimality\n");
+    out.push_str(&format!(
+        "grep lane: {} compressed-container searches, each checked against whole-text matching\n",
+        metrics.grep_lane.get(),
+    ));
     out.push_str("TCP loopback: publish/match/metrics round trip ok\n\n");
     out.push_str(&metrics.report());
     Ok(out)
@@ -278,6 +303,7 @@ fn verify_reply(
     reply: &Reply,
     text: &[u8],
     oracle_v1: &AhoCorasick,
+    v1: &DictVersion,
     i: usize,
     fail: &mut impl FnMut(String),
 ) {
@@ -359,6 +385,47 @@ fn verify_reply(
                 if g < phrases {
                     fail(format!(
                         "request {i}: greedy ({g}) beat optimal ({phrases})"
+                    ));
+                }
+            }
+        }
+        Reply::GrepContainer {
+            version,
+            hits,
+            corrupt_blocks,
+        } => {
+            // The container was built moments ago from pristine bytes.
+            if !corrupt_blocks.is_empty() {
+                fail(format!(
+                    "request {i}: pristine container reported corrupt blocks {corrupt_blocks:?}"
+                ));
+            }
+            for h in hits {
+                if h.pos + u64::from(h.len) > text.len() as u64 {
+                    fail(format!("request {i}: container-grep hit out of bounds"));
+                }
+            }
+            // Oracle for v1 replies: decompress is the identity here (we
+            // still hold the raw text), so compressed-domain search must
+            // equal whole-text dictionary matching.
+            if *version == 1 {
+                let mut expect: Vec<(u64, u32, u32)> = v1
+                    .pre
+                    .matcher
+                    .find_all(&pram, text)
+                    .into_iter()
+                    .map(|(p, m)| (p as u64, m.id, m.len))
+                    .collect();
+                let mut got: Vec<(u64, u32, u32)> =
+                    hits.iter().map(|h| (h.pos, h.id, h.len)).collect();
+                expect.sort_unstable();
+                got.sort_unstable();
+                if got != expect {
+                    fail(format!(
+                        "request {i}: v1 container grep disagrees with whole-text \
+                         dictionary matching ({} vs {} hits)",
+                        got.len(),
+                        expect.len()
                     ));
                 }
             }

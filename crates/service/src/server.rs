@@ -142,6 +142,10 @@ fn handle(engine: &Engine, req: WireRequest) -> WireResponse {
                 wire::tag::GREP => OpRequest::Grep { dict, text },
                 wire::tag::COMPRESS => OpRequest::Compress { text },
                 wire::tag::PARSE => OpRequest::Parse { dict, text },
+                wire::tag::GREPZ => OpRequest::GrepContainer {
+                    dict,
+                    container: text,
+                },
                 _ => unreachable!("decode only yields op tags"),
             };
             let req = if timeout_ms == 0 {
@@ -209,7 +213,7 @@ impl Client {
         }
     }
 
-    /// Run one operation (`tag::MATCH` … `tag::PARSE`).
+    /// Run one operation (`tag::MATCH` … `tag::PARSE`, `tag::GREPZ`).
     ///
     /// # Errors
     /// I/O or protocol errors; service-level failures are in the inner
@@ -310,6 +314,40 @@ mod tests {
             .unwrap()
             .unwrap_err();
         assert!(matches!(err, ServiceError::NoSuchDictionary(_)));
+
+        // Container grep over the wire: compress a text, search it compressed.
+        let text = b"banana bandana";
+        let pram = pardict_pram::Pram::seq();
+        let cfg = pardict_stream::StreamConfig::with_block_size(4);
+        let (container, _) =
+            pardict_stream::compress_stream(&pram, &mut &text[..], Vec::new(), &cfg).unwrap();
+        let resp = client
+            .op(wire::tag::GREPZ, "d", &container, 0)
+            .unwrap()
+            .unwrap();
+        match resp {
+            WireResponse::ContainerHits {
+                version,
+                hits,
+                corrupt_blocks,
+            } => {
+                assert_eq!(version, 1);
+                assert!(corrupt_blocks.is_empty());
+                // "ana" straddles the 4-byte block boundary at offset 4.
+                assert!(hits.contains(&Hit {
+                    pos: 3,
+                    id: 0,
+                    len: 3
+                }));
+                assert!(hits.contains(&Hit {
+                    pos: 7,
+                    id: 1,
+                    len: 3
+                }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(engine.metrics().grep_lane.get(), 1);
 
         let report = client.metrics().unwrap();
         assert!(report.contains("pardict-service metrics"));

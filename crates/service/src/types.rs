@@ -3,7 +3,7 @@
 use pardict_pram::Cost;
 use std::time::{Duration, Instant};
 
-/// The four operation families the service batches.
+/// The five operation families the service batches.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum OpKind {
     /// Longest pattern per text position (Theorem 3.1).
@@ -14,10 +14,13 @@ pub enum OpKind {
     Compress = 2,
     /// Optimal static-dictionary parse (§5).
     Parse = 3,
+    /// Every pattern occurrence inside a compressed PDZS container,
+    /// searched without materializing the decoded text.
+    GrepContainer = 4,
 }
 
 /// Number of [`OpKind`] variants (sizing per-op metric arrays).
-pub const NUM_OPS: usize = 4;
+pub const NUM_OPS: usize = 5;
 
 impl OpKind {
     /// Stable display name.
@@ -28,13 +31,20 @@ impl OpKind {
             OpKind::Grep => "grep",
             OpKind::Compress => "compress",
             OpKind::Parse => "parse",
+            OpKind::GrepContainer => "grepz",
         }
     }
 
     /// All kinds, in wire-tag order.
     #[must_use]
     pub fn all() -> [OpKind; NUM_OPS] {
-        [OpKind::Match, OpKind::Grep, OpKind::Compress, OpKind::Parse]
+        [
+            OpKind::Match,
+            OpKind::Grep,
+            OpKind::Compress,
+            OpKind::Parse,
+            OpKind::GrepContainer,
+        ]
     }
 }
 
@@ -67,6 +77,15 @@ pub enum OpRequest {
         /// Text to parse (NUL-free).
         text: Vec<u8>,
     },
+    /// All pattern occurrences in the decoded stream of a PDZS
+    /// `container`, searched block-parallel without full decompression.
+    /// Container bytes are binary — the NUL check does not apply.
+    GrepContainer {
+        /// Registered dictionary name.
+        dict: String,
+        /// A complete PDZS container.
+        container: Vec<u8>,
+    },
 }
 
 impl OpRequest {
@@ -78,10 +97,12 @@ impl OpRequest {
             OpRequest::Grep { .. } => OpKind::Grep,
             OpRequest::Compress { .. } => OpKind::Compress,
             OpRequest::Parse { .. } => OpKind::Parse,
+            OpRequest::GrepContainer { .. } => OpKind::GrepContainer,
         }
     }
 
-    /// The subject text.
+    /// The subject payload (raw text, or container bytes for
+    /// [`OpRequest::GrepContainer`]).
     #[must_use]
     pub fn text(&self) -> &[u8] {
         match self {
@@ -89,6 +110,7 @@ impl OpRequest {
             | OpRequest::Grep { text, .. }
             | OpRequest::Compress { text }
             | OpRequest::Parse { text, .. } => text,
+            OpRequest::GrepContainer { container, .. } => container,
         }
     }
 
@@ -98,7 +120,8 @@ impl OpRequest {
         match self {
             OpRequest::Match { dict, .. }
             | OpRequest::Grep { dict, .. }
-            | OpRequest::Parse { dict, .. } => Some(dict),
+            | OpRequest::Parse { dict, .. }
+            | OpRequest::GrepContainer { dict, .. } => Some(dict),
             OpRequest::Compress { .. } => None,
         }
     }
@@ -174,6 +197,17 @@ pub enum Reply {
         /// Greedy comparator phrase count, when greedy terminates.
         greedy_phrases: Option<u32>,
     },
+    /// All occurrences inside a compressed container.
+    GrepContainer {
+        /// Dictionary version that served the request.
+        version: u64,
+        /// Every `(position, pattern)` occurrence, positions in the
+        /// decoded stream.
+        hits: Vec<Hit>,
+        /// Indexes of blocks that failed verification and were skipped;
+        /// matches are suppressed only in their spans.
+        corrupt_blocks: Vec<u64>,
+    },
 }
 
 impl Reply {
@@ -183,7 +217,8 @@ impl Reply {
         match self {
             Reply::Match { version, .. }
             | Reply::Grep { version, .. }
-            | Reply::Parse { version, .. } => Some(*version),
+            | Reply::Parse { version, .. }
+            | Reply::GrepContainer { version, .. } => Some(*version),
             Reply::Compress { .. } => None,
         }
     }
@@ -246,6 +281,9 @@ pub enum Lane {
     /// Chunked streaming pipeline for large compression payloads
     /// (block-parallel LZ1, framed container output).
     Stream = 2,
+    /// Compressed-domain search lane: block-parallel grep over a PDZS
+    /// container without full decompression.
+    Grep = 3,
 }
 
 /// Per-request accounting surfaced with every response.

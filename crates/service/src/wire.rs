@@ -28,6 +28,8 @@ pub mod tag {
     pub const METRICS: u8 = 6;
     /// Liveness probe.
     pub const PING: u8 = 7;
+    /// Container grep: `dict, container bytes, timeout_ms`.
+    pub const GREPZ: u8 = 8;
     /// Response: success payload follows.
     pub const OK: u8 = 0x80;
     /// Response: error code + message follow.
@@ -167,11 +169,11 @@ pub enum WireRequest {
     },
     /// An operation; `timeout_ms == 0` means no deadline.
     Op {
-        /// Which operation (`tag::MATCH` … `tag::PARSE`).
+        /// Which operation (`tag::MATCH` … `tag::PARSE`, `tag::GREPZ`).
         tag: u8,
         /// Dictionary name (empty for compress).
         dict: String,
-        /// Subject text.
+        /// Subject text (container bytes for `tag::GREPZ`).
         text: Vec<u8>,
         /// Deadline budget in milliseconds; 0 = none.
         timeout_ms: u32,
@@ -233,7 +235,7 @@ impl WireRequest {
                 }
                 WireRequest::Publish { name, patterns }
             }
-            tag::MATCH | tag::GREP | tag::COMPRESS | tag::PARSE => WireRequest::Op {
+            tag::MATCH | tag::GREP | tag::COMPRESS | tag::PARSE | tag::GREPZ => WireRequest::Op {
                 tag: t,
                 dict: c.string()?,
                 text: c.bytes()?,
@@ -283,6 +285,15 @@ pub enum WireResponse {
         /// Greedy phrase count, `u32::MAX` encoding `None`.
         greedy_phrases: Option<u32>,
     },
+    /// Container-grep hits plus any skipped corrupt blocks.
+    ContainerHits {
+        /// Dictionary version that served the request.
+        version: u64,
+        /// Occurrences, positions in the decoded stream.
+        hits: Vec<Hit>,
+        /// Zero-based indexes of blocks skipped as corrupt.
+        corrupt_blocks: Vec<u64>,
+    },
     /// Metrics report text.
     MetricsReport(String),
     /// Ping reply.
@@ -304,6 +315,7 @@ mod ok {
     pub const PARSED: u8 = 4;
     pub const METRICS: u8 = 5;
     pub const PONG: u8 = 6;
+    pub const CONTAINER_HITS: u8 = 7;
 }
 
 impl WireResponse {
@@ -350,6 +362,25 @@ impl WireResponse {
                 put_u64(&mut out, *version);
                 put_u32(&mut out, *phrases);
                 put_u32(&mut out, greedy_phrases.unwrap_or(u32::MAX));
+            }
+            WireResponse::ContainerHits {
+                version,
+                hits,
+                corrupt_blocks,
+            } => {
+                out.push(tag::OK);
+                out.push(ok::CONTAINER_HITS);
+                put_u64(&mut out, *version);
+                put_u32(&mut out, hits.len() as u32);
+                for h in hits {
+                    put_u64(&mut out, h.pos);
+                    put_u32(&mut out, h.id);
+                    put_u32(&mut out, h.len);
+                }
+                put_u32(&mut out, corrupt_blocks.len() as u32);
+                for b in corrupt_blocks {
+                    put_u64(&mut out, *b);
+                }
             }
             WireResponse::MetricsReport(s) => {
                 out.push(tag::OK);
@@ -408,6 +439,34 @@ impl WireResponse {
                         g => Some(g),
                     },
                 },
+                ok::CONTAINER_HITS => {
+                    let version = c.u64()?;
+                    let n = c.u32()? as usize;
+                    if n.saturating_mul(16) > payload.len() {
+                        return Err(Cursor::err("hit count exceeds payload"));
+                    }
+                    let mut hits = Vec::with_capacity(n);
+                    for _ in 0..n {
+                        hits.push(Hit {
+                            pos: c.u64()?,
+                            id: c.u32()?,
+                            len: c.u32()?,
+                        });
+                    }
+                    let nb = c.u32()? as usize;
+                    if nb.saturating_mul(8) > payload.len() {
+                        return Err(Cursor::err("corrupt-block count exceeds payload"));
+                    }
+                    let mut corrupt_blocks = Vec::with_capacity(nb);
+                    for _ in 0..nb {
+                        corrupt_blocks.push(c.u64()?);
+                    }
+                    WireResponse::ContainerHits {
+                        version,
+                        hits,
+                        corrupt_blocks,
+                    }
+                }
                 ok::METRICS => WireResponse::MetricsReport(c.string()?),
                 ok::PONG => WireResponse::Pong,
                 other => return Err(Cursor::err(&format!("unknown ok sub-tag {other}"))),
@@ -444,6 +503,15 @@ impl WireResponse {
                 version: *version,
                 phrases: *phrases,
                 greedy_phrases: *greedy_phrases,
+            },
+            Ok(Reply::GrepContainer {
+                version,
+                hits,
+                corrupt_blocks,
+            }) => WireResponse::ContainerHits {
+                version: *version,
+                hits: hits.clone(),
+                corrupt_blocks: corrupt_blocks.clone(),
             },
         }
     }
@@ -503,6 +571,12 @@ mod tests {
                 text: b"aaaa".to_vec(),
                 timeout_ms: 0,
             },
+            WireRequest::Op {
+                tag: tag::GREPZ,
+                dict: "corpus".into(),
+                text: vec![0x50, 0x44, 0x5A, 0x53, 0x00, 0xFF], // binary container bytes
+                timeout_ms: 100,
+            },
             WireRequest::Metrics,
             WireRequest::Ping,
         ];
@@ -541,6 +615,15 @@ mod tests {
                 version: 1,
                 phrases: 4,
                 greedy_phrases: None,
+            },
+            WireResponse::ContainerHits {
+                version: 3,
+                hits: vec![Hit {
+                    pos: 70000,
+                    id: 2,
+                    len: 5,
+                }],
+                corrupt_blocks: vec![1, 4],
             },
             WireResponse::MetricsReport("ok".into()),
             WireResponse::Pong,

@@ -43,7 +43,8 @@ pub use format::{
     METHOD_STORED, TRAILER_LEN, VERSION,
 };
 pub use reader::{
-    decompress_stream, is_container, DecompressSummary, StreamDecompressor, StreamReader,
+    decode_block, decompress_stream, is_container, BlockIter, DecodedBlock, DecompressSummary,
+    StreamDecompressor, StreamReader,
 };
 pub use writer::{compress_stream, CompressSummary, StreamCompressor, StreamConfig, STREAM_SEED};
 

@@ -91,6 +91,75 @@ fn check_and_decode(
     decode_payload(pram, index, method, raw_len, payload)
 }
 
+/// Decode one fetched payload (see [`StreamReader::raw_block`]) against its
+/// index entry: checksum verification followed by decompression.
+///
+/// Separating the fetch from the decode lets callers fetch payloads from a
+/// seekable source sequentially and decode them on independent contexts —
+/// the hook `pardict-search` uses for its parallel decode waves.
+///
+/// # Errors
+/// A [`BlockIssue`] naming block `index` on checksum, token, length, or
+/// method failures.
+pub fn decode_block(
+    pram: &Pram,
+    index: u64,
+    entry: &BlockEntry,
+    payload: Vec<u8>,
+) -> Result<Vec<u8>, BlockIssue> {
+    check_and_decode(pram, index, entry.method, entry.raw_len, entry.crc, payload)
+}
+
+/// One block's outcome from [`StreamReader::block_iter`]: block-local
+/// corruption is carried *inside* the item (`data: Err(..)`) so iteration
+/// can continue, while structural failures abort the iterator itself.
+#[derive(Debug, Clone)]
+pub struct DecodedBlock {
+    /// Zero-based block index.
+    pub index: usize,
+    /// Global offset of the block's first raw byte in the decoded stream.
+    pub start: u64,
+    /// Decoded bytes, or the issue that prevented decoding this block.
+    pub data: Result<Vec<u8>, BlockIssue>,
+}
+
+/// Iterator over decoded blocks of a [`StreamReader`]; see
+/// [`StreamReader::block_iter`].
+pub struct BlockIter<'a, 'p, R: Read + Seek> {
+    rdr: &'a mut StreamReader<R>,
+    pram: &'p Pram,
+    next: usize,
+    end: usize,
+}
+
+impl<R: Read + Seek> Iterator for BlockIter<'_, '_, R> {
+    type Item = Result<DecodedBlock, StreamError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.next >= self.end {
+            return None;
+        }
+        let i = self.next;
+        self.next += 1;
+        let start = self.rdr.index.block_start(i);
+        let entry = self.rdr.entry(i);
+        let data = match self.rdr.raw_block(i) {
+            Ok(payload) => decode_block(self.pram, i as u64, &entry, payload),
+            Err(StreamError::CorruptBlock { index, kind }) => Err(BlockIssue {
+                index,
+                raw_len: entry.raw_len,
+                kind,
+            }),
+            Err(e) => return Some(Err(e)),
+        };
+        Some(Ok(DecodedBlock {
+            index: i,
+            start,
+            data,
+        }))
+    }
+}
+
 fn read_exact_or_truncated<R: Read>(r: &mut R, buf: &mut [u8]) -> Result<(), StreamError> {
     r.read_exact(buf).map_err(|e| {
         if e.kind() == std::io::ErrorKind::UnexpectedEof {
@@ -386,6 +455,32 @@ impl<R: Read + Seek> StreamReader<R> {
         self.index.entries[i]
     }
 
+    /// Fetch block `i`'s *compressed* payload without decoding it, after
+    /// verifying the inline record header against the footer entry. Pair
+    /// with [`decode_block`] (free function) to decode on any context —
+    /// possibly a different one per block, in parallel.
+    ///
+    /// # Errors
+    /// [`StreamError::CorruptBlock`] with [`IssueKind::HeaderMismatch`]
+    /// when the inline header disagrees with the index; I/O errors pass
+    /// through.
+    pub fn raw_block(&mut self, i: usize) -> Result<Vec<u8>, StreamError> {
+        let e = self.entry(i);
+        self.inner.seek(SeekFrom::Start(e.offset))?;
+        let mut rec = [0u8; RECORD_HEADER_LEN];
+        read_exact_or_truncated(&mut self.inner, &mut rec)?;
+        let tail: [u8; RECORD_HEADER_LEN - 1] = rec[1..].try_into().expect("record tail");
+        if parse_record_tail(rec[0], &tail) != e.record_header() {
+            return Err(StreamError::CorruptBlock {
+                index: i as u64,
+                kind: IssueKind::HeaderMismatch,
+            });
+        }
+        let mut payload = vec![0u8; e.comp_len as usize];
+        read_exact_or_truncated(&mut self.inner, &mut payload)?;
+        Ok(payload)
+    }
+
     /// Decode block `i` alone, verifying its inline record header against
     /// the footer entry and its payload against the CRC.
     ///
@@ -393,21 +488,42 @@ impl<R: Read + Seek> StreamReader<R> {
     /// [`StreamError::CorruptBlock`] naming the block on any mismatch.
     pub fn read_block(&mut self, pram: &Pram, i: usize) -> Result<Vec<u8>, StreamError> {
         let e = self.entry(i);
-        self.inner.seek(SeekFrom::Start(e.offset))?;
-        let mut rec = [0u8; RECORD_HEADER_LEN];
-        read_exact_or_truncated(&mut self.inner, &mut rec)?;
-        let tail: [u8; RECORD_HEADER_LEN - 1] = rec[1..].try_into().expect("record tail");
-        let corrupt = |kind| StreamError::CorruptBlock {
-            index: i as u64,
-            kind,
-        };
-        if parse_record_tail(rec[0], &tail) != e.record_header() {
-            return Err(corrupt(IssueKind::HeaderMismatch));
+        let payload = self.raw_block(i)?;
+        decode_block(pram, i as u64, &e, payload).map_err(|issue| StreamError::CorruptBlock {
+            index: issue.index,
+            kind: issue.kind,
+        })
+    }
+
+    /// Iterate the decoded blocks `range`, in order. Block-local corruption
+    /// is reported inside the yielded [`DecodedBlock`]; structural failures
+    /// abort the iteration with an `Err` item.
+    ///
+    /// # Panics
+    /// When `range.end` exceeds the number of blocks.
+    pub fn block_iter_range<'a, 'p>(
+        &'a mut self,
+        pram: &'p Pram,
+        range: std::ops::Range<usize>,
+    ) -> BlockIter<'a, 'p, R> {
+        assert!(
+            range.end <= self.index.num_blocks(),
+            "block range {range:?} exceeds {} blocks",
+            self.index.num_blocks()
+        );
+        BlockIter {
+            rdr: self,
+            pram,
+            next: range.start,
+            end: range.end,
         }
-        let mut payload = vec![0u8; e.comp_len as usize];
-        read_exact_or_truncated(&mut self.inner, &mut payload)?;
-        check_and_decode(pram, i as u64, e.method, e.raw_len, e.crc, payload)
-            .map_err(|issue| corrupt(issue.kind))
+    }
+
+    /// Iterate every decoded block of the container, in order — the
+    /// per-block API `read_all` and `pardict-search` are built on.
+    pub fn block_iter<'a, 'p>(&'a mut self, pram: &'p Pram) -> BlockIter<'a, 'p, R> {
+        let n = self.index.num_blocks();
+        self.block_iter_range(pram, 0..n)
     }
 
     /// Decode exactly the bytes `start..end` of the original stream,
@@ -433,8 +549,13 @@ impl<R: Read + Seek> StreamReader<R> {
         let blocks = self.index.covering(start, end);
         let first_start = self.index.block_start(blocks.start);
         let mut out = Vec::with_capacity((end - start) as usize);
-        for i in blocks {
-            out.extend_from_slice(&self.read_block(pram, i)?);
+        for item in self.block_iter_range(pram, blocks) {
+            let block = item?;
+            let data = block.data.map_err(|issue| StreamError::CorruptBlock {
+                index: issue.index,
+                kind: issue.kind,
+            })?;
+            out.extend_from_slice(&data);
         }
         let lo = (start - first_start) as usize;
         let hi = (end - first_start) as usize;
@@ -451,15 +572,10 @@ impl<R: Read + Seek> StreamReader<R> {
     pub fn read_all(&mut self, pram: &Pram) -> Result<(Vec<u8>, Vec<BlockIssue>), StreamError> {
         let mut out = Vec::new();
         let mut issues = Vec::new();
-        for i in 0..self.index.num_blocks() {
-            match self.read_block(pram, i) {
+        for item in self.block_iter(pram) {
+            match item?.data {
                 Ok(block) => out.extend_from_slice(&block),
-                Err(StreamError::CorruptBlock { index, kind }) => issues.push(BlockIssue {
-                    index,
-                    raw_len: self.entry(i).raw_len,
-                    kind,
-                }),
-                Err(e) => return Err(e),
+                Err(issue) => issues.push(issue),
             }
         }
         Ok((out, issues))
@@ -518,6 +634,75 @@ mod tests {
             rdr.read_range(&pram, 0, data.len() as u64 + 1),
             Err(StreamError::RangeOutOfBounds { .. })
         ));
+    }
+
+    #[test]
+    fn block_iter_yields_every_block_in_order() {
+        let data: Vec<u8> = (0..3000u32)
+            .flat_map(|i| [(i % 199 + 1) as u8, b'k'])
+            .collect(); // 6000 bytes
+        let packed = pack(&data, 700); // 9 blocks, last partial
+        let pram = Pram::seq();
+        let mut rdr = StreamReader::open(std::io::Cursor::new(&packed)).unwrap();
+
+        let raw_lens: Vec<u32> = rdr.index().entries.iter().map(|e| e.raw_len).collect();
+        let mut rebuilt = Vec::new();
+        for (expect, item) in rdr.block_iter(&pram).enumerate() {
+            let block = item.unwrap();
+            assert_eq!(block.index, expect);
+            assert_eq!(block.start, 700 * expect as u64);
+            let bytes = block.data.unwrap();
+            assert_eq!(bytes.len() as u64, u64::from(raw_lens[expect]));
+            rebuilt.extend_from_slice(&bytes);
+        }
+        assert_eq!(rebuilt, data);
+
+        // Ranged iteration decodes exactly the requested blocks.
+        let middle: Vec<_> = rdr
+            .block_iter_range(&pram, 3..5)
+            .map(|b| b.unwrap())
+            .collect();
+        assert_eq!(middle.len(), 2);
+        assert_eq!(middle[0].index, 3);
+        assert_eq!(middle[1].start, 2800);
+        assert_eq!(
+            middle.iter().fold(Vec::new(), |mut acc, b| {
+                acc.extend_from_slice(b.data.as_ref().unwrap());
+                acc
+            }),
+            &data[2100..3500]
+        );
+    }
+
+    #[test]
+    fn block_iter_carries_corruption_inside_the_item() {
+        let data = b"yet another rainy day in the glasshouse ".repeat(60);
+        let mut packed = pack(&data, 480); // 5 blocks
+        let target = {
+            let rdr = StreamReader::open(std::io::Cursor::new(&packed)).unwrap();
+            let e = rdr.index().entries[2];
+            e.offset as usize + RECORD_HEADER_LEN
+        };
+        packed[target] ^= 0x10;
+        let pram = Pram::seq();
+        let mut rdr = StreamReader::open(std::io::Cursor::new(&packed)).unwrap();
+        let blocks: Vec<_> = rdr.block_iter(&pram).map(|b| b.unwrap()).collect();
+        assert_eq!(blocks.len(), 5, "corruption must not end iteration");
+        for b in &blocks {
+            if b.index == 2 {
+                let issue = b.data.as_ref().unwrap_err();
+                assert_eq!(issue.index, 2);
+            } else {
+                assert!(b.data.is_ok(), "block {} should decode", b.index);
+            }
+        }
+        // raw_block + decode_block compose to the same outcome as read_block.
+        let e = rdr.index().entries[1];
+        let payload = rdr.raw_block(1).unwrap();
+        assert_eq!(
+            decode_block(&pram, 1, &e, payload).unwrap(),
+            rdr.read_block(&pram, 1).unwrap()
+        );
     }
 
     #[test]

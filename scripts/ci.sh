@@ -50,4 +50,23 @@ if "$PARDICT" decompress "$SMOKE/corrupt.pdzs" -o /dev/null 2> "$SMOKE/err.txt";
 fi
 grep -qi "block" "$SMOKE/err.txt"
 
+echo "== compressed-domain grep smoke"
+# grep over the container must equal byte-offset grep over the raw bytes
+# ("12345" has no self-overlap, so `grep -bo` lists every occurrence).
+"$PARDICT" grep 12345 --offsets --in "$SMOKE/packed.pdzs" > "$SMOKE/grep.zip.txt"
+grep -bo 12345 "$SMOKE/input.bin" | cut -d: -f1 > "$SMOKE/grep.raw.txt"
+cmp "$SMOKE/grep.zip.txt" "$SMOKE/grep.raw.txt"
+test -s "$SMOKE/grep.zip.txt"
+
+# Same one-byte corruption: nonzero exit naming the damaged block, while
+# matches from the intact blocks survive as a subset of the clean offsets.
+if "$PARDICT" grep 12345 --offsets --in "$SMOKE/corrupt.pdzs" \
+    > "$SMOKE/grep.cor.txt" 2> "$SMOKE/grep.err.txt"; then
+  echo "ci.sh: corrupted container grepped cleanly" >&2
+  exit 1
+fi
+grep -qi "block" "$SMOKE/grep.err.txt"
+test -s "$SMOKE/grep.cor.txt"
+test -z "$(comm -23 <(sort "$SMOKE/grep.cor.txt") <(sort "$SMOKE/grep.raw.txt"))"
+
 echo "ci.sh: all green"

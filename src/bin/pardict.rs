@@ -3,6 +3,7 @@
 //! ```text
 //! pardict match   --dict words.txt text.bin      longest pattern per position
 //! pardict grep    --dict words.txt text.bin      all occurrences, one per line
+//! pardict grep    PAT... --in data.pdzs          search a compressed container
 //! pardict compress   in.bin -o out.plz           parallel LZ1 → token stream
 //! pardict compress --stream in.bin -o out.pdzs   chunked parallel → container
 //! pardict decompress out.plz -o back.bin         inverse (auto-detects both)
@@ -60,8 +61,8 @@ fn run(args: &[String]) -> Result<(), String> {
     };
     let rest = &args[1..];
     match cmd.as_str() {
-        "match" => cmd_match(rest, false),
-        "grep" => cmd_match(rest, true),
+        "match" => cmd_match(rest),
+        "grep" => cmd_grep(rest),
         "compress" => cmd_compress(rest),
         "decompress" => cmd_decompress(rest),
         "cat" => cmd_cat(rest),
@@ -81,6 +82,9 @@ fn run(args: &[String]) -> Result<(), String> {
 fn usage() -> String {
     "usage: pardict <match|grep|compress|decompress|cat|parse|delta|patch|stats|serve> \
      [--dict FILE] [-o FILE] [INPUT...]\n\
+     grep:     pardict grep (--dict FILE IN | PATTERN... --in IN) \
+     [--count|--offsets] [--strict]\n\
+     \x20         IN may be raw bytes or a .pdzs container (auto-detected)\n\
      compress: pardict compress [--stream|--whole] [--block-size N] IN [-o OUT]\n\
      cat:      pardict cat --range A..B CONTAINER [-o OUT]\n\
      serve: pardict serve [--addr HOST:PORT] [--dict FILE [--name NAME]] [--workers N]\n\
@@ -143,6 +147,18 @@ fn write_output(out: Option<String>, data: &[u8]) -> Result<(), String> {
     }
 }
 
+/// True when the file at `path` starts with the PDZS container magic —
+/// the one auto-detect shared by `grep`, `decompress`, and `cat`.
+fn sniff_container(path: &str) -> Result<bool, String> {
+    use std::io::Read as _;
+    let mut head = [0u8; 4];
+    let mut f = std::fs::File::open(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let n = f
+        .read(&mut head)
+        .map_err(|e| format!("reading {path}: {e}"))?;
+    Ok(pardict::stream::is_container(&head[..n]))
+}
+
 fn check_text(text: &[u8]) -> Result<(), String> {
     if text.contains(&0) {
         return Err("input contains NUL bytes (reserved for the sentinel)".into());
@@ -150,37 +166,133 @@ fn check_text(text: &[u8]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_match(args: &[String], all: bool) -> Result<(), String> {
+fn cmd_match(args: &[String]) -> Result<(), String> {
     let (pos, dict, out) = split_args(args)?;
     let dict = read_dict(dict)?;
     let text = read_input(&pos)?;
     check_text(&text)?;
     let pram = Pram::par();
     let mut buf = Vec::new();
-    if all {
-        let matcher = DictMatcher::build(&pram, dict.clone(), 0xC11);
-        for (i, m) in matcher.find_all(&pram, &text) {
-            writeln!(
-                buf,
-                "{i}\t{}\t{}",
-                m.id,
-                String::from_utf8_lossy(&dict.patterns()[m.id as usize])
-            )
-            .map_err(|e| format!("formatting output: {e}"))?;
+    let matches = dictionary_match(&pram, &dict, &text, 0xC11);
+    for (i, m) in matches.iter_hits() {
+        writeln!(
+            buf,
+            "{i}\t{}\t{}",
+            m.id,
+            String::from_utf8_lossy(&dict.patterns()[m.id as usize])
+        )
+        .map_err(|e| format!("formatting output: {e}"))?;
+    }
+    write_output(out, &buf)
+}
+
+/// `pardict grep`: all occurrences, over raw bytes or a PDZS container
+/// (auto-detected). Patterns come from `--dict FILE` (one per line, input
+/// as a positional) or inline positionals with the input behind `--in`.
+fn cmd_grep(args: &[String]) -> Result<(), String> {
+    let mut pos: Vec<&str> = Vec::new();
+    let mut dict_path: Option<String> = None;
+    let mut input: Option<String> = None;
+    let mut out: Option<String> = None;
+    let mut count_only = false;
+    let mut offsets_only = false;
+    let mut strict = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--dict" => dict_path = Some(it.next().ok_or("--dict needs a path")?.clone()),
+            "--in" => input = Some(it.next().ok_or("--in needs a path")?.clone()),
+            "-o" | "--output" => out = Some(it.next().ok_or("-o needs a path")?.clone()),
+            "--count" => count_only = true,
+            "--offsets" => offsets_only = true,
+            "--strict" => strict = true,
+            other => pos.push(other),
+        }
+    }
+    if count_only && offsets_only {
+        return Err("--count and --offsets are mutually exclusive".into());
+    }
+    let (dict, path) = if let Some(dp) = dict_path {
+        if input.is_some() && !pos.is_empty() {
+            return Err("with --dict and --in, leave no positional arguments".into());
+        }
+        let path = match input {
+            Some(p) => p,
+            None => pos.first().ok_or("missing input file")?.to_string(),
+        };
+        (read_dict(Some(dp))?, path)
+    } else {
+        let path = input.ok_or(
+            "grep needs --dict FILE with an input path, or inline PATTERNS with --in FILE",
+        )?;
+        if pos.is_empty() {
+            return Err("grep needs at least one pattern (inline or via --dict)".into());
+        }
+        if pos.iter().any(|p| p.is_empty()) {
+            return Err("patterns must be non-empty".into());
+        }
+        let patterns: Vec<Vec<u8>> = pos.iter().map(|p| p.as_bytes().to_vec()).collect();
+        if patterns.iter().any(|p| p.contains(&0)) {
+            return Err("patterns must be NUL-free".into());
+        }
+        (Dictionary::new(patterns), path)
+    };
+
+    let pram = Pram::par();
+    let matcher = DictMatcher::build(&pram, dict.clone(), 0xC11);
+    let mut issues: Vec<String> = Vec::new();
+    let hits: Vec<(u64, u32, u32)> = if sniff_container(&path)? {
+        let file = std::fs::File::open(&path).map_err(|e| format!("reading {path}: {e}"))?;
+        let mut rdr = StreamReader::open(std::io::BufReader::new(file))
+            .map_err(|e| format!("{path}: {e}"))?;
+        let mut cfg = GrepConfig::default();
+        if strict {
+            cfg = cfg.strict();
+        }
+        let summary =
+            grep_container(&pram, &matcher, &mut rdr, &cfg).map_err(|e| format!("{path}: {e}"))?;
+        issues = summary.issues.iter().map(ToString::to_string).collect();
+        summary
+            .hits
+            .into_iter()
+            .map(|h| (h.pos, h.id, h.len))
+            .collect()
+    } else {
+        let text = std::fs::read(&path).map_err(|e| format!("reading {path}: {e}"))?;
+        check_text(&text)?;
+        matcher
+            .find_all(&pram, &text)
+            .into_iter()
+            .map(|(p, m)| (p as u64, m.id, m.len))
+            .collect()
+    };
+
+    let mut buf = Vec::new();
+    if count_only {
+        writeln!(buf, "{}", hits.len()).map_err(|e| format!("formatting output: {e}"))?;
+    } else if offsets_only {
+        for (p, _, _) in &hits {
+            writeln!(buf, "{p}").map_err(|e| format!("formatting output: {e}"))?;
         }
     } else {
-        let matches = dictionary_match(&pram, &dict, &text, 0xC11);
-        for (i, m) in matches.iter_hits() {
+        for (p, id, _) in &hits {
             writeln!(
                 buf,
-                "{i}\t{}\t{}",
-                m.id,
-                String::from_utf8_lossy(&dict.patterns()[m.id as usize])
+                "{p}\t{id}\t{}",
+                String::from_utf8_lossy(&dict.patterns()[*id as usize])
             )
             .map_err(|e| format!("formatting output: {e}"))?;
         }
     }
-    write_output(out, &buf)
+    write_output(out, &buf)?;
+    if !issues.is_empty() {
+        return Err(format!(
+            "{path}: {} corrupt block(s) skipped: {}",
+            issues.len(),
+            issues.join("; ")
+        ));
+    }
+    Ok(())
 }
 
 fn cmd_compress(args: &[String]) -> Result<(), String> {
@@ -289,16 +401,9 @@ fn cmd_compress(args: &[String]) -> Result<(), String> {
 fn cmd_decompress(args: &[String]) -> Result<(), String> {
     let (pos, _, out) = split_args(args)?;
     let path = *pos.first().ok_or("missing input file")?;
-    let mut head = [0u8; 4];
-    let n = {
-        use std::io::Read as _;
-        let mut f = std::fs::File::open(path).map_err(|e| format!("reading {path}: {e}"))?;
-        f.read(&mut head)
-            .map_err(|e| format!("reading {path}: {e}"))?
-    };
     let pram = Pram::par();
 
-    if pardict::stream::is_container(&head[..n]) {
+    if sniff_container(path)? {
         let file = std::fs::File::open(path).map_err(|e| format!("reading {path}: {e}"))?;
         let mut rdr = StreamReader::open(std::io::BufReader::new(file))
             .map_err(|e| format!("{path}: {e}"))?;
@@ -340,6 +445,11 @@ fn cmd_cat(args: &[String]) -> Result<(), String> {
     let start: u64 = a.parse().map_err(|e| format!("--range start: {e}"))?;
     let end: u64 = b.parse().map_err(|e| format!("--range end: {e}"))?;
     let path = *pos.first().ok_or("missing container file")?;
+    if !sniff_container(path)? {
+        return Err(format!(
+            "{path}: not a PDZS container (cat only works on `compress --stream` output)"
+        ));
+    }
 
     let file = std::fs::File::open(path).map_err(|e| format!("reading {path}: {e}"))?;
     let mut rdr =

@@ -69,6 +69,7 @@
 //! | [`workloads`] | seeded synthetic corpora and dictionaries |
 //! | [`service`] | concurrent serving: hot-swap registry, batching, metrics |
 //! | [`stream`] | chunked parallel LZ1 streaming, framed random-access container |
+//! | [`search`] | block-parallel dictionary matching over compressed containers |
 
 pub use pardict_ancestors as ancestors;
 pub use pardict_compress as compress;
@@ -77,6 +78,7 @@ pub use pardict_fingerprint as fingerprint;
 pub use pardict_graph as graph;
 pub use pardict_pram as pram;
 pub use pardict_rmq as rmq;
+pub use pardict_search as search;
 pub use pardict_service as service;
 pub use pardict_stream as stream;
 pub use pardict_suffix as suffix;
@@ -95,6 +97,7 @@ pub mod prelude {
         AhoCorasick, DictMatcher, Dictionary, Match, Matches, SubstringMatcher,
     };
     pub use pardict_pram::{Cost, Mode, Pram};
+    pub use pardict_search::{grep_container, grep_range, GrepConfig, GrepHit, GrepSummary};
     pub use pardict_stream::{compress_stream, decompress_stream, StreamConfig, StreamReader};
     pub use pardict_suffix::SuffixTree;
     pub use pardict_workloads::Alphabet;

@@ -318,6 +318,126 @@ fn oversized_whole_buffer_is_refused_with_guidance() {
 }
 
 #[test]
+fn grep_container_matches_raw_grep() {
+    let data = b"she sells seashells by the seashore; the shells she sells ".repeat(40);
+    let input = write_tmp("t11.bin", &data);
+    let packed = std::env::temp_dir().join("pardict-cli-tests/t11.pdzs");
+
+    let out = bin()
+        .args(["compress", "--stream", "--block-size", "128"])
+        .arg(&input)
+        .args(["-o"])
+        .arg(&packed)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+
+    // Inline patterns, container input behind --in.
+    let zipped = bin()
+        .args(["grep", "she", "shell", "--in"])
+        .arg(&packed)
+        .output()
+        .unwrap();
+    assert!(
+        zipped.status.success(),
+        "{}",
+        String::from_utf8_lossy(&zipped.stderr)
+    );
+    // Same patterns over the raw bytes must give byte-identical output.
+    let raw = bin()
+        .args(["grep", "she", "shell", "--in"])
+        .arg(&input)
+        .output()
+        .unwrap();
+    assert!(raw.status.success());
+    assert_eq!(zipped.stdout, raw.stdout, "container vs raw grep disagree");
+    assert!(!zipped.stdout.is_empty());
+
+    // --count prints one number; --offsets one position per line.
+    let count = bin()
+        .args(["grep", "she", "--count", "--in"])
+        .arg(&packed)
+        .output()
+        .unwrap();
+    assert!(count.status.success());
+    let n: usize = String::from_utf8_lossy(&count.stdout)
+        .trim()
+        .parse()
+        .unwrap();
+    assert!(n > 0);
+    let offsets = bin()
+        .args(["grep", "she", "--offsets", "--in"])
+        .arg(&packed)
+        .output()
+        .unwrap();
+    assert!(offsets.status.success());
+    assert_eq!(String::from_utf8_lossy(&offsets.stdout).lines().count(), n);
+}
+
+#[test]
+fn grep_corrupt_container_names_block_and_keeps_other_hits() {
+    let data = b"abcabcabc-needle-xyzxyzxyz ".repeat(100); // 2.7 KB
+    let input = write_tmp("t12.bin", &data);
+    let packed = std::env::temp_dir().join("pardict-cli-tests/t12.pdzs");
+
+    let out = bin()
+        .args(["compress", "--stream", "--block-size", "256"])
+        .arg(&input)
+        .args(["-o"])
+        .arg(&packed)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+
+    let clean = bin()
+        .args(["grep", "needle", "--offsets", "--in"])
+        .arg(&packed)
+        .output()
+        .unwrap();
+    assert!(clean.status.success());
+    let clean_offsets: Vec<String> = String::from_utf8_lossy(&clean.stdout)
+        .lines()
+        .map(str::to_string)
+        .collect();
+    assert!(clean_offsets.len() > 50);
+
+    // Flip a byte in the middle of the block section.
+    let mut container = std::fs::read(&packed).unwrap();
+    let mid = container.len() / 2;
+    container[mid] ^= 0x40;
+    let corrupted = write_tmp("t12.corrupt.pdzs", &container);
+
+    let out = bin()
+        .args(["grep", "needle", "--offsets", "--in"])
+        .arg(&corrupted)
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "corruption must fail the exit code");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("block"), "error must name the block: {err}");
+    // Matches outside the corrupt block survive: a nonempty strict subset.
+    let got: Vec<String> = String::from_utf8_lossy(&out.stdout)
+        .lines()
+        .map(str::to_string)
+        .collect();
+    assert!(
+        !got.is_empty(),
+        "hits outside the corrupt block must survive"
+    );
+    assert!(got.len() < clean_offsets.len());
+    assert!(got.iter().all(|o| clean_offsets.contains(o)));
+
+    // --strict refuses the container outright.
+    let out = bin()
+        .args(["grep", "needle", "--strict", "--in"])
+        .arg(&corrupted)
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("block"));
+}
+
+#[test]
 fn unknown_command_fails_with_usage() {
     let out = bin().args(["frobnicate"]).output().unwrap();
     assert!(!out.status.success());

@@ -1,0 +1,240 @@
+//! Integration tests for `pardict-search`: grep over a compressed PDZS
+//! container must equal dictionary matching over the uncompressed text —
+//! including patterns spanning many block boundaries — with block-local
+//! ledger charges for range queries and the skip-and-report corruption
+//! contract.
+
+use pardict::prelude::*;
+use pardict::stream;
+use pardict::workloads::markov_text;
+use proptest::prelude::*;
+
+fn pack(data: &[u8], block_size: usize) -> Vec<u8> {
+    let pram = Pram::seq();
+    let cfg = StreamConfig {
+        block_size,
+        max_in_flight: 4,
+    };
+    compress_stream(&pram, &mut &data[..], Vec::new(), &cfg)
+        .unwrap()
+        .0
+}
+
+/// All occurrences in the raw text, normalized for comparison.
+fn oracle(matcher: &DictMatcher, text: &[u8]) -> Vec<(u64, u32, u32)> {
+    let pram = Pram::seq();
+    let mut hits: Vec<(u64, u32, u32)> = matcher
+        .find_all(&pram, text)
+        .into_iter()
+        .map(|(p, m)| (p as u64, m.id, m.len))
+        .collect();
+    hits.sort_unstable();
+    hits
+}
+
+fn grep_hits(matcher: &DictMatcher, container: &[u8]) -> Vec<(u64, u32, u32)> {
+    let pram = Pram::seq();
+    let mut rdr = StreamReader::open(std::io::Cursor::new(container)).unwrap();
+    let summary = grep_container(&pram, matcher, &mut rdr, &GrepConfig::default()).unwrap();
+    assert!(summary.issues.is_empty());
+    let mut hits: Vec<(u64, u32, u32)> = summary
+        .hits
+        .into_iter()
+        .map(|h| (h.pos, h.id, h.len))
+        .collect();
+    hits.sort_unstable();
+    hits
+}
+
+proptest! {
+    /// The headline equivalence: `grep(compress(T), D) ≡ dictionary
+    /// matching over T` for arbitrary texts, dictionaries, and block sizes
+    /// — block sizes down to 1 byte, so patterns routinely span many
+    /// boundaries.
+    #[test]
+    fn grep_of_compressed_equals_match_of_raw(
+        text in prop::collection::vec(prop::sample::select(vec![b'a', b'b', b'c', b'd']), 0..500),
+        pats in prop::collection::vec(
+            prop::collection::vec(prop::sample::select(vec![b'a', b'b', b'c', b'd']), 1..10),
+            1..6,
+        ),
+        block_size in 1usize..48,
+        seed in 0u64..1000,
+    ) {
+        let dict = Dictionary::new(pats);
+        let pram = Pram::seq();
+        let matcher = DictMatcher::build(&pram, dict, seed);
+        let packed = pack(&text, block_size);
+        prop_assert_eq!(grep_hits(&matcher, &packed), oracle(&matcher, &text));
+    }
+
+    /// Range grep reports exactly the full-grep hits that start in range,
+    /// for every range.
+    #[test]
+    fn range_grep_equals_filtered_full_grep(
+        text in prop::collection::vec(prop::sample::select(vec![b'x', b'y']), 1..400),
+        block_size in 1usize..32,
+        a_frac in 0usize..10_000,
+        b_frac in 0usize..10_000,
+    ) {
+        let dict = Dictionary::new(vec![b"xy".to_vec(), b"yx".to_vec(), b"xyx".to_vec()]);
+        let pram = Pram::seq();
+        let matcher = DictMatcher::build(&pram, dict, 7);
+        let packed = pack(&text, block_size);
+
+        let n = text.len() as u64;
+        let (mut start, mut end) = (a_frac as u64 % (n + 1), b_frac as u64 % (n + 1));
+        if start > end {
+            std::mem::swap(&mut start, &mut end);
+        }
+
+        let full = grep_hits(&matcher, &packed);
+        let mut rdr = StreamReader::open(std::io::Cursor::new(&packed)).unwrap();
+        let summary =
+            grep_range(&pram, &matcher, &mut rdr, start, end, &GrepConfig::default()).unwrap();
+        let mut got: Vec<(u64, u32, u32)> = summary
+            .hits
+            .into_iter()
+            .map(|h| (h.pos, h.id, h.len))
+            .collect();
+        got.sort_unstable();
+        let expect: Vec<(u64, u32, u32)> = full
+            .into_iter()
+            .filter(|&(p, _, _)| p >= start && p < end)
+            .collect();
+        prop_assert_eq!(got, expect);
+    }
+}
+
+/// A pattern longer than two whole blocks must still be found: its
+/// occurrences span ≥ 2 boundaries, exercising tail accumulation.
+#[test]
+fn pattern_spanning_multiple_boundaries_is_found() {
+    let needle = b"abracadabra"; // 11 bytes
+    let mut text = Vec::new();
+    for i in 0..40 {
+        text.extend_from_slice(needle);
+        text.extend_from_slice(&[b'z'; 3][..(i % 4)]);
+    }
+    let dict = Dictionary::new(vec![needle.to_vec(), b"cad".to_vec()]);
+    let pram = Pram::seq();
+    let matcher = DictMatcher::build(&pram, dict, 99);
+    // 4-byte blocks: every occurrence of the 11-byte needle crosses at
+    // least two block boundaries.
+    let packed = pack(&text, 4);
+    assert_eq!(grep_hits(&matcher, &packed), oracle(&matcher, &text));
+    assert!(
+        oracle(&matcher, &text).iter().any(|&(_, id, _)| id == 0),
+        "the long needle itself must occur"
+    );
+}
+
+/// Ledger locality: a grep over a 2-block range must cost work
+/// proportional to the covered blocks plus overlap, not the whole
+/// container.
+#[test]
+fn range_grep_work_is_block_local() {
+    let data = markov_text(0x5EA_2C4, 64 * 1024, Alphabet::dna());
+    let packed = pack(&data, 4096); // 16 blocks
+    let dict = Dictionary::new(vec![b"ACGT".to_vec(), b"TTT".to_vec(), b"GATTACA".to_vec()]);
+    let build_pram = Pram::seq();
+    let matcher = DictMatcher::build(&build_pram, dict, 0xBEEF);
+    let mut rdr = StreamReader::open(std::io::Cursor::new(&packed)).unwrap();
+
+    let pram_full = Pram::seq();
+    let (_, full) = pram_full
+        .metered(|p| grep_container(p, &matcher, &mut rdr, &GrepConfig::default()).unwrap());
+
+    // 10_000..14_000 covers exactly blocks 2 and 3 (plus overlap bytes).
+    let pram_range = Pram::seq();
+    let (summary, ranged) = pram_range.metered(|p| {
+        grep_range(
+            p,
+            &matcher,
+            &mut rdr,
+            10_000,
+            14_000,
+            &GrepConfig::default(),
+        )
+        .unwrap()
+    });
+    assert_eq!(summary.blocks_searched, 2, "covering blocks only");
+    assert!(
+        ranged.work * 6 < full.work,
+        "2-of-16-block range grep must cost a fraction of a full grep: {} vs {}",
+        ranged.work,
+        full.work
+    );
+}
+
+/// Corruption contract end to end: a payload flip in one block is named,
+/// hits outside that block's span all survive, survivors are a subset of
+/// the clean hits, and `strict()` turns the same container into a hard
+/// error identifying the block.
+#[test]
+fn corrupt_block_is_skipped_named_and_strict_fails() {
+    let data = markov_text(0xC0FF_EE, 8 * 1024, Alphabet::lowercase());
+    let block_size = 1024; // 8 blocks
+    let mut packed = pack(&data, block_size);
+    let dict = Dictionary::new(vec![b"th".to_vec(), b"ing".to_vec(), b"qu".to_vec()]);
+    let pram = Pram::seq();
+    let matcher = DictMatcher::build(&pram, dict, 3);
+    let clean = grep_hits(&matcher, &packed);
+
+    // Flip the first payload byte of block 4.
+    let target = {
+        let rdr = StreamReader::open(std::io::Cursor::new(&packed)).unwrap();
+        let e = rdr.index().entries[4];
+        e.offset as usize + stream::format::RECORD_HEADER_LEN
+    };
+    packed[target] ^= 0x01;
+
+    let mut rdr = StreamReader::open(std::io::Cursor::new(&packed)).unwrap();
+    let summary = grep_container(&pram, &matcher, &mut rdr, &GrepConfig::default()).unwrap();
+    assert_eq!(summary.issues.len(), 1);
+    assert_eq!(summary.issues[0].index, 4, "wrong block named");
+
+    let got: Vec<(u64, u32, u32)> = summary.hits.iter().map(|h| (h.pos, h.id, h.len)).collect();
+    // Survivors are a subset of the clean hits…
+    for h in &got {
+        assert!(clean.contains(h), "phantom hit {h:?}");
+    }
+    // …and every clean hit not touching block 4's byte span survives.
+    let (s4, e4) = (4 * block_size as u64, 5 * block_size as u64);
+    for h in clean
+        .iter()
+        .filter(|&&(p, _, len)| p + u64::from(len) <= s4 || p >= e4)
+    {
+        assert!(got.contains(h), "lost hit {h:?} outside the corrupt span");
+    }
+
+    let strict = grep_container(&pram, &matcher, &mut rdr, &GrepConfig::default().strict());
+    assert!(
+        matches!(
+            strict,
+            Err(stream::StreamError::CorruptBlock { index: 4, .. })
+        ),
+        "strict mode must fail naming block 4: {strict:?}"
+    );
+}
+
+/// The simulator invariant extended to the search subsystem: `Pram::seq()`
+/// and `Pram::par()` produce identical hits and identical ledger charges.
+#[test]
+fn grep_is_mode_independent() {
+    let data = markov_text(0xD00D, 20_000, Alphabet::lowercase());
+    let packed = pack(&data, 2048);
+    let dict = Dictionary::new(vec![b"the".to_vec(), b"and".to_vec(), b"tion".to_vec()]);
+    let seq = Pram::seq();
+    let par = Pram::par();
+    let matcher = DictMatcher::build(&seq, dict, 11);
+
+    let mut rdr_a = StreamReader::open(std::io::Cursor::new(&packed)).unwrap();
+    let (a, ca) =
+        seq.metered(|p| grep_container(p, &matcher, &mut rdr_a, &GrepConfig::default()).unwrap());
+    let mut rdr_b = StreamReader::open(std::io::Cursor::new(&packed)).unwrap();
+    let (b, cb) =
+        par.metered(|p| grep_container(p, &matcher, &mut rdr_b, &GrepConfig::default()).unwrap());
+    assert_eq!(a.hits, b.hits);
+    assert_eq!(ca, cb, "seq and par ledgers must agree");
+}

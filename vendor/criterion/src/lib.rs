@@ -21,6 +21,7 @@ impl Criterion {
         println!("\n== {name}");
         BenchmarkGroup {
             _c: self,
+            name: name.to_string(),
             sample_size: 10,
         }
     }
@@ -51,6 +52,7 @@ impl BenchmarkId {
 /// A group of benchmarks sharing configuration.
 pub struct BenchmarkGroup<'a> {
     _c: &'a mut Criterion,
+    name: String,
     sample_size: usize,
 }
 
@@ -80,7 +82,7 @@ impl BenchmarkGroup<'_> {
         for _ in 0..self.sample_size {
             f(&mut b, input);
         }
-        report(&id.label, &mut b.samples);
+        report(&self.name, &id.label, &mut b.samples);
         self
     }
 
@@ -97,7 +99,7 @@ impl BenchmarkGroup<'_> {
         for _ in 0..self.sample_size {
             f(&mut b);
         }
-        report(&id.label, &mut b.samples);
+        report(&self.name, &id.label, &mut b.samples);
         self
     }
 
@@ -105,7 +107,7 @@ impl BenchmarkGroup<'_> {
     pub fn finish(self) {}
 }
 
-fn report(label: &str, samples: &mut [Duration]) {
+fn report(group: &str, label: &str, samples: &mut [Duration]) {
     samples.sort_unstable();
     let median = samples.get(samples.len() / 2).copied().unwrap_or_default();
     let min = samples.first().copied().unwrap_or_default();
@@ -115,6 +117,38 @@ fn report(label: &str, samples: &mut [Duration]) {
         min,
         samples.len()
     );
+    append_json(group, label, median, min, samples.len());
+}
+
+/// When `CRITERION_JSON` names a file, append one JSON line per finished
+/// benchmark (`{"bench": "group/label", "median_ns": …, "min_ns": …,
+/// "samples": …}`) so scripts can collect machine-readable results without
+/// a full stats engine. Silently best-effort: bench output must never fail
+/// a run over an unwritable sink.
+fn append_json(group: &str, label: &str, median: Duration, min: Duration, samples: usize) {
+    let Ok(path) = std::env::var("CRITERION_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let escape = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
+    let line = format!(
+        "{{\"bench\":\"{}/{}\",\"median_ns\":{},\"min_ns\":{},\"samples\":{}}}\n",
+        escape(group),
+        escape(label),
+        median.as_nanos(),
+        min.as_nanos(),
+        samples
+    );
+    let _ = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| {
+            use std::io::Write as _;
+            f.write_all(line.as_bytes())
+        });
 }
 
 /// Timing harness passed to each benchmark closure.
