@@ -1,0 +1,174 @@
+//! The ledger invariant auditor: executable documentation of the cost
+//! model's contracts, reusable from any crate's tests.
+//!
+//! The simulator promises three things about every metered run:
+//!
+//! 1. **Work dominates depth** — depth counts parallel time and work
+//!    counts total operations, so a run's cumulative work can never fall
+//!    below its cumulative depth (the paper's `W ≥ D` sanity bound).
+//! 2. **Mode independence** — [`Pram::seq`] and [`Pram::par`] execute the
+//!    same algorithm and charge the same ledger; results *and* costs must
+//!    be identical.
+//! 3. **Monotone charges** — the ledger only accumulates; observed costs
+//!    never regress between super-steps.
+//!
+//! [`audit_seq_par`] runs a closure under both modes with an [`Auditor`]
+//! the closure can checkpoint at super-step boundaries, and reports every
+//! violated contract instead of panicking — chaos reports want verdicts,
+//! not aborts.
+
+use pardict_pram::{Cost, Pram};
+use std::cell::{Cell, RefCell};
+
+/// Checkpoint collector handed to the audited closure; call
+/// [`Auditor::step`] at super-step boundaries.
+#[derive(Debug, Default)]
+pub struct Auditor {
+    last: Cell<Cost>,
+    steps: Cell<usize>,
+    violations: RefCell<Vec<String>>,
+}
+
+impl Auditor {
+    /// Fresh auditor with no observations.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a super-step boundary: assert the cumulative cost is
+    /// monotone since the previous checkpoint and that work ≥ depth.
+    pub fn step(&self, pram: &Pram, label: &str) {
+        let cost = pram.cost();
+        let last = self.last.get();
+        if cost.work < last.work || cost.depth < last.depth {
+            self.violations.borrow_mut().push(format!(
+                "{label}: charges regressed (work {} -> {}, depth {} -> {})",
+                last.work, cost.work, last.depth, cost.depth
+            ));
+        }
+        if cost.work < cost.depth {
+            self.violations.borrow_mut().push(format!(
+                "{label}: work {} below depth {}",
+                cost.work, cost.depth
+            ));
+        }
+        self.last.set(cost);
+        self.steps.set(self.steps.get() + 1);
+    }
+
+    /// Number of checkpoints recorded so far.
+    #[must_use]
+    pub fn steps(&self) -> usize {
+        self.steps.get()
+    }
+}
+
+/// What a clean audited run cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AuditReport {
+    /// The (mode-independent) cost of the run.
+    pub cost: Cost,
+    /// Checkpoints observed per run (closure steps plus the final one).
+    pub steps: usize,
+}
+
+/// Run `f` under [`Pram::seq`] and [`Pram::par`], checkpointing through
+/// the provided [`Auditor`], and verify every ledger contract: identical
+/// results, identical costs, work ≥ depth, monotone charges. On success
+/// the (mode-independent) result is returned alongside the audit report.
+///
+/// # Errors
+/// A `; `-joined list of every violated contract, prefixed with `label`.
+pub fn audit_seq_par<R, F>(label: &str, f: F) -> Result<(R, AuditReport), String>
+where
+    R: PartialEq + std::fmt::Debug,
+    F: Fn(&Pram, &Auditor) -> R,
+{
+    let run = |pram: &Pram| {
+        let auditor = Auditor::new();
+        let out = f(pram, &auditor);
+        auditor.step(pram, label);
+        let steps = auditor.steps();
+        (out, pram.cost(), steps, auditor.violations.into_inner())
+    };
+    let (seq_out, seq_cost, steps, mut violations) = run(&Pram::seq());
+    let (par_out, par_cost, _, par_violations) = run(&Pram::par());
+    violations.extend(par_violations);
+    if seq_out != par_out {
+        violations.push(format!("{label}: seq and par results differ"));
+    }
+    if seq_cost != par_cost {
+        violations.push(format!(
+            "{label}: seq cost (work {}, depth {}) != par cost (work {}, depth {})",
+            seq_cost.work, seq_cost.depth, par_cost.work, par_cost.depth
+        ));
+    }
+    if violations.is_empty() {
+        Ok((
+            seq_out,
+            AuditReport {
+                cost: seq_cost,
+                steps,
+            },
+        ))
+    } else {
+        Err(violations.join("; "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_runs_pass_and_report_cost() {
+        let (out, report) = audit_seq_par("tabulate", |pram, auditor| {
+            let v = pram.tabulate(100, |i| i * 2);
+            auditor.step(pram, "after tabulate");
+            let w = pram.map(&v, |_, x| x + 1);
+            auditor.step(pram, "after map");
+            w
+        })
+        .expect("clean run must audit clean");
+        assert_eq!(out.len(), 100);
+        assert!(report.cost.work >= report.cost.depth);
+        assert!(report.cost.work > 0);
+        assert_eq!(report.steps, 3);
+    }
+
+    #[test]
+    fn mode_dependent_results_are_caught() {
+        use pardict_pram::Mode;
+        let err = audit_seq_par("mode leak", |pram, _| match pram.mode() {
+            Mode::Seq => 1u32,
+            Mode::Par => 2u32,
+        })
+        .unwrap_err();
+        assert!(err.contains("results differ"), "got: {err}");
+    }
+
+    #[test]
+    fn mode_dependent_costs_are_caught() {
+        use pardict_pram::Mode;
+        let err = audit_seq_par("cost leak", |pram, _| {
+            if pram.mode() == Mode::Par {
+                pram.ledger().charge_work(7);
+            }
+            0u8
+        })
+        .unwrap_err();
+        assert!(err.contains("cost"), "got: {err}");
+    }
+
+    #[test]
+    fn depth_exceeding_work_is_caught() {
+        let err = audit_seq_par("depth heavy", |pram, auditor| {
+            pram.ledger().charge_depth(10);
+            pram.ledger().charge_work(3);
+            auditor.step(pram, "unbalanced");
+        })
+        .unwrap_err();
+        assert!(err.contains("below depth"), "got: {err}");
+    }
+}

@@ -1,0 +1,50 @@
+//! `pardict-chaos`: deterministic fault injection and differential
+//! verification across the pardict stack.
+//!
+//! The stack's correctness story so far is built from clean-path tests:
+//! compress → decompress round-trips, grep agrees with decompress-then
+//! -match, the service answers well-formed requests. This crate attacks
+//! the *other* half of the contract — what the stack promises when the
+//! bytes are wrong — and pins those promises with oracles instead of
+//! hope:
+//!
+//! - [`plan`] scripts container faults (bit flips, truncation, index and
+//!   trailer damage, block reordering, CRC-preserving swaps) from a
+//!   [`SplitMix64`](pardict_pram::SplitMix64) seed, each paired with an
+//!   *expected-outcome oracle* derived from the PDZS format's documented
+//!   guarantees, and [`verify_fault`] checks every oracle differentially
+//!   against the clean container: which blocks must appear in
+//!   `BlockIssue`s, which bytes must still round-trip, when `.strict()`
+//!   must fail fast, and that grep never invents hits the clean text
+//!   doesn't have.
+//! - [`proxy`] is a `std::net` man-in-the-middle that sabotages live
+//!   connections — malformed frames, oversized and truncated length
+//!   prefixes, mid-request disconnects, slow-drip writes — while the
+//!   server must answer errors, drop only the broken connection, keep
+//!   every healthy connection correct, and account for every accepted
+//!   request in its metrics.
+//! - [`audit`] is the ledger invariant auditor: any metered computation
+//!   can be run under both [`Pram::seq`](pardict_pram::Pram::seq) and
+//!   [`Pram::par`](pardict_pram::Pram::par) with work ≥ depth, monotone
+//!   charges, and identical results *and* costs enforced — the paper's
+//!   cost-model sanity bounds as an executable check reusable from any
+//!   crate's tests.
+//!
+//! [`run_chaos`] drives all three from one seed and renders a
+//! byte-identical report per seed — symbolic verdict lines only, no
+//! ports or timings — so a failing run is reproducible from the seed
+//! printed in its header.
+
+#![warn(missing_docs)]
+
+pub mod audit;
+pub mod plan;
+pub mod proxy;
+pub mod report;
+
+pub use audit::{audit_seq_par, AuditReport, Auditor};
+pub use plan::{
+    verify_fault, ContainerFault, FaultContext, FaultPlan, ForwardExpect, Oracle, PlannedFault,
+};
+pub use proxy::{ChaosProxy, ClientFault};
+pub use report::{run_chaos, ChaosConfig, ChaosReport};

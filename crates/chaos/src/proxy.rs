@@ -1,0 +1,247 @@
+//! A `std::net` man-in-the-middle for the wire protocol.
+//!
+//! The proxy sits between a client and a live [`Server`], relaying
+//! server→client bytes verbatim while sabotaging the client→server
+//! stream according to a per-connection [`ClientFault`]: corrupted tags,
+//! oversized or truncated length prefixes, mid-request disconnects, and
+//! byte-at-a-time slow-drip writes. The server under test must treat all
+//! of it as documented — answer malformed requests with an error frame,
+//! drop framing-broken connections without taking anything else down, and
+//! keep every healthy connection correct throughout.
+//!
+//! [`Server`]: pardict_service::Server
+
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use pardict_service::wire::MAX_FRAME;
+
+/// How the proxy sabotages one client connection's first frame.
+/// Subsequent frames on the same connection pass through untouched, so a
+/// scenario can verify the connection (when it survives) still works.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClientFault {
+    /// Relay everything untouched.
+    PassThrough,
+    /// Overwrite the first frame's tag byte with an unknown tag — a
+    /// malformed frame the server must answer with an error response.
+    CorruptTag,
+    /// Rewrite the first frame's length prefix to exceed `MAX_FRAME` —
+    /// the server must refuse and drop the connection, nothing more.
+    OversizeLength,
+    /// Forward the length prefix and half the payload, then disconnect
+    /// mid-request.
+    TruncateMidFrame,
+    /// Forward only the 4-byte length prefix, then disconnect — a
+    /// truncated length-prefix stream.
+    DisconnectAfterPrefix,
+    /// Forward the first frame one byte at a time, flushing after every
+    /// byte — partial writes with flushes; the server must still answer
+    /// correctly.
+    SlowDrip,
+}
+
+impl ClientFault {
+    /// Stable scenario name for reports.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ClientFault::PassThrough => "pass-through",
+            ClientFault::CorruptTag => "malformed-frame",
+            ClientFault::OversizeLength => "oversized-frame",
+            ClientFault::TruncateMidFrame => "mid-request-disconnect",
+            ClientFault::DisconnectAfterPrefix => "truncated-length-prefix",
+            ClientFault::SlowDrip => "slow-drip",
+        }
+    }
+}
+
+/// A running man-in-the-middle bound to an ephemeral local port.
+///
+/// Each accepted connection consumes one queued [`ClientFault`]
+/// (defaulting to [`ClientFault::PassThrough`]) and relays to the
+/// upstream address.
+pub struct ChaosProxy {
+    addr: SocketAddr,
+    faults: Arc<Mutex<VecDeque<ClientFault>>>,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl ChaosProxy {
+    /// Bind an ephemeral port and start proxying to `upstream`.
+    ///
+    /// # Errors
+    /// Socket bind/configuration failures.
+    pub fn start(upstream: SocketAddr) -> io::Result<Self> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let faults: Arc<Mutex<VecDeque<ClientFault>>> = Arc::default();
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_faults = Arc::clone(&faults);
+        let accept_stop = Arc::clone(&stop);
+        let accept_thread = std::thread::Builder::new()
+            .name("pardict-chaos-proxy".into())
+            .spawn(move || {
+                while !accept_stop.load(Ordering::SeqCst) {
+                    match listener.accept() {
+                        Ok((client, _)) => {
+                            let fault = accept_faults
+                                .lock()
+                                .expect("fault queue poisoned")
+                                .pop_front()
+                                .unwrap_or(ClientFault::PassThrough);
+                            let _ = std::thread::Builder::new()
+                                .name("pardict-chaos-conn".into())
+                                .spawn(move || {
+                                    let _ = relay(client, upstream, fault);
+                                });
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(5));
+                        }
+                        Err(_) => break,
+                    }
+                }
+            })
+            .expect("spawn proxy accept thread");
+        Ok(Self {
+            addr,
+            faults,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The proxy's listening address — point clients here.
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Queue the fault the *next* accepted connection suffers.
+    pub fn push_fault(&self, fault: ClientFault) {
+        self.faults
+            .lock()
+            .expect("fault queue poisoned")
+            .push_back(fault);
+    }
+
+    /// Stop accepting new connections (existing relays drain on EOF).
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ChaosProxy {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Read exactly `buf` from `r`; `Ok(false)` on clean EOF before the first
+/// byte.
+fn read_full(r: &mut impl Read, buf: &mut [u8]) -> io::Result<bool> {
+    match r.read_exact(buf) {
+        Ok(()) => Ok(true),
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => Ok(false),
+        Err(e) => Err(e),
+    }
+}
+
+fn relay(client: TcpStream, upstream: SocketAddr, fault: ClientFault) -> io::Result<()> {
+    let server = TcpStream::connect(upstream)?;
+    let mut server_read = server.try_clone()?;
+    let mut client_write = client.try_clone()?;
+
+    // Server → client: verbatim.
+    let back = std::thread::Builder::new()
+        .name("pardict-chaos-back".into())
+        .spawn(move || {
+            let mut buf = [0u8; 4096];
+            loop {
+                match server_read.read(&mut buf) {
+                    Ok(0) | Err(_) => break,
+                    Ok(n) => {
+                        if client_write.write_all(&buf[..n]).is_err() {
+                            break;
+                        }
+                        let _ = client_write.flush();
+                    }
+                }
+            }
+            let _ = client_write.shutdown(Shutdown::Write);
+        })
+        .expect("spawn back-relay thread");
+
+    // Client → server: frame-aware, sabotaging the first frame.
+    let mut client_read = client;
+    let mut server_write = server;
+    let mut first = true;
+    loop {
+        let mut len_buf = [0u8; 4];
+        if !read_full(&mut client_read, &mut len_buf)? {
+            break;
+        }
+        let len = u32::from_be_bytes(len_buf) as usize;
+        let mut payload = vec![0u8; len];
+        if !read_full(&mut client_read, &mut payload)? {
+            break;
+        }
+        let active = if first {
+            fault
+        } else {
+            ClientFault::PassThrough
+        };
+        first = false;
+        match active {
+            ClientFault::PassThrough => {
+                server_write.write_all(&len_buf)?;
+                server_write.write_all(&payload)?;
+                server_write.flush()?;
+            }
+            ClientFault::CorruptTag => {
+                if let Some(tag) = payload.first_mut() {
+                    *tag = 0x7F;
+                }
+                server_write.write_all(&len_buf)?;
+                server_write.write_all(&payload)?;
+                server_write.flush()?;
+            }
+            ClientFault::OversizeLength => {
+                server_write.write_all(&(MAX_FRAME + 1).to_be_bytes())?;
+                server_write.write_all(&payload)?;
+                server_write.flush()?;
+            }
+            ClientFault::TruncateMidFrame => {
+                server_write.write_all(&len_buf)?;
+                server_write.write_all(&payload[..len / 2])?;
+                server_write.flush()?;
+                break;
+            }
+            ClientFault::DisconnectAfterPrefix => {
+                server_write.write_all(&len_buf)?;
+                server_write.flush()?;
+                break;
+            }
+            ClientFault::SlowDrip => {
+                for b in len_buf.iter().chain(payload.iter()) {
+                    server_write.write_all(std::slice::from_ref(b))?;
+                    server_write.flush()?;
+                }
+            }
+        }
+    }
+    let _ = server_write.shutdown(Shutdown::Write);
+    let _ = back.join();
+    Ok(())
+}

@@ -178,6 +178,82 @@ impl Metrics {
         &self.per_op[kind as usize]
     }
 
+    /// Verify the cross-counter accounting identities that hold on any
+    /// correctly-behaving engine, returning the first violated identity.
+    ///
+    /// With `quiescent = false` only the always-true inequalities are
+    /// checked (safe to call while requests are in flight). With
+    /// `quiescent = true` — no submissions racing and every ticket
+    /// answered — the exact identities must hold too: every accepted
+    /// request produced exactly one response and exactly one per-op
+    /// observation. This is the contract the chaos harness leans on:
+    /// hostile frames may be rejected before submission, but nothing that
+    /// was *accepted* may vanish from the books.
+    ///
+    /// # Errors
+    /// A human-readable description of the first violated identity.
+    pub fn check_accounting(&self, quiescent: bool) -> Result<(), String> {
+        let submitted = self.submitted.get();
+        let completed = self.completed.get();
+        if completed > submitted {
+            return Err(format!(
+                "completed {completed} exceeds submitted {submitted}"
+            ));
+        }
+        let mut per_op_total = 0u64;
+        for kind in OpKind::all() {
+            let s = self.op(kind);
+            let outcomes = s.count.get() + s.errors.get();
+            per_op_total += outcomes;
+            for (name, h) in [
+                ("latency", &s.latency_us),
+                ("work", &s.work),
+                ("depth", &s.depth),
+            ] {
+                if h.count() != outcomes {
+                    return Err(format!(
+                        "{}: {} samples {} != outcomes {}",
+                        kind.name(),
+                        name,
+                        h.count(),
+                        outcomes
+                    ));
+                }
+            }
+        }
+        if per_op_total != completed {
+            return Err(format!(
+                "per-op outcomes {per_op_total} != completed {completed}"
+            ));
+        }
+        let publishes = self.publishes.get();
+        let cached = self.cache_hits.get() + self.cache_misses.get();
+        if cached != publishes {
+            return Err(format!(
+                "cache hits+misses {cached} != publishes {publishes}"
+            ));
+        }
+        if self.batched_requests.get() < self.batches.get() {
+            return Err(format!(
+                "batched-requests {} below batches {} (empty batch?)",
+                self.batched_requests.get(),
+                self.batches.get()
+            ));
+        }
+        if self.deadline_expired.get() > completed {
+            return Err(format!(
+                "deadline-expired {} exceeds completed {completed}",
+                self.deadline_expired.get()
+            ));
+        }
+        if quiescent && submitted != completed {
+            return Err(format!(
+                "quiescent but submitted {submitted} != completed {completed}"
+            ));
+        }
+        Ok(())
+    }
+
     /// Plain-text report of every counter and per-op distribution.
     #[must_use]
     pub fn report(&self) -> String {
@@ -297,6 +373,28 @@ mod tests {
         for kind in OpKind::all() {
             assert!(r.contains(kind.name()), "missing {} in:\n{r}", kind.name());
         }
+    }
+
+    #[test]
+    fn accounting_identities_hold_and_violations_surface() {
+        let m = Metrics::default();
+        assert!(m.check_accounting(true).is_ok());
+        // One clean completed match.
+        m.submitted.inc();
+        m.completed.inc();
+        let s = m.op(OpKind::Match);
+        s.count.inc();
+        s.latency_us.record(10);
+        s.work.record(100);
+        s.depth.record(5);
+        assert!(m.check_accounting(true).is_ok());
+        // A submission still in flight: fine lenient, flagged quiescent.
+        m.submitted.inc();
+        assert!(m.check_accounting(false).is_ok());
+        assert!(m.check_accounting(true).is_err());
+        // A completion that skipped its per-op books is always an error.
+        m.completed.inc();
+        assert!(m.check_accounting(false).is_err());
     }
 
     #[test]

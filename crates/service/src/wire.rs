@@ -131,6 +131,23 @@ impl<'a> Cursor<'a> {
         Ok(u64::from_be_bytes(s.try_into().expect("8 bytes")))
     }
 
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Decode a `u32` element count, bounded by the bytes actually left in
+    /// the payload: a well-formed payload carries at least `min_entry`
+    /// bytes per element, so any larger claim is hostile. Rejecting here —
+    /// before `Vec::with_capacity` — caps every pre-allocation at
+    /// `remaining / min_entry` elements no matter what the frame claims.
+    fn count(&mut self, min_entry: usize, what: &str) -> io::Result<usize> {
+        let n = self.u32()? as usize;
+        if n > self.remaining() / min_entry {
+            return Err(Self::err(&format!("{what} count exceeds payload")));
+        }
+        Ok(n)
+    }
+
     fn bytes(&mut self) -> io::Result<Vec<u8>> {
         let len = self.u32()? as usize;
         let end = self.pos + len;
@@ -225,10 +242,8 @@ impl WireRequest {
         let req = match t {
             tag::PUBLISH => {
                 let name = c.string()?;
-                let n = c.u32()? as usize;
-                if n > payload.len() {
-                    return Err(Cursor::err("pattern count exceeds payload"));
-                }
+                // Each pattern costs at least its 4-byte length prefix.
+                let n = c.count(4, "pattern")?;
                 let mut patterns = Vec::with_capacity(n);
                 for _ in 0..n {
                     patterns.push(c.bytes()?);
@@ -413,10 +428,7 @@ impl WireResponse {
                 },
                 ok::HITS => {
                     let version = c.u64()?;
-                    let n = c.u32()? as usize;
-                    if n.saturating_mul(16) > payload.len() {
-                        return Err(Cursor::err("hit count exceeds payload"));
-                    }
+                    let n = c.count(16, "hit")?;
                     let mut hits = Vec::with_capacity(n);
                     for _ in 0..n {
                         hits.push(Hit {
@@ -441,10 +453,7 @@ impl WireResponse {
                 },
                 ok::CONTAINER_HITS => {
                     let version = c.u64()?;
-                    let n = c.u32()? as usize;
-                    if n.saturating_mul(16) > payload.len() {
-                        return Err(Cursor::err("hit count exceeds payload"));
-                    }
+                    let n = c.count(16, "hit")?;
                     let mut hits = Vec::with_capacity(n);
                     for _ in 0..n {
                         hits.push(Hit {
@@ -453,10 +462,7 @@ impl WireResponse {
                             len: c.u32()?,
                         });
                     }
-                    let nb = c.u32()? as usize;
-                    if nb.saturating_mul(8) > payload.len() {
-                        return Err(Cursor::err("corrupt-block count exceeds payload"));
-                    }
+                    let nb = c.count(8, "corrupt-block")?;
                     let mut corrupt_blocks = Vec::with_capacity(nb);
                     for _ in 0..nb {
                         corrupt_blocks.push(c.u64()?);
@@ -635,6 +641,28 @@ mod tests {
         for resp in resps {
             assert_eq!(WireResponse::decode(&resp.encode()).unwrap(), resp);
         }
+    }
+
+    #[test]
+    fn hostile_counts_are_bounded_by_remaining_bytes() {
+        // A short PUBLISH frame claiming u32::MAX patterns must be
+        // rejected at the count, before any allocation can happen.
+        let mut p = vec![tag::PUBLISH];
+        put_bytes(&mut p, b"d");
+        put_u32(&mut p, u32::MAX);
+        assert!(WireRequest::decode(&p).is_err());
+        // A HITS response claiming more 16-byte hits than remain.
+        let mut p = vec![tag::OK, ok::HITS];
+        put_u64(&mut p, 1);
+        put_u32(&mut p, 1000);
+        assert!(WireResponse::decode(&p).is_err());
+        // A CONTAINER_HITS corrupt-block count larger than remaining / 8.
+        let mut p = vec![tag::OK, ok::CONTAINER_HITS];
+        put_u64(&mut p, 1);
+        put_u32(&mut p, 0);
+        put_u32(&mut p, 50);
+        put_u64(&mut p, 0);
+        assert!(WireResponse::decode(&p).is_err());
     }
 
     #[test]

@@ -33,15 +33,18 @@
 mod crc;
 pub mod error;
 pub mod format;
+pub mod layout;
 mod reader;
 mod writer;
 
 pub use crc::crc32;
 pub use error::{BlockIssue, IssueKind, StreamError};
 pub use format::{
-    BlockEntry, StreamIndex, DEFAULT_BLOCK_SIZE, HEADER_LEN, MAGIC, MAX_BLOCK_SIZE, METHOD_LZ1,
-    METHOD_STORED, TRAILER_LEN, VERSION,
+    BlockEntry, RecordHeader, StreamIndex, DEFAULT_BLOCK_SIZE, END_OF_BLOCKS, FOOTER_ENTRY_LEN,
+    HEADER_LEN, MAGIC, MAX_BLOCK_SIZE, METHOD_LZ1, METHOD_STORED, RECORD_HEADER_LEN, TRAILER_LEN,
+    VERSION,
 };
+pub use layout::{assemble_container, ContainerLayout, FooterField, RecordSpan};
 pub use reader::{
     decode_block, decompress_stream, is_container, BlockIter, DecodedBlock, DecompressSummary,
     StreamDecompressor, StreamReader,

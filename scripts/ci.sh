@@ -69,4 +69,31 @@ grep -qi "block" "$SMOKE/grep.err.txt"
 test -s "$SMOKE/grep.cor.txt"
 test -z "$(comm -23 <(sort "$SMOKE/grep.cor.txt") <(sort "$SMOKE/grep.raw.txt"))"
 
+echo "== chaos fault-injection smoke"
+# Scripted faults + wire chaos + ledger audit, all from one seed. A
+# violation exits nonzero and the report reproduces byte-for-byte from
+# the seed below.
+CHAOS_SEED=2026
+CHAOS_ROUNDS=3
+if ! "$PARDICT" chaos --seed "$CHAOS_SEED" --rounds "$CHAOS_ROUNDS" \
+    > "$SMOKE/chaos.txt" 2> "$SMOKE/chaos.err.txt"; then
+  echo "ci.sh: chaos oracles violated — reproduce with:" >&2
+  echo "  $PARDICT chaos --seed $CHAOS_SEED --rounds $CHAOS_ROUNDS" >&2
+  cat "$SMOKE/chaos.txt" "$SMOKE/chaos.err.txt" >&2
+  exit 1
+fi
+grep -q ", 0 violated" "$SMOKE/chaos.txt"
+# Determinism contract: same seed, byte-identical report.
+"$PARDICT" chaos --seed "$CHAOS_SEED" --rounds "$CHAOS_ROUNDS" > "$SMOKE/chaos2.txt"
+if ! cmp -s "$SMOKE/chaos.txt" "$SMOKE/chaos2.txt"; then
+  echo "ci.sh: chaos report not byte-identical for seed $CHAOS_SEED" >&2
+  diff "$SMOKE/chaos.txt" "$SMOKE/chaos2.txt" >&2 || true
+  exit 1
+fi
+
+echo "== soak smoke slice"
+# The un-ignored *_smoke twins of every soak, in release mode (the full
+# #[ignore]d suites run via scripts/soak.sh on their own budget).
+cargo test -q --release --test soak
+
 echo "ci.sh: all green"

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Soak tier: the long-running randomized suites in tests/soak.rs, run in
+# release mode under a wall-clock budget. Seeds are fixed constants inside
+# the tests, so any failure reproduces by rerunning the named test:
+#
+#   cargo test --release --test soak -- --ignored <test_name>
+#
+# Budget is configurable: SOAK_TIME_BUDGET=<seconds> scripts/soak.sh
+# (default 1800). A budget overrun exits 124 (timeout's convention) so CI
+# can tell "too slow" from "wrong".
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+BUDGET="${SOAK_TIME_BUDGET:-1800}"
+
+echo "== soak: release build"
+cargo build --release --tests
+
+echo "== soak: full suites (budget ${BUDGET}s)"
+if ! timeout "$BUDGET" cargo test --release --test soak -- --ignored; then
+  status=$?
+  if [ "$status" -eq 124 ]; then
+    echo "soak.sh: time budget of ${BUDGET}s exceeded" >&2
+  else
+    echo "soak.sh: soak failure — seeds are fixed in tests/soak.rs;" \
+         "rerun the named test to reproduce" >&2
+  fi
+  exit "$status"
+fi
+
+echo "soak.sh: all green"

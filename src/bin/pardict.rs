@@ -14,6 +14,7 @@
 //! pardict stats   in.bin                         ledger work/depth summary
 //! pardict serve   --addr 127.0.0.1:7878          concurrent serving engine
 //! pardict serve   --selftest                     in-process serving selftest
+//! pardict chaos   --seed N --rounds K            fault-injection verification
 //! ```
 //!
 //! Dictionary files contain one pattern per line (empty lines ignored).
@@ -71,6 +72,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "patch" => cmd_patch(rest),
         "stats" => cmd_stats(rest),
         "serve" => cmd_serve(rest),
+        "chaos" => cmd_chaos(rest),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             Ok(())
@@ -80,7 +82,7 @@ fn run(args: &[String]) -> Result<(), String> {
 }
 
 fn usage() -> String {
-    "usage: pardict <match|grep|compress|decompress|cat|parse|delta|patch|stats|serve> \
+    "usage: pardict <match|grep|compress|decompress|cat|parse|delta|patch|stats|serve|chaos> \
      [--dict FILE] [-o FILE] [INPUT...]\n\
      grep:     pardict grep (--dict FILE IN | PATTERN... --in IN) \
      [--count|--offsets] [--strict]\n\
@@ -88,7 +90,9 @@ fn usage() -> String {
      compress: pardict compress [--stream|--whole] [--block-size N] IN [-o OUT]\n\
      cat:      pardict cat --range A..B CONTAINER [-o OUT]\n\
      serve: pardict serve [--addr HOST:PORT] [--dict FILE [--name NAME]] [--workers N]\n\
-     \x20       pardict serve --selftest [--requests N] [--workers N]"
+     \x20       pardict serve --selftest [--requests N] [--workers N]\n\
+     chaos: pardict chaos [--seed N] [--rounds K] [--no-wire]   \
+     deterministic fault-injection report (exit 1 on violations)"
         .to_string()
 }
 
@@ -612,6 +616,55 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     loop {
         std::thread::sleep(std::time::Duration::from_secs(3600));
     }
+}
+
+/// `pardict chaos`: run the deterministic fault-injection suite and print
+/// its report. The report is byte-identical for equal seeds, so a failure
+/// in CI reproduces locally from the seed alone.
+fn cmd_chaos(args: &[String]) -> Result<(), String> {
+    use pardict::chaos::{run_chaos, ChaosConfig};
+    let mut cfg = ChaosConfig::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a number")?;
+                cfg.seed = parse_seed(v).map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--rounds" => {
+                cfg.rounds = it
+                    .next()
+                    .ok_or("--rounds needs a count")?
+                    .parse()
+                    .map_err(|e| format!("--rounds: {e}"))?;
+            }
+            "--no-wire" => cfg.wire = false,
+            other => return Err(format!("chaos: unknown flag {other:?}\n{}", usage())),
+        }
+    }
+    let report = run_chaos(&cfg);
+    print!("{}", report.text);
+    if report.violations > 0 {
+        return Err(format!(
+            "{} of {} chaos oracles violated — reproduce with \
+             `pardict chaos --seed {} --rounds {}{}`",
+            report.violations,
+            report.checks,
+            cfg.seed,
+            cfg.rounds,
+            if cfg.wire { "" } else { " --no-wire" }
+        ));
+    }
+    Ok(())
+}
+
+/// Seeds accept decimal or `0x`-prefixed hex.
+fn parse_seed(s: &str) -> Result<u64, String> {
+    let parsed = match s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => s.parse(),
+    };
+    parsed.map_err(|e| e.to_string())
 }
 
 fn cmd_stats(args: &[String]) -> Result<(), String> {

@@ -70,8 +70,10 @@
 //! | [`service`] | concurrent serving: hot-swap registry, batching, metrics |
 //! | [`stream`] | chunked parallel LZ1 streaming, framed random-access container |
 //! | [`search`] | block-parallel dictionary matching over compressed containers |
+//! | [`chaos`] | deterministic fault injection and differential verification |
 
 pub use pardict_ancestors as ancestors;
+pub use pardict_chaos as chaos;
 pub use pardict_compress as compress;
 pub use pardict_core as core;
 pub use pardict_fingerprint as fingerprint;

@@ -1,0 +1,133 @@
+//! Chaos tier: deterministic fault injection and differential
+//! verification, end to end.
+//!
+//! These tests drive `pardict::chaos` the way CI does: seeded runs whose
+//! reports must be byte-identical per seed, clean on healthy code, and
+//! complete — every fault class the planner knows must show up in the
+//! report with an oracle verdict. The ledger invariant auditor runs
+//! inside every container round (each round executes under both
+//! `Pram::seq()` and `Pram::par()`), so a pass here also certifies the
+//! cost-model contracts.
+
+use pardict::chaos::{audit_seq_par, run_chaos, ChaosConfig};
+use pardict::prelude::*;
+
+#[test]
+fn chaos_report_is_byte_identical_per_seed() {
+    let cfg = ChaosConfig {
+        seed: 0xC4A0_5EED,
+        rounds: 2,
+        wire: false,
+    };
+    let a = run_chaos(&cfg);
+    let b = run_chaos(&cfg);
+    assert_eq!(a.text, b.text, "same seed must give byte-identical reports");
+    assert_eq!(a.checks, b.checks);
+    assert!(a.checks > 0);
+    assert_eq!(a.violations, 0, "clean stack must pass:\n{}", a.text);
+    assert!(a.passed());
+}
+
+#[test]
+fn different_seeds_give_different_plans() {
+    let base = ChaosConfig {
+        seed: 1,
+        rounds: 1,
+        wire: false,
+    };
+    let a = run_chaos(&base);
+    let b = run_chaos(&ChaosConfig { seed: 2, ..base });
+    assert_ne!(
+        a.text, b.text,
+        "distinct seeds should script distinct faults"
+    );
+}
+
+/// Every fault class the planner knows appears in the report with a
+/// verdict (or an explicit skip naming why), across a few rounds so the
+/// corpora vary. These names are the stable vocabulary TESTING.md
+/// documents for reproducing failures.
+#[test]
+fn every_fault_class_is_reported_with_a_verdict() {
+    let report = run_chaos(&ChaosConfig {
+        seed: 2026,
+        rounds: 4,
+        wire: false,
+    });
+    for class in [
+        "payload-bit-flip",
+        "payload-burst-flip",
+        "record-header-flip",
+        "truncate-record",
+        "truncate-index",
+        "index-footer-flip",
+        "trailer-flip",
+        "payload-swap",
+        "block-reorder",
+        "crc-preserving-swap",
+    ] {
+        assert!(
+            report.text.contains(class),
+            "fault class {class} missing from report:\n{}",
+            report.text
+        );
+    }
+    assert!(
+        report.text.contains("ledger audit: seq == par"),
+        "ledger auditor verdict missing:\n{}",
+        report.text
+    );
+    assert_eq!(report.violations, 0, "report:\n{}", report.text);
+}
+
+/// The wire section: hostile frames against a live server. Every hostile
+/// scenario plus the metrics accounting identities must hold.
+#[test]
+fn wire_chaos_holds_against_a_live_server() {
+    let report = run_chaos(&ChaosConfig {
+        seed: 7,
+        rounds: 0,
+        wire: true,
+    });
+    for scenario in [
+        "malformed-frame",
+        "oversized-frame",
+        "mid-request-disconnect",
+        "truncated-length-prefix",
+        "slow-drip",
+        "hostile pattern count",
+        "metrics accounting",
+    ] {
+        assert!(
+            report.text.contains(scenario),
+            "wire scenario {scenario} missing from report:\n{}",
+            report.text
+        );
+    }
+    assert_eq!(report.violations, 0, "report:\n{}", report.text);
+}
+
+/// The auditor is reusable outside `run_chaos`: metered library calls
+/// must satisfy the ledger contracts under both modes.
+#[test]
+fn ledger_auditor_accepts_real_library_work() {
+    let (hits, report) = audit_seq_par("lz1 + match", |pram, auditor| {
+        let text = pardict::workloads::markov_text(11, 4000, Alphabet::lowercase());
+        let tokens = lz1_compress(pram, &text, 0x5EED);
+        auditor.step(pram, "compress");
+        let back = lz1_decompress(pram, &tokens, 0x5EED);
+        assert_eq!(back, text);
+        auditor.step(pram, "round-trip");
+        let dict = Dictionary::new(vec![b"the".to_vec(), b"ab".to_vec(), b"qzx".to_vec()]);
+        dictionary_match(pram, &dict, &text, 0xA5)
+            .iter_hits()
+            .map(|(i, m)| (i, m.id, m.len))
+            .collect::<Vec<_>>()
+    })
+    .expect("library work must satisfy the ledger contracts");
+    assert!(report.cost.work >= report.cost.depth);
+    assert!(report.steps >= 3);
+    // Not asserting hit counts — the corpus is random; the auditor already
+    // proved seq and par agree on them.
+    drop(hits);
+}

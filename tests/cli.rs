@@ -443,3 +443,145 @@ fn unknown_command_fails_with_usage() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
 }
+
+// ---- exit-code contract matrix ----
+//
+// The CLI's exit status is part of its interface: scripts and CI gate on
+// it. One place pins the whole contract — success is 0; *any* detected
+// damage is nonzero even when the command still produced best-effort
+// output (survivor bytes, partial hit lists); usage errors and missing
+// files are nonzero; `chaos` maps a violated oracle to nonzero.
+
+/// Build a small container on disk and corrupt one payload byte in a
+/// middle block, returning (clean path, corrupted path).
+fn corrupted_container() -> (std::path::PathBuf, std::path::PathBuf) {
+    use pardict::stream::layout::ContainerLayout;
+    let data: Vec<u8> = b"the quick brown fox jumps over the lazy dog. "
+        .repeat(40)
+        .to_vec();
+    let input = write_tmp("ec-in.bin", &data);
+    let clean = std::env::temp_dir().join("pardict-cli-tests/ec.pdzs");
+    let out = bin()
+        .args(["compress", "--stream", "--block-size", "256"])
+        .arg(&input)
+        .args(["-o"])
+        .arg(&clean)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let mut bytes = std::fs::read(&clean).unwrap();
+    let layout = ContainerLayout::parse(&bytes).unwrap();
+    assert!(layout.num_blocks() >= 3, "need a middle block to corrupt");
+    let span = layout.records[1].payload.clone();
+    bytes[span.start + span.len() / 2] ^= 0x40;
+    let corrupt = write_tmp("ec-corrupt.pdzs", &bytes);
+    (clean, corrupt)
+}
+
+#[test]
+fn exit_code_contract_matrix() {
+    let (clean, corrupt) = corrupted_container();
+    let dict = write_tmp("ec-dict.txt", b"fox\nlazy\n");
+    let code = |out: &std::process::Output| out.status.code().unwrap();
+
+    // Success: clean container, clean operations -> 0.
+    let out = bin()
+        .args(["grep", "--dict"])
+        .arg(&dict)
+        .arg(&clean)
+        .output()
+        .unwrap();
+    assert_eq!(code(&out), 0, "{}", String::from_utf8_lossy(&out.stderr));
+
+    // Corrupt container, lenient decompress: survivors are written but
+    // the skipped block must surface as a nonzero exit.
+    let survivors = std::env::temp_dir().join("pardict-cli-tests/ec-survivors.bin");
+    let out = bin()
+        .args(["decompress"])
+        .arg(&corrupt)
+        .args(["-o"])
+        .arg(&survivors)
+        .output()
+        .unwrap();
+    assert_eq!(code(&out), 1, "damage must not exit 0");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("corrupt block"), "{stderr}");
+    let recovered = std::fs::read(&survivors).unwrap();
+    assert!(
+        !recovered.is_empty() && recovered.len() < 40 * 45,
+        "survivors must be written (got {} bytes)",
+        recovered.len()
+    );
+
+    // Corrupt container, lenient grep: hits from healthy blocks plus a
+    // nonzero exit naming the skipped block.
+    let out = bin()
+        .args(["grep", "--dict"])
+        .arg(&dict)
+        .arg(&corrupt)
+        .output()
+        .unwrap();
+    assert_eq!(code(&out), 1);
+    assert!(!out.stdout.is_empty(), "healthy-block hits must be printed");
+
+    // Corrupt container, strict grep: fail fast, nonzero.
+    let out = bin()
+        .args(["grep", "--strict", "--dict"])
+        .arg(&dict)
+        .arg(&corrupt)
+        .output()
+        .unwrap();
+    assert_eq!(code(&out), 1);
+
+    // Bad flags: unknown command, conflicting flags, unknown chaos flag.
+    assert_eq!(code(&bin().args(["frobnicate"]).output().unwrap()), 1);
+    let out = bin()
+        .args(["grep", "--count", "--offsets", "--dict"])
+        .arg(&dict)
+        .arg(&clean)
+        .output()
+        .unwrap();
+    assert_eq!(code(&out), 1);
+    assert_eq!(code(&bin().args(["chaos", "--what"]).output().unwrap()), 1);
+
+    // Missing files.
+    let out = bin()
+        .args(["decompress", "/nonexistent/no-such-file.pdzs"])
+        .output()
+        .unwrap();
+    assert_eq!(code(&out), 1);
+    let out = bin()
+        .args(["grep", "--dict", "/nonexistent/dict.txt"])
+        .arg(&clean)
+        .output()
+        .unwrap();
+    assert_eq!(code(&out), 1);
+
+    // Help is a success, not an error.
+    assert_eq!(code(&bin().args(["--help"]).output().unwrap()), 0);
+}
+
+/// `pardict chaos` exits 0 on a healthy stack and prints a report that is
+/// byte-identical across runs of the same seed.
+#[test]
+fn chaos_subcommand_is_deterministic_and_exits_zero() {
+    let run = || {
+        bin()
+            .args(["chaos", "--seed", "0xBADC0DE", "--rounds", "1", "--no-wire"])
+            .output()
+            .unwrap()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(
+        a.status.code().unwrap(),
+        0,
+        "{}",
+        String::from_utf8_lossy(&a.stdout)
+    );
+    assert_eq!(a.stdout, b.stdout, "chaos report must be byte-identical");
+    let text = String::from_utf8_lossy(&a.stdout);
+    assert!(text.contains("pardict-chaos report (seed 195936478, rounds 1)"));
+    assert!(text.contains("verdict:"));
+    assert!(text.contains("0 violated"));
+}

@@ -208,3 +208,54 @@ fn selftest_smoke() {
     assert!(report.contains("selftest ok"));
     assert!(report.contains("batches"));
 }
+
+// ---- wire-codec fuzz properties (chaos tier's unit-level cousin) ----
+
+use pardict::service::wire::{tag, WireRequest, WireResponse};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Total-function law: decoding arbitrary bytes never panics, and any
+    /// value that does decode re-encodes to a semantically equal value
+    /// (decode ∘ encode is the identity on decode's image).
+    #[test]
+    fn wire_decode_is_total_and_round_trips(
+        bytes in prop::collection::vec(any::<u8>(), 0..200),
+    ) {
+        if let Ok(req) = WireRequest::decode(&bytes) {
+            prop_assert_eq!(WireRequest::decode(&req.encode()).unwrap(), req);
+        }
+        if let Ok(resp) = WireResponse::decode(&bytes) {
+            prop_assert_eq!(WireResponse::decode(&resp.encode()).unwrap(), resp);
+        }
+    }
+
+    /// Hostile length claims cannot force over-allocation: any decoded
+    /// collection fits in the payload bytes that carried it, no matter
+    /// what element count the frame asserts.
+    #[test]
+    fn wire_decode_never_overallocates(
+        claimed in any::<u32>(),
+        body in prop::collection::vec(any::<u8>(), 0..64),
+    ) {
+        // PUBLISH claiming `claimed` patterns followed by `body` bytes.
+        let mut p = vec![tag::PUBLISH];
+        p.extend_from_slice(&1u32.to_be_bytes());
+        p.push(b'd');
+        p.extend_from_slice(&claimed.to_be_bytes());
+        p.extend_from_slice(&body);
+        if let Ok(WireRequest::Publish { patterns, .. }) = WireRequest::decode(&p) {
+            // Each pattern costs at least its 4-byte length prefix.
+            prop_assert!(patterns.len() <= body.len() / 4);
+        }
+        // HITS response claiming `claimed` 16-byte hits.
+        let mut p = vec![tag::OK, 2 /* ok::HITS */];
+        p.extend_from_slice(&1u64.to_be_bytes());
+        p.extend_from_slice(&claimed.to_be_bytes());
+        p.extend_from_slice(&body);
+        if let Ok(WireResponse::Hits { hits, .. }) = WireResponse::decode(&p) {
+            prop_assert!(hits.len() <= body.len() / 16);
+        }
+    }
+}

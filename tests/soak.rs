@@ -1,8 +1,15 @@
 //! Long-running randomized soak tests — `#[ignore]`d by default; run with
 //!
 //! ```sh
+//! scripts/soak.sh            # time-budgeted, release mode
 //! cargo test --release --test soak -- --ignored
 //! ```
+//!
+//! Each soak is a parameterized driver: the `#[ignore]`d test runs it at
+//! full scale (minutes), and an un-ignored `*_smoke` twin runs the same
+//! code path at sub-second scale so tier-1 (`cargo test -q`) always
+//! exercises a slice of every soak. Seeds are fixed constants, so a soak
+//! failure reproduces by rerunning the named test — see TESTING.md.
 
 use pardict::pram::SplitMix64;
 use pardict::prelude::*;
@@ -25,12 +32,12 @@ fn corpora(seed: u64, n: usize) -> Vec<Vec<u8>> {
     ]
 }
 
-#[test]
-#[ignore = "soak: minutes of runtime"]
-fn dictionary_matching_soak() {
+/// Matcher vs Aho–Corasick over randomized dictionaries and planted
+/// texts; `rounds` rounds over texts of `base_n..base_n + spread` bytes.
+fn run_dictionary_matching(rounds: u64, base_n: usize, spread: u64) {
     let pram = Pram::seq();
     let mut rng = SplitMix64::new(2025);
-    for round in 0..20u64 {
+    for round in 0..rounds {
         let alpha =
             [Alphabet::binary(), Alphabet::dna(), Alphabet::lowercase()][(round % 3) as usize];
         let k = 5 + rng.next_below(40) as usize;
@@ -41,7 +48,7 @@ fn dictionary_matching_soak() {
             prefix_heavy_dictionary(round, k, 3, maxlen, alpha)
         };
         let dict = Dictionary::new(patterns);
-        let n = 2000 + rng.next_below(6000) as usize;
+        let n = base_n + rng.next_below(spread) as usize;
         let text = text_with_planted_matches(round + 99, dict.patterns(), n, 30, alpha);
         let got = dictionary_match(&pram, &dict, &text, round);
         let want = AhoCorasick::build(&dict).match_text(&text);
@@ -57,9 +64,20 @@ fn dictionary_matching_soak() {
 
 #[test]
 #[ignore = "soak: minutes of runtime"]
-fn lz1_roundtrip_soak() {
+fn dictionary_matching_soak() {
+    run_dictionary_matching(20, 2000, 6000);
+}
+
+#[test]
+fn dictionary_matching_soak_smoke() {
+    run_dictionary_matching(2, 600, 400);
+}
+
+/// LZ1 compress/decompress/wire round-trip over every corpus shape at
+/// `n` bytes each.
+fn run_lz1_roundtrip(n: usize) {
     let pram = Pram::seq();
-    for (k, text) in corpora(7, 60_000).into_iter().enumerate() {
+    for (k, text) in corpora(7, n).into_iter().enumerate() {
         let tokens = lz1_compress(&pram, &text, k as u64);
         assert_eq!(
             lz1_decompress(&pram, &tokens, k as u64 + 1),
@@ -79,16 +97,27 @@ fn lz1_roundtrip_soak() {
 
 #[test]
 #[ignore = "soak: minutes of runtime"]
-fn static_parse_soak() {
+fn lz1_roundtrip_soak() {
+    run_lz1_roundtrip(60_000);
+}
+
+#[test]
+fn lz1_roundtrip_soak_smoke() {
+    run_lz1_roundtrip(3000);
+}
+
+/// Optimal vs BFS static parsing over `seeds` seeded corpora of `n`
+/// bytes, parsing the middle `msg` slice of each.
+fn run_static_parse(seeds: u64, n: usize, msg: std::ops::Range<usize>) {
     let pram = Pram::seq();
-    for seed in 0..8u64 {
+    for seed in 0..seeds {
         let alpha = Alphabet::dna();
-        let corpus = markov_text(seed, 30_000, alpha);
+        let corpus = markov_text(seed, n, alpha);
         let mut words: Vec<Vec<u8>> = (0..alpha.size()).map(|i| vec![alpha.symbol(i)]).collect();
         words.extend(dictionary_from_text(seed + 1, &corpus, 100, 2, 16));
         let dict = Dictionary::new(words);
         let matcher = DictMatcher::build(&pram, dict.clone(), seed + 2);
-        let msg = &corpus[5000..15_000];
+        let msg = &corpus[msg.clone()];
         let opt = optimal_parse(&pram, &matcher, msg).unwrap();
         let bfs = bfs_parse(&pram, &matcher, msg).unwrap();
         assert_eq!(opt.num_phrases(), bfs.num_phrases(), "seed {seed}");
@@ -98,15 +127,27 @@ fn static_parse_soak() {
 
 #[test]
 #[ignore = "soak: minutes of runtime"]
-fn adaptive_churn_soak() {
+fn static_parse_soak() {
+    run_static_parse(8, 30_000, 5000..15_000);
+}
+
+#[test]
+fn static_parse_soak_smoke() {
+    run_static_parse(2, 3000, 1000..2000);
+}
+
+/// Adaptive matcher under insert/remove churn for `steps` steps over a
+/// `text_len`-byte text, cross-checked against brute force every tenth
+/// step.
+fn run_adaptive_churn(steps: u64, text_len: usize) {
     use pardict::core::AdaptiveDictMatcher;
     let pram = Pram::seq();
     let mut adm = AdaptiveDictMatcher::new(3);
     let mut rng = SplitMix64::new(11);
     let alpha = Alphabet::dna();
-    let text = markov_text(5, 4000, alpha);
+    let text = markov_text(5, text_len, alpha);
     let mut handles = Vec::new();
-    for step in 0..150u64 {
+    for step in 0..steps {
         if handles.is_empty() || rng.next_below(5) != 0 {
             let len = 1 + rng.next_below(10) as usize;
             let mut rng2 = SplitMix64::new(step);
@@ -130,4 +171,15 @@ fn adaptive_churn_soak() {
             }
         }
     }
+}
+
+#[test]
+#[ignore = "soak: minutes of runtime"]
+fn adaptive_churn_soak() {
+    run_adaptive_churn(150, 4000);
+}
+
+#[test]
+fn adaptive_churn_soak_smoke() {
+    run_adaptive_churn(30, 600);
 }
