@@ -1,0 +1,115 @@
+//! Criterion wall-clock benches for the cluster router: container grep
+//! (`grepz`) routed through one shard vs scatter-gathered across three,
+//! with the single-node engine as the no-network baseline. The scatter
+//! path re-frames block ranges as standalone containers and fans them
+//! out, so wall-clock should track the widest shard's slice rather than
+//! the whole container.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pardict_cluster::{ClusterConfig, Router};
+use pardict_pram::Pram;
+use pardict_service::{Engine, EngineConfig, Metrics, OpRequest, Registry, Request, Server};
+use pardict_stream::{compress_stream, StreamConfig};
+use pardict_workloads::{random_dictionary, text_with_planted_matches, Alphabet};
+use std::net::SocketAddr;
+use std::sync::Arc;
+
+fn backend_engine() -> Engine {
+    let metrics = Arc::new(Metrics::default());
+    let registry = Arc::new(Registry::new(Arc::clone(&metrics)));
+    Engine::new(
+        EngineConfig {
+            workers: 2,
+            queue_depth: 1024,
+            max_batch: 16,
+            seq_threshold: 512,
+            stream_threshold: 1 << 16,
+        },
+        registry,
+        metrics,
+    )
+}
+
+struct Cluster {
+    router: Arc<Router>,
+    engines: Vec<Engine>,
+    servers: Vec<Server>,
+}
+
+fn cluster(shards: usize, patterns: &[Vec<u8>]) -> Cluster {
+    let mut engines = Vec::new();
+    let mut servers = Vec::new();
+    let mut addrs: Vec<SocketAddr> = Vec::new();
+    for _ in 0..shards {
+        let engine = backend_engine();
+        let server = Server::start(engine.clone(), "127.0.0.1:0").expect("backend start");
+        addrs.push(server.addr());
+        engines.push(engine);
+        servers.push(server);
+    }
+    let router = Arc::new(Router::new(&addrs, ClusterConfig::default()));
+    router.publish("d", patterns).expect("publish");
+    Cluster {
+        router,
+        engines,
+        servers,
+    }
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        self.router.shutdown();
+        for s in &mut self.servers {
+            s.stop();
+        }
+        for e in &self.engines {
+            e.shutdown();
+        }
+    }
+}
+
+fn bench_grepz_fanout(c: &mut Criterion) {
+    let alpha = Alphabet::dna();
+    let patterns = random_dictionary(7, 128, 4, 12, alpha);
+
+    let n = 1usize << 16;
+    let text = text_with_planted_matches(n as u64, &patterns, n, 40, alpha);
+    let cfg = StreamConfig::with_block_size(4096); // 16 blocks to scatter
+    let (container, _) =
+        compress_stream(&Pram::seq(), &mut &text[..], Vec::new(), &cfg).expect("compress");
+
+    let mut g = c.benchmark_group("cluster_grepz");
+    g.sample_size(10);
+
+    // No-network baseline: one engine greps the whole container directly.
+    let oracle = backend_engine();
+    oracle.registry().publish("d", patterns.clone()).unwrap();
+    g.bench_with_input(BenchmarkId::new("engine_direct", n), &container, |b, z| {
+        b.iter(|| {
+            oracle.call(Request::new(OpRequest::GrepContainer {
+                dict: "d".into(),
+                container: z.clone(),
+            }))
+        });
+    });
+    oracle.shutdown();
+
+    for shards in [1usize, 3] {
+        let cl = cluster(shards, &patterns);
+        g.bench_with_input(
+            BenchmarkId::new(format!("router_{shards}shard"), n),
+            &container,
+            |b, z| {
+                b.iter(|| {
+                    let routed = cl.router.grepz("d", z, 0);
+                    assert!(routed.result.is_ok());
+                    routed
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_grepz_fanout);
+criterion_main!(benches);

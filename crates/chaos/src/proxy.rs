@@ -69,6 +69,7 @@ impl ClientFault {
 pub struct ChaosProxy {
     addr: SocketAddr,
     faults: Arc<Mutex<VecDeque<ClientFault>>>,
+    default_fault: Arc<Mutex<ClientFault>>,
     stop: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
 }
@@ -83,8 +84,10 @@ impl ChaosProxy {
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
         let faults: Arc<Mutex<VecDeque<ClientFault>>> = Arc::default();
+        let default_fault = Arc::new(Mutex::new(ClientFault::PassThrough));
         let stop = Arc::new(AtomicBool::new(false));
         let accept_faults = Arc::clone(&faults);
+        let accept_default = Arc::clone(&default_fault);
         let accept_stop = Arc::clone(&stop);
         let accept_thread = std::thread::Builder::new()
             .name("pardict-chaos-proxy".into())
@@ -96,7 +99,9 @@ impl ChaosProxy {
                                 .lock()
                                 .expect("fault queue poisoned")
                                 .pop_front()
-                                .unwrap_or(ClientFault::PassThrough);
+                                .unwrap_or_else(|| {
+                                    *accept_default.lock().expect("default fault poisoned")
+                                });
                             let _ = std::thread::Builder::new()
                                 .name("pardict-chaos-conn".into())
                                 .spawn(move || {
@@ -114,6 +119,7 @@ impl ChaosProxy {
         Ok(Self {
             addr,
             faults,
+            default_fault,
             stop,
             accept_thread: Some(accept_thread),
         })
@@ -131,6 +137,14 @@ impl ChaosProxy {
             .lock()
             .expect("fault queue poisoned")
             .push_back(fault);
+    }
+
+    /// Set the fault every connection suffers when the queue is empty —
+    /// a *persistently* poisoned link, as a router sees when a backend's
+    /// network path goes bad (each reconnect attempt is sabotaged anew).
+    /// [`Self::push_fault`] entries still take precedence, one each.
+    pub fn set_default_fault(&self, fault: ClientFault) {
+        *self.default_fault.lock().expect("default fault poisoned") = fault;
     }
 
     /// Stop accepting new connections (existing relays drain on EOF).

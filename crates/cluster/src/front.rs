@@ -1,0 +1,157 @@
+//! TCP front end for the router: the same wire protocol the backends
+//! speak, so any existing [`Client`](pardict_service::Client) can point
+//! at a cluster instead of a single node without changing a byte —
+//! except that container grep comes back as the richer
+//! [`WireResponse::ClusterHits`] carrying the degraded-mode flag.
+
+use crate::router::{ClusterError, Router};
+use pardict_service::wire::{self, read_frame, write_frame, WireRequest, WireResponse};
+use pardict_service::ServiceError;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A running cluster front end bound to a local address.
+pub struct RouterServer {
+    router: Arc<Router>,
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl RouterServer {
+    /// Bind `addr` (port 0 for ephemeral) and start accepting.
+    ///
+    /// # Errors
+    /// Socket bind/configuration failures.
+    pub fn start(router: Arc<Router>, addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_router = Arc::clone(&router);
+        let accept_stop = Arc::clone(&stop);
+        let accept_thread = std::thread::Builder::new()
+            .name("pardict-cluster-accept".into())
+            .spawn(move || accept_loop(&listener, &accept_router, &accept_stop))
+            .expect("spawn cluster accept thread");
+        Ok(Self {
+            router,
+            addr,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address.
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The router this server fronts.
+    #[must_use]
+    pub fn router(&self) -> &Arc<Router> {
+        &self.router
+    }
+
+    /// Stop accepting; existing connections drain on client EOF.
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for RouterServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, router: &Arc<Router>, stop: &Arc<AtomicBool>) {
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let router = Arc::clone(router);
+                let _ = std::thread::Builder::new()
+                    .name("pardict-cluster-conn".into())
+                    .spawn(move || {
+                        let _ = serve_connection(stream, &router);
+                    });
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+fn serve_connection(stream: TcpStream, router: &Router) -> io::Result<()> {
+    let mut reader = stream.try_clone()?;
+    let mut writer = stream;
+    while let Some(payload) = read_frame(&mut reader)? {
+        let resp = match WireRequest::decode(&payload) {
+            Err(e) => WireResponse::Error {
+                code: ServiceError::BadRequest(String::new()).code(),
+                message: format!("malformed request: {e}"),
+            },
+            Ok(req) => handle(router, req),
+        };
+        write_frame(&mut writer, &resp.encode())?;
+    }
+    Ok(())
+}
+
+fn error_response(e: &ClusterError) -> WireResponse {
+    let (code, message) = e.to_wire();
+    WireResponse::Error { code, message }
+}
+
+fn handle(router: &Router, req: WireRequest) -> WireResponse {
+    match req {
+        WireRequest::Ping => WireResponse::Pong,
+        WireRequest::Metrics => WireResponse::MetricsReport(router.report()),
+        WireRequest::Stats => match router.merged_stats() {
+            Ok((snap, _degraded)) => WireResponse::Stats(snap),
+            Err(e) => error_response(&e),
+        },
+        WireRequest::Publish { name, patterns } => match router.publish(&name, &patterns) {
+            Ok(summary) => WireResponse::Published {
+                version: summary.version,
+                cache_hit: false,
+            },
+            Err(e) => error_response(&e),
+        },
+        WireRequest::Op {
+            tag,
+            dict,
+            text,
+            timeout_ms,
+        } => {
+            if !matches!(
+                tag,
+                wire::tag::MATCH
+                    | wire::tag::GREP
+                    | wire::tag::COMPRESS
+                    | wire::tag::PARSE
+                    | wire::tag::GREPZ
+            ) {
+                return WireResponse::Error {
+                    code: ServiceError::BadRequest(String::new()).code(),
+                    message: format!("unknown op tag {tag}"),
+                };
+            }
+            let routed = router.op(tag, &dict, &text, timeout_ms);
+            match routed.result {
+                Ok(resp) => resp,
+                Err(e) => error_response(&e),
+            }
+        }
+    }
+}

@@ -1,0 +1,256 @@
+//! Router-side accounting: cluster counters plus per-shard books.
+//!
+//! Mirrors the service-side [`Metrics`](pardict_service::Metrics) idiom —
+//! lock-free counters, log₂ histograms, a plain-text report, and a
+//! `check_accounting` contract the chaos tier leans on: every request the
+//! router accepts is charged to exactly one outcome, no matter how many
+//! attempts, failovers, or poisoned connections it took to get there.
+
+use pardict_service::metrics::{Counter, Histogram};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Router-side books for one backend shard.
+#[derive(Debug, Default)]
+pub struct ShardStats {
+    /// Attempts dispatched to this shard (first tries and failovers).
+    pub attempts: Counter,
+    /// Attempts that returned a well-formed response (success or
+    /// app-level error) — the shard is alive and speaking the protocol.
+    pub ok: Counter,
+    /// Attempts that failed in transport (connect/read/write) or hit a
+    /// shutting-down backend.
+    pub failures: Counter,
+    /// Healthy→dead transitions.
+    pub deaths: Counter,
+    /// Dead→healthy transitions (probe- or last-resort-driven).
+    pub revivals: Counter,
+    /// Scatter-gather block ranges this shard served.
+    pub ranges: Counter,
+    /// Liveness as last observed (reporting only; routing state lives in
+    /// the backend table).
+    pub healthy: AtomicBool,
+}
+
+/// Cluster-wide router metrics: request outcomes, failover activity, and
+/// per-shard attempt books.
+#[derive(Debug)]
+pub struct ClusterMetrics {
+    /// Operations accepted by the router (publishes included).
+    pub requests: Counter,
+    /// Dictionary publishes routed (broadcast counts once).
+    pub publishes: Counter,
+    /// Requests answered with a success payload.
+    pub completed_ok: Counter,
+    /// Requests answered with a service-level error from a live shard.
+    pub completed_err: Counter,
+    /// Requests the cluster could not serve (no healthy backends, all
+    /// attempts exhausted).
+    pub failed: Counter,
+    /// Extra attempts beyond each request's first.
+    pub retries: Counter,
+    /// Requests ultimately served by a backend other than their first
+    /// candidate.
+    pub failovers: Counter,
+    /// Responses flagged degraded (served while shards were excluded or
+    /// after an in-flight failover).
+    pub degraded_responses: Counter,
+    /// `grepz` requests fanned out across more than one shard.
+    pub scatter_gathers: Counter,
+    /// End-to-end router latency per request, microseconds.
+    pub latency_us: Histogram,
+    /// Per-shard books, indexed by backend id.
+    pub per_shard: Vec<ShardStats>,
+}
+
+impl ClusterMetrics {
+    /// Books for a cluster of `shards` backends.
+    #[must_use]
+    pub fn new(shards: usize) -> Self {
+        Self {
+            requests: Counter::default(),
+            publishes: Counter::default(),
+            completed_ok: Counter::default(),
+            completed_err: Counter::default(),
+            failed: Counter::default(),
+            retries: Counter::default(),
+            failovers: Counter::default(),
+            degraded_responses: Counter::default(),
+            scatter_gathers: Counter::default(),
+            latency_us: Histogram::default(),
+            per_shard: (0..shards)
+                .map(|_| ShardStats {
+                    healthy: AtomicBool::new(true),
+                    ..ShardStats::default()
+                })
+                .collect(),
+        }
+    }
+
+    /// Verify the router's accounting identities, returning the first
+    /// violation. With `quiescent = true` (no requests in flight) the
+    /// exact identities must hold: every accepted request has exactly one
+    /// outcome, every shard attempt resolved, and nothing was charged
+    /// twice — the "never double-charges" contract the chaos integration
+    /// asserts after driving traffic through a poisoned proxy.
+    ///
+    /// # Errors
+    /// A human-readable description of the first violated identity.
+    pub fn check_accounting(&self, quiescent: bool) -> Result<(), String> {
+        let requests = self.requests.get();
+        let outcomes = self.completed_ok.get() + self.completed_err.get() + self.failed.get();
+        if outcomes > requests {
+            return Err(format!("outcomes {outcomes} exceed requests {requests}"));
+        }
+        if quiescent && outcomes != requests {
+            return Err(format!(
+                "quiescent but requests {requests} != outcomes {outcomes}"
+            ));
+        }
+        if quiescent && self.latency_us.count() != requests {
+            return Err(format!(
+                "latency samples {} != requests {requests}",
+                self.latency_us.count()
+            ));
+        }
+        let answered = self.completed_ok.get() + self.completed_err.get();
+        if self.degraded_responses.get() > answered {
+            return Err(format!(
+                "degraded {} exceeds answered {answered}",
+                self.degraded_responses.get()
+            ));
+        }
+        if self.failovers.get() > self.retries.get() + self.scatter_gathers.get() {
+            return Err(format!(
+                "failovers {} exceed retries {} + scatters {}",
+                self.failovers.get(),
+                self.retries.get(),
+                self.scatter_gathers.get()
+            ));
+        }
+        let mut attempts = 0u64;
+        for (id, s) in self.per_shard.iter().enumerate() {
+            attempts += s.attempts.get();
+            let resolved = s.ok.get() + s.failures.get();
+            if quiescent && resolved != s.attempts.get() {
+                return Err(format!(
+                    "shard {id}: attempts {} != ok {} + failures {}",
+                    s.attempts.get(),
+                    s.ok.get(),
+                    s.failures.get()
+                ));
+            }
+            if !quiescent && resolved > s.attempts.get() {
+                return Err(format!("shard {id}: more resolutions than attempts"));
+            }
+            if s.revivals.get() > s.deaths.get() {
+                return Err(format!(
+                    "shard {id}: revivals {} exceed deaths {}",
+                    s.revivals.get(),
+                    s.deaths.get()
+                ));
+            }
+        }
+        // Publishes broadcast and scatters fan out, so shard attempts may
+        // legitimately exceed requests; they can never be *fewer* than
+        // answered requests when quiescent (every answer came from a
+        // shard) unless nothing was answered.
+        if quiescent && answered > 0 && attempts == 0 {
+            return Err("answers recorded with zero shard attempts".into());
+        }
+        Ok(())
+    }
+
+    /// Plain-text report of router counters and per-shard books, in the
+    /// same spirit as [`Metrics::report`](pardict_service::Metrics::report).
+    #[must_use]
+    pub fn report(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "== pardict-cluster metrics ==");
+        let _ = writeln!(
+            out,
+            "requests:  total {}  publishes {}  ok {}  err {}  failed {}",
+            self.requests.get(),
+            self.publishes.get(),
+            self.completed_ok.get(),
+            self.completed_err.get(),
+            self.failed.get(),
+        );
+        let _ = writeln!(
+            out,
+            "routing:   retries {}  failovers {}  degraded {}  scatter-gathers {}",
+            self.retries.get(),
+            self.failovers.get(),
+            self.degraded_responses.get(),
+            self.scatter_gathers.get(),
+        );
+        let _ = writeln!(
+            out,
+            "latency:   p50us {}  p95us {}  maxus {}",
+            self.latency_us.quantile(0.50),
+            self.latency_us.quantile(0.95),
+            self.latency_us.max(),
+        );
+        let _ = writeln!(
+            out,
+            "{:<8} {:>9} | {:>8} {:>8} {:>8} | {:>7} {:>8} {:>7}",
+            "shard", "state", "attempts", "ok", "failures", "deaths", "revivals", "ranges",
+        );
+        for (id, s) in self.per_shard.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "{:<8} {:>9} | {:>8} {:>8} {:>8} | {:>7} {:>8} {:>7}",
+                format!("shard-{id}"),
+                if s.healthy.load(Ordering::Relaxed) {
+                    "healthy"
+                } else {
+                    "excluded"
+                },
+                s.attempts.get(),
+                s.ok.get(),
+                s.failures.get(),
+                s.deaths.get(),
+                s.revivals.get(),
+                s.ranges.get(),
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_books_pass_and_violations_surface() {
+        let m = ClusterMetrics::new(2);
+        assert!(m.check_accounting(true).is_ok());
+        m.requests.inc();
+        m.completed_ok.inc();
+        m.latency_us.record(120);
+        m.per_shard[0].attempts.inc();
+        m.per_shard[0].ok.inc();
+        assert!(m.check_accounting(true).is_ok());
+        // An attempt that never resolved is fine in flight, an error at rest.
+        m.per_shard[1].attempts.inc();
+        assert!(m.check_accounting(false).is_ok());
+        assert!(m.check_accounting(true).is_err());
+        m.per_shard[1].failures.inc();
+        assert!(m.check_accounting(true).is_ok());
+        // Double-charged outcome: more outcomes than requests.
+        m.completed_err.inc();
+        assert!(m.check_accounting(false).is_err());
+    }
+
+    #[test]
+    fn report_names_every_shard() {
+        let m = ClusterMetrics::new(3);
+        m.per_shard[2].healthy.store(false, Ordering::Relaxed);
+        let r = m.report();
+        for id in 0..3 {
+            assert!(r.contains(&format!("shard-{id}")), "{r}");
+        }
+        assert!(r.contains("excluded"), "{r}");
+    }
+}

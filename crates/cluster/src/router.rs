@@ -1,0 +1,849 @@
+//! The front-end router: rendezvous routing, scatter-gather, failover.
+//!
+//! The router speaks the existing wire vocabulary on both sides. Its
+//! placement strategy is *replicated registry, sharded work*: dictionary
+//! publishes broadcast to every healthy backend (dictionaries are small
+//! and preprocessing is cached), while per-request work routes to a
+//! single shard chosen by rendezvous hashing on the dictionary name —
+//! so any shard can serve any dictionary, which is exactly what makes
+//! failover a re-route instead of a re-publish. The one fan-out case is
+//! container grep ([`Router::grepz`]): block ranges of the container are
+//! re-framed as standalone containers ([`pardict_stream::slice_container`])
+//! and scattered across *all* healthy shards, mirroring the paper's
+//! block-independent decomposition — each shard's work is local to its
+//! blocks plus a fixed overlap prefix, and the gather step is a
+//! deterministic merge.
+//!
+//! Failure policy: transport errors and `ShuttingDown` replies mark a
+//! shard's failure streak (excluded at the threshold) and trigger
+//! failover to the next shard in the request's rendezvous order;
+//! app-level errors from a live shard are answers, returned as-is.
+//! Responses carry a **degraded** flag — true when the request failed
+//! over mid-flight or any shard is currently excluded — so callers learn
+//! about reduced capacity without correct results turning into errors.
+
+use crate::backend::Backend;
+use crate::metrics::ClusterMetrics;
+use crate::shard::ranking;
+use pardict_service::wire::{self, WireResponse};
+use pardict_service::Hit;
+use pardict_service::{Client, ClientConfig, MetricsSnapshot, ServiceError};
+use pardict_stream::{slice_container, ContainerLayout};
+use std::collections::HashMap;
+use std::io;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Router knobs.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Per-backend connection behavior (timeouts; the client's own
+    /// single-reconnect stays on and handles transparent socket churn).
+    pub client: ClientConfig,
+    /// Maximum attempts per request or scatter range, first try included.
+    pub attempts: u32,
+    /// Backoff before retry `k` is `backoff << (k-1)` (exponential),
+    /// skipped when it would overshoot the request deadline.
+    pub backoff: Duration,
+    /// Consecutive transport failures before a shard is excluded.
+    pub fail_threshold: u32,
+    /// Background health-probe period; `None` (the default) disables the
+    /// probe thread — revival then happens only as a last resort when no
+    /// healthy backend remains. Deterministic tests keep this off.
+    pub probe_interval: Option<Duration>,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        Self {
+            client: ClientConfig {
+                connect_timeout: Some(Duration::from_secs(2)),
+                read_timeout: Some(Duration::from_secs(30)),
+                write_timeout: Some(Duration::from_secs(30)),
+                reconnect: true,
+            },
+            attempts: 3,
+            backoff: Duration::from_millis(5),
+            fail_threshold: 1,
+            probe_interval: None,
+        }
+    }
+}
+
+/// Why the cluster could not answer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClusterError {
+    /// Every backend is excluded or exhausted its attempts.
+    NoBackends,
+    /// A live shard answered with a service-level error.
+    Service(ServiceError),
+}
+
+impl ClusterError {
+    /// Wire `(code, message)` for the error frame. `NoBackends` reuses
+    /// the `Overloaded` code — the honest client guidance is the same:
+    /// back off and retry.
+    #[must_use]
+    pub fn to_wire(&self) -> (u8, String) {
+        match self {
+            ClusterError::NoBackends => (
+                ServiceError::Overloaded.code(),
+                "cluster: no healthy backends".into(),
+            ),
+            ClusterError::Service(e) => (e.code(), e.to_string()),
+        }
+    }
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterError::NoBackends => write!(f, "cluster: no healthy backends"),
+            ClusterError::Service(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+/// One routed answer plus the cluster-health caveat attached to it.
+#[derive(Debug)]
+pub struct Routed {
+    /// The response (or why none could be produced).
+    pub result: Result<WireResponse, ClusterError>,
+    /// True when this request failed over mid-flight or any shard is
+    /// currently excluded: results are correct but capacity is reduced.
+    pub degraded: bool,
+}
+
+/// Outcome of a broadcast publish.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PublishSummary {
+    /// Highest version installed among acknowledging shards (shards
+    /// normally agree; they can differ transiently after a revival).
+    pub version: u64,
+    /// Shards that acknowledged.
+    pub acks: u32,
+    /// Total shards in the cluster.
+    pub total: u32,
+    /// True when any shard missed the broadcast (it will catch up on
+    /// revival).
+    pub degraded: bool,
+}
+
+/// The per-attempt closure [`Router::dispatch`] retries across shards:
+/// given a connected client and the milliseconds left before the
+/// request's deadline, produce the transport result of one wire call.
+type ShardCall<'a, T> =
+    &'a (dyn Fn(&mut Client, u32) -> io::Result<Result<T, ServiceError>> + Sync);
+
+/// What one shard attempt produced.
+enum Attempt<T> {
+    /// Well-formed payload.
+    Ok(T),
+    /// Well-formed service error from a live shard — an answer.
+    App(ServiceError),
+    /// Transport failure, draining backend, or a protocol response that
+    /// proves the link mangled our bytes — fail over.
+    Down,
+}
+
+/// Per-dictionary state the router keeps for revival republish and
+/// scatter overlap sizing.
+struct DictInfo {
+    patterns: Vec<Vec<u8>>,
+    max_len: usize,
+}
+
+/// The cluster front end.
+pub struct Router {
+    backends: Vec<Arc<Backend>>,
+    cfg: ClusterConfig,
+    metrics: Arc<ClusterMetrics>,
+    dicts: Mutex<HashMap<String, DictInfo>>,
+    rr: AtomicUsize,
+    probe_stop: Arc<AtomicBool>,
+    probe_thread: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl Router {
+    /// A router over `addrs`, one backend per address, all presumed
+    /// healthy until proven otherwise.
+    #[must_use]
+    pub fn new(addrs: &[SocketAddr], cfg: ClusterConfig) -> Self {
+        let backends = addrs
+            .iter()
+            .enumerate()
+            .map(|(id, &addr)| {
+                Arc::new(Backend::new(
+                    id,
+                    addr,
+                    cfg.fail_threshold,
+                    cfg.client.clone(),
+                ))
+            })
+            .collect();
+        Self {
+            backends,
+            metrics: Arc::new(ClusterMetrics::new(addrs.len())),
+            cfg,
+            dicts: Mutex::new(HashMap::new()),
+            rr: AtomicUsize::new(0),
+            probe_stop: Arc::new(AtomicBool::new(false)),
+            probe_thread: Mutex::new(None),
+        }
+    }
+
+    /// The router's accounting books.
+    #[must_use]
+    pub fn metrics(&self) -> &ClusterMetrics {
+        &self.metrics
+    }
+
+    /// Number of backends (healthy or not).
+    #[must_use]
+    pub fn num_backends(&self) -> usize {
+        self.backends.len()
+    }
+
+    /// True when any shard is currently excluded.
+    #[must_use]
+    pub fn any_excluded(&self) -> bool {
+        self.backends.iter().any(|b| !b.is_healthy())
+    }
+
+    /// Ids of currently healthy shards, ascending.
+    #[must_use]
+    pub fn healthy_ids(&self) -> Vec<usize> {
+        self.backends
+            .iter()
+            .filter(|b| b.is_healthy())
+            .map(|b| b.id)
+            .collect()
+    }
+
+    // ---- shard attempt plumbing ----
+
+    /// Record a shard failure, flipping health books on the
+    /// threshold-crossing transition.
+    fn shard_failed(&self, shard: usize) {
+        self.metrics.per_shard[shard].failures.inc();
+        if self.backends[shard].note_failure() {
+            self.metrics.per_shard[shard].deaths.inc();
+            self.metrics.per_shard[shard]
+                .healthy
+                .store(false, Ordering::Relaxed);
+        }
+    }
+
+    /// One attempt of `f` against `shard`, with checkout/checkin and
+    /// failure-streak bookkeeping.
+    fn call_shard<T>(
+        &self,
+        shard: usize,
+        f: &(dyn Fn(&mut Client) -> io::Result<Result<T, ServiceError>> + Sync),
+    ) -> Attempt<T> {
+        self.metrics.per_shard[shard].attempts.inc();
+        let backend = &self.backends[shard];
+        let mut client = match backend.checkout() {
+            Ok(c) => c,
+            Err(_) => {
+                self.shard_failed(shard);
+                return Attempt::Down;
+            }
+        };
+        match f(&mut client) {
+            Ok(Ok(v)) => {
+                self.metrics.per_shard[shard].ok.inc();
+                backend.note_success();
+                backend.checkin(client);
+                Attempt::Ok(v)
+            }
+            // A draining backend is as gone as a dead socket.
+            Ok(Err(ServiceError::ShuttingDown)) => {
+                self.shard_failed(shard);
+                Attempt::Down
+            }
+            // "malformed request" from a backend proves the link mangled
+            // our (well-formed) frame — a poisoned path, not an answer.
+            Ok(Err(ServiceError::BadRequest(m))) if m.starts_with("malformed request") => {
+                self.shard_failed(shard);
+                Attempt::Down
+            }
+            Ok(Err(e)) => {
+                self.metrics.per_shard[shard].ok.inc();
+                backend.note_success();
+                backend.checkin(client);
+                Attempt::App(e)
+            }
+            Err(_) => {
+                self.shard_failed(shard);
+                Attempt::Down
+            }
+        }
+    }
+
+    /// Try `f` against shards in `order` (skipping excluded ones) with
+    /// bounded attempts, exponential backoff, and deadline awareness.
+    /// Returns the payload plus whether the request failed over (served
+    /// only after a failed attempt elsewhere).
+    fn dispatch<T>(
+        &self,
+        order: &[usize],
+        deadline: Option<Instant>,
+        f: ShardCall<'_, T>,
+    ) -> Result<(T, bool), ClusterError> {
+        let mut tried = 0u32;
+        for &shard in order {
+            if tried >= self.cfg.attempts {
+                break;
+            }
+            if !self.backends[shard].is_healthy() {
+                continue;
+            }
+            if let Some(d) = deadline {
+                if Instant::now() >= d {
+                    return Err(ClusterError::Service(ServiceError::DeadlineExceeded));
+                }
+            }
+            if tried > 0 {
+                self.metrics.retries.inc();
+                let pause = self.cfg.backoff * (1 << (tried - 1).min(8));
+                let pause = match deadline {
+                    Some(d) => pause.min(d.saturating_duration_since(Instant::now())),
+                    None => pause,
+                };
+                std::thread::sleep(pause);
+            }
+            tried += 1;
+            let remaining_ms = deadline.map_or(0, |d| {
+                u32::try_from(d.saturating_duration_since(Instant::now()).as_millis())
+                    .unwrap_or(u32::MAX)
+                    .max(1)
+            });
+            match self.call_shard(shard, &|c: &mut Client| f(c, remaining_ms)) {
+                Attempt::Ok(v) => {
+                    let failed_over = tried > 1;
+                    if failed_over {
+                        self.metrics.failovers.inc();
+                    }
+                    return Ok((v, failed_over));
+                }
+                Attempt::App(e) => return Err(ClusterError::Service(e)),
+                Attempt::Down => {}
+            }
+        }
+        Err(ClusterError::NoBackends)
+    }
+
+    /// Last-resort healing: when nothing is healthy, try to revive every
+    /// excluded shard. Returns whether any shard is healthy afterwards.
+    fn ensure_some_healthy(&self) -> bool {
+        if self.backends.iter().any(|b| b.is_healthy()) {
+            return true;
+        }
+        for id in 0..self.backends.len() {
+            self.try_revive(id);
+        }
+        self.backends.iter().any(|b| b.is_healthy())
+    }
+
+    /// Probe an excluded shard and bring it back: ping it, replay every
+    /// stored dictionary into its registry, and only then mark it
+    /// healthy. Returns `true` on a dead→alive transition. Probe traffic
+    /// is off the per-shard attempt books (it is router-initiated, not
+    /// request work).
+    pub fn try_revive(&self, shard: usize) -> bool {
+        let backend = &self.backends[shard];
+        if backend.is_healthy() {
+            return false;
+        }
+        let Ok(mut client) = Client::connect_with(backend.addr, self.cfg.client.clone()) else {
+            return false;
+        };
+        if client.ping().is_err() {
+            return false;
+        }
+        let dicts: Vec<(String, Vec<Vec<u8>>)> = {
+            let guard = self.dicts.lock().expect("dicts poisoned");
+            guard
+                .iter()
+                .map(|(k, v)| (k.clone(), v.patterns.clone()))
+                .collect()
+        };
+        for (name, patterns) in dicts {
+            match client.publish(&name, patterns) {
+                Ok(Ok(_)) => {}
+                _ => return false,
+            }
+        }
+        if backend.mark_alive() {
+            self.metrics.per_shard[shard].revivals.inc();
+            self.metrics.per_shard[shard]
+                .healthy
+                .store(true, Ordering::Relaxed);
+            return true;
+        }
+        false
+    }
+
+    /// Start the background probe thread (no-op unless
+    /// [`ClusterConfig::probe_interval`] is set): periodically revives
+    /// excluded shards.
+    pub fn start_probes(self: &Arc<Self>) {
+        let Some(interval) = self.cfg.probe_interval else {
+            return;
+        };
+        let router = Arc::clone(self);
+        let stop = Arc::clone(&self.probe_stop);
+        let handle = std::thread::Builder::new()
+            .name("pardict-cluster-probe".into())
+            .spawn(move || {
+                while !stop.load(Ordering::SeqCst) {
+                    std::thread::sleep(interval);
+                    for id in 0..router.backends.len() {
+                        if stop.load(Ordering::SeqCst) {
+                            return;
+                        }
+                        router.try_revive(id);
+                    }
+                }
+            })
+            .expect("spawn probe thread");
+        *self.probe_thread.lock().expect("probe poisoned") = Some(handle);
+    }
+
+    /// Stop the probe thread, if running.
+    pub fn shutdown(&self) {
+        self.probe_stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.probe_thread.lock().expect("probe poisoned").take() {
+            let _ = h.join();
+        }
+    }
+
+    // ---- request envelope ----
+
+    /// Close out one request's books: exactly one outcome counter, one
+    /// latency sample, and the degraded counter for answered-degraded.
+    fn finish(&self, started: Instant, routed: &Routed) {
+        match &routed.result {
+            Ok(_) => self.metrics.completed_ok.inc(),
+            Err(ClusterError::Service(_)) => self.metrics.completed_err.inc(),
+            Err(ClusterError::NoBackends) => self.metrics.failed.inc(),
+        }
+        if routed.degraded && !matches!(routed.result, Err(ClusterError::NoBackends)) {
+            self.metrics.degraded_responses.inc();
+        }
+        self.metrics
+            .latency_us
+            .record(u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX));
+    }
+
+    // ---- public operations ----
+
+    /// Broadcast a dictionary to every healthy backend and remember it
+    /// for revival replay.
+    ///
+    /// # Errors
+    /// [`ClusterError::NoBackends`] when no shard acknowledged;
+    /// [`ClusterError::Service`] when a live shard rejected the publish.
+    pub fn publish(
+        &self,
+        name: &str,
+        patterns: &[Vec<u8>],
+    ) -> Result<PublishSummary, ClusterError> {
+        let started = Instant::now();
+        self.metrics.requests.inc();
+        self.metrics.publishes.inc();
+        self.ensure_some_healthy();
+        let mut acks = 0u32;
+        let mut version = 0u64;
+        let mut rejected: Option<ServiceError> = None;
+        for shard in 0..self.backends.len() {
+            if !self.backends[shard].is_healthy() {
+                continue;
+            }
+            let pats = patterns.to_vec();
+            match self.call_shard(shard, &move |c: &mut Client| c.publish(name, pats.clone())) {
+                Attempt::Ok((v, _cache_hit)) => {
+                    acks += 1;
+                    version = version.max(v);
+                }
+                Attempt::App(e) => rejected = Some(e),
+                Attempt::Down => {}
+            }
+        }
+        let total = u32::try_from(self.backends.len()).unwrap_or(u32::MAX);
+        let result = if acks > 0 {
+            let max_len = patterns.iter().map(Vec::len).max().unwrap_or(0);
+            self.dicts.lock().expect("dicts poisoned").insert(
+                name.to_string(),
+                DictInfo {
+                    patterns: patterns.to_vec(),
+                    max_len,
+                },
+            );
+            Ok(PublishSummary {
+                version,
+                acks,
+                total,
+                degraded: acks < total,
+            })
+        } else if let Some(e) = rejected {
+            Err(ClusterError::Service(e))
+        } else {
+            Err(ClusterError::NoBackends)
+        };
+        let routed = Routed {
+            degraded: result.as_ref().map_or(true, |s| s.degraded) || self.any_excluded(),
+            result: match &result {
+                // Bridge to the envelope's WireResponse-based accounting.
+                Ok(s) => Ok(WireResponse::Published {
+                    version: s.version,
+                    cache_hit: false,
+                }),
+                Err(e) => Err(e.clone()),
+            },
+        };
+        self.finish(started, &routed);
+        result
+    }
+
+    /// Route one single-shard operation (`tag::MATCH`, `tag::GREP`,
+    /// `tag::COMPRESS`, `tag::PARSE`): rendezvous order on the dictionary
+    /// name, round-robin for dictionary-less compress. `tag::GREPZ`
+    /// delegates to the scatter-gather path.
+    pub fn op(&self, tag: u8, dict: &str, text: &[u8], timeout_ms: u32) -> Routed {
+        if tag == wire::tag::GREPZ {
+            return self.grepz(dict, text, timeout_ms);
+        }
+        let started = Instant::now();
+        self.metrics.requests.inc();
+        self.ensure_some_healthy();
+        let order = if tag == wire::tag::COMPRESS {
+            let n = self.backends.len();
+            let start = self.rr.fetch_add(1, Ordering::Relaxed) % n.max(1);
+            (0..n).map(|i| (start + i) % n).collect()
+        } else {
+            ranking(dict, self.backends.len())
+        };
+        let deadline =
+            (timeout_ms > 0).then(|| started + Duration::from_millis(u64::from(timeout_ms)));
+        let text = text.to_vec();
+        let outcome = self.dispatch(&order, deadline, &move |c: &mut Client, remaining| {
+            c.op(tag, dict, &text, remaining)
+        });
+        let (result, failed_over) = match outcome {
+            Ok((resp, fo)) => (Ok(resp), fo),
+            Err(e) => (Err(e), false),
+        };
+        let routed = Routed {
+            degraded: failed_over || self.any_excluded(),
+            result,
+        };
+        self.finish(started, &routed);
+        routed
+    }
+
+    /// Container grep with scatter-gather: fan block ranges of the
+    /// container out across every healthy shard, each range re-framed as
+    /// a standalone container with an overlap prefix of
+    /// `ceil((max_pattern_len - 1) / block_size)` blocks so every
+    /// boundary-straddling occurrence is found by exactly one owner; the
+    /// gather step rebases positions, keeps each hit iff its **last**
+    /// byte falls in the owner's responsibility span, merges issue
+    /// reports, and sorts `(pos asc, len desc, id asc)` — byte-identical
+    /// to a single node grepping the whole container.
+    ///
+    /// Falls back to single-shard routing when there is nothing to fan
+    /// out (one healthy shard, a single-block container, an unknown
+    /// dictionary, or an unparseable container — the shard's own reader
+    /// produces the authoritative issue reports for that last case).
+    pub fn grepz(&self, dict: &str, container: &[u8], timeout_ms: u32) -> Routed {
+        let started = Instant::now();
+        self.metrics.requests.inc();
+        self.ensure_some_healthy();
+        let deadline =
+            (timeout_ms > 0).then(|| started + Duration::from_millis(u64::from(timeout_ms)));
+        let healthy = self.healthy_ids();
+        let max_len = self
+            .dicts
+            .lock()
+            .expect("dicts poisoned")
+            .get(dict)
+            .map(|d| d.max_len);
+        let plan = max_len.and_then(|ml| {
+            let layout = ContainerLayout::parse(container).ok()?;
+            (healthy.len() > 1 && layout.num_blocks() > 1).then_some((ml, layout))
+        });
+        let Some((max_len, layout)) = plan else {
+            // Single-shard path, upgraded to the cluster reply shape.
+            let single = self.dispatch(
+                &ranking(dict, self.backends.len()),
+                deadline,
+                &|c: &mut Client, remaining| match c.op(
+                    wire::tag::GREPZ,
+                    dict,
+                    container,
+                    remaining,
+                ) {
+                    Ok(Ok(WireResponse::ContainerHits {
+                        version,
+                        hits,
+                        corrupt_blocks,
+                    })) => Ok(Ok((version, hits, corrupt_blocks))),
+                    Ok(Ok(other)) => Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("expected container hits, got {other:?}"),
+                    )),
+                    Ok(Err(e)) => Ok(Err(e)),
+                    Err(e) => Err(e),
+                },
+            );
+            let (result, failed_over) = match single {
+                Ok(((version, hits, corrupt_blocks), fo)) => (
+                    Ok(WireResponse::ClusterHits {
+                        version,
+                        degraded: fo || self.any_excluded(),
+                        shards: 1,
+                        hits,
+                        corrupt_blocks,
+                    }),
+                    fo,
+                ),
+                Err(e) => (Err(e), false),
+            };
+            let routed = Routed {
+                degraded: failed_over || self.any_excluded(),
+                result,
+            };
+            self.finish(started, &routed);
+            return routed;
+        };
+
+        // ---- scatter ----
+        self.metrics.scatter_gathers.inc();
+        let num_blocks = layout.num_blocks();
+        let block_size = usize::try_from(layout.block_size).unwrap_or(usize::MAX);
+        let total_raw = layout.raw_range(num_blocks - 1).end as u64;
+        let overlap = max_len.saturating_sub(1).div_ceil(block_size.max(1));
+        let k = healthy.len().min(num_blocks);
+        // Contiguous balanced ranges: first `num_blocks % k` get one extra.
+        let base = num_blocks / k;
+        let extra = num_blocks % k;
+        let mut ranges = Vec::with_capacity(k);
+        let mut cursor = 0usize;
+        for i in 0..k {
+            let len = base + usize::from(i < extra);
+            ranges.push(cursor..cursor + len);
+            cursor += len;
+        }
+
+        type RangeOut = Result<(u64, Vec<Hit>, Vec<u64>, usize, bool), ClusterError>;
+        let results: Vec<RangeOut> = std::thread::scope(|s| {
+            let handles: Vec<_> = ranges
+                .iter()
+                .enumerate()
+                .map(|(i, r)| {
+                    let r = r.clone();
+                    let assigned = healthy[i % healthy.len()];
+                    let layout_bs = block_size as u64;
+                    s.spawn(move || -> RangeOut {
+                        let slice_start = r.start.saturating_sub(overlap);
+                        let slice = slice_container(container, slice_start..r.end)
+                            .map_err(|_| ClusterError::NoBackends)?;
+                        // Failover order for this range: every shard,
+                        // starting from its assignee (excluded shards are
+                        // skipped inside dispatch).
+                        let n = self.backends.len();
+                        let order: Vec<usize> = (0..n).map(|j| (assigned + j) % n).collect();
+                        let out = self.dispatch(
+                            &order,
+                            deadline,
+                            &|c: &mut Client, remaining| match c.op(
+                                wire::tag::GREPZ,
+                                dict,
+                                &slice,
+                                remaining,
+                            ) {
+                                Ok(Ok(WireResponse::ContainerHits {
+                                    version,
+                                    hits,
+                                    corrupt_blocks,
+                                })) => Ok(Ok((version, hits, corrupt_blocks))),
+                                Ok(Ok(other)) => Err(io::Error::new(
+                                    io::ErrorKind::InvalidData,
+                                    format!("expected container hits, got {other:?}"),
+                                )),
+                                Ok(Err(e)) => Ok(Err(e)),
+                                Err(e) => Err(e),
+                            },
+                        )?;
+                        let ((version, hits, corrupt), failed_over) = out;
+                        let rebase = layout_bs * slice_start as u64;
+                        // Responsibility: a hit is ours iff its last byte
+                        // lands in [bs*r.start, min(bs*r.end, total_raw)).
+                        let own_start = layout_bs * r.start as u64;
+                        let own_end = (layout_bs * r.end as u64).min(total_raw);
+                        let hits: Vec<Hit> = hits
+                            .into_iter()
+                            .map(|h| Hit {
+                                pos: h.pos + rebase,
+                                ..h
+                            })
+                            .filter(|h| {
+                                let last = h.pos + u64::from(h.len) - 1;
+                                (own_start..own_end).contains(&last)
+                            })
+                            .collect();
+                        let corrupt: Vec<u64> = corrupt
+                            .into_iter()
+                            .map(|b| b + slice_start as u64)
+                            .filter(|b| (r.start as u64..r.end as u64).contains(b))
+                            .collect();
+                        Ok((version, hits, corrupt, assigned, failed_over))
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("range thread"))
+                .collect()
+        });
+
+        // ---- gather ----
+        let mut version = 0u64;
+        let mut hits: Vec<Hit> = Vec::new();
+        let mut corrupt: Vec<u64> = Vec::new();
+        let mut shard_set = std::collections::BTreeSet::new();
+        let mut any_failover = false;
+        let mut err: Option<ClusterError> = None;
+        for out in results {
+            match out {
+                Ok((v, h, c, shard, fo)) => {
+                    version = version.max(v);
+                    hits.extend(h);
+                    corrupt.extend(c);
+                    shard_set.insert(shard);
+                    any_failover |= fo;
+                    self.metrics.per_shard[shard].ranges.inc();
+                }
+                // First error wins; service errors outrank NoBackends
+                // for diagnosability.
+                Err(e) => {
+                    if err.is_none() || matches!(err, Some(ClusterError::NoBackends)) {
+                        err = Some(e);
+                    }
+                }
+            }
+        }
+        let routed = if let Some(e) = err {
+            // A range nobody could serve means the merged result would be
+            // incomplete — that is a hard error, not a degraded success.
+            Routed {
+                degraded: any_failover || self.any_excluded(),
+                result: Err(e),
+            }
+        } else {
+            hits.sort_by(|a, b| {
+                a.pos
+                    .cmp(&b.pos)
+                    .then(b.len.cmp(&a.len))
+                    .then(a.id.cmp(&b.id))
+            });
+            corrupt.sort_unstable();
+            corrupt.dedup();
+            let degraded = any_failover || self.any_excluded();
+            Routed {
+                degraded,
+                result: Ok(WireResponse::ClusterHits {
+                    version,
+                    degraded,
+                    shards: u32::try_from(shard_set.len()).unwrap_or(u32::MAX),
+                    hits,
+                    corrupt_blocks: corrupt,
+                }),
+            }
+        };
+        self.finish(started, &routed);
+        routed
+    }
+
+    /// Fetch and merge structured metrics from every healthy backend —
+    /// the cluster-wide view of the engines' own books (router-side books
+    /// live in [`Self::metrics`]).
+    ///
+    /// # Errors
+    /// [`ClusterError::NoBackends`] when no shard answered.
+    pub fn merged_stats(&self) -> Result<(MetricsSnapshot, bool), ClusterError> {
+        let started = Instant::now();
+        self.metrics.requests.inc();
+        self.ensure_some_healthy();
+        let mut merged: Option<MetricsSnapshot> = None;
+        let mut answered = 0u32;
+        for shard in 0..self.backends.len() {
+            if !self.backends[shard].is_healthy() {
+                continue;
+            }
+            match self.call_shard(shard, &|c: &mut Client| c.stats().map(Ok)) {
+                Attempt::Ok(snap) => {
+                    answered += 1;
+                    merged = Some(match merged.take() {
+                        Some(mut m) => {
+                            m.merge(&snap);
+                            m
+                        }
+                        None => snap,
+                    });
+                }
+                Attempt::App(_) | Attempt::Down => {}
+            }
+        }
+        let degraded = self.any_excluded()
+            || answered < u32::try_from(self.backends.len()).unwrap_or(u32::MAX);
+        let result = merged
+            .map(|m| (m, degraded))
+            .ok_or(ClusterError::NoBackends);
+        let routed = Routed {
+            degraded,
+            result: match &result {
+                Ok((_, _)) => Ok(WireResponse::Pong),
+                Err(e) => Err(e.clone()),
+            },
+        };
+        self.finish(started, &routed);
+        result
+    }
+
+    /// Human-readable cluster report: router books plus each backend's
+    /// health line.
+    #[must_use]
+    pub fn report(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = self.metrics.report();
+        let _ = writeln!(out);
+        for b in &self.backends {
+            let _ = writeln!(
+                out,
+                "backend {} at {} [{}]",
+                b.id,
+                b.addr,
+                if b.is_healthy() {
+                    "healthy"
+                } else {
+                    "excluded"
+                }
+            );
+        }
+        out
+    }
+}
+
+impl Drop for Router {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}

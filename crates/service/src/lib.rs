@@ -36,9 +36,9 @@ pub mod types;
 pub mod wire;
 
 pub use engine::{Engine, EngineConfig, Ticket};
-pub use metrics::Metrics;
+pub use metrics::{HistogramSnapshot, Metrics, MetricsSnapshot, OpSnapshot};
 pub use registry::{DictVersion, PublishOutcome, Registry};
-pub use server::{Client, Server};
+pub use server::{Client, ClientConfig, Server};
 pub use types::{
     Hit, Lane, OpKind, OpRequest, Reply, Request, Response, ResponseMeta, ServiceError,
 };

@@ -120,6 +120,108 @@ impl Histogram {
         }
         self.max()
     }
+
+    /// A point-in-time, mergeable copy.
+    ///
+    /// Counters are read individually with relaxed ordering, so a snapshot
+    /// taken while observations race may be momentarily inconsistent
+    /// (e.g. `count` a hair behind the bucket sum); quiescent snapshots
+    /// are exact.
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let c = b.load(Ordering::Relaxed);
+                (c > 0).then_some((i as u8, c))
+            })
+            .collect();
+        HistogramSnapshot {
+            buckets,
+            count: self.count(),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max(),
+        }
+    }
+}
+
+/// A point-in-time copy of one [`Histogram`], mergeable across processes.
+///
+/// Buckets are stored sparsely as `(bucket index, count)` pairs in
+/// ascending index order — the form the `stats` wire op ships, sized by
+/// occupancy rather than the full 65-bucket array. Merging histograms
+/// from different backends is exact: log₂ buckets align by construction,
+/// so a cluster-wide quantile degrades no further than a single node's.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Non-empty `(bucket, count)` pairs, ascending by bucket.
+    pub buckets: Vec<(u8, u64)>,
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: u64,
+    /// Maximum observation.
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// Fold `other` into `self` (exact on counts/sums, max of maxes).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        let mut merged: Vec<(u8, u64)> = Vec::with_capacity(self.buckets.len());
+        let (mut a, mut b) = (
+            self.buckets.iter().peekable(),
+            other.buckets.iter().peekable(),
+        );
+        while let (Some(&&(ia, ca)), Some(&&(ib, cb))) = (a.peek(), b.peek()) {
+            match ia.cmp(&ib) {
+                std::cmp::Ordering::Less => {
+                    merged.push((ia, ca));
+                    a.next();
+                }
+                std::cmp::Ordering::Greater => {
+                    merged.push((ib, cb));
+                    b.next();
+                }
+                std::cmp::Ordering::Equal => {
+                    merged.push((ia, ca + cb));
+                    a.next();
+                    b.next();
+                }
+            }
+        }
+        merged.extend(a.copied());
+        merged.extend(b.copied());
+        self.buckets = merged;
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+
+    /// Exact mean (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Bucket-upper-bound estimate of quantile `q` in `[0, 1]`, matching
+    /// [`Histogram::quantile`].
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for &(i, c) in &self.buckets {
+            seen += c;
+            if seen >= rank {
+                return Histogram::bucket_upper(i as usize).min(self.max);
+            }
+        }
+        self.max
+    }
 }
 
 /// Per-operation counters and distributions.
@@ -254,6 +356,41 @@ impl Metrics {
         Ok(())
     }
 
+    /// A point-in-time, wire-shippable copy of every counter plus the
+    /// per-op latency/work histograms — what the `stats` wire op returns
+    /// so a cluster router can aggregate backend books without parsing
+    /// report text. Depth histograms stay node-local: they describe one
+    /// PRAM's schedule and do not merge meaningfully across machines.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            submitted: self.submitted.get(),
+            completed: self.completed.get(),
+            rejected_overloaded: self.rejected_overloaded.get(),
+            deadline_expired: self.deadline_expired.get(),
+            publishes: self.publishes.get(),
+            cache_hits: self.cache_hits.get(),
+            cache_misses: self.cache_misses.get(),
+            batches: self.batches.get(),
+            batched_requests: self.batched_requests.get(),
+            seq_fallback: self.seq_fallback.get(),
+            stream_lane: self.stream_lane.get(),
+            grep_lane: self.grep_lane.get(),
+            per_op: OpKind::all()
+                .iter()
+                .map(|&k| {
+                    let s = self.op(k);
+                    OpSnapshot {
+                        count: s.count.get(),
+                        errors: s.errors.get(),
+                        latency_us: s.latency_us.snapshot(),
+                        work: s.work.snapshot(),
+                    }
+                })
+                .collect(),
+        }
+    }
+
     /// Plain-text report of every counter and per-op distribution.
     #[must_use]
     pub fn report(&self) -> String {
@@ -316,6 +453,131 @@ impl Metrics {
                 s.latency_us.max(),
                 s.work.mean(),
                 s.depth.quantile(0.95),
+            );
+        }
+        out
+    }
+}
+
+/// One operation family's slice of a [`MetricsSnapshot`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OpSnapshot {
+    /// Successful completions.
+    pub count: u64,
+    /// Failed completions.
+    pub errors: u64,
+    /// End-to-end latency distribution, microseconds.
+    pub latency_us: HistogramSnapshot,
+    /// Ledger work distribution.
+    pub work: HistogramSnapshot,
+}
+
+impl OpSnapshot {
+    /// Fold `other` into `self`.
+    pub fn merge(&mut self, other: &OpSnapshot) {
+        self.count += other.count;
+        self.errors += other.errors;
+        self.latency_us.merge(&other.latency_us);
+        self.work.merge(&other.work);
+    }
+}
+
+/// A point-in-time copy of a node's [`Metrics`], shippable over the wire
+/// and mergeable into cluster-wide aggregates (see [`Metrics::snapshot`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Requests accepted into the queue.
+    pub submitted: u64,
+    /// Requests that produced a response.
+    pub completed: u64,
+    /// Requests rejected because the queue was full.
+    pub rejected_overloaded: u64,
+    /// Requests whose deadline expired before execution.
+    pub deadline_expired: u64,
+    /// Dictionary publishes.
+    pub publishes: u64,
+    /// Publishes served from the preprocessing cache.
+    pub cache_hits: u64,
+    /// Publishes that built a matcher.
+    pub cache_misses: u64,
+    /// Batches executed.
+    pub batches: u64,
+    /// Requests executed through batches.
+    pub batched_requests: u64,
+    /// Sequential-fallback-lane requests.
+    pub seq_fallback: u64,
+    /// Streaming-lane compress requests.
+    pub stream_lane: u64,
+    /// Container-grep-lane requests.
+    pub grep_lane: u64,
+    /// Per-operation stats in [`OpKind::all`] order.
+    pub per_op: Vec<OpSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Fold `other` into `self`: counters add, histograms merge
+    /// bucket-wise. Ragged `per_op` lengths extend to the longer side.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        self.submitted += other.submitted;
+        self.completed += other.completed;
+        self.rejected_overloaded += other.rejected_overloaded;
+        self.deadline_expired += other.deadline_expired;
+        self.publishes += other.publishes;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.batches += other.batches;
+        self.batched_requests += other.batched_requests;
+        self.seq_fallback += other.seq_fallback;
+        self.stream_lane += other.stream_lane;
+        self.grep_lane += other.grep_lane;
+        if self.per_op.len() < other.per_op.len() {
+            self.per_op
+                .resize(other.per_op.len(), OpSnapshot::default());
+        }
+        for (mine, theirs) in self.per_op.iter_mut().zip(&other.per_op) {
+            mine.merge(theirs);
+        }
+    }
+
+    /// Plain-text rendering in the same shape as [`Metrics::report`],
+    /// headed by `title`.
+    #[must_use]
+    pub fn report(&self, title: &str) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "== {title} ==");
+        let _ = writeln!(
+            out,
+            "requests:  submitted {}  completed {}  overloaded {}  deadline-expired {}",
+            self.submitted, self.completed, self.rejected_overloaded, self.deadline_expired,
+        );
+        let _ = writeln!(
+            out,
+            "registry:  publishes {}  cache-hits {}  cache-misses {}",
+            self.publishes, self.cache_hits, self.cache_misses,
+        );
+        let _ = writeln!(
+            out,
+            "batching:  batches {}  batched-requests {}  seq-fallback {}  stream-lane {}  grep-lane {}",
+            self.batches, self.batched_requests, self.seq_fallback, self.stream_lane, self.grep_lane,
+        );
+        let _ = writeln!(
+            out,
+            "{:<10} {:>8} {:>7} | {:>9} {:>9} {:>9} | {:>12}",
+            "op", "count", "errors", "lat-p50us", "lat-p95us", "lat-max", "work-mean",
+        );
+        for (i, s) in self.per_op.iter().enumerate() {
+            let name = OpKind::all().get(i).map_or("op?", |k| k.name());
+            let _ = writeln!(
+                out,
+                "{:<10} {:>8} {:>7} | {:>9} {:>9} {:>9} | {:>12}",
+                name,
+                s.count,
+                s.errors,
+                s.latency_us.quantile(0.50),
+                s.latency_us.quantile(0.95),
+                s.latency_us.max,
+                s.work.mean(),
             );
         }
         out
@@ -395,6 +657,50 @@ mod tests {
         // A completion that skipped its per-op books is always an error.
         m.completed.inc();
         assert!(m.check_accounting(false).is_err());
+    }
+
+    #[test]
+    fn histogram_snapshot_matches_live_and_merges_exactly() {
+        let (a, b, both) = (
+            Histogram::default(),
+            Histogram::default(),
+            Histogram::default(),
+        );
+        for v in [0u64, 1, 5, 900, 17] {
+            a.record(v);
+            both.record(v);
+        }
+        for v in [3u64, 5, 1 << 40] {
+            b.record(v);
+            both.record(v);
+        }
+        let sa = a.snapshot();
+        assert_eq!(sa.count, a.count());
+        assert_eq!(sa.max, a.max());
+        assert_eq!(sa.mean(), a.mean());
+        for q in [0.0, 0.5, 0.95, 1.0] {
+            assert_eq!(sa.quantile(q), a.quantile(q), "q={q}");
+        }
+        let mut merged = sa;
+        merged.merge(&b.snapshot());
+        assert_eq!(merged, both.snapshot(), "merge must equal combined stream");
+    }
+
+    #[test]
+    fn metrics_snapshot_merges_and_reports() {
+        let m = Metrics::default();
+        m.submitted.add(3);
+        m.completed.add(3);
+        m.op(OpKind::Grep).count.add(2);
+        m.op(OpKind::Grep).latency_us.record(40);
+        let mut total = m.snapshot();
+        total.merge(&m.snapshot());
+        assert_eq!(total.submitted, 6);
+        assert_eq!(total.per_op[OpKind::Grep as usize].count, 4);
+        assert_eq!(total.per_op[OpKind::Grep as usize].latency_us.count, 2);
+        let r = total.report("merged backends");
+        assert!(r.contains("merged backends"), "{r}");
+        assert!(r.contains("grep"), "{r}");
     }
 
     #[test]

@@ -119,6 +119,7 @@ fn handle(engine: &Engine, req: WireRequest) -> WireResponse {
     match req {
         WireRequest::Ping => WireResponse::Pong,
         WireRequest::Metrics => WireResponse::MetricsReport(engine.metrics().report()),
+        WireRequest::Stats => WireResponse::Stats(engine.metrics().snapshot()),
         WireRequest::Publish { name, patterns } => {
             match engine.registry().publish(&name, patterns) {
                 Ok(out) => WireResponse::Published {
@@ -158,28 +159,121 @@ fn handle(engine: &Engine, req: WireRequest) -> WireResponse {
     }
 }
 
-/// Blocking wire-protocol client used by tests and `--selftest`.
+/// Connection-behavior knobs for [`Client`].
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Per-address TCP connect budget; `None` blocks indefinitely.
+    pub connect_timeout: Option<Duration>,
+    /// Socket read timeout; `None` blocks indefinitely.
+    pub read_timeout: Option<Duration>,
+    /// Socket write timeout; `None` blocks indefinitely.
+    pub write_timeout: Option<Duration>,
+    /// On a disconnect-class I/O error (broken pipe, reset, EOF
+    /// mid-response), reconnect once and retry the request. Requests are
+    /// retried at most once and only on transport failure, never on
+    /// timeouts — a timed-out request may still be executing server-side.
+    pub reconnect: bool,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        Self {
+            connect_timeout: Some(Duration::from_secs(5)),
+            read_timeout: Some(Duration::from_secs(30)),
+            write_timeout: Some(Duration::from_secs(30)),
+            reconnect: true,
+        }
+    }
+}
+
+/// Blocking wire-protocol client used by tests, `--selftest`, and the
+/// cluster router's per-backend connections.
 pub struct Client {
     stream: TcpStream,
+    addr: SocketAddr,
+    cfg: ClientConfig,
+}
+
+/// Transport failures worth a reconnect: the connection is gone, as
+/// opposed to slow (`TimedOut`/`WouldBlock`) or the data being bad.
+fn is_disconnect(kind: io::ErrorKind) -> bool {
+    matches!(
+        kind,
+        io::ErrorKind::BrokenPipe
+            | io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::NotConnected
+            | io::ErrorKind::UnexpectedEof
+            | io::ErrorKind::WriteZero
+    )
 }
 
 impl Client {
-    /// Connect to a running server.
+    /// Connect to a running server with [`ClientConfig::default`]
+    /// timeouts.
     ///
     /// # Errors
     /// Connection failures.
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
-        Ok(Self {
-            stream: TcpStream::connect(addr)?,
-        })
+        Self::connect_with(addr, ClientConfig::default())
+    }
+
+    /// Connect with explicit timeouts and retry behavior.
+    ///
+    /// # Errors
+    /// Address resolution or connection failures (the error of the last
+    /// address tried).
+    pub fn connect_with(addr: impl ToSocketAddrs, cfg: ClientConfig) -> io::Result<Self> {
+        let mut last = None;
+        for candidate in addr.to_socket_addrs()? {
+            match open_stream(candidate, &cfg) {
+                Ok(stream) => {
+                    return Ok(Self {
+                        stream,
+                        addr: candidate,
+                        cfg,
+                    })
+                }
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(last.unwrap_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidInput, "no addresses to connect to")
+        }))
+    }
+
+    /// The server address this client resolved and connected to.
+    #[must_use]
+    pub fn peer_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Drop the current connection and dial the same address again.
+    ///
+    /// # Errors
+    /// Connection failures.
+    pub fn reconnect(&mut self) -> io::Result<()> {
+        self.stream = open_stream(self.addr, &self.cfg)?;
+        Ok(())
+    }
+
+    fn try_roundtrip(&mut self, payload: &[u8]) -> io::Result<WireResponse> {
+        write_frame(&mut self.stream, payload)?;
+        let reply = read_frame(&mut self.stream)?.ok_or_else(|| {
+            io::Error::new(io::ErrorKind::UnexpectedEof, "server closed connection")
+        })?;
+        WireResponse::decode(&reply)
     }
 
     fn roundtrip(&mut self, req: &WireRequest) -> io::Result<WireResponse> {
-        write_frame(&mut self.stream, &req.encode())?;
-        let payload = read_frame(&mut self.stream)?.ok_or_else(|| {
-            io::Error::new(io::ErrorKind::UnexpectedEof, "server closed connection")
-        })?;
-        WireResponse::decode(&payload)
+        let payload = req.encode();
+        match self.try_roundtrip(&payload) {
+            Err(e) if self.cfg.reconnect && is_disconnect(e.kind()) => {
+                self.reconnect()?;
+                self.try_roundtrip(&payload)
+            }
+            other => other,
+        }
     }
 
     /// Liveness probe.
@@ -246,6 +340,27 @@ impl Client {
             other => Err(unexpected(&other)),
         }
     }
+
+    /// Fetch a structured metrics snapshot.
+    ///
+    /// # Errors
+    /// I/O or protocol errors.
+    pub fn stats(&mut self) -> io::Result<crate::metrics::MetricsSnapshot> {
+        match self.roundtrip(&WireRequest::Stats)? {
+            WireResponse::Stats(s) => Ok(s),
+            other => Err(unexpected(&other)),
+        }
+    }
+}
+
+fn open_stream(addr: SocketAddr, cfg: &ClientConfig) -> io::Result<TcpStream> {
+    let stream = match cfg.connect_timeout {
+        Some(t) => TcpStream::connect_timeout(&addr, t)?,
+        None => TcpStream::connect(addr)?,
+    };
+    stream.set_read_timeout(cfg.read_timeout)?;
+    stream.set_write_timeout(cfg.write_timeout)?;
+    Ok(stream)
 }
 
 fn unexpected(resp: &WireResponse) -> io::Error {
@@ -354,5 +469,89 @@ mod tests {
 
         server.stop();
         engine.shutdown();
+    }
+
+    #[test]
+    fn stats_op_ships_a_mergeable_snapshot() {
+        let engine = test_engine();
+        let mut server = Server::start(engine.clone(), "127.0.0.1:0").unwrap();
+        let mut client = Client::connect(server.addr()).unwrap();
+        client.publish("d", vec![b"aa".to_vec()]).unwrap().unwrap();
+        client
+            .op(wire::tag::MATCH, "d", b"aaaa", 0)
+            .unwrap()
+            .unwrap();
+        let snap = client.stats().unwrap();
+        assert_eq!(snap.publishes, 1);
+        assert!(snap.completed >= 1);
+        let m = snap.per_op[crate::types::OpKind::Match as usize].clone();
+        assert_eq!(m.count, 1);
+        assert_eq!(m.latency_us.count, 1);
+        server.stop();
+        engine.shutdown();
+    }
+
+    #[test]
+    fn client_reconnects_once_when_the_server_drops_the_connection() {
+        // A server that answers exactly one request per connection and
+        // then closes it: the second ping lands on a dead socket and must
+        // succeed only via the reconnect-then-retry path.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let served = std::thread::spawn(move || {
+            let mut conns = 0;
+            for _ in 0..2 {
+                let (stream, _) = listener.accept().unwrap();
+                conns += 1;
+                let mut reader = stream.try_clone().unwrap();
+                let mut writer = stream;
+                let payload = read_frame(&mut reader).unwrap().unwrap();
+                assert_eq!(WireRequest::decode(&payload).unwrap(), WireRequest::Ping);
+                write_frame(&mut writer, &WireResponse::Pong.encode()).unwrap();
+            }
+            conns
+        });
+        let mut client = Client::connect(addr).unwrap();
+        client.ping().unwrap();
+        client.ping().unwrap();
+        assert_eq!(
+            served.join().unwrap(),
+            2,
+            "retry must use a fresh connection"
+        );
+    }
+
+    #[test]
+    fn client_read_timeout_errors_instead_of_hanging_and_is_not_retried() {
+        // A listener that accepts but never answers. The ping must come
+        // back as a timeout-class error — not hang, and not trigger the
+        // reconnect path (the request may still be executing server-side).
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let accepted = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            // Hold the socket open past the client timeout, then count
+            // any further connection attempts for 100ms.
+            std::thread::sleep(Duration::from_millis(200));
+            listener.set_nonblocking(true).unwrap();
+            std::thread::sleep(Duration::from_millis(100));
+            let retried = listener.accept().is_ok();
+            drop(stream);
+            retried
+        });
+        let cfg = ClientConfig {
+            read_timeout: Some(Duration::from_millis(50)),
+            ..ClientConfig::default()
+        };
+        let mut client = Client::connect_with(addr, cfg).unwrap();
+        let err = client.ping().unwrap_err();
+        assert!(
+            matches!(
+                err.kind(),
+                io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+            ),
+            "expected a timeout, got {err:?}"
+        );
+        assert!(!accepted.join().unwrap(), "timeout must not reconnect");
     }
 }

@@ -30,6 +30,9 @@ pub mod tag {
     pub const PING: u8 = 7;
     /// Container grep: `dict, container bytes, timeout_ms`.
     pub const GREPZ: u8 = 8;
+    /// Fetch a structured [`MetricsSnapshot`](crate::metrics::MetricsSnapshot)
+    /// (the router's aggregation feed; `METRICS` stays the human report).
+    pub const STATS: u8 = 9;
     /// Response: success payload follows.
     pub const OK: u8 = 0x80;
     /// Response: error code + message follow.
@@ -197,6 +200,8 @@ pub enum WireRequest {
     },
     /// Fetch the metrics report.
     Metrics,
+    /// Fetch a structured metrics snapshot.
+    Stats,
     /// Liveness probe.
     Ping,
 }
@@ -227,6 +232,7 @@ impl WireRequest {
                 put_u32(&mut out, *timeout_ms);
             }
             WireRequest::Metrics => out.push(tag::METRICS),
+            WireRequest::Stats => out.push(tag::STATS),
             WireRequest::Ping => out.push(tag::PING),
         }
         out
@@ -257,6 +263,7 @@ impl WireRequest {
                 timeout_ms: c.u32()?,
             },
             tag::METRICS => WireRequest::Metrics,
+            tag::STATS => WireRequest::Stats,
             tag::PING => WireRequest::Ping,
             other => return Err(Cursor::err(&format!("unknown request tag {other}"))),
         };
@@ -309,8 +316,28 @@ pub enum WireResponse {
         /// Zero-based indexes of blocks skipped as corrupt.
         corrupt_blocks: Vec<u64>,
     },
+    /// Container-grep hits served by a cluster router: the merged
+    /// scatter-gather result plus the degraded-mode flag the single-node
+    /// reply has no room for.
+    ClusterHits {
+        /// Maximum dictionary version among the shards that answered.
+        version: u64,
+        /// True when the reply was served with at least one backend
+        /// excluded or after an in-flight failover — results are complete
+        /// from the surviving shards, but capacity is reduced.
+        degraded: bool,
+        /// Number of shards that contributed block ranges.
+        shards: u32,
+        /// Occurrences, positions in the decoded stream.
+        hits: Vec<Hit>,
+        /// Zero-based indexes of blocks skipped as corrupt (container
+        /// coordinates, deduplicated, ascending).
+        corrupt_blocks: Vec<u64>,
+    },
     /// Metrics report text.
     MetricsReport(String),
+    /// Structured metrics snapshot.
+    Stats(crate::metrics::MetricsSnapshot),
     /// Ping reply.
     Pong,
     /// Service error.
@@ -331,6 +358,113 @@ mod ok {
     pub const METRICS: u8 = 5;
     pub const PONG: u8 = 6;
     pub const CONTAINER_HITS: u8 = 7;
+    pub const STATS: u8 = 8;
+    pub const CLUSTER_HITS: u8 = 9;
+}
+
+fn put_hits(out: &mut Vec<u8>, hits: &[Hit]) {
+    put_u32(out, hits.len() as u32);
+    for h in hits {
+        put_u64(out, h.pos);
+        put_u32(out, h.id);
+        put_u32(out, h.len);
+    }
+}
+
+fn get_hits(c: &mut Cursor<'_>) -> io::Result<Vec<Hit>> {
+    let n = c.count(16, "hit")?;
+    let mut hits = Vec::with_capacity(n);
+    for _ in 0..n {
+        hits.push(Hit {
+            pos: c.u64()?,
+            id: c.u32()?,
+            len: c.u32()?,
+        });
+    }
+    Ok(hits)
+}
+
+fn put_histogram(out: &mut Vec<u8>, h: &crate::metrics::HistogramSnapshot) {
+    put_u64(out, h.count);
+    put_u64(out, h.sum);
+    put_u64(out, h.max);
+    put_u32(out, h.buckets.len() as u32);
+    for &(b, c) in &h.buckets {
+        out.push(b);
+        put_u64(out, c);
+    }
+}
+
+fn get_histogram(c: &mut Cursor<'_>) -> io::Result<crate::metrics::HistogramSnapshot> {
+    let (count, sum, max) = (c.u64()?, c.u64()?, c.u64()?);
+    let n = c.count(9, "histogram bucket")?;
+    let mut buckets = Vec::with_capacity(n);
+    for _ in 0..n {
+        buckets.push((c.u8()?, c.u64()?));
+    }
+    Ok(crate::metrics::HistogramSnapshot {
+        buckets,
+        count,
+        sum,
+        max,
+    })
+}
+
+fn put_snapshot(out: &mut Vec<u8>, s: &crate::metrics::MetricsSnapshot) {
+    for v in [
+        s.submitted,
+        s.completed,
+        s.rejected_overloaded,
+        s.deadline_expired,
+        s.publishes,
+        s.cache_hits,
+        s.cache_misses,
+        s.batches,
+        s.batched_requests,
+        s.seq_fallback,
+        s.stream_lane,
+        s.grep_lane,
+    ] {
+        put_u64(out, v);
+    }
+    put_u32(out, s.per_op.len() as u32);
+    for op in &s.per_op {
+        put_u64(out, op.count);
+        put_u64(out, op.errors);
+        put_histogram(out, &op.latency_us);
+        put_histogram(out, &op.work);
+    }
+}
+
+fn get_snapshot(c: &mut Cursor<'_>) -> io::Result<crate::metrics::MetricsSnapshot> {
+    let mut s = crate::metrics::MetricsSnapshot::default();
+    for slot in [
+        &mut s.submitted,
+        &mut s.completed,
+        &mut s.rejected_overloaded,
+        &mut s.deadline_expired,
+        &mut s.publishes,
+        &mut s.cache_hits,
+        &mut s.cache_misses,
+        &mut s.batches,
+        &mut s.batched_requests,
+        &mut s.seq_fallback,
+        &mut s.stream_lane,
+        &mut s.grep_lane,
+    ] {
+        *slot = c.u64()?;
+    }
+    // Each op carries at least two counters and two empty histograms.
+    let n = c.count(16 + 2 * 28, "per-op stats")?;
+    for _ in 0..n {
+        s.per_op.push(crate::metrics::OpSnapshot {
+            count: c.u64()?,
+            errors: c.u64()?,
+            latency_us: get_histogram(c)?,
+            work: get_histogram(c)?,
+        });
+    }
+    Ok(s)
 }
 
 impl WireResponse {
@@ -354,12 +488,7 @@ impl WireResponse {
                 out.push(tag::OK);
                 out.push(ok::HITS);
                 put_u64(&mut out, *version);
-                put_u32(&mut out, hits.len() as u32);
-                for h in hits {
-                    put_u64(&mut out, h.pos);
-                    put_u32(&mut out, h.id);
-                    put_u32(&mut out, h.len);
-                }
+                put_hits(&mut out, hits);
             }
             WireResponse::Compressed { payload, phrases } => {
                 out.push(tag::OK);
@@ -386,12 +515,25 @@ impl WireResponse {
                 out.push(tag::OK);
                 out.push(ok::CONTAINER_HITS);
                 put_u64(&mut out, *version);
-                put_u32(&mut out, hits.len() as u32);
-                for h in hits {
-                    put_u64(&mut out, h.pos);
-                    put_u32(&mut out, h.id);
-                    put_u32(&mut out, h.len);
+                put_hits(&mut out, hits);
+                put_u32(&mut out, corrupt_blocks.len() as u32);
+                for b in corrupt_blocks {
+                    put_u64(&mut out, *b);
                 }
+            }
+            WireResponse::ClusterHits {
+                version,
+                degraded,
+                shards,
+                hits,
+                corrupt_blocks,
+            } => {
+                out.push(tag::OK);
+                out.push(ok::CLUSTER_HITS);
+                put_u64(&mut out, *version);
+                out.push(u8::from(*degraded));
+                put_u32(&mut out, *shards);
+                put_hits(&mut out, hits);
                 put_u32(&mut out, corrupt_blocks.len() as u32);
                 for b in corrupt_blocks {
                     put_u64(&mut out, *b);
@@ -401,6 +543,11 @@ impl WireResponse {
                 out.push(tag::OK);
                 out.push(ok::METRICS);
                 put_bytes(&mut out, s.as_bytes());
+            }
+            WireResponse::Stats(s) => {
+                out.push(tag::OK);
+                out.push(ok::STATS);
+                put_snapshot(&mut out, s);
             }
             WireResponse::Pong => {
                 out.push(tag::OK);
@@ -426,19 +573,10 @@ impl WireResponse {
                     version: c.u64()?,
                     cache_hit: c.u8()? != 0,
                 },
-                ok::HITS => {
-                    let version = c.u64()?;
-                    let n = c.count(16, "hit")?;
-                    let mut hits = Vec::with_capacity(n);
-                    for _ in 0..n {
-                        hits.push(Hit {
-                            pos: c.u64()?,
-                            id: c.u32()?,
-                            len: c.u32()?,
-                        });
-                    }
-                    WireResponse::Hits { version, hits }
-                }
+                ok::HITS => WireResponse::Hits {
+                    version: c.u64()?,
+                    hits: get_hits(&mut c)?,
+                },
                 ok::COMPRESSED => WireResponse::Compressed {
                     phrases: c.u32()?,
                     payload: c.bytes()?,
@@ -453,15 +591,7 @@ impl WireResponse {
                 },
                 ok::CONTAINER_HITS => {
                     let version = c.u64()?;
-                    let n = c.count(16, "hit")?;
-                    let mut hits = Vec::with_capacity(n);
-                    for _ in 0..n {
-                        hits.push(Hit {
-                            pos: c.u64()?,
-                            id: c.u32()?,
-                            len: c.u32()?,
-                        });
-                    }
+                    let hits = get_hits(&mut c)?;
                     let nb = c.count(8, "corrupt-block")?;
                     let mut corrupt_blocks = Vec::with_capacity(nb);
                     for _ in 0..nb {
@@ -473,7 +603,26 @@ impl WireResponse {
                         corrupt_blocks,
                     }
                 }
+                ok::CLUSTER_HITS => {
+                    let version = c.u64()?;
+                    let degraded = c.u8()? != 0;
+                    let shards = c.u32()?;
+                    let hits = get_hits(&mut c)?;
+                    let nb = c.count(8, "corrupt-block")?;
+                    let mut corrupt_blocks = Vec::with_capacity(nb);
+                    for _ in 0..nb {
+                        corrupt_blocks.push(c.u64()?);
+                    }
+                    WireResponse::ClusterHits {
+                        version,
+                        degraded,
+                        shards,
+                        hits,
+                        corrupt_blocks,
+                    }
+                }
                 ok::METRICS => WireResponse::MetricsReport(c.string()?),
+                ok::STATS => WireResponse::Stats(get_snapshot(&mut c)?),
                 ok::PONG => WireResponse::Pong,
                 other => return Err(Cursor::err(&format!("unknown ok sub-tag {other}"))),
             },
@@ -584,6 +733,7 @@ mod tests {
                 timeout_ms: 100,
             },
             WireRequest::Metrics,
+            WireRequest::Stats,
             WireRequest::Ping,
         ];
         for req in reqs {
@@ -631,6 +781,26 @@ mod tests {
                 }],
                 corrupt_blocks: vec![1, 4],
             },
+            WireResponse::ClusterHits {
+                version: 5,
+                degraded: true,
+                shards: 3,
+                hits: vec![Hit {
+                    pos: 11,
+                    id: 7,
+                    len: 2,
+                }],
+                corrupt_blocks: vec![0],
+            },
+            WireResponse::Stats({
+                let m = crate::metrics::Metrics::default();
+                m.submitted.add(9);
+                m.completed.add(9);
+                m.op(crate::types::OpKind::Match).count.add(9);
+                m.op(crate::types::OpKind::Match).latency_us.record(123);
+                m.op(crate::types::OpKind::Match).work.record(4096);
+                m.snapshot()
+            }),
             WireResponse::MetricsReport("ok".into()),
             WireResponse::Pong,
             WireResponse::Error {

@@ -231,6 +231,38 @@ pub fn assemble_container(block_size: u64, records: &[(RecordHeader, &[u8])]) ->
     out
 }
 
+/// Re-frame blocks `range` of a well-formed container as a standalone
+/// container holding the same compressed payloads.
+///
+/// The slice is byte-for-byte a valid container: every block but the last
+/// of the *original* holds exactly `block_size` raw bytes, so any
+/// contiguous prefix-free range keeps that invariant, and block payloads
+/// are block-local (copy sources never cross blocks), so they decode
+/// unchanged at their new indexes. The decoded slice equals decoded bytes
+/// `block_size * range.start ..` of the original. This is the unit of
+/// work a shard router fans out: each shard greps its slice as an
+/// ordinary container and positions are rebased by the caller.
+///
+/// # Errors
+/// Any [`StreamError`] from [`ContainerLayout::parse`], or
+/// [`StreamError::RangeOutOfBounds`] (in block units) when `range` is
+/// empty or exceeds the block count.
+pub fn slice_container(bytes: &[u8], range: Range<usize>) -> Result<Vec<u8>, StreamError> {
+    let layout = ContainerLayout::parse(bytes)?;
+    if range.start >= range.end || range.end > layout.num_blocks() {
+        return Err(StreamError::RangeOutOfBounds {
+            start: range.start as u64,
+            end: range.end as u64,
+            len: layout.num_blocks() as u64,
+        });
+    }
+    let records: Vec<(RecordHeader, &[u8])> = layout.records[range]
+        .iter()
+        .map(|r| (r.record, &bytes[r.payload.clone()]))
+        .collect();
+    Ok(assemble_container(layout.block_size, &records))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -286,6 +318,29 @@ mod tests {
             .collect();
         let rebuilt = assemble_container(l.block_size, &records);
         assert_eq!(rebuilt, bytes, "identity reassembly must be byte-exact");
+    }
+
+    #[test]
+    fn slice_is_a_valid_container_decoding_the_right_bytes() {
+        let text: Vec<u8> = b"the quick brown fox jumps over the lazy dog. ".repeat(30);
+        let bytes = sample(64, &text);
+        let l = ContainerLayout::parse(&bytes).unwrap();
+        let n = l.num_blocks();
+        assert!(n >= 4, "need a multi-block sample");
+        let pram = Pram::seq();
+        for (a, b) in [(0, n), (0, 2), (1, 3), (n - 2, n), (n - 1, n)] {
+            let slice = slice_container(&bytes, a..b).unwrap();
+            let mut rd = crate::StreamReader::open(std::io::Cursor::new(slice)).unwrap();
+            let (decoded, issues) = rd.read_all(&pram).unwrap();
+            assert!(issues.is_empty());
+            let want = &text[64 * a..(64 * b).min(text.len())];
+            assert_eq!(decoded, want, "slice {a}..{b} decodes the wrong bytes");
+        }
+        // Full-range slice is the identity.
+        assert_eq!(slice_container(&bytes, 0..n).unwrap(), bytes);
+        // Degenerate and out-of-range requests are rejected.
+        assert!(slice_container(&bytes, 2..2).is_err());
+        assert!(slice_container(&bytes, 0..n + 1).is_err());
     }
 
     #[test]

@@ -91,6 +91,32 @@ if ! cmp -s "$SMOKE/chaos.txt" "$SMOKE/chaos2.txt"; then
   exit 1
 fi
 
+echo "== cluster smoke"
+# In-process failover selftest: 3 backends, seeded mixed workload vs a
+# single-node oracle, one backend killed mid-run. Must exit 0 with a
+# degraded-but-correct summary, byte-identical across runs of one seed.
+CLUSTER_SEED=2026
+"$PARDICT" cluster --selftest --requests 60 --seed "$CLUSTER_SEED" \
+  > "$SMOKE/cluster.txt" 2> /dev/null
+grep -q "cluster selftest ok" "$SMOKE/cluster.txt"
+grep -q "degraded responses" "$SMOKE/cluster.txt"
+"$PARDICT" cluster --selftest --requests 60 --seed "$CLUSTER_SEED" \
+  > "$SMOKE/cluster2.txt" 2> /dev/null
+if ! cmp -s "$SMOKE/cluster.txt" "$SMOKE/cluster2.txt"; then
+  echo "ci.sh: cluster selftest not byte-identical for seed $CLUSTER_SEED" >&2
+  diff "$SMOKE/cluster.txt" "$SMOKE/cluster2.txt" >&2 || true
+  exit 1
+fi
+
+# Process-level: the router spawns 3 real `pardict serve` children on
+# ephemeral ports, routes a mixed workload against an in-process oracle,
+# SIGKILLs one child at the halfway mark, and must still exit 0 with the
+# degraded flag raised and every answer equal to the oracle's.
+"$PARDICT" cluster --smoke --requests 60 --seed 7 \
+  > "$SMOKE/cluster.smoke.txt" 2> /dev/null
+grep -q "cluster smoke ok" "$SMOKE/cluster.smoke.txt"
+grep -q "degraded responses" "$SMOKE/cluster.smoke.txt"
+
 echo "== soak smoke slice"
 # The un-ignored *_smoke twins of every soak, in release mode (the full
 # #[ignore]d suites run via scripts/soak.sh on their own budget).

@@ -14,6 +14,9 @@
 //! pardict stats   in.bin                         ledger work/depth summary
 //! pardict serve   --addr 127.0.0.1:7878          concurrent serving engine
 //! pardict serve   --selftest                     in-process serving selftest
+//! pardict cluster --backends A,B,C               sharded router front end
+//! pardict cluster --selftest                     3-backend failover selftest
+//! pardict cluster --smoke                        process-level smoke (SIGKILL)
 //! pardict chaos   --seed N --rounds K            fault-injection verification
 //! ```
 //!
@@ -72,6 +75,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "patch" => cmd_patch(rest),
         "stats" => cmd_stats(rest),
         "serve" => cmd_serve(rest),
+        "cluster" => cmd_cluster(rest),
         "chaos" => cmd_chaos(rest),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
@@ -82,7 +86,7 @@ fn run(args: &[String]) -> Result<(), String> {
 }
 
 fn usage() -> String {
-    "usage: pardict <match|grep|compress|decompress|cat|parse|delta|patch|stats|serve|chaos> \
+    "usage: pardict <match|grep|compress|decompress|cat|parse|delta|patch|stats|serve|cluster|chaos> \
      [--dict FILE] [-o FILE] [INPUT...]\n\
      grep:     pardict grep (--dict FILE IN | PATTERN... --in IN) \
      [--count|--offsets] [--strict]\n\
@@ -91,6 +95,10 @@ fn usage() -> String {
      cat:      pardict cat --range A..B CONTAINER [-o OUT]\n\
      serve: pardict serve [--addr HOST:PORT] [--dict FILE [--name NAME]] [--workers N]\n\
      \x20       pardict serve --selftest [--requests N] [--workers N]\n\
+     cluster: pardict cluster --backends A,B,C [--addr HOST:PORT]   sharded router\n\
+     \x20         pardict cluster --selftest [--requests N] [--seed S]\n\
+     \x20         pardict cluster --smoke [--requests N] [--seed S]   spawns 3 \
+     backends, SIGKILLs one mid-run\n\
      chaos: pardict chaos [--seed N] [--rounds K] [--no-wire]   \
      deterministic fault-injection report (exit 1 on violations)"
         .to_string()
@@ -608,6 +616,10 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     }
 
     let server = Server::start(engine, &*addr).map_err(|e| format!("binding {addr}: {e}"))?;
+    // Machine-readable line for harnesses: with `--addr 127.0.0.1:0` the OS
+    // picks the port, and this is how a parent process learns it.
+    println!("LISTENING {}", server.addr());
+    std::io::stdout().flush().ok();
     eprintln!(
         "pardict: listening on {} ({} workers); stop with ^C",
         server.addr(),
@@ -616,6 +628,239 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     loop {
         std::thread::sleep(std::time::Duration::from_secs(3600));
     }
+}
+
+/// `pardict cluster`: run the sharded router front end, the in-process
+/// failover selftest, or the process-level smoke (which SIGKILLs a real
+/// child backend mid-run and requires degraded-but-correct responses).
+fn cmd_cluster(args: &[String]) -> Result<(), String> {
+    use pardict::cluster::{selftest, ClusterConfig, Router, RouterServer};
+    use std::net::ToSocketAddrs;
+    use std::sync::Arc;
+
+    let mut backends: Option<String> = None;
+    let mut addr = "127.0.0.1:7979".to_string();
+    let mut run_selftest = false;
+    let mut run_smoke = false;
+    let mut requests: Option<usize> = None;
+    let mut seed: Option<u64> = None;
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--backends" => {
+                backends = Some(it.next().ok_or("--backends needs ADDR,ADDR,...")?.clone());
+            }
+            "--addr" => addr = it.next().ok_or("--addr needs HOST:PORT")?.clone(),
+            "--selftest" => run_selftest = true,
+            "--smoke" => run_smoke = true,
+            "--requests" => {
+                requests = Some(
+                    it.next()
+                        .ok_or("--requests needs a count")?
+                        .parse()
+                        .map_err(|e| format!("--requests: {e}"))?,
+                );
+            }
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a number")?;
+                seed = Some(parse_seed(v).map_err(|e| format!("--seed: {e}"))?);
+            }
+            other => return Err(format!("cluster: unknown flag {other:?}\n{}", usage())),
+        }
+    }
+
+    if run_selftest {
+        let mut opts = selftest::Options::default();
+        if let Some(r) = requests {
+            opts.requests = r;
+        }
+        if let Some(s) = seed {
+            opts.seed = s;
+        }
+        let outcome = selftest::run(&opts)?;
+        print!("{}", outcome.summary);
+        eprint!("{}", outcome.metrics_report);
+        return Ok(());
+    }
+    if run_smoke {
+        return cluster_smoke(requests.unwrap_or(120), seed.unwrap_or(0xC105_7E12));
+    }
+
+    let Some(list) = backends else {
+        return Err(format!(
+            "cluster: need --backends A,B,C (or --selftest / --smoke)\n{}",
+            usage()
+        ));
+    };
+    let mut shard_addrs = Vec::new();
+    for name in list.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+        let resolved = name
+            .to_socket_addrs()
+            .map_err(|e| format!("resolving backend {name}: {e}"))?
+            .next()
+            .ok_or_else(|| format!("no address for backend {name}"))?;
+        shard_addrs.push(resolved);
+    }
+    if shard_addrs.is_empty() {
+        return Err("cluster: --backends list is empty".into());
+    }
+
+    let router = Arc::new(Router::new(&shard_addrs, ClusterConfig::default()));
+    let front = RouterServer::start(Arc::clone(&router), &*addr)
+        .map_err(|e| format!("binding {addr}: {e}"))?;
+    println!("LISTENING {}", front.addr());
+    std::io::stdout().flush().ok();
+    eprintln!(
+        "pardict: cluster router on {} over {} backends; stop with ^C",
+        front.addr(),
+        shard_addrs.len()
+    );
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}
+
+/// Spawn three real `pardict serve` child processes on ephemeral ports,
+/// route a seeded mixed workload through a [`pardict::cluster::Router`]
+/// while comparing every response against an in-process oracle engine,
+/// SIGKILL one child at the halfway mark, and require the run to finish
+/// degraded but correct with closed accounting.
+fn cluster_smoke(requests: usize, seed: u64) -> Result<(), String> {
+    use pardict::cluster::{ClusterConfig, Router};
+    use pardict::service::{Engine, EngineConfig, Metrics, Registry};
+    use pardict::workloads::random_dictionary;
+    use std::io::{BufRead, BufReader};
+    use std::net::SocketAddr;
+    use std::process::{Child, Command, Stdio};
+    use std::sync::Arc;
+
+    let requests = requests.max(8);
+    let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+
+    let mut children: Vec<Child> = Vec::new();
+    let mut shard_addrs: Vec<SocketAddr> = Vec::new();
+    for id in 0..3 {
+        let mut child = Command::new(&exe)
+            .args(["serve", "--addr", "127.0.0.1:0", "--workers", "2"])
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .map_err(|e| format!("spawning backend {id}: {e}"))?;
+        let stdout = child.stdout.take().expect("stdout was piped");
+        let listening = BufReader::new(stdout)
+            .lines()
+            .find_map(|line| line.ok()?.strip_prefix("LISTENING ").map(str::to_owned));
+        let Some(raw) = listening else {
+            let _ = child.kill();
+            for c in &mut children {
+                let _ = c.kill();
+            }
+            return Err(format!("backend {id} exited without printing LISTENING"));
+        };
+        let parsed = raw
+            .parse()
+            .map_err(|e| format!("backend {id} address {raw:?}: {e}"))?;
+        shard_addrs.push(parsed);
+        children.push(child);
+    }
+    eprintln!(
+        "pardict: smoke backends up at {shard_addrs:?}; \
+         killing backend {} at request {}",
+        seed % 3,
+        requests / 2
+    );
+
+    // Oracle: the exact engine configuration the children run (default
+    // config, two workers), so lane selection and payload bytes agree.
+    let metrics = Arc::new(Metrics::default());
+    let registry = Arc::new(Registry::new(Arc::clone(&metrics)));
+    let oracle = Engine::new(
+        EngineConfig {
+            workers: 2,
+            ..EngineConfig::default()
+        },
+        registry,
+        metrics,
+    );
+
+    let router = Arc::new(Router::new(&shard_addrs, ClusterConfig::default()));
+    let patterns = random_dictionary(seed, 24, 3, 10, Alphabet::dna());
+    let result = smoke_drive(&router, &oracle, &patterns, &mut children, requests, seed);
+
+    router.shutdown();
+    oracle.shutdown();
+    for c in &mut children {
+        let _ = c.kill();
+        let _ = c.wait();
+    }
+
+    let summary = result?;
+    print!("{summary}");
+    Ok(())
+}
+
+/// The driven middle of [`cluster_smoke`], separated so the caller can
+/// always tear the children down regardless of which step failed.
+fn smoke_drive(
+    router: &pardict::cluster::Router,
+    oracle: &pardict::service::Engine,
+    patterns: &[Vec<u8>],
+    children: &mut [std::process::Child],
+    requests: usize,
+    seed: u64,
+) -> Result<String, String> {
+    use pardict::cluster::selftest;
+
+    let published = router
+        .publish("corpus", patterns)
+        .map_err(|e| format!("cluster publish: {e}"))?;
+    if published.acks != 3 || published.degraded {
+        return Err(format!(
+            "publish should reach all 3 backends: {published:?}"
+        ));
+    }
+    oracle
+        .registry()
+        .publish("corpus", patterns.to_vec())
+        .map_err(|e| format!("oracle publish: {e}"))?;
+
+    let kill_at = requests / 2;
+    let victim = usize::try_from(seed % 3).expect("mod 3 fits");
+    let report = selftest::drive_workload(router, oracle, patterns, requests, seed, |i| {
+        if i == kill_at {
+            // SIGKILL: no graceful drain. Pooled router connections see a
+            // reset; fresh dials are refused. Both must read as a dead
+            // shard, never as a wrong answer.
+            let _ = children[victim].kill();
+            let _ = children[victim].wait();
+        }
+    });
+
+    let mut failures = report.failures.clone();
+    match report.first_degraded {
+        Some(first) if first < kill_at => {
+            failures.push(format!("request {first}: degraded before the kill"));
+        }
+        None => failures.push("no degraded responses after SIGKILLing a backend".into()),
+        _ => {}
+    }
+    if report.scatter_shards_max < 2 {
+        failures.push(format!(
+            "scatter-gather never fanned out (max shards {})",
+            report.scatter_shards_max
+        ));
+    }
+    if let Err(e) = router.metrics().check_accounting(true) {
+        failures.push(format!("accounting violated: {e}"));
+    }
+    eprint!("{}", router.report());
+    if let Some(first) = failures.first() {
+        return Err(format!("{} failures; first: {first}", failures.len()));
+    }
+    Ok(selftest::render_summary(
+        "smoke", requests, seed, victim, kill_at, &report,
+    ))
 }
 
 /// `pardict chaos`: run the deterministic fault-injection suite and print

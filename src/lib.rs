@@ -71,9 +71,11 @@
 //! | [`stream`] | chunked parallel LZ1 streaming, framed random-access container |
 //! | [`search`] | block-parallel dictionary matching over compressed containers |
 //! | [`chaos`] | deterministic fault injection and differential verification |
+//! | [`cluster`] | sharded routing, scatter-gather, failover across service backends |
 
 pub use pardict_ancestors as ancestors;
 pub use pardict_chaos as chaos;
+pub use pardict_cluster as cluster;
 pub use pardict_compress as compress;
 pub use pardict_core as core;
 pub use pardict_fingerprint as fingerprint;
