@@ -1,0 +1,86 @@
+//! Criterion wall-clock benches for the persistence layer: cold-start
+//! recovery as a function of dictionary count, with the same state held
+//! two ways — as a pure WAL (every publish replayed one record at a
+//! time) and as a compacted snapshot (one bulk load, empty WAL tail).
+//! The gap between the two is the amortization compaction buys: the WAL
+//! pays per-record framing and CRC on every boot, the snapshot pays it
+//! once at compaction time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pardict_store::{Store, StoreConfig};
+use pardict_workloads::{random_dictionary, Alphabet};
+use std::path::PathBuf;
+
+fn nosync() -> StoreConfig {
+    StoreConfig {
+        snapshot_every: 0,
+        sync: false,
+    }
+}
+
+/// Build a data dir holding `n` dictionaries, either left in the WAL or
+/// folded into a snapshot. Deterministic contents per (n, compacted).
+fn populate(n: usize, compacted: bool) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "pardict-bench-store-{n}-{}-{}",
+        if compacted { "snap" } else { "wal" },
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut store = Store::open(&dir, nosync()).expect("open");
+    for i in 0..n {
+        let patterns = random_dictionary(i as u64, 16, 4, 12, Alphabet::dna());
+        store
+            .log_publish(&format!("dict{i}"), 1, &patterns)
+            .expect("publish");
+    }
+    if compacted {
+        store.compact().expect("compact");
+    }
+    dir
+}
+
+fn bench_cold_start_recovery(c: &mut Criterion) {
+    let mut g = c.benchmark_group("store_recovery");
+    g.sample_size(10);
+
+    for n in [64usize, 512] {
+        for (label, compacted) in [("wal_replay", false), ("snapshot", true)] {
+            let dir = populate(n, compacted);
+            g.bench_with_input(BenchmarkId::new(label, n), &dir, |b, d| {
+                b.iter(|| {
+                    let store = Store::open(d, nosync()).expect("recover");
+                    assert!(store.recovery().is_clean());
+                    assert_eq!(store.len(), n);
+                    store
+                });
+            });
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+    g.finish();
+}
+
+fn bench_append_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("store_append");
+    g.sample_size(10);
+
+    let patterns = random_dictionary(7, 16, 4, 12, Alphabet::dna());
+    let dir =
+        std::env::temp_dir().join(format!("pardict-bench-store-append-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut store = Store::open(&dir, nosync()).expect("open");
+    let mut i = 0u64;
+    g.bench_function(BenchmarkId::new("log_publish_nosync", 16), |b| {
+        b.iter(|| {
+            i += 1;
+            store.log_publish("hot", i, &patterns).expect("append")
+        });
+    });
+    drop(store);
+    let _ = std::fs::remove_dir_all(&dir);
+    g.finish();
+}
+
+criterion_group!(benches, bench_cold_start_recovery, bench_append_throughput);
+criterion_main!(benches);

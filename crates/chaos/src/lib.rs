@@ -23,6 +23,12 @@
 //!   server must answer errors, drop only the broken connection, keep
 //!   every healthy connection correct, and account for every accepted
 //!   request in its metrics.
+//! - [`store`] is the storage fault engine: scripted damage to a
+//!   `pardict-store` data directory — torn final records, bit flips in
+//!   framed WAL records, truncated snapshots, stale compaction temp
+//!   files — each recovery verified differentially against a model of
+//!   the clean history (drop exactly the untrusted suffix, report what
+//!   was dropped, never panic, never invent state).
 //! - [`audit`] is the ledger invariant auditor: any metered computation
 //!   can be run under both [`Pram::seq`](pardict_pram::Pram::seq) and
 //!   [`Pram::par`](pardict_pram::Pram::par) with work ≥ depth, monotone
@@ -41,6 +47,7 @@ pub mod audit;
 pub mod plan;
 pub mod proxy;
 pub mod report;
+pub mod store;
 
 pub use audit::{audit_seq_par, AuditReport, Auditor};
 pub use plan::{
@@ -48,3 +55,4 @@ pub use plan::{
 };
 pub use proxy::{ChaosProxy, ClientFault};
 pub use report::{run_chaos, ChaosConfig, ChaosReport};
+pub use store::storage_chaos;

@@ -9,6 +9,11 @@
 //!   copy. Each round executes under *both* [`Pram::seq`] and
 //!   [`Pram::par`] through [`audit_seq_par`], so the ledger invariant
 //!   auditor rides along with every container check.
+//! - **Storage faults** — a clean `pardict-store` data directory is
+//!   copied and damaged one fault class at a time (torn final record,
+//!   WAL bit flip, truncated snapshot, stale compaction temp), each
+//!   recovery checked against a model of the clean history
+//!   ([`storage_chaos`](crate::store::storage_chaos)).
 //! - **Wire chaos** — a live [`Server`] behind a [`ChaosProxy`] suffers
 //!   malformed frames, oversized and truncated length prefixes,
 //!   mid-request disconnects, hostile entry counts, and slow-drip writes,
@@ -48,6 +53,9 @@ pub struct ChaosConfig {
     /// Run the wire-chaos section (needs loopback sockets; tests that
     /// only want container faults can turn it off).
     pub wire: bool,
+    /// Run the storage fault section (needs a scratch directory under
+    /// the system temp dir).
+    pub storage: bool,
 }
 
 impl Default for ChaosConfig {
@@ -56,6 +64,7 @@ impl Default for ChaosConfig {
             seed: 2026,
             rounds: 3,
             wire: true,
+            storage: true,
         }
     }
 }
@@ -92,6 +101,9 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
     )];
     for round in 0..cfg.rounds {
         container_round(cfg.seed, round, &mut lines);
+    }
+    if cfg.storage {
+        crate::store::storage_chaos(cfg.seed, &mut lines);
     }
     if cfg.wire {
         wire_chaos(cfg.seed, &mut lines);

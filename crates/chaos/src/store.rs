@@ -1,0 +1,383 @@
+//! Storage fault engine: scripted damage to a `pardict-store` data
+//! directory, verified differentially against a clean copy.
+//!
+//! The store's contract is the same skip-and-report discipline the
+//! container format promises, lifted to the log level: arbitrary bytes
+//! in the data directory must never panic recovery, damage must shrink
+//! the recovered state to exactly the trusted prefix, and everything
+//! dropped must be described in the [`RecoveryReport`]. This module
+//! scripts one fault per class from the master seed and checks each
+//! against a model built from the clean history:
+//!
+//! - **torn-final-record** — the tail of `wal.log` is chopped mid-record
+//!   (a crash during the last append). Recovery must drop exactly that
+//!   record, report the tear, and leave a directory whose *next* open is
+//!   clean (the untrusted suffix is truncated away, not re-reported).
+//! - **wal-record-bit-flip** — one bit flips inside a framed record
+//!   (disk rot). The CRC must reject it; recovered state is the prefix
+//!   before the flipped record, nothing invented, nothing past it.
+//! - **truncated-snapshot** — `snapshot.pds` loses its tail (a crash
+//!   that somehow survived the atomic rename, or external truncation).
+//!   The all-or-nothing snapshot check must reject it and recovery must
+//!   fall back to replaying the WAL alone from an empty state.
+//! - **stale-temp-leftover** — a `snapshot.pds.tmp` from a crashed
+//!   compaction lingers. Recovery must delete it, count the open as
+//!   clean, and recover the full state.
+//!
+//! Every oracle compares the recovered dictionary map against a model
+//! replayed in memory from the publishes the clean store performed — a
+//! differential check, not a re-derivation from the damaged bytes.
+//!
+//! [`RecoveryReport`]: pardict_store::RecoveryReport
+
+use std::collections::BTreeMap;
+use std::fs::{self, OpenOptions};
+use std::path::{Path, PathBuf};
+
+use pardict_pram::SplitMix64;
+use pardict_store::{scan_wal, Store, StoreConfig, SNAPSHOT_FILE, SNAPSHOT_TMP, WAL_FILE};
+
+/// Name → (version, patterns): the comparable shape of a store's state.
+type Model = BTreeMap<String, (u64, Vec<Vec<u8>>)>;
+
+fn state_of(store: &Store) -> Model {
+    store
+        .dicts()
+        .map(|(n, d)| (n.to_string(), (d.version, d.patterns.clone())))
+        .collect()
+}
+
+/// No auto-compaction, no fsync — the engine controls compaction points
+/// explicitly and durability is not what these faults test.
+fn cfg() -> StoreConfig {
+    StoreConfig {
+        snapshot_every: 0,
+        sync: false,
+    }
+}
+
+fn copy_dir(src: &Path, dst: &Path) -> std::io::Result<()> {
+    fs::create_dir_all(dst)?;
+    for f in [WAL_FILE, SNAPSHOT_FILE] {
+        if src.join(f).exists() {
+            fs::copy(src.join(f), dst.join(f))?;
+        }
+    }
+    Ok(())
+}
+
+fn chop(path: &Path, bytes: u64) -> std::io::Result<()> {
+    let len = fs::metadata(path)?.len();
+    OpenOptions::new()
+        .write(true)
+        .open(path)?
+        .set_len(len.saturating_sub(bytes))
+}
+
+fn flip_bit(path: &Path, byte: usize, bit: u32) -> std::io::Result<()> {
+    let mut data = fs::read(path)?;
+    data[byte] ^= 1 << bit;
+    fs::write(path, data)
+}
+
+/// A deterministic small pattern set cut from the seed stream.
+fn patterns(rng: &mut SplitMix64) -> Vec<Vec<u8>> {
+    let k = 2 + rng.next_below(3) as usize;
+    (0..k)
+        .map(|_| {
+            let len = 3 + rng.next_below(6) as usize;
+            (0..len)
+                .map(|_| b'a' + u8::try_from(rng.next_below(26)).unwrap_or(0))
+                .collect()
+        })
+        .collect()
+}
+
+/// Check helper matching the report idiom: `[ok] label` on success,
+/// `[VIOLATED] label: why` on failure.
+fn verdict(lines: &mut Vec<String>, label: &str, result: Result<(), String>) {
+    match result {
+        Ok(()) => lines.push(format!("  [ok] {label}")),
+        Err(why) => lines.push(format!("  [VIOLATED] {label}: {why}")),
+    }
+}
+
+fn expect_state(store: &Store, want: &Model) -> Result<(), String> {
+    let got = state_of(store);
+    if &got == want {
+        Ok(())
+    } else {
+        let got_names: Vec<&String> = got.keys().collect();
+        let want_names: Vec<&String> = want.keys().collect();
+        Err(format!(
+            "recovered {got_names:?}, model says {want_names:?} (or contents differ)"
+        ))
+    }
+}
+
+/// Run the storage fault section: build a clean store (snapshot plus a
+/// three-record WAL tail), damage seeded copies of it one fault class at
+/// a time, and verify each recovery against the in-memory model. Lines
+/// are symbolic (fault names, record indexes, byte counts derived from
+/// the seed) — never paths — so equal seeds render equal bytes.
+pub fn storage_chaos(seed: u64, lines: &mut Vec<String>) {
+    lines.push("storage: scripted damage to a data directory, checked against a clean copy".into());
+    let base = std::env::temp_dir().join(format!(
+        "pardict-chaos-store-{seed:016x}-{}",
+        std::process::id()
+    ));
+    let _ = fs::remove_dir_all(&base);
+    if let Err(e) = fs::create_dir_all(&base) {
+        lines.push(format!("  [VIOLATED] scratch dir: {e}"));
+        return;
+    }
+    run_faults(seed, &base, lines);
+    let _ = fs::remove_dir_all(&base);
+}
+
+#[allow(clippy::too_many_lines)]
+fn run_faults(seed: u64, base: &Path, lines: &mut Vec<String>) {
+    let mut rng = SplitMix64::new(seed ^ 0x5704_4A6E_0001);
+    let clean = base.join("clean");
+
+    // ---- build the clean history and its in-memory model ----
+    // Snapshot covers d0..d3 v1; the WAL tail then publishes d4,
+    // retires d1, and republishes d0 at v2 — so each prefix of the tail
+    // is a distinct, known state.
+    let mut model_snapshot: Model = BTreeMap::new();
+    let mut tail_models: Vec<Model> = Vec::new();
+    {
+        let mut s = match Store::open(&clean, cfg()) {
+            Ok(s) => s,
+            Err(e) => {
+                lines.push(format!("  [VIOLATED] open clean store: {e}"));
+                return;
+            }
+        };
+        let step = |s: &mut Store,
+                    lines: &mut Vec<String>,
+                    op: &dyn Fn(&mut Store) -> Result<u64, pardict_store::StoreError>|
+         -> bool {
+            match op(s) {
+                Ok(_) => true,
+                Err(e) => {
+                    lines.push(format!("  [VIOLATED] clean history append: {e}"));
+                    false
+                }
+            }
+        };
+        for i in 0..4u64 {
+            let pats = patterns(&mut rng);
+            let name = format!("d{i}");
+            if !step(&mut s, lines, &|s| s.log_publish(&name, 1, &pats)) {
+                return;
+            }
+            model_snapshot.insert(name, (1, pats));
+        }
+        if let Err(e) = s.compact() {
+            lines.push(format!("  [VIOLATED] clean compaction: {e}"));
+            return;
+        }
+        let mut model = model_snapshot.clone();
+        tail_models.push(model.clone()); // state before any tail record
+        let d4 = patterns(&mut rng);
+        if !step(&mut s, lines, &|s| s.log_publish("d4", 1, &d4)) {
+            return;
+        }
+        model.insert("d4".into(), (1, d4));
+        tail_models.push(model.clone());
+        if !step(&mut s, lines, &|s| s.log_retire("d1")) {
+            return;
+        }
+        model.remove("d1");
+        tail_models.push(model.clone());
+        let d0v2 = patterns(&mut rng);
+        if !step(&mut s, lines, &|s| s.log_publish("d0", 2, &d0v2)) {
+            return;
+        }
+        model.insert("d0".into(), (2, d0v2));
+        tail_models.push(model.clone());
+    }
+    let full_model = tail_models.last().cloned().unwrap_or_default();
+
+    // Record boundaries of the clean WAL tail, for aiming the damage.
+    let tail_records = match fs::read(clean.join(WAL_FILE)) {
+        Ok(bytes) => {
+            let scan = scan_wal(&bytes);
+            if scan.header_issue.is_some() || scan.torn.is_some() || scan.records.len() != 3 {
+                lines.push("  [VIOLATED] clean wal must scan to exactly 3 records".into());
+                return;
+            }
+            scan.records
+                .iter()
+                .map(|r| (r.offset, r.len))
+                .collect::<Vec<_>>()
+        }
+        Err(e) => {
+            lines.push(format!("  [VIOLATED] read clean wal: {e}"));
+            return;
+        }
+    };
+
+    // ---- baseline: the clean directory recovers cleanly ----
+    verdict(
+        lines,
+        "clean directory recovers the full model (4 snapshot dicts + 3 wal records)",
+        (|| {
+            let s = Store::open(&clean, cfg()).map_err(|e| e.to_string())?;
+            let r = s.recovery();
+            if !r.is_clean() {
+                return Err(format!("not clean: {r:?}"));
+            }
+            if r.snapshot_dicts != 4 || r.wal_replayed != 3 || r.wal_skipped != 0 {
+                return Err(format!(
+                    "books off: snapshot {} replayed {} skipped {}",
+                    r.snapshot_dicts, r.wal_replayed, r.wal_skipped
+                ));
+            }
+            expect_state(&s, &full_model)
+        })(),
+    );
+
+    let fault_dir = |tag: &str| -> Result<PathBuf, String> {
+        let d = base.join(tag);
+        copy_dir(&clean, &d).map_err(|e| e.to_string())?;
+        Ok(d)
+    };
+
+    // ---- torn-final-record ----
+    let (last_off, last_len) = tail_records[2];
+    let tear = 1 + rng.next_below(last_len - 1);
+    verdict(
+        lines,
+        &format!("torn-final-record: {tear}-byte tear drops only the final record"),
+        (|| {
+            let d = fault_dir("torn")?;
+            chop(&d.join(WAL_FILE), tear).map_err(|e| e.to_string())?;
+            let s = Store::open(&d, cfg()).map_err(|e| e.to_string())?;
+            let r = s.recovery();
+            let torn = r.torn.as_ref().ok_or("tear not reported")?;
+            if torn.offset != last_off {
+                return Err(format!(
+                    "torn at offset {}, final record starts at {last_off}",
+                    torn.offset
+                ));
+            }
+            if r.wal_replayed != 2 {
+                return Err(format!("replayed {}, wanted 2", r.wal_replayed));
+            }
+            expect_state(&s, &tail_models[2])?;
+            drop(s);
+            // The tear was truncated away: the next open must be clean
+            // and see the same prefix state.
+            let s2 = Store::open(&d, cfg()).map_err(|e| e.to_string())?;
+            if !s2.recovery().is_clean() {
+                return Err("reopen after repair not clean".into());
+            }
+            expect_state(&s2, &tail_models[2])
+        })(),
+    );
+
+    // ---- wal-record-bit-flip ----
+    let victim = rng.next_below(3) as usize;
+    let (v_off, v_len) = tail_records[victim];
+    let flip_byte = v_off + rng.next_below(v_len);
+    let flip_bit_n = u32::try_from(rng.next_below(8)).unwrap_or(0);
+    verdict(
+        lines,
+        &format!(
+            "wal-record-bit-flip: flip in record {victim} yields exactly the prefix before it"
+        ),
+        (|| {
+            let d = fault_dir("bitflip")?;
+            flip_bit(
+                &d.join(WAL_FILE),
+                usize::try_from(flip_byte).map_err(|e| e.to_string())?,
+                flip_bit_n,
+            )
+            .map_err(|e| e.to_string())?;
+            let s = Store::open(&d, cfg()).map_err(|e| e.to_string())?;
+            let r = s.recovery();
+            let torn = r.torn.as_ref().ok_or("flipped record not rejected")?;
+            if torn.offset != v_off {
+                return Err(format!(
+                    "torn at offset {}, flipped record starts at {v_off}",
+                    torn.offset
+                ));
+            }
+            if r.wal_replayed != victim as u64 {
+                return Err(format!("replayed {}, wanted {victim}", r.wal_replayed));
+            }
+            expect_state(&s, &tail_models[victim])?;
+            drop(s);
+            let s2 = Store::open(&d, cfg()).map_err(|e| e.to_string())?;
+            if !s2.recovery().is_clean() {
+                return Err("reopen after repair not clean".into());
+            }
+            expect_state(&s2, &tail_models[victim])
+        })(),
+    );
+
+    // ---- truncated-snapshot ----
+    let snap_len = fs::metadata(clean.join(SNAPSHOT_FILE))
+        .map(|m| m.len())
+        .unwrap_or(0);
+    let snap_cut = 1 + rng.next_below(snap_len.saturating_sub(1).max(1));
+    verdict(
+        lines,
+        &format!("truncated-snapshot: {snap_cut}-byte cut rejects the snapshot, wal-only state recovered"),
+        (|| {
+            let d = fault_dir("snapcut")?;
+            chop(&d.join(SNAPSHOT_FILE), snap_cut).map_err(|e| e.to_string())?;
+            let s = Store::open(&d, cfg()).map_err(|e| e.to_string())?;
+            let r = s.recovery();
+            if r.snapshot_issue.is_none() {
+                return Err("damaged snapshot accepted".into());
+            }
+            if r.torn.is_some() {
+                return Err("wal reported torn but only the snapshot was cut".into());
+            }
+            if r.wal_replayed != 3 || r.wal_skipped != 0 {
+                return Err(format!(
+                    "replayed {} skipped {}, wanted 3 / 0",
+                    r.wal_replayed, r.wal_skipped
+                ));
+            }
+            // Replay of the tail alone onto nothing: d4 appears, the
+            // retire of d1 is a no-op, d0 lands at v2.
+            let mut wal_only: Model = BTreeMap::new();
+            for (name, v) in &full_model {
+                if name == "d4" || name == "d0" {
+                    wal_only.insert(name.clone(), v.clone());
+                }
+            }
+            expect_state(&s, &wal_only)
+        })(),
+    );
+
+    // ---- stale-temp-leftover ----
+    let junk_len = 8 + rng.next_below(64) as usize;
+    let junk: Vec<u8> = (0..junk_len)
+        .map(|_| u8::try_from(rng.next_below(256)).unwrap_or(0))
+        .collect();
+    verdict(
+        lines,
+        &format!("stale-temp-leftover: {junk_len}-byte temp removed, full state intact"),
+        (|| {
+            let d = fault_dir("staletmp")?;
+            fs::write(d.join(SNAPSHOT_TMP), &junk).map_err(|e| e.to_string())?;
+            let s = Store::open(&d, cfg()).map_err(|e| e.to_string())?;
+            let r = s.recovery();
+            if !r.stale_temp_removed {
+                return Err("stale temp not reported removed".into());
+            }
+            if !r.is_clean() {
+                return Err("stale temp must not dirty the recovery".into());
+            }
+            if d.join(SNAPSHOT_TMP).exists() {
+                return Err("temp file still on disk".into());
+            }
+            expect_state(&s, &full_model)
+        })(),
+    );
+}

@@ -116,6 +116,7 @@ fn error_response(e: &ClusterError) -> WireResponse {
 fn handle(router: &Router, req: WireRequest) -> WireResponse {
     match req {
         WireRequest::Ping => WireResponse::Pong,
+        WireRequest::Dicts => WireResponse::DictList(router.dict_digests()),
         WireRequest::Metrics => WireResponse::MetricsReport(router.report()),
         WireRequest::Stats => match router.merged_stats() {
             Ok((snap, _degraded)) => WireResponse::Stats(snap),

@@ -23,7 +23,9 @@
 //!   and traffic re-routes. Responses carry a **degraded** flag (served
 //!   after a failover, or while any shard is excluded) instead of
 //!   turning correct results into errors; excluded shards rejoin via
-//!   revival probes that replay every stored dictionary first.
+//!   revival probes that first ask the backend what it already holds
+//!   (a `--data-dir` backend recovers dictionaries from its own store
+//!   on boot) and replay only what is missing or stale by content hash.
 //! * [`ClusterMetrics`] — router-side books with per-shard counters and
 //!   a `check_accounting` identity: every accepted request is charged to
 //!   exactly one outcome, no matter how many attempts it took.

@@ -24,6 +24,12 @@ pub struct ShardStats {
     pub deaths: Counter,
     /// Dead→healthy transitions (probe- or last-resort-driven).
     pub revivals: Counter,
+    /// Dictionaries republished into this shard during revival because
+    /// it was missing them (or held a stale content hash).
+    pub revival_replays: Counter,
+    /// Dictionaries revival left alone because the shard already held
+    /// them with a matching content hash — recovered from its own store.
+    pub revival_skips: Counter,
     /// Scatter-gather block ranges this shard served.
     pub ranges: Counter,
     /// Liveness as last observed (reporting only; routing state lives in
@@ -193,13 +199,22 @@ impl ClusterMetrics {
         );
         let _ = writeln!(
             out,
-            "{:<8} {:>9} | {:>8} {:>8} {:>8} | {:>7} {:>8} {:>7}",
-            "shard", "state", "attempts", "ok", "failures", "deaths", "revivals", "ranges",
+            "{:<8} {:>9} | {:>8} {:>8} {:>8} | {:>7} {:>8} {:>7} {:>5} | {:>7}",
+            "shard",
+            "state",
+            "attempts",
+            "ok",
+            "failures",
+            "deaths",
+            "revivals",
+            "replays",
+            "skips",
+            "ranges",
         );
         for (id, s) in self.per_shard.iter().enumerate() {
             let _ = writeln!(
                 out,
-                "{:<8} {:>9} | {:>8} {:>8} {:>8} | {:>7} {:>8} {:>7}",
+                "{:<8} {:>9} | {:>8} {:>8} {:>8} | {:>7} {:>8} {:>7} {:>5} | {:>7}",
                 format!("shard-{id}"),
                 if s.healthy.load(Ordering::Relaxed) {
                     "healthy"
@@ -211,6 +226,8 @@ impl ClusterMetrics {
                 s.failures.get(),
                 s.deaths.get(),
                 s.revivals.get(),
+                s.revival_replays.get(),
+                s.revival_skips.get(),
                 s.ranges.get(),
             );
         }

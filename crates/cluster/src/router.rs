@@ -152,10 +152,13 @@ enum Attempt<T> {
 }
 
 /// Per-dictionary state the router keeps for revival republish and
-/// scatter overlap sizing.
+/// scatter overlap sizing. `content_hash` lets revival recognize a
+/// backend that already recovered the dictionary from its own store.
 struct DictInfo {
     patterns: Vec<Vec<u8>>,
     max_len: usize,
+    version: u64,
+    content_hash: u64,
 }
 
 /// The cluster front end.
@@ -351,11 +354,16 @@ impl Router {
         self.backends.iter().any(|b| b.is_healthy())
     }
 
-    /// Probe an excluded shard and bring it back: ping it, replay every
-    /// stored dictionary into its registry, and only then mark it
-    /// healthy. Returns `true` on a dead→alive transition. Probe traffic
-    /// is off the per-shard attempt books (it is router-initiated, not
-    /// request work).
+    /// Probe an excluded shard and bring it back: ping it, ask what it
+    /// already holds (a backend with a `--data-dir` recovers its own
+    /// dictionaries from its local store on boot), replay only the
+    /// dictionaries that are missing or stale by content hash, and only
+    /// then mark it healthy. When the digest query itself fails, fall
+    /// back to replaying everything — correctness over economy. Returns
+    /// `true` on a dead→alive transition. Probe traffic is off the
+    /// per-shard attempt books (it is router-initiated, not request
+    /// work); replay-vs-skip economics land in the `revival_replays` /
+    /// `revival_skips` shard counters.
     pub fn try_revive(&self, shard: usize) -> bool {
         let backend = &self.backends[shard];
         if backend.is_healthy() {
@@ -367,16 +375,26 @@ impl Router {
         if client.ping().is_err() {
             return false;
         }
-        let dicts: Vec<(String, Vec<Vec<u8>>)> = {
+        let dicts: Vec<(String, Vec<Vec<u8>>, u64)> = {
             let guard = self.dicts.lock().expect("dicts poisoned");
             guard
                 .iter()
-                .map(|(k, v)| (k.clone(), v.patterns.clone()))
+                .map(|(k, v)| (k.clone(), v.patterns.clone(), v.content_hash))
                 .collect()
         };
-        for (name, patterns) in dicts {
+        let held: HashMap<String, u64> = match client.dicts() {
+            Ok(digests) => digests.into_iter().map(|(n, _v, h)| (n, h)).collect(),
+            // A backend that can't answer the digest query gets the full
+            // replay — an extra publish is cheap, a missing dict is not.
+            Err(_) => HashMap::new(),
+        };
+        for (name, patterns, hash) in dicts {
+            if held.get(&name) == Some(&hash) {
+                self.metrics.per_shard[shard].revival_skips.inc();
+                continue;
+            }
             match client.publish(&name, patterns) {
-                Ok(Ok(_)) => {}
+                Ok(Ok(_)) => self.metrics.per_shard[shard].revival_replays.inc(),
                 _ => return false,
             }
         }
@@ -484,6 +502,8 @@ impl Router {
                 DictInfo {
                     patterns: patterns.to_vec(),
                     max_len,
+                    version,
+                    content_hash: pardict_service::registry::content_hash(patterns),
                 },
             );
             Ok(PublishSummary {
@@ -816,6 +836,21 @@ impl Router {
         };
         self.finish(started, &routed);
         result
+    }
+
+    /// The router's replicated-registry view as `(name, version,
+    /// content_hash)` digests, sorted by name — the cluster-side answer
+    /// to the `Dicts` wire request (versions are the highest any shard
+    /// acknowledged; shards agree except transiently after a revival).
+    #[must_use]
+    pub fn dict_digests(&self) -> Vec<(String, u64, u64)> {
+        let guard = self.dicts.lock().expect("dicts poisoned");
+        let mut out: Vec<(String, u64, u64)> = guard
+            .iter()
+            .map(|(k, v)| (k.clone(), v.version, v.content_hash))
+            .collect();
+        out.sort();
+        out
     }
 
     /// Human-readable cluster report: router books plus each backend's

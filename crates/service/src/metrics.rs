@@ -269,6 +269,16 @@ pub struct Metrics {
     /// Compressed-size ÷ raw-size per Compress request, in percent (a 40
     /// means the payload shrank to 40% of the input).
     pub compress_ratio_pct: Histogram,
+    /// Dictionaries retired (removed from the registry).
+    pub retires: Counter,
+    /// Records replayed from the durable store at boot (snapshot entries
+    /// plus WAL records applied).
+    pub store_replayed: Counter,
+    /// Bytes dropped from a torn WAL tail at boot (0 on a clean boot).
+    pub store_torn_dropped: Counter,
+    /// Snapshot age at boot: WAL records that had accumulated on top of
+    /// the last compacted snapshot.
+    pub store_snapshot_age: Counter,
     /// Per-operation stats, indexed by [`OpKind`].
     pub per_op: [OpStats; NUM_OPS],
 }
@@ -376,6 +386,10 @@ impl Metrics {
             seq_fallback: self.seq_fallback.get(),
             stream_lane: self.stream_lane.get(),
             grep_lane: self.grep_lane.get(),
+            retires: self.retires.get(),
+            store_replayed: self.store_replayed.get(),
+            store_torn_dropped: self.store_torn_dropped.get(),
+            store_snapshot_age: self.store_snapshot_age.get(),
             per_op: OpKind::all()
                 .iter()
                 .map(|&k| {
@@ -407,10 +421,18 @@ impl Metrics {
         );
         let _ = writeln!(
             out,
-            "registry:  publishes {}  cache-hits {}  cache-misses {}",
+            "registry:  publishes {}  cache-hits {}  cache-misses {}  retires {}",
             self.publishes.get(),
             self.cache_hits.get(),
             self.cache_misses.get(),
+            self.retires.get(),
+        );
+        let _ = writeln!(
+            out,
+            "storage:   replayed {}  torn-dropped-bytes {}  snapshot-age {}",
+            self.store_replayed.get(),
+            self.store_torn_dropped.get(),
+            self.store_snapshot_age.get(),
         );
         let batches = self.batches.get();
         let batched = self.batched_requests.get();
@@ -510,6 +532,14 @@ pub struct MetricsSnapshot {
     pub stream_lane: u64,
     /// Container-grep-lane requests.
     pub grep_lane: u64,
+    /// Dictionaries retired.
+    pub retires: u64,
+    /// Records replayed from the durable store at boot.
+    pub store_replayed: u64,
+    /// Bytes dropped from a torn WAL tail at boot.
+    pub store_torn_dropped: u64,
+    /// WAL records that sat on top of the last snapshot at boot.
+    pub store_snapshot_age: u64,
     /// Per-operation stats in [`OpKind::all`] order.
     pub per_op: Vec<OpSnapshot>,
 }
@@ -530,6 +560,10 @@ impl MetricsSnapshot {
         self.seq_fallback += other.seq_fallback;
         self.stream_lane += other.stream_lane;
         self.grep_lane += other.grep_lane;
+        self.retires += other.retires;
+        self.store_replayed += other.store_replayed;
+        self.store_torn_dropped += other.store_torn_dropped;
+        self.store_snapshot_age += other.store_snapshot_age;
         if self.per_op.len() < other.per_op.len() {
             self.per_op
                 .resize(other.per_op.len(), OpSnapshot::default());
@@ -553,8 +587,13 @@ impl MetricsSnapshot {
         );
         let _ = writeln!(
             out,
-            "registry:  publishes {}  cache-hits {}  cache-misses {}",
-            self.publishes, self.cache_hits, self.cache_misses,
+            "registry:  publishes {}  cache-hits {}  cache-misses {}  retires {}",
+            self.publishes, self.cache_hits, self.cache_misses, self.retires,
+        );
+        let _ = writeln!(
+            out,
+            "storage:   replayed {}  torn-dropped-bytes {}  snapshot-age {}",
+            self.store_replayed, self.store_torn_dropped, self.store_snapshot_age,
         );
         let _ = writeln!(
             out,

@@ -19,6 +19,7 @@ use crate::metrics::Metrics;
 use crate::types::ServiceError;
 use pardict_core::{AhoCorasick, DictMatcher, Dictionary};
 use pardict_pram::{Cost, Pram};
+use pardict_store::Store;
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, RwLock};
 
@@ -81,6 +82,12 @@ pub struct Registry {
     /// Content-hash → preprocessed build; bounded FIFO eviction.
     cache: Mutex<BuildCache>,
     metrics: Arc<Metrics>,
+    /// Optional durable backing: when attached, every publish/retire is
+    /// logged (and fsync'd) *before* the in-memory swap, so an
+    /// acknowledgement implies the change survives a crash. Locked after
+    /// `entries` — the write lock serializes publishes, which keeps WAL
+    /// order identical to version order.
+    store: Mutex<Option<Store>>,
 }
 
 #[derive(Debug, Default)]
@@ -133,24 +140,25 @@ impl Registry {
             entries: RwLock::new(HashMap::new()),
             cache: Mutex::new(BuildCache::default()),
             metrics,
+            store: Mutex::new(None),
         }
     }
 
-    /// Publish `patterns` under `name`, returning the installed version.
-    ///
-    /// Validates before building (`Dictionary::new` panics on empty or
-    /// NUL-containing patterns, so the service must reject those here).
-    /// The build runs on a thread-local `Pram::par()` and its ledger cost
-    /// is recorded in the outcome.
-    ///
-    /// # Errors
-    /// [`ServiceError::BadRequest`] for an empty set, an empty pattern, or
-    /// a pattern containing NUL.
-    pub fn publish(
-        &self,
-        name: &str,
-        patterns: Vec<Vec<u8>>,
-    ) -> Result<PublishOutcome, ServiceError> {
+    /// Attach a durable store. From here on every accepted publish and
+    /// retire is logged to it before the in-memory swap — the caller
+    /// normally opens the store, replays its contents through
+    /// [`Registry::restore`], then attaches.
+    pub fn attach_store(&self, store: Store) {
+        *self.store.lock().expect("store poisoned") = Some(store);
+    }
+
+    /// True when a durable store is attached.
+    #[must_use]
+    pub fn has_store(&self) -> bool {
+        self.store.lock().expect("store poisoned").is_some()
+    }
+
+    fn validate(name: &str, patterns: &[Vec<u8>]) -> Result<(), ServiceError> {
         if name.is_empty() {
             return Err(ServiceError::BadRequest("empty dictionary name".into()));
         }
@@ -167,12 +175,16 @@ impl Registry {
                 )));
             }
         }
+        Ok(())
+    }
 
+    /// Build (or fetch from cache) the preprocessed state for `patterns`,
+    /// counting one publish plus the cache hit/miss in the metrics.
+    fn build(&self, patterns: Vec<Vec<u8>>) -> (Arc<Preprocessed>, bool) {
         self.metrics.publishes.inc();
         let hash = content_hash(&patterns);
-
         let cached = self.cache.lock().expect("cache poisoned").get(hash);
-        let (pre, cache_hit) = match cached {
+        match cached {
             Some(pre) => {
                 self.metrics.cache_hits.inc();
                 (pre, true)
@@ -197,11 +209,39 @@ impl Registry {
                     .insert(hash, Arc::clone(&pre));
                 (pre, false)
             }
-        };
+        }
+    }
+
+    /// Publish `patterns` under `name`, returning the installed version.
+    ///
+    /// Validates before building (`Dictionary::new` panics on empty or
+    /// NUL-containing patterns, so the service must reject those here).
+    /// The build runs on a thread-local `Pram::par()` and its ledger cost
+    /// is recorded in the outcome.
+    ///
+    /// # Errors
+    /// [`ServiceError::BadRequest`] for an empty set, an empty pattern, or
+    /// a pattern containing NUL.
+    pub fn publish(
+        &self,
+        name: &str,
+        patterns: Vec<Vec<u8>>,
+    ) -> Result<PublishOutcome, ServiceError> {
+        Self::validate(name, &patterns)?;
+        let logged = patterns.clone();
+        let (pre, cache_hit) = self.build(patterns);
         let build_cost = pre.build_cost;
 
         let mut entries = self.entries.write().expect("registry poisoned");
         let version = entries.get(name).map_or(1, |v| v.version + 1);
+        // Durability before acknowledgement: the WAL append (fsync'd)
+        // must succeed before the swap is visible. On failure nothing
+        // changed in memory, so the error reply is truthful.
+        if let Some(store) = self.store.lock().expect("store poisoned").as_mut() {
+            store
+                .log_publish(name, version, &logged)
+                .map_err(|e| ServiceError::Storage(e.to_string()))?;
+        }
         entries.insert(
             name.to_string(),
             Arc::new(DictVersion {
@@ -215,6 +255,71 @@ impl Registry {
             cache_hit,
             build_cost,
         })
+    }
+
+    /// Reinstall a dictionary recovered from a durable store at its
+    /// persisted version, *without* writing a new WAL record. Goes
+    /// through the same validation, build cache, and metrics as a live
+    /// publish, so the accounting identities keep holding.
+    ///
+    /// # Errors
+    /// [`ServiceError::BadRequest`] if the recovered patterns fail
+    /// validation (a tampered-but-CRC-valid store must not panic the
+    /// build).
+    pub fn restore(
+        &self,
+        name: &str,
+        version: u64,
+        patterns: Vec<Vec<u8>>,
+    ) -> Result<(), ServiceError> {
+        Self::validate(name, &patterns)?;
+        let (pre, _) = self.build(patterns);
+        self.entries.write().expect("registry poisoned").insert(
+            name.to_string(),
+            Arc::new(DictVersion {
+                name: name.to_string(),
+                version,
+                pre,
+            }),
+        );
+        Ok(())
+    }
+
+    /// Remove `name` from the registry (logging the retire durably
+    /// first, when a store is attached). Returns whether it existed.
+    ///
+    /// # Errors
+    /// [`ServiceError::Storage`] if the WAL append fails — the entry
+    /// then stays installed.
+    pub fn retire(&self, name: &str) -> Result<bool, ServiceError> {
+        let mut entries = self.entries.write().expect("registry poisoned");
+        if !entries.contains_key(name) {
+            return Ok(false);
+        }
+        if let Some(store) = self.store.lock().expect("store poisoned").as_mut() {
+            store
+                .log_retire(name)
+                .map_err(|e| ServiceError::Storage(e.to_string()))?;
+        }
+        entries.remove(name);
+        self.metrics.retires.inc();
+        Ok(true)
+    }
+
+    /// `(name, version, content hash)` for every installed dictionary,
+    /// sorted by name — what the `dicts` wire op ships so a cluster
+    /// router can tell recovered-from-disk state from missing state.
+    #[must_use]
+    pub fn dict_digests(&self) -> Vec<(String, u64, u64)> {
+        let mut out: Vec<(String, u64, u64)> = self
+            .entries
+            .read()
+            .expect("registry poisoned")
+            .values()
+            .map(|v| (v.name.clone(), v.version, v.pre.content_hash))
+            .collect();
+        out.sort();
+        out
     }
 
     /// Resolve the current version of `name`. The returned `Arc` pins that

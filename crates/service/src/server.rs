@@ -120,6 +120,7 @@ fn handle(engine: &Engine, req: WireRequest) -> WireResponse {
         WireRequest::Ping => WireResponse::Pong,
         WireRequest::Metrics => WireResponse::MetricsReport(engine.metrics().report()),
         WireRequest::Stats => WireResponse::Stats(engine.metrics().snapshot()),
+        WireRequest::Dicts => WireResponse::DictList(engine.registry().dict_digests()),
         WireRequest::Publish { name, patterns } => {
             match engine.registry().publish(&name, patterns) {
                 Ok(out) => WireResponse::Published {
@@ -348,6 +349,18 @@ impl Client {
     pub fn stats(&mut self) -> io::Result<crate::metrics::MetricsSnapshot> {
         match self.roundtrip(&WireRequest::Stats)? {
             WireResponse::Stats(s) => Ok(s),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// List the server's installed dictionaries as
+    /// `(name, version, content hash)` digests, sorted by name.
+    ///
+    /// # Errors
+    /// I/O or protocol errors.
+    pub fn dicts(&mut self) -> io::Result<Vec<(String, u64, u64)>> {
+        match self.roundtrip(&WireRequest::Dicts)? {
+            WireResponse::DictList(d) => Ok(d),
             other => Err(unexpected(&other)),
         }
     }

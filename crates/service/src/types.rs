@@ -239,6 +239,10 @@ pub enum ServiceError {
     Unparseable,
     /// Malformed request (empty dictionary, NUL bytes, …).
     BadRequest(String),
+    /// The persistent store refused or failed the write, so the state
+    /// change was not applied — an acknowledgement would have promised
+    /// durability the disk did not deliver.
+    Storage(String),
 }
 
 impl ServiceError {
@@ -252,6 +256,7 @@ impl ServiceError {
             ServiceError::NoSuchDictionary(_) => 4,
             ServiceError::Unparseable => 5,
             ServiceError::BadRequest(_) => 6,
+            ServiceError::Storage(_) => 7,
         }
     }
 }
@@ -265,6 +270,7 @@ impl std::fmt::Display for ServiceError {
             ServiceError::NoSuchDictionary(name) => write!(f, "no dictionary named {name:?}"),
             ServiceError::Unparseable => write!(f, "text not parseable with this dictionary"),
             ServiceError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+            ServiceError::Storage(msg) => write!(f, "storage failure: {msg}"),
         }
     }
 }

@@ -33,6 +33,10 @@ pub mod tag {
     /// Fetch a structured [`MetricsSnapshot`](crate::metrics::MetricsSnapshot)
     /// (the router's aggregation feed; `METRICS` stays the human report).
     pub const STATS: u8 = 9;
+    /// List installed dictionaries as `(name, version, content hash)`
+    /// digests — how a cluster router learns what a backend recovered
+    /// from its local store before deciding what to replay.
+    pub const DICTS: u8 = 10;
     /// Response: success payload follows.
     pub const OK: u8 = 0x80;
     /// Response: error code + message follow.
@@ -202,6 +206,8 @@ pub enum WireRequest {
     Metrics,
     /// Fetch a structured metrics snapshot.
     Stats,
+    /// List installed dictionary digests.
+    Dicts,
     /// Liveness probe.
     Ping,
 }
@@ -233,6 +239,7 @@ impl WireRequest {
             }
             WireRequest::Metrics => out.push(tag::METRICS),
             WireRequest::Stats => out.push(tag::STATS),
+            WireRequest::Dicts => out.push(tag::DICTS),
             WireRequest::Ping => out.push(tag::PING),
         }
         out
@@ -264,6 +271,7 @@ impl WireRequest {
             },
             tag::METRICS => WireRequest::Metrics,
             tag::STATS => WireRequest::Stats,
+            tag::DICTS => WireRequest::Dicts,
             tag::PING => WireRequest::Ping,
             other => return Err(Cursor::err(&format!("unknown request tag {other}"))),
         };
@@ -334,6 +342,9 @@ pub enum WireResponse {
         /// coordinates, deduplicated, ascending).
         corrupt_blocks: Vec<u64>,
     },
+    /// Installed dictionary digests: `(name, version, content hash)`,
+    /// sorted by name.
+    DictList(Vec<(String, u64, u64)>),
     /// Metrics report text.
     MetricsReport(String),
     /// Structured metrics snapshot.
@@ -360,6 +371,7 @@ mod ok {
     pub const CONTAINER_HITS: u8 = 7;
     pub const STATS: u8 = 8;
     pub const CLUSTER_HITS: u8 = 9;
+    pub const DICTS: u8 = 10;
 }
 
 fn put_hits(out: &mut Vec<u8>, hits: &[Hit]) {
@@ -424,6 +436,10 @@ fn put_snapshot(out: &mut Vec<u8>, s: &crate::metrics::MetricsSnapshot) {
         s.seq_fallback,
         s.stream_lane,
         s.grep_lane,
+        s.retires,
+        s.store_replayed,
+        s.store_torn_dropped,
+        s.store_snapshot_age,
     ] {
         put_u64(out, v);
     }
@@ -451,6 +467,10 @@ fn get_snapshot(c: &mut Cursor<'_>) -> io::Result<crate::metrics::MetricsSnapsho
         &mut s.seq_fallback,
         &mut s.stream_lane,
         &mut s.grep_lane,
+        &mut s.retires,
+        &mut s.store_replayed,
+        &mut s.store_torn_dropped,
+        &mut s.store_snapshot_age,
     ] {
         *slot = c.u64()?;
     }
@@ -539,6 +559,16 @@ impl WireResponse {
                     put_u64(&mut out, *b);
                 }
             }
+            WireResponse::DictList(dicts) => {
+                out.push(tag::OK);
+                out.push(ok::DICTS);
+                put_u32(&mut out, dicts.len() as u32);
+                for (name, version, hash) in dicts {
+                    put_bytes(&mut out, name.as_bytes());
+                    put_u64(&mut out, *version);
+                    put_u64(&mut out, *hash);
+                }
+            }
             WireResponse::MetricsReport(s) => {
                 out.push(tag::OK);
                 out.push(ok::METRICS);
@@ -621,6 +651,16 @@ impl WireResponse {
                         corrupt_blocks,
                     }
                 }
+                ok::DICTS => {
+                    // Each digest costs at least a 4-byte name prefix
+                    // plus two u64s.
+                    let n = c.count(20, "dictionary digest")?;
+                    let mut dicts = Vec::with_capacity(n);
+                    for _ in 0..n {
+                        dicts.push((c.string()?, c.u64()?, c.u64()?));
+                    }
+                    WireResponse::DictList(dicts)
+                }
                 ok::METRICS => WireResponse::MetricsReport(c.string()?),
                 ok::STATS => WireResponse::Stats(get_snapshot(&mut c)?),
                 ok::PONG => WireResponse::Pong,
@@ -681,6 +721,7 @@ pub fn error_from_wire(code: u8, message: &str) -> ServiceError {
         3 => ServiceError::ShuttingDown,
         4 => ServiceError::NoSuchDictionary(message.to_string()),
         5 => ServiceError::Unparseable,
+        7 => ServiceError::Storage(message.to_string()),
         _ => ServiceError::BadRequest(message.to_string()),
     }
 }
@@ -734,6 +775,7 @@ mod tests {
             },
             WireRequest::Metrics,
             WireRequest::Stats,
+            WireRequest::Dicts,
             WireRequest::Ping,
         ];
         for req in reqs {
@@ -801,6 +843,10 @@ mod tests {
                 m.op(crate::types::OpKind::Match).work.record(4096);
                 m.snapshot()
             }),
+            WireResponse::DictList(vec![
+                ("alpha".into(), 3, 0xDEAD_BEEF),
+                ("beta".into(), 1, 42),
+            ]),
             WireResponse::MetricsReport("ok".into()),
             WireResponse::Pong,
             WireResponse::Error {

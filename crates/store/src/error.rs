@@ -1,0 +1,57 @@
+//! Error vocabulary for the persistence layer.
+//!
+//! The split mirrors `pardict-stream`: an [`StoreError`] is *environmental*
+//! (the data directory cannot be used, the disk failed) and aborts the
+//! operation, while damaged *content* never becomes an error at all —
+//! recovery is total over arbitrary bytes and reports what it dropped
+//! through [`crate::RecoveryReport`] instead, the same skip-and-report
+//! contract the container decoder honours for corrupt blocks.
+
+use std::fmt;
+use std::path::PathBuf;
+
+/// An environmental failure: the store cannot operate at all.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying filesystem failure (open, write, fsync, rename).
+    Io(std::io::Error),
+    /// The configured data directory exists but is not a directory.
+    NotADirectory(PathBuf),
+    /// A record handed to the append path is unencodable (name or
+    /// pattern longer than the framing allows).
+    RecordTooLarge {
+        /// The dictionary name involved.
+        name: String,
+        /// Encoded payload size that exceeded [`crate::record::MAX_RECORD_LEN`].
+        len: usize,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "i/o error: {e}"),
+            StoreError::NotADirectory(p) => {
+                write!(f, "data dir {} is not a directory", p.display())
+            }
+            StoreError::RecordTooLarge { name, len } => {
+                write!(f, "record for dictionary {name:?} too large ({len} bytes)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}

@@ -1,0 +1,372 @@
+//! The write-ahead-log record codec.
+//!
+//! One WAL file is a 16-byte header followed by a run of framed records,
+//! reusing the PDZS record discipline from `pardict-stream`: every record
+//! carries a length prefix and a CRC-32 over everything the length
+//! covers, so a reader can always decide "intact" or "torn" without
+//! trusting any byte it has not checked.
+//!
+//! ```text
+//! header   "PDWL" · version u8 · 3×0 · generation u64          (16 B)
+//! record   kind u8 · seq u64 · payload_len u32 · crc32 u32     (17 B)
+//!          payload[payload_len]
+//! ```
+//!
+//! The CRC covers `kind · seq · payload`, so a bit flip anywhere in a
+//! record — framing or body — fails the check. All integers are
+//! little-endian, matching the container format. The scanner
+//! ([`scan_wal`]) is total: any byte sequence yields a prefix of intact
+//! records plus an optional [`TornTail`] describing where and why the
+//! log stopped being trustworthy. The first bad record ends the log —
+//! nothing after it can be trusted because record boundaries themselves
+//! come from the (now suspect) length prefixes.
+
+use pardict_stream::crc32;
+
+/// WAL file magic: "PDWL".
+pub const WAL_MAGIC: [u8; 4] = *b"PDWL";
+/// On-disk format version this build reads and writes.
+pub const STORE_VERSION: u8 = 1;
+/// Fixed WAL header length in bytes.
+pub const WAL_HEADER_LEN: usize = 16;
+/// Fixed per-record frame length (before the payload).
+pub const FRAME_LEN: usize = 17;
+/// Record kind: a dictionary publish (name, version, patterns).
+pub const KIND_PUBLISH: u8 = 1;
+/// Record kind: a dictionary retire (name).
+pub const KIND_RETIRE: u8 = 2;
+/// Hard cap on one record's payload, mirroring the wire codec's frame
+/// cap: a hostile length prefix can never drive a giant allocation.
+pub const MAX_RECORD_LEN: usize = 64 << 20;
+
+/// One durable dictionary-state transition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalRecord {
+    /// A dictionary (re)published at an explicit version.
+    Publish {
+        /// Registry name of the dictionary.
+        name: String,
+        /// Version the registry assigned to this publish.
+        version: u64,
+        /// The pattern set, in publish order.
+        patterns: Vec<Vec<u8>>,
+    },
+    /// A dictionary removed from the registry.
+    Retire {
+        /// Registry name of the dictionary.
+        name: String,
+    },
+}
+
+impl WalRecord {
+    /// The record's kind tag as written to disk.
+    pub fn kind(&self) -> u8 {
+        match self {
+            WalRecord::Publish { .. } => KIND_PUBLISH,
+            WalRecord::Retire { .. } => KIND_RETIRE,
+        }
+    }
+
+    /// The dictionary name the record is about.
+    pub fn name(&self) -> &str {
+        match self {
+            WalRecord::Publish { name, .. } | WalRecord::Retire { name } => name,
+        }
+    }
+}
+
+/// The suffix of a WAL that recovery refused to trust, dropped and
+/// reported instead of applied — the log-level analogue of a corrupt
+/// block's [`pardict_stream::BlockIssue`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TornTail {
+    /// Byte offset into the WAL file where the bad record starts.
+    pub offset: u64,
+    /// Bytes from `offset` to end-of-file, all dropped.
+    pub dropped_bytes: u64,
+    /// Why the scanner stopped (truncated frame, checksum mismatch, …).
+    pub reason: String,
+}
+
+impl std::fmt::Display for TornTail {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "torn tail at offset {}: {} ({} bytes dropped)",
+            self.offset, self.reason, self.dropped_bytes
+        )
+    }
+}
+
+/// One intact record found by [`scan_wal`], with its position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScannedRecord {
+    /// Byte offset of the record's frame within the file.
+    pub offset: u64,
+    /// Total on-disk length (frame + payload).
+    pub len: u64,
+    /// The record's sequence number.
+    pub seq: u64,
+    /// The decoded record.
+    pub record: WalRecord,
+}
+
+/// Everything a total scan of WAL bytes yields.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalScan {
+    /// Generation counter from the header (bumped at each compaction).
+    pub generation: u64,
+    /// The intact prefix of records, in file order.
+    pub records: Vec<ScannedRecord>,
+    /// Why the header was rejected, if it was (records is then empty).
+    pub header_issue: Option<String>,
+    /// The untrusted suffix, if the file did not end cleanly.
+    pub torn: Option<TornTail>,
+}
+
+impl WalScan {
+    /// Offset one past the last intact byte — where appends may resume.
+    pub fn valid_end(&self) -> u64 {
+        if self.header_issue.is_some() {
+            return 0;
+        }
+        self.records
+            .last()
+            .map_or(WAL_HEADER_LEN as u64, |r| r.offset + r.len)
+    }
+}
+
+pub(crate) fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn get_u32(b: &[u8]) -> u32 {
+    u32::from_le_bytes([b[0], b[1], b[2], b[3]])
+}
+
+pub(crate) fn get_u64(b: &[u8]) -> u64 {
+    u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]])
+}
+
+/// Encode a fresh WAL header for the given generation.
+pub fn encode_wal_header(generation: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(WAL_HEADER_LEN);
+    out.extend_from_slice(&WAL_MAGIC);
+    out.push(STORE_VERSION);
+    out.extend_from_slice(&[0, 0, 0]);
+    put_u64(&mut out, generation);
+    out
+}
+
+/// Encode the record payload alone (what the length prefix counts).
+fn encode_payload(record: &WalRecord) -> Vec<u8> {
+    let mut out = Vec::new();
+    match record {
+        WalRecord::Publish {
+            name,
+            version,
+            patterns,
+        } => {
+            put_u32(&mut out, name.len() as u32);
+            out.extend_from_slice(name.as_bytes());
+            put_u64(&mut out, *version);
+            put_u32(&mut out, patterns.len() as u32);
+            for p in patterns {
+                put_u32(&mut out, p.len() as u32);
+                out.extend_from_slice(p);
+            }
+        }
+        WalRecord::Retire { name } => {
+            put_u32(&mut out, name.len() as u32);
+            out.extend_from_slice(name.as_bytes());
+        }
+    }
+    out
+}
+
+/// Encode one record with its frame. Returns `None` if the payload
+/// exceeds [`MAX_RECORD_LEN`] (the caller surfaces that as an error
+/// rather than writing a record no reader would accept).
+pub fn encode_record(seq: u64, record: &WalRecord) -> Option<Vec<u8>> {
+    let payload = encode_payload(record);
+    if payload.len() > MAX_RECORD_LEN {
+        return None;
+    }
+    let mut out = Vec::with_capacity(FRAME_LEN + payload.len());
+    out.push(record.kind());
+    put_u64(&mut out, seq);
+    put_u32(&mut out, payload.len() as u32);
+    let mut crc_input = Vec::with_capacity(9 + payload.len());
+    crc_input.push(record.kind());
+    crc_input.extend_from_slice(&seq.to_le_bytes());
+    crc_input.extend_from_slice(&payload);
+    put_u32(&mut out, crc32(&crc_input));
+    out.extend_from_slice(&payload);
+    Some(out)
+}
+
+/// A bounds-checked payload reader; every getter returns `None` past the
+/// end, so decoding is total over arbitrary bytes.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        if end > self.buf.len() {
+            return None;
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Some(s)
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        self.take(4).map(get_u32)
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        self.take(8).map(get_u64)
+    }
+
+    fn done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+/// Decode a record payload whose frame (kind + CRC) already checked out.
+/// Payload bytes are still untrusted structure: a CRC-valid payload with
+/// bad internal framing (possible for adversarial writes, not for our
+/// writer) is rejected, never panicked on.
+pub fn decode_payload(kind: u8, payload: &[u8]) -> Result<WalRecord, String> {
+    let mut c = Cursor::new(payload);
+    let name = {
+        let n = c.u32().ok_or("payload truncated in name length")? as usize;
+        let raw = c.take(n).ok_or("payload truncated in name")?;
+        String::from_utf8(raw.to_vec()).map_err(|_| "name is not UTF-8".to_string())?
+    };
+    let record = match kind {
+        KIND_PUBLISH => {
+            let version = c.u64().ok_or("payload truncated in version")?;
+            let npat = c.u32().ok_or("payload truncated in pattern count")? as usize;
+            // Cap the reserve from the untrusted count; push grows it.
+            let mut patterns = Vec::with_capacity(npat.min(1024));
+            for _ in 0..npat {
+                let len = c.u32().ok_or("payload truncated in pattern length")? as usize;
+                let raw = c.take(len).ok_or("payload truncated in pattern")?;
+                patterns.push(raw.to_vec());
+            }
+            WalRecord::Publish {
+                name,
+                version,
+                patterns,
+            }
+        }
+        KIND_RETIRE => WalRecord::Retire { name },
+        other => return Err(format!("unknown record kind {other}")),
+    };
+    if !c.done() {
+        return Err("trailing bytes after payload".to_string());
+    }
+    Ok(record)
+}
+
+/// Try to decode the single record starting at `offset`. `Ok` carries
+/// the record and its total on-disk length; `Err` explains why the bytes
+/// at `offset` cannot be a record (which, mid-file, means a torn tail).
+pub fn decode_record_at(bytes: &[u8], offset: usize) -> Result<(u64, WalRecord, usize), String> {
+    let rest = &bytes[offset..];
+    if rest.len() < FRAME_LEN {
+        return Err(format!(
+            "partial frame ({} of {FRAME_LEN} header bytes)",
+            rest.len()
+        ));
+    }
+    let kind = rest[0];
+    let seq = get_u64(&rest[1..9]);
+    let len = get_u32(&rest[9..13]) as usize;
+    let crc = get_u32(&rest[13..17]);
+    if len > MAX_RECORD_LEN {
+        return Err(format!("payload length {len} exceeds cap"));
+    }
+    if rest.len() < FRAME_LEN + len {
+        return Err(format!(
+            "partial payload ({} of {len} bytes)",
+            rest.len() - FRAME_LEN
+        ));
+    }
+    let payload = &rest[FRAME_LEN..FRAME_LEN + len];
+    let mut crc_input = Vec::with_capacity(9 + len);
+    crc_input.push(kind);
+    crc_input.extend_from_slice(&seq.to_le_bytes());
+    crc_input.extend_from_slice(payload);
+    if crc32(&crc_input) != crc {
+        return Err("checksum mismatch".to_string());
+    }
+    let record = decode_payload(kind, payload)?;
+    Ok((seq, record, FRAME_LEN + len))
+}
+
+/// Scan arbitrary bytes as a WAL. Total: never panics, never errors —
+/// damage becomes a `header_issue` or a [`TornTail`] in the result.
+pub fn scan_wal(bytes: &[u8]) -> WalScan {
+    let mut scan = WalScan {
+        generation: 0,
+        records: Vec::new(),
+        header_issue: None,
+        torn: None,
+    };
+    if bytes.len() < WAL_HEADER_LEN {
+        scan.header_issue = Some(format!(
+            "file too short for header ({} of {WAL_HEADER_LEN} bytes)",
+            bytes.len()
+        ));
+        return scan;
+    }
+    if bytes[..4] != WAL_MAGIC {
+        scan.header_issue = Some("bad magic".to_string());
+        return scan;
+    }
+    if bytes[4] != STORE_VERSION {
+        scan.header_issue = Some(format!("unsupported version {}", bytes[4]));
+        return scan;
+    }
+    if bytes[5..8] != [0, 0, 0] {
+        scan.header_issue = Some("reserved header bytes set".to_string());
+        return scan;
+    }
+    scan.generation = get_u64(&bytes[8..16]);
+    let mut offset = WAL_HEADER_LEN;
+    while offset < bytes.len() {
+        match decode_record_at(bytes, offset) {
+            Ok((seq, record, len)) => {
+                scan.records.push(ScannedRecord {
+                    offset: offset as u64,
+                    len: len as u64,
+                    seq,
+                    record,
+                });
+                offset += len;
+            }
+            Err(reason) => {
+                scan.torn = Some(TornTail {
+                    offset: offset as u64,
+                    dropped_bytes: (bytes.len() - offset) as u64,
+                    reason,
+                });
+                break;
+            }
+        }
+    }
+    scan
+}

@@ -117,6 +117,25 @@ fi
 grep -q "cluster smoke ok" "$SMOKE/cluster.smoke.txt"
 grep -q "degraded responses" "$SMOKE/cluster.smoke.txt"
 
+echo "== store crash-recovery smoke"
+# Kill-and-recover over the release binary: a `serve --data-dir` child
+# acknowledges half the dictionaries, gets SIGKILLed mid-publish, and is
+# restarted from the same directory; every acknowledged dictionary must
+# come back with the right digests and the right match answers. The
+# summary is byte-identical across runs of one seed.
+STORE_SEED=2026
+"$PARDICT" store --smoke --dicts 6 --seed "$STORE_SEED" \
+  > "$SMOKE/store.txt" 2> /dev/null
+grep -q "store-smoke: ok" "$SMOKE/store.txt"
+grep -q "SIGKILL mid-publish" "$SMOKE/store.txt"
+"$PARDICT" store --smoke --dicts 6 --seed "$STORE_SEED" \
+  > "$SMOKE/store2.txt" 2> /dev/null
+if ! cmp -s "$SMOKE/store.txt" "$SMOKE/store2.txt"; then
+  echo "ci.sh: store smoke not byte-identical for seed $STORE_SEED" >&2
+  diff "$SMOKE/store.txt" "$SMOKE/store2.txt" >&2 || true
+  exit 1
+fi
+
 echo "== soak smoke slice"
 # The un-ignored *_smoke twins of every soak, in release mode (the full
 # #[ignore]d suites run via scripts/soak.sh on their own budget).

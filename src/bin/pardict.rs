@@ -13,10 +13,13 @@
 //! pardict patch   base.bin out.pdz -o new.bin    apply a delta
 //! pardict stats   in.bin                         ledger work/depth summary
 //! pardict serve   --addr 127.0.0.1:7878          concurrent serving engine
+//! pardict serve   --data-dir DIR                 …with crash-safe persistence
+//! pardict serve   --data-dir DIR --recover-only  recover, report, and exit
 //! pardict serve   --selftest                     in-process serving selftest
 //! pardict cluster --backends A,B,C               sharded router front end
 //! pardict cluster --selftest                     3-backend failover selftest
 //! pardict cluster --smoke                        process-level smoke (SIGKILL)
+//! pardict store   --smoke                        kill-and-recover smoke
 //! pardict chaos   --seed N --rounds K            fault-injection verification
 //! ```
 //!
@@ -76,6 +79,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "stats" => cmd_stats(rest),
         "serve" => cmd_serve(rest),
         "cluster" => cmd_cluster(rest),
+        "store" => cmd_store(rest),
         "chaos" => cmd_chaos(rest),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
@@ -86,7 +90,7 @@ fn run(args: &[String]) -> Result<(), String> {
 }
 
 fn usage() -> String {
-    "usage: pardict <match|grep|compress|decompress|cat|parse|delta|patch|stats|serve|cluster|chaos> \
+    "usage: pardict <match|grep|compress|decompress|cat|parse|delta|patch|stats|serve|cluster|store|chaos> \
      [--dict FILE] [-o FILE] [INPUT...]\n\
      grep:     pardict grep (--dict FILE IN | PATTERN... --in IN) \
      [--count|--offsets] [--strict]\n\
@@ -94,12 +98,17 @@ fn usage() -> String {
      compress: pardict compress [--stream|--whole] [--block-size N] IN [-o OUT]\n\
      cat:      pardict cat --range A..B CONTAINER [-o OUT]\n\
      serve: pardict serve [--addr HOST:PORT] [--dict FILE [--name NAME]] [--workers N]\n\
+     \x20       pardict serve --data-dir DIR [...]   persist publishes, recover on boot\n\
+     \x20       pardict serve --data-dir DIR --recover-only   print the recovery \
+     report and exit (1 if data was dropped)\n\
      \x20       pardict serve --selftest [--requests N] [--workers N]\n\
      cluster: pardict cluster --backends A,B,C [--addr HOST:PORT]   sharded router\n\
      \x20         pardict cluster --selftest [--requests N] [--seed S]\n\
      \x20         pardict cluster --smoke [--requests N] [--seed S]   spawns 3 \
      backends, SIGKILLs one mid-run\n\
-     chaos: pardict chaos [--seed N] [--rounds K] [--no-wire]   \
+     store: pardict store --smoke [--dicts N] [--seed S]   spawns a --data-dir \
+     backend, SIGKILLs it mid-publish, restarts, verifies every acknowledged dict\n\
+     chaos: pardict chaos [--seed N] [--rounds K] [--no-wire] [--no-storage]   \
      deterministic fault-injection report (exit 1 on violations)"
         .to_string()
 }
@@ -545,6 +554,7 @@ fn cmd_patch(args: &[String]) -> Result<(), String> {
 
 fn cmd_serve(args: &[String]) -> Result<(), String> {
     use pardict::service::{selftest, Engine, EngineConfig, Metrics, Registry, Server};
+    use pardict::store::{Store, StoreConfig};
     use std::sync::Arc;
 
     let mut addr = "127.0.0.1:7878".to_string();
@@ -553,6 +563,8 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let mut workers: Option<usize> = None;
     let mut requests: Option<usize> = None;
     let mut run_selftest = false;
+    let mut data_dir: Option<String> = None;
+    let mut recover_only = false;
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -560,6 +572,8 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             "--addr" => addr = it.next().ok_or("--addr needs HOST:PORT")?.clone(),
             "--dict" => dict_path = Some(it.next().ok_or("--dict needs a path")?.clone()),
             "--name" => name = it.next().ok_or("--name needs a name")?.clone(),
+            "--data-dir" => data_dir = Some(it.next().ok_or("--data-dir needs a path")?.clone()),
+            "--recover-only" => recover_only = true,
             "--workers" => {
                 workers = Some(
                     it.next()
@@ -594,13 +608,57 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         return Ok(());
     }
 
+    if recover_only {
+        let dir = data_dir.ok_or("--recover-only needs --data-dir DIR")?;
+        let store = Store::open(&dir, StoreConfig::default())
+            .map_err(|e| format!("opening store {dir}: {e}"))?;
+        for line in recovery_lines(store.recovery()) {
+            println!("{line}");
+        }
+        if store.recovery().is_clean() {
+            return Ok(());
+        }
+        return Err(format!(
+            "{dir}: recovery dropped untrusted data (see report above)"
+        ));
+    }
+
     let metrics = Arc::new(Metrics::default());
     let registry = Arc::new(Registry::new(Arc::clone(&metrics)));
     let mut cfg = EngineConfig::default();
     if let Some(w) = workers {
         cfg.workers = w.max(1);
     }
-    let engine = Engine::new(cfg, Arc::clone(&registry), metrics);
+    let engine = Engine::new(cfg, Arc::clone(&registry), Arc::clone(&metrics));
+
+    // Recover persisted dictionaries before anything publishes, then
+    // attach the store so every accepted publish is durable before its
+    // acknowledgement leaves the process.
+    if let Some(dir) = data_dir {
+        let store = Store::open(&dir, StoreConfig::default())
+            .map_err(|e| format!("opening store {dir}: {e}"))?;
+        let report = store.recovery().clone();
+        for line in recovery_lines(&report) {
+            eprintln!("pardict: {line}");
+        }
+        metrics
+            .store_replayed
+            .add(report.snapshot_dicts + report.wal_replayed);
+        if let Some(t) = &report.torn {
+            metrics.store_torn_dropped.add(t.dropped_bytes);
+        }
+        metrics.store_snapshot_age.add(store.since_snapshot());
+        let restored: Vec<(String, u64, Vec<Vec<u8>>)> = store
+            .dicts()
+            .map(|(n, d)| (n.to_string(), d.version, d.patterns.clone()))
+            .collect();
+        for (dict_name, version, patterns) in restored {
+            registry
+                .restore(&dict_name, version, patterns)
+                .map_err(|e| format!("restoring {dict_name}: {e}"))?;
+        }
+        registry.attach_store(store);
+    }
 
     if let Some(path) = dict_path {
         let dict = read_dict(Some(path))?;
@@ -628,6 +686,30 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     loop {
         std::thread::sleep(std::time::Duration::from_secs(3600));
     }
+}
+
+/// Render a [`RecoveryReport`](pardict::store::RecoveryReport) as the
+/// CLI's stable machine-readable lines: a `RECOVERED` summary, then one
+/// line per thing recovery refused to trust. Deterministic given the
+/// directory's bytes — no paths, no timings.
+fn recovery_lines(r: &pardict::store::RecoveryReport) -> Vec<String> {
+    let mut out = vec![format!(
+        "RECOVERED dicts {} snapshot {} wal-replayed {} wal-skipped {} generation {}",
+        r.recovered_dicts, r.snapshot_dicts, r.wal_replayed, r.wal_skipped, r.wal_generation
+    )];
+    if let Some(t) = &r.torn {
+        out.push(format!(
+            "TORN-TAIL offset {} dropped {} bytes ({})",
+            t.offset, t.dropped_bytes, t.reason
+        ));
+    }
+    if let Some(issue) = &r.snapshot_issue {
+        out.push(format!("SNAPSHOT-REJECTED {issue}"));
+    }
+    if r.stale_temp_removed {
+        out.push("STALE-TEMP removed".to_string());
+    }
+    out
 }
 
 /// `pardict cluster`: run the sharded router front end, the in-process
@@ -863,6 +945,258 @@ fn smoke_drive(
     ))
 }
 
+/// `pardict store`: the kill-and-recover smoke for the persistence
+/// layer. Only `--smoke` is implemented — the store itself has no
+/// standalone CLI surface beyond what `serve --data-dir` wires up.
+fn cmd_store(args: &[String]) -> Result<(), String> {
+    let mut run_smoke = false;
+    let mut dicts: usize = 6;
+    let mut seed: u64 = 0x0005_704E_5EED;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => run_smoke = true,
+            "--dicts" => {
+                dicts = it
+                    .next()
+                    .ok_or("--dicts needs a count")?
+                    .parse()
+                    .map_err(|e| format!("--dicts: {e}"))?;
+            }
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a number")?;
+                seed = parse_seed(v).map_err(|e| format!("--seed: {e}"))?;
+            }
+            other => return Err(format!("store: unknown flag {other:?}\n{}", usage())),
+        }
+    }
+    if !run_smoke {
+        return Err(format!(
+            "store: need --smoke (persistence rides on `serve --data-dir`)\n{}",
+            usage()
+        ));
+    }
+    store_smoke(dicts, seed)
+}
+
+/// Spawn a `pardict serve --data-dir` child on an ephemeral port and
+/// learn its address from the `LISTENING` line.
+fn spawn_store_backend(
+    exe: &std::path::Path,
+    data_dir: &std::path::Path,
+) -> Result<(std::process::Child, std::net::SocketAddr), String> {
+    use std::io::{BufRead, BufReader};
+    use std::process::{Command, Stdio};
+    let dir = data_dir
+        .to_str()
+        .ok_or("data dir path is not UTF-8")?
+        .to_string();
+    let mut child = Command::new(exe)
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "2",
+            "--data-dir",
+            &dir,
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .map_err(|e| format!("spawning backend: {e}"))?;
+    let stdout = child.stdout.take().expect("stdout was piped");
+    let listening = BufReader::new(stdout)
+        .lines()
+        .find_map(|line| line.ok()?.strip_prefix("LISTENING ").map(str::to_owned));
+    let Some(raw) = listening else {
+        let _ = child.kill();
+        return Err("backend exited without printing LISTENING".into());
+    };
+    let addr = raw
+        .parse()
+        .map_err(|e| format!("backend address {raw:?}: {e}"))?;
+    Ok((child, addr))
+}
+
+/// The kill-and-recover invariant, live: publish half the dictionaries
+/// to a `--data-dir` backend and collect their acknowledgements, fire
+/// one more publish and SIGKILL the process before reading the reply,
+/// restart it from the same directory, and require every *acknowledged*
+/// dictionary to come back — right digests, right match answers against
+/// an in-process library oracle — before publishing the rest. The
+/// summary printed to stdout contains only seed-derived facts, so equal
+/// seeds print equal bytes (the raced in-flight publish may or may not
+/// land; it is verified for integrity either way but never printed).
+/// One smoke dictionary: name, patterns, probe text, oracle hits.
+type SmokeSpec = (String, Vec<Vec<u8>>, Vec<u8>, Vec<(u64, u32)>);
+
+fn store_smoke(num_dicts: usize, seed: u64) -> Result<(), String> {
+    use pardict::workloads::{random_dictionary, random_text};
+
+    let num_dicts = num_dicts.clamp(2, 64);
+    let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+    let data_dir = std::env::temp_dir().join(format!(
+        "pardict-store-smoke-{seed:016x}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&data_dir);
+
+    // Seed-derived dictionaries, texts, and expected hits (exact-match
+    // output is fingerprint-seed-independent, so the library oracle is
+    // authoritative for the engine's match lane).
+    let specs: Vec<SmokeSpec> = (0..num_dicts)
+        .map(|i| {
+            let name = format!("dict{i}");
+            let patterns = random_dictionary(seed ^ (i as u64), 12, 3, 8, Alphabet::dna());
+            let text = random_text(seed.wrapping_add(i as u64), 800, Alphabet::dna());
+            let dict = Dictionary::new(patterns.clone());
+            let expected: Vec<(u64, u32)> = dictionary_match(&Pram::seq(), &dict, &text, 0xA5)
+                .iter_hits()
+                .map(|(p, m)| (p as u64, m.len))
+                .collect();
+            (name, patterns, text, expected)
+        })
+        .collect();
+    let acked = num_dicts / 2;
+
+    let result = store_smoke_drive(&exe, &data_dir, &specs, acked, seed);
+    let _ = std::fs::remove_dir_all(&data_dir);
+    let summary = result?;
+    print!("{summary}");
+    Ok(())
+}
+
+/// The driven middle of [`store_smoke`], separated so the caller always
+/// removes the scratch directory regardless of which step failed.
+fn store_smoke_drive(
+    exe: &std::path::Path,
+    data_dir: &std::path::Path,
+    specs: &[SmokeSpec],
+    acked: usize,
+    seed: u64,
+) -> Result<String, String> {
+    use pardict::service::registry::content_hash;
+    use pardict::service::wire::{tag, write_frame, WireRequest, WireResponse};
+    use pardict::service::Client;
+
+    // A closure shared by both phases: one dictionary's match answer
+    // must equal the library oracle's.
+    let check_match = |client: &mut Client, spec: &SmokeSpec| -> Result<(), String> {
+        let (name, _, text, expected) = spec;
+        match client
+            .op(tag::MATCH, name, text, 0)
+            .map_err(|e| format!("{name}: match transport: {e}"))?
+        {
+            Ok(WireResponse::Hits { hits, .. }) => {
+                let got: Vec<(u64, u32)> = hits.iter().map(|h| (h.pos, h.len)).collect();
+                if &got == expected {
+                    Ok(())
+                } else {
+                    Err(format!(
+                        "{name}: {} hits, oracle says {}",
+                        got.len(),
+                        expected.len()
+                    ))
+                }
+            }
+            Ok(other) => Err(format!("{name}: unexpected reply {other:?}")),
+            Err(e) => Err(format!("{name}: match rejected: {e}")),
+        }
+    };
+
+    // ---- phase 1: publish half, every one acknowledged ----
+    let (mut child, addr) = spawn_store_backend(exe, data_dir)?;
+    let phase1 = (|| -> Result<(), String> {
+        let mut client = Client::connect(addr).map_err(|e| format!("connect: {e}"))?;
+        for (name, patterns, _, _) in &specs[..acked] {
+            match client
+                .publish(name, patterns.clone())
+                .map_err(|e| format!("{name}: publish transport: {e}"))?
+            {
+                Ok((1, _)) => {}
+                Ok((v, _)) => return Err(format!("{name}: fresh publish at version {v}")),
+                Err(e) => return Err(format!("{name}: publish rejected: {e}")),
+            }
+        }
+        // The raced publish: write the request, never read the reply —
+        // SIGKILL lands while (or right after) the server handles it.
+        let mut raw =
+            std::net::TcpStream::connect(addr).map_err(|e| format!("raced connect: {e}"))?;
+        let inflight = WireRequest::Publish {
+            name: "inflight".into(),
+            patterns: specs[0].1.clone(),
+        };
+        write_frame(&mut raw, &inflight.encode()).map_err(|e| format!("raced write: {e}"))?;
+        Ok(())
+    })();
+    let _ = child.kill();
+    let _ = child.wait();
+    phase1?;
+
+    // ---- phase 2: restart from the same directory ----
+    let (mut child, addr) = spawn_store_backend(exe, data_dir)?;
+    let phase2 = (|| -> Result<(), String> {
+        let mut client = Client::connect(addr).map_err(|e| format!("reconnect: {e}"))?;
+        let digests = client.dicts().map_err(|e| format!("dicts: {e}"))?;
+        for (name, patterns, _, _) in &specs[..acked] {
+            let want = content_hash(patterns);
+            match digests.iter().find(|(n, _, _)| n == name) {
+                Some((_, 1, h)) if *h == want => {}
+                Some((_, v, h)) => {
+                    return Err(format!(
+                        "{name}: recovered as v{v} hash {h:#x}, wanted v1 hash {want:#x}"
+                    ))
+                }
+                None => return Err(format!("{name}: acknowledged but not recovered")),
+            }
+        }
+        // The raced publish may or may not have landed; if it did, it
+        // must be complete (all-or-nothing), never a torn half.
+        if let Some((_, _, h)) = digests.iter().find(|(n, _, _)| n == "inflight") {
+            let want = content_hash(&specs[0].1);
+            if *h != want {
+                return Err(format!(
+                    "inflight: recovered with hash {h:#x}, wanted {want:#x} — a torn publish leaked"
+                ));
+            }
+        }
+        for spec in &specs[..acked] {
+            check_match(&mut client, spec)?;
+        }
+        // ---- phase 3: the recovered store keeps accepting publishes ----
+        for spec in &specs[acked..] {
+            let (name, patterns, _, _) = spec;
+            match client
+                .publish(name, patterns.clone())
+                .map_err(|e| format!("{name}: publish transport: {e}"))?
+            {
+                Ok((1, _)) => {}
+                Ok((v, _)) => return Err(format!("{name}: fresh publish at version {v}")),
+                Err(e) => return Err(format!("{name}: publish rejected: {e}")),
+            }
+            check_match(&mut client, spec)?;
+        }
+        Ok(())
+    })();
+    let _ = child.kill();
+    let _ = child.wait();
+    phase2?;
+
+    let total_hits: usize = specs.iter().map(|(_, _, _, e)| e.len()).sum();
+    Ok(format!(
+        "pardict-store smoke (seed {seed}, dicts {})\n\
+         phase-1: {acked} dicts published and acknowledged, then SIGKILL mid-publish\n\
+         phase-2: all {acked} acknowledged dicts recovered from the data dir \
+         (digests and matches agree with the oracle)\n\
+         phase-3: {} more dicts published after recovery; {} oracle hits verified\n\
+         store-smoke: ok\n",
+        specs.len(),
+        specs.len() - acked,
+        total_hits,
+    ))
+}
+
 /// `pardict chaos`: run the deterministic fault-injection suite and print
 /// its report. The report is byte-identical for equal seeds, so a failure
 /// in CI reproduces locally from the seed alone.
@@ -884,6 +1218,7 @@ fn cmd_chaos(args: &[String]) -> Result<(), String> {
                     .map_err(|e| format!("--rounds: {e}"))?;
             }
             "--no-wire" => cfg.wire = false,
+            "--no-storage" => cfg.storage = false,
             other => return Err(format!("chaos: unknown flag {other:?}\n{}", usage())),
         }
     }

@@ -69,6 +69,7 @@
 //! | [`workloads`] | seeded synthetic corpora and dictionaries |
 //! | [`service`] | concurrent serving: hot-swap registry, batching, metrics |
 //! | [`stream`] | chunked parallel LZ1 streaming, framed random-access container |
+//! | [`store`] | crash-safe persistent dictionary state: WAL, snapshots, recovery |
 //! | [`search`] | block-parallel dictionary matching over compressed containers |
 //! | [`chaos`] | deterministic fault injection and differential verification |
 //! | [`cluster`] | sharded routing, scatter-gather, failover across service backends |
@@ -84,6 +85,7 @@ pub use pardict_pram as pram;
 pub use pardict_rmq as rmq;
 pub use pardict_search as search;
 pub use pardict_service as service;
+pub use pardict_store as store;
 pub use pardict_stream as stream;
 pub use pardict_suffix as suffix;
 pub use pardict_veb as veb;

@@ -18,6 +18,7 @@ fn chaos_report_is_byte_identical_per_seed() {
         seed: 0xC4A0_5EED,
         rounds: 2,
         wire: false,
+        storage: true,
     };
     let a = run_chaos(&cfg);
     let b = run_chaos(&cfg);
@@ -34,6 +35,7 @@ fn different_seeds_give_different_plans() {
         seed: 1,
         rounds: 1,
         wire: false,
+        storage: false,
     };
     let a = run_chaos(&base);
     let b = run_chaos(&ChaosConfig { seed: 2, ..base });
@@ -53,6 +55,7 @@ fn every_fault_class_is_reported_with_a_verdict() {
         seed: 2026,
         rounds: 4,
         wire: false,
+        storage: false,
     });
     for class in [
         "payload-bit-flip",
@@ -88,6 +91,7 @@ fn wire_chaos_holds_against_a_live_server() {
         seed: 7,
         rounds: 0,
         wire: true,
+        storage: false,
     });
     for scenario in [
         "malformed-frame",
@@ -101,6 +105,33 @@ fn wire_chaos_holds_against_a_live_server() {
         assert!(
             report.text.contains(scenario),
             "wire scenario {scenario} missing from report:\n{}",
+            report.text
+        );
+    }
+    assert_eq!(report.violations, 0, "report:\n{}", report.text);
+}
+
+/// The storage section: every scripted fault class against a
+/// `pardict-store` data directory must appear with a verdict, and a
+/// clean stack must violate none of the recovery oracles.
+#[test]
+fn storage_chaos_holds_on_a_clean_stack() {
+    let report = run_chaos(&ChaosConfig {
+        seed: 31,
+        rounds: 0,
+        wire: false,
+        storage: true,
+    });
+    for class in [
+        "clean directory recovers",
+        "torn-final-record",
+        "wal-record-bit-flip",
+        "truncated-snapshot",
+        "stale-temp-leftover",
+    ] {
+        assert!(
+            report.text.contains(class),
+            "storage fault class {class} missing from report:\n{}",
             report.text
         );
     }

@@ -585,3 +585,96 @@ fn chaos_subcommand_is_deterministic_and_exits_zero() {
     assert!(text.contains("verdict:"));
     assert!(text.contains("0 violated"));
 }
+
+/// Storage rows of the exit-code matrix: `serve --data-dir` must refuse
+/// unusable paths with a nonzero exit, and `--recover-only` must map
+/// clean recovery to exit 0 and dropped-data recovery to exit 1 with the
+/// report on stdout.
+#[test]
+fn storage_exit_code_matrix() {
+    use pardict::store::{Store, StoreConfig, WAL_FILE};
+    let code = |out: &std::process::Output| out.status.code().unwrap();
+
+    // --data-dir pointing at a regular file: environmental, exit 1.
+    let file = write_tmp("ec-store-file", b"not a directory");
+    let out = bin()
+        .args(["serve", "--data-dir"])
+        .arg(&file)
+        .args(["--recover-only"])
+        .output()
+        .unwrap();
+    assert_eq!(code(&out), 1, "a regular file is not a data dir");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("not a directory"), "{err}");
+
+    // --data-dir with a missing value: usage error, exit 1.
+    assert_eq!(
+        code(&bin().args(["serve", "--data-dir"]).output().unwrap()),
+        1
+    );
+
+    // A data dir that cannot be created (parent is a file): exit 1.
+    let out = bin()
+        .args(["serve", "--data-dir"])
+        .arg(file.join("child"))
+        .args(["--recover-only"])
+        .output()
+        .unwrap();
+    assert_eq!(code(&out), 1, "uncreatable data dir must fail");
+
+    // Craft a directory whose WAL ends in a torn record: recovery drops
+    // the tail, reports it on stdout, and --recover-only exits 1 so
+    // operators notice data went missing.
+    let dir = std::env::temp_dir().join("pardict-cli-tests/ec-store-torn");
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg = StoreConfig {
+        sync: false,
+        ..StoreConfig::default()
+    };
+    {
+        let mut store = Store::open(&dir, cfg).unwrap();
+        store
+            .log_publish("alpha", 1, &[b"he".to_vec(), b"she".to_vec()])
+            .unwrap();
+        store.log_publish("beta", 1, &[b"hers".to_vec()]).unwrap();
+    }
+    let wal = dir.join(WAL_FILE);
+    let len = std::fs::metadata(&wal).unwrap().len();
+    std::fs::File::options()
+        .write(true)
+        .open(&wal)
+        .unwrap()
+        .set_len(len - 3)
+        .unwrap();
+    let out = bin()
+        .args(["serve", "--data-dir"])
+        .arg(&dir)
+        .args(["--recover-only"])
+        .output()
+        .unwrap();
+    assert_eq!(code(&out), 1, "dropped tail must exit nonzero");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("TORN-TAIL"), "{stdout}");
+    assert!(
+        stdout.contains("RECOVERED dicts 1 snapshot 0 wal-replayed 1"),
+        "the intact first record must survive: {stdout}"
+    );
+
+    // Recovery truncated the untrusted tail, so a second pass over the
+    // same directory is clean: exit 0, RECOVERED line, no TORN-TAIL.
+    let out = bin()
+        .args(["serve", "--data-dir"])
+        .arg(&dir)
+        .args(["--recover-only"])
+        .output()
+        .unwrap();
+    assert_eq!(
+        code(&out),
+        0,
+        "repaired dir must recover cleanly: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("RECOVERED dicts 1"), "{stdout}");
+    assert!(!stdout.contains("TORN-TAIL"), "{stdout}");
+}

@@ -207,6 +207,74 @@ fn approximation_ratio_within_15_percent() {
     );
 }
 
+/// `slice_container` edge cases: empty ranges are rejected (in block
+/// units, with the block count in the error), a single-block slice is a
+/// standalone container decoding exactly that block, and a slice over
+/// data whose length is an exact multiple of the block size — every
+/// block full, the range ending on the final boundary — round-trips.
+#[test]
+fn slice_container_edge_cases() {
+    use pardict::stream::slice_container;
+    let pram = Pram::seq();
+    let decode = |bytes: &[u8]| {
+        let (out, summary) = decompress_stream(&pram, &mut &bytes[..], Vec::new()).unwrap();
+        assert!(summary.issues.is_empty());
+        out
+    };
+
+    // 1000 bytes at block size 250: four blocks, all exactly full, so
+    // the container's "last block may be short" invariant is exercised
+    // at its boundary (the last block is not short).
+    let data = markov_text(0x51_1CE, 1000, Alphabet::lowercase());
+    let packed = pack(&data, 250);
+
+    // Empty ranges — both degenerate (a..a) and inverted-by-zero (0..0)
+    // — are errors naming block units, not silent empty containers.
+    for empty in [0..0, 2..2, 4..4] {
+        match slice_container(&packed, empty.clone()) {
+            Err(StreamError::RangeOutOfBounds { start, end, len }) => {
+                assert_eq!((start, end), (empty.start as u64, empty.end as u64));
+                assert_eq!(len, 4, "len must be the block count");
+            }
+            other => panic!("empty range {empty:?} must be rejected, got {other:?}"),
+        }
+    }
+    // A range past the block count is out of bounds, not clamped.
+    assert!(matches!(
+        slice_container(&packed, 3..5),
+        Err(StreamError::RangeOutOfBounds { .. })
+    ));
+
+    // Single-block ranges: each is a valid standalone container holding
+    // exactly that block's bytes.
+    for i in 0..4 {
+        let one = slice_container(&packed, i..i + 1).unwrap();
+        assert!(is_container(&one), "block {i} slice must be a container");
+        assert_eq!(decode(&one), &data[i * 250..(i + 1) * 250]);
+    }
+
+    // Range ending exactly on the final block boundary: the slice is the
+    // tail of the data, and slicing the full range reproduces the data.
+    assert_eq!(
+        decode(&slice_container(&packed, 1..4).unwrap()),
+        &data[250..]
+    );
+    assert_eq!(decode(&slice_container(&packed, 0..4).unwrap()), data);
+
+    // Same boundary case when the original last block IS short: a range
+    // ending just before it stops at the boundary of full blocks.
+    let ragged = markov_text(0x51_1CF, 1001, Alphabet::lowercase());
+    let packed = pack(&ragged, 250); // 5 blocks, last holds 1 byte
+    assert_eq!(
+        decode(&slice_container(&packed, 2..4).unwrap()),
+        &ragged[500..1000]
+    );
+    assert_eq!(
+        decode(&slice_container(&packed, 4..5).unwrap()),
+        &ragged[1000..]
+    );
+}
+
 /// Seq and Par pipelines produce identical containers and identical ledger
 /// charges — the simulator invariant extended to the new subsystem.
 #[test]
