@@ -61,7 +61,7 @@ fn bench_random_access(c: &mut Criterion) {
 
     let mut g = c.benchmark_group("stream_random_access");
     g.sample_size(10);
-    g.bench_function("full_decode", |b| {
+    g.bench_function(BenchmarkId::new("full_decode", 8), |b| {
         b.iter(|| {
             let mut rdr = StreamReader::open(std::io::Cursor::new(&container)).unwrap();
             rdr.read_all(&Pram::par()).unwrap()
@@ -69,7 +69,7 @@ fn bench_random_access(c: &mut Criterion) {
     });
     // A 4 KiB slice from the middle touches one block of eight.
     let mid = text.len() as u64 / 2;
-    g.bench_function("range_4k", |b| {
+    g.bench_function(BenchmarkId::new("range_4k", 4096), |b| {
         b.iter(|| {
             let mut rdr = StreamReader::open(std::io::Cursor::new(&container)).unwrap();
             rdr.read_range(&Pram::par(), mid, mid + 4096).unwrap()

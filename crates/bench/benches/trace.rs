@@ -1,0 +1,101 @@
+//! Criterion wall-clock benches for the tracing layer: the same engine
+//! match workload with tracing disabled, head-sampled at 1-in-64, and
+//! fully sampled. The disabled column is the PR gate — a traced build
+//! with no tracer installed must stay within noise of the untraced
+//! baseline, because every hook is an `Option` check on a cold path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pardict_service::{Engine, EngineConfig, Metrics, OpRequest, Registry, Request};
+use pardict_trace::{TraceConfig, Tracer};
+use pardict_workloads::{random_dictionary, text_with_planted_matches, Alphabet};
+use std::sync::Arc;
+
+fn engine_config() -> EngineConfig {
+    EngineConfig {
+        workers: 0,
+        queue_depth: 4096,
+        max_batch: 32,
+        seq_threshold: 512,
+        stream_threshold: 1 << 16,
+    }
+}
+
+fn traced_engine(tracer: Option<Arc<Tracer>>) -> Engine {
+    let metrics = Arc::new(Metrics::default());
+    let registry = Arc::new(Registry::new(Arc::clone(&metrics)));
+    Engine::new_traced(engine_config(), registry, metrics, tracer)
+}
+
+fn tracer(sample_one_in: u32) -> Arc<Tracer> {
+    Tracer::new(TraceConfig {
+        sample_one_in,
+        seed: 0xBE4C,
+        capacity: 1 << 16,
+        deterministic: false,
+    })
+}
+
+fn bench_trace_overhead(c: &mut Criterion) {
+    let alpha = Alphabet::dna();
+    let patterns = random_dictionary(5, 256, 4, 12, alpha);
+    let n = 1usize << 14;
+    let text = text_with_planted_matches(n as u64, &patterns, n, 25, alpha);
+
+    let mut g = c.benchmark_group("trace_overhead");
+    g.sample_size(10);
+
+    // Baseline: no tracer installed. Hooks compile in but every one is a
+    // `None` branch — this column must match the pre-tracing engine.
+    let off = traced_engine(None);
+    off.registry().publish("d", patterns.clone()).unwrap();
+    g.bench_with_input(BenchmarkId::new("off", n), &text, |b, t| {
+        b.iter(|| {
+            off.call(Request::new(OpRequest::Match {
+                dict: "d".into(),
+                text: t.to_vec(),
+            }))
+        });
+    });
+
+    // Production shape: head sampling keeps 1 trace in 64; the other 63
+    // requests pay one hash + one modulo.
+    let sampled_tracer = tracer(64);
+    let sampled = traced_engine(Some(Arc::clone(&sampled_tracer)));
+    sampled.registry().publish("d", patterns.clone()).unwrap();
+    g.bench_with_input(BenchmarkId::new("sampled_1_in_64", n), &text, |b, t| {
+        b.iter(|| {
+            let resp = sampled.call(
+                Request::new(OpRequest::Match {
+                    dict: "d".into(),
+                    text: t.to_vec(),
+                })
+                .traced(sampled_tracer.begin_trace()),
+            );
+            let _ = sampled_tracer.drain();
+            resp
+        });
+    });
+
+    // Worst case: every request traced, every wave a span.
+    let full_tracer = tracer(1);
+    let full = traced_engine(Some(Arc::clone(&full_tracer)));
+    full.registry().publish("d", patterns.clone()).unwrap();
+    g.bench_with_input(BenchmarkId::new("full", n), &text, |b, t| {
+        b.iter(|| {
+            let resp = full.call(
+                Request::new(OpRequest::Match {
+                    dict: "d".into(),
+                    text: t.to_vec(),
+                })
+                .traced(full_tracer.begin_trace()),
+            );
+            let _ = full_tracer.drain();
+            resp
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_trace_overhead);
+criterion_main!(benches);

@@ -7,6 +7,7 @@
 use crate::router::{ClusterError, Router};
 use pardict_service::wire::{self, read_frame, write_frame, WireRequest, WireResponse};
 use pardict_service::ServiceError;
+use pardict_trace::{SpanId, TraceCtx, TraceId};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -114,8 +115,33 @@ fn error_response(e: &ClusterError) -> WireResponse {
 }
 
 fn handle(router: &Router, req: WireRequest) -> WireResponse {
+    // Unwrap the trace envelope first: the context only takes effect when
+    // this router is actually tracing (a tracer-less router serves the
+    // inner request and drops the context on the floor, by design).
+    let (req, trace) = match req {
+        WireRequest::Traced {
+            trace,
+            parent,
+            inner,
+        } => {
+            let ctx = router.tracer().is_some().then_some(TraceCtx {
+                trace: TraceId(trace),
+                parent: SpanId(parent),
+            });
+            (*inner, ctx)
+        }
+        other => (other, None),
+    };
     match req {
         WireRequest::Ping => WireResponse::Pong,
+        WireRequest::Hello { extensions: _ } => WireResponse::Hello {
+            extensions: if router.tracer().is_some() {
+                wire::EXT_TRACE
+            } else {
+                0
+            },
+        },
+        WireRequest::Traced { .. } => unreachable!("nested Traced rejected by the decoder"),
         WireRequest::Dicts => WireResponse::DictList(router.dict_digests()),
         WireRequest::Metrics => WireResponse::MetricsReport(router.report()),
         WireRequest::Stats => match router.merged_stats() {
@@ -148,7 +174,7 @@ fn handle(router: &Router, req: WireRequest) -> WireResponse {
                     message: format!("unknown op tag {tag}"),
                 };
             }
-            let routed = router.op(tag, &dict, &text, timeout_ms);
+            let routed = router.op_traced(tag, &dict, &text, timeout_ms, trace);
             match routed.result {
                 Ok(resp) => resp,
                 Err(e) => error_response(&e),

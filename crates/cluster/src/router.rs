@@ -29,6 +29,7 @@ use pardict_service::wire::{self, WireResponse};
 use pardict_service::Hit;
 use pardict_service::{Client, ClientConfig, MetricsSnapshot, ServiceError};
 use pardict_stream::{slice_container, ContainerLayout};
+use pardict_trace::{SpanGuard, TraceCtx, Tracer};
 use std::collections::HashMap;
 use std::io;
 use std::net::SocketAddr;
@@ -135,10 +136,11 @@ pub struct PublishSummary {
 }
 
 /// The per-attempt closure [`Router::dispatch`] retries across shards:
-/// given a connected client and the milliseconds left before the
-/// request's deadline, produce the transport result of one wire call.
+/// given a connected client, the milliseconds left before the request's
+/// deadline, and the trace context of this attempt's span (for wire
+/// propagation), produce the transport result of one wire call.
 type ShardCall<'a, T> =
-    &'a (dyn Fn(&mut Client, u32) -> io::Result<Result<T, ServiceError>> + Sync);
+    &'a (dyn Fn(&mut Client, u32, Option<TraceCtx>) -> io::Result<Result<T, ServiceError>> + Sync);
 
 /// What one shard attempt produced.
 enum Attempt<T> {
@@ -170,6 +172,7 @@ pub struct Router {
     rr: AtomicUsize,
     probe_stop: Arc<AtomicBool>,
     probe_thread: Mutex<Option<JoinHandle<()>>>,
+    tracer: Option<Arc<Tracer>>,
 }
 
 impl Router {
@@ -177,6 +180,19 @@ impl Router {
     /// healthy until proven otherwise.
     #[must_use]
     pub fn new(addrs: &[SocketAddr], cfg: ClusterConfig) -> Self {
+        Self::new_traced(addrs, cfg, None)
+    }
+
+    /// [`Router::new`] with a tracer: routed requests get a `route` root
+    /// span, each shard attempt a nested `attempt` span, and scatter
+    /// ranges `scatter` spans — all propagated to backends over the wire
+    /// (when they negotiated [`wire::EXT_TRACE`]).
+    #[must_use]
+    pub fn new_traced(
+        addrs: &[SocketAddr],
+        cfg: ClusterConfig,
+        tracer: Option<Arc<Tracer>>,
+    ) -> Self {
         let backends = addrs
             .iter()
             .enumerate()
@@ -197,6 +213,7 @@ impl Router {
             rr: AtomicUsize::new(0),
             probe_stop: Arc::new(AtomicBool::new(false)),
             probe_thread: Mutex::new(None),
+            tracer,
         }
     }
 
@@ -204,6 +221,21 @@ impl Router {
     #[must_use]
     pub fn metrics(&self) -> &ClusterMetrics {
         &self.metrics
+    }
+
+    /// The tracer, when tracing is on.
+    #[must_use]
+    pub fn tracer(&self) -> Option<&Arc<Tracer>> {
+        self.tracer.as_ref()
+    }
+
+    /// Root span for one routed request: nests under `inbound` when the
+    /// client propagated a context, otherwise starts (and head-samples) a
+    /// fresh trace. `None` when tracing is off or the trace is unsampled.
+    fn route_span(&self, name: &'static str, inbound: Option<TraceCtx>) -> Option<SpanGuard<'_>> {
+        let t = self.tracer.as_ref()?;
+        let ctx = inbound.or_else(|| t.begin_trace())?;
+        Some(t.start(ctx, name, 0))
     }
 
     /// Number of backends (healthy or not).
@@ -293,10 +325,16 @@ impl Router {
     /// bounded attempts, exponential backoff, and deadline awareness.
     /// Returns the payload plus whether the request failed over (served
     /// only after a failed attempt elsewhere).
+    ///
+    /// With tracing on and a `parent` context, every attempt — including
+    /// the failed ones a failover leaves behind — records an `attempt`
+    /// span under the parent, indexed `shard | attempt_number << 32`, and
+    /// the attempt's own context rides to the backend through `f`.
     fn dispatch<T>(
         &self,
         order: &[usize],
         deadline: Option<Instant>,
+        parent: Option<TraceCtx>,
         f: ShardCall<'_, T>,
     ) -> Result<(T, bool), ClusterError> {
         let mut tried = 0u32;
@@ -327,7 +365,16 @@ impl Router {
                     .unwrap_or(u32::MAX)
                     .max(1)
             });
-            match self.call_shard(shard, &|c: &mut Client| f(c, remaining_ms)) {
+            let span = match (&self.tracer, parent) {
+                (Some(t), Some(ctx)) => Some(t.start(
+                    ctx,
+                    "attempt",
+                    u64::try_from(shard).unwrap_or(u64::MAX) | (u64::from(tried - 1) << 32),
+                )),
+                _ => None,
+            };
+            let actx = span.as_ref().map(SpanGuard::ctx);
+            match self.call_shard(shard, &|c: &mut Client| f(c, remaining_ms, actx)) {
                 Attempt::Ok(v) => {
                     let failed_over = tried > 1;
                     if failed_over {
@@ -537,8 +584,23 @@ impl Router {
     /// name, round-robin for dictionary-less compress. `tag::GREPZ`
     /// delegates to the scatter-gather path.
     pub fn op(&self, tag: u8, dict: &str, text: &[u8], timeout_ms: u32) -> Routed {
+        self.op_traced(tag, dict, text, timeout_ms, None)
+    }
+
+    /// [`Router::op`] with an inbound trace context (from a client that
+    /// propagated one through the cluster front end). With tracing on,
+    /// the request records a `route` root span with each shard attempt
+    /// nested under it.
+    pub fn op_traced(
+        &self,
+        tag: u8,
+        dict: &str,
+        text: &[u8],
+        timeout_ms: u32,
+        inbound: Option<TraceCtx>,
+    ) -> Routed {
         if tag == wire::tag::GREPZ {
-            return self.grepz(dict, text, timeout_ms);
+            return self.grepz_traced(dict, text, timeout_ms, inbound);
         }
         let started = Instant::now();
         self.metrics.requests.inc();
@@ -552,10 +614,15 @@ impl Router {
         };
         let deadline =
             (timeout_ms > 0).then(|| started + Duration::from_millis(u64::from(timeout_ms)));
+        let route = self.route_span("route", inbound);
+        let rctx = route.as_ref().map(SpanGuard::ctx);
         let text = text.to_vec();
-        let outcome = self.dispatch(&order, deadline, &move |c: &mut Client, remaining| {
-            c.op(tag, dict, &text, remaining)
-        });
+        let outcome = self.dispatch(
+            &order,
+            deadline,
+            rctx,
+            &move |c: &mut Client, remaining, actx| c.op_traced(tag, dict, &text, remaining, actx),
+        );
         let (result, failed_over) = match outcome {
             Ok((resp, fo)) => (Ok(resp), fo),
             Err(e) => (Err(e), false),
@@ -583,11 +650,27 @@ impl Router {
     /// dictionary, or an unparseable container — the shard's own reader
     /// produces the authoritative issue reports for that last case).
     pub fn grepz(&self, dict: &str, container: &[u8], timeout_ms: u32) -> Routed {
+        self.grepz_traced(dict, container, timeout_ms, None)
+    }
+
+    /// [`Router::grepz`] with an inbound trace context. With tracing on,
+    /// the fan-out records a `route` root span, one `scatter` span per
+    /// block range (indexed by range number), and `attempt` spans for
+    /// every shard try — including failover retries — nested inside.
+    pub fn grepz_traced(
+        &self,
+        dict: &str,
+        container: &[u8],
+        timeout_ms: u32,
+        inbound: Option<TraceCtx>,
+    ) -> Routed {
         let started = Instant::now();
         self.metrics.requests.inc();
         self.ensure_some_healthy();
         let deadline =
             (timeout_ms > 0).then(|| started + Duration::from_millis(u64::from(timeout_ms)));
+        let route = self.route_span("route", inbound);
+        let rctx = route.as_ref().map(SpanGuard::ctx);
         let healthy = self.healthy_ids();
         let max_len = self
             .dicts
@@ -604,11 +687,13 @@ impl Router {
             let single = self.dispatch(
                 &ranking(dict, self.backends.len()),
                 deadline,
-                &|c: &mut Client, remaining| match c.op(
+                rctx,
+                &|c: &mut Client, remaining, actx| match c.op_traced(
                     wire::tag::GREPZ,
                     dict,
                     container,
                     remaining,
+                    actx,
                 ) {
                     Ok(Ok(WireResponse::ContainerHits {
                         version,
@@ -672,6 +757,13 @@ impl Router {
                     let assigned = healthy[i % healthy.len()];
                     let layout_bs = block_size as u64;
                     s.spawn(move || -> RangeOut {
+                        let scatter = match (&self.tracer, rctx) {
+                            (Some(t), Some(ctx)) => {
+                                Some(t.start(ctx, "scatter", u64::try_from(i).unwrap_or(u64::MAX)))
+                            }
+                            _ => None,
+                        };
+                        let sctx = scatter.as_ref().map(SpanGuard::ctx);
                         let slice_start = r.start.saturating_sub(overlap);
                         let slice = slice_container(container, slice_start..r.end)
                             .map_err(|_| ClusterError::NoBackends)?;
@@ -683,11 +775,13 @@ impl Router {
                         let out = self.dispatch(
                             &order,
                             deadline,
-                            &|c: &mut Client, remaining| match c.op(
+                            sctx,
+                            &|c: &mut Client, remaining, actx| match c.op_traced(
                                 wire::tag::GREPZ,
                                 dict,
                                 &slice,
                                 remaining,
+                                actx,
                             ) {
                                 Ok(Ok(WireResponse::ContainerHits {
                                     version,

@@ -35,6 +35,14 @@ impl Cost {
             depth: self.depth + other.depth,
         }
     }
+
+    /// True when this cost can account for `other` in both components.
+    /// Span-cost bookkeeping relies on this: a parent span's inclusive
+    /// cost must dominate the sum of its children's costs.
+    #[must_use]
+    pub fn dominates(&self, other: Cost) -> bool {
+        self.work >= other.work && self.depth >= other.depth
+    }
 }
 
 /// Interior-mutable work/depth counters.

@@ -218,6 +218,10 @@ pub fn grep_range<R: Read + Seek>(
     let mut next = blocks.start;
     while next < blocks.end {
         let wave_end = (next + wave_size).min(blocks.end);
+        // Per-wave span (indexed by the wave's first block), attributed
+        // the wave's metered cost delta; inert without an ambient scope.
+        let wave_span = pardict_trace::scoped_span("search-wave", next as u64);
+        let wave_before = pram.cost();
 
         // Fetch compressed payloads sequentially (seekable I/O is serial).
         let mut fetched = Vec::with_capacity(wave_end - next);
@@ -296,6 +300,7 @@ pub fn grep_range<R: Read + Seek>(
                 .extend(hits.into_iter().filter(|h| h.pos >= start && h.pos < end));
         }
         summary.blocks_searched += bufs.len() as u64;
+        wave_span.finish(pram.cost().since(wave_before));
         next = wave_end;
     }
 

@@ -24,6 +24,7 @@ use crate::types::{
 };
 use pardict_compress::{encode_tokens, greedy_parse, lz1_compress, optimal_parse};
 use pardict_pram::Pram;
+use pardict_trace::Tracer;
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -72,6 +73,9 @@ impl Default for EngineConfig {
 struct Job {
     req: Request,
     enqueued: Instant,
+    /// Tracer-clock reading at admission (0 when the request is untraced);
+    /// becomes the start of the "request" span so queueing time is visible.
+    trace_start: u64,
     ticket: Arc<TicketState>,
 }
 
@@ -126,6 +130,7 @@ struct Inner {
     cfg: EngineConfig,
     registry: Arc<Registry>,
     metrics: Arc<Metrics>,
+    tracer: Option<Arc<Tracer>>,
     q: Mutex<QueueState>,
     cv: Condvar,
     workers: Mutex<Vec<JoinHandle<()>>>,
@@ -141,11 +146,25 @@ impl Engine {
     /// Build an engine over `registry`/`metrics` and start its workers.
     #[must_use]
     pub fn new(cfg: EngineConfig, registry: Arc<Registry>, metrics: Arc<Metrics>) -> Self {
+        Self::new_traced(cfg, registry, metrics, None)
+    }
+
+    /// [`Engine::new`] plus an optional tracer: requests carrying a
+    /// [`pardict_trace::TraceCtx`] then emit request → exec → wave spans
+    /// with their exact ledger [`pardict_pram::Cost`] attached.
+    #[must_use]
+    pub fn new_traced(
+        cfg: EngineConfig,
+        registry: Arc<Registry>,
+        metrics: Arc<Metrics>,
+        tracer: Option<Arc<Tracer>>,
+    ) -> Self {
         let engine = Self {
             inner: Arc::new(Inner {
                 cfg: cfg.clone(),
                 registry,
                 metrics,
+                tracer,
                 q: Mutex::new(QueueState {
                     jobs: VecDeque::new(),
                     shutdown: false,
@@ -194,6 +213,12 @@ impl Engine {
         &self.inner.cfg
     }
 
+    /// The tracer, when this engine was built with one.
+    #[must_use]
+    pub fn tracer(&self) -> Option<&Arc<Tracer>> {
+        self.inner.tracer.as_ref()
+    }
+
     /// Enqueue a request.
     ///
     /// # Errors
@@ -210,9 +235,14 @@ impl Engine {
             return Err(ServiceError::Overloaded);
         }
         let state = Arc::new(TicketState::default());
+        let trace_start = match (&inner.tracer, req.trace) {
+            (Some(t), Some(_)) => t.now(),
+            _ => 0,
+        };
         q.jobs.push_back(Job {
             req,
             enqueued: Instant::now(),
+            trace_start,
             ticket: Arc::clone(&state),
         });
         inner.metrics.submitted.inc();
@@ -307,14 +337,42 @@ impl Engine {
                 Ok(())
             };
 
+            // A traced request gets a "request" span (opened at admission
+            // time, so queueing is visible) with an "exec" child covering
+            // the metered execution; the ambient scope lets wave loops in
+            // stream/search hang per-wave spans under "exec" without any
+            // signature changes down there.
+            let tctx = match (&self.inner.tracer, job.req.trace) {
+                (Some(t), Some(ctx)) => Some((Arc::clone(t), ctx)),
+                _ => None,
+            };
+            let mut req_span = tctx
+                .as_ref()
+                .map(|(t, ctx)| t.start_at(*ctx, "request", 0, job.trace_start));
+
             let (result, cost, lane) = match outcome {
                 Err(e) => (Err(e), pardict_pram::Cost::default(), Lane::Batched),
                 Ok(()) => {
                     let mut lane = Lane::Batched;
-                    let (result, cost) = pram.metered(|p| self.execute(p, &job.req.op, &mut lane));
+                    let (result, cost) = if let (Some((t, _)), Some(rs)) = (&tctx, &req_span) {
+                        let mut exec_span = t.start(rs.ctx(), "exec", 0);
+                        let (r, c) = pardict_trace::with_scope(t, exec_span.ctx(), || {
+                            pram.metered(|p| self.execute(p, &job.req.op, &mut lane))
+                        });
+                        exec_span.set_lane(lane.name());
+                        exec_span.finish(c);
+                        (r, c)
+                    } else {
+                        pram.metered(|p| self.execute(p, &job.req.op, &mut lane))
+                    };
                     (result, cost, lane)
                 }
             };
+
+            if let Some(mut rs) = req_span.take() {
+                rs.set_lane(lane.name());
+                rs.finish(cost);
+            }
 
             let exec = exec_start.elapsed();
             match lane {
@@ -564,6 +622,7 @@ mod tests {
     fn expired_deadline_is_rejected_not_executed() {
         let e = engine_with(0, 8);
         let req = Request {
+            trace: None,
             op: OpRequest::Compress {
                 text: b"abc".to_vec(),
             },

@@ -229,6 +229,7 @@ pub fn run(opts: &SelftestOptions) -> Result<String, String> {
                 text: b"deadline probe".to_vec(),
             },
             deadline: Some(std::time::Instant::now() - Duration::from_millis(1)),
+            trace: None,
         });
         if !matches!(resp.result, Err(ServiceError::DeadlineExceeded)) {
             return Err(format!("expired deadline not rejected: {:?}", resp.result));
@@ -433,6 +434,146 @@ fn verify_reply(
     }
 }
 
+/// Knobs for the deterministic traced selftest phase
+/// (`pardict serve --selftest --trace-out FILE`).
+#[derive(Debug, Clone)]
+pub struct TraceRunOptions {
+    /// Requests to issue (sequentially).
+    pub requests: usize,
+    /// Workload *and* tracer seed: same seed, byte-identical export.
+    pub seed: u64,
+    /// Head-sampling rate (0/1 = trace everything).
+    pub sample_one_in: u32,
+}
+
+impl Default for TraceRunOptions {
+    fn default() -> Self {
+        Self {
+            requests: 64,
+            seed: 0xDEC0_DE42,
+            sample_one_in: 1,
+        }
+    }
+}
+
+/// Deterministic traced run: a zero-worker engine (inline execution), a
+/// logical-tick tracer clock, and a seeded *sequential* workload issued
+/// over a TCP loopback with trace-context propagation — so the export
+/// exercises the full `HELLO`/`TRACED` wire path and is still
+/// byte-identical across runs of one seed.
+///
+/// Returns `(summary, jsonl export)`.
+///
+/// # Errors
+/// The first failed request or infrastructure step.
+#[allow(clippy::too_many_lines)]
+pub fn trace_run(opts: &TraceRunOptions) -> Result<(String, String), String> {
+    use pardict_trace::{export, Tracer};
+
+    let tracer = Tracer::new(pardict_trace::TraceConfig {
+        sample_one_in: opts.sample_one_in,
+        seed: opts.seed,
+        capacity: 1 << 16,
+        deterministic: true,
+    });
+    let metrics = Arc::new(Metrics::default());
+    let registry = Arc::new(Registry::new(Arc::clone(&metrics)));
+    let engine = Engine::new_traced(
+        EngineConfig {
+            workers: 0, // inline: one thread, one deterministic tick order
+            queue_depth: 4096,
+            max_batch: 8,
+            seq_threshold: 512,
+            stream_threshold: 1024,
+        },
+        Arc::clone(&registry),
+        Arc::clone(&metrics),
+        Some(Arc::clone(&tracer)),
+    );
+
+    let alpha = Alphabet::dna();
+    let pats = random_dictionary(opts.seed, 24, 3, 10, alpha);
+    registry
+        .publish("corpus", pats.clone())
+        .map_err(|e| format!("trace publish: {e}"))?;
+
+    let server = Server::start(engine.clone(), "127.0.0.1:0")
+        .map_err(|e| format!("trace server start: {e}"))?;
+    let mut client =
+        Client::connect(server.addr()).map_err(|e| format!("trace client connect: {e}"))?;
+    let negotiated = client.hello().map_err(|e| format!("trace hello: {e}"))?;
+    if negotiated & wire::EXT_TRACE == 0 {
+        return Err("tracing engine did not advertise EXT_TRACE".into());
+    }
+
+    let mut rng = SplitMix64::new(opts.seed ^ 0x7EAC_E5EE_D000_0001);
+    let mut sampled = 0usize;
+    for i in 0..opts.requests {
+        let n = if rng.next_u64().is_multiple_of(4) {
+            64
+        } else {
+            1500
+        };
+        let text =
+            text_with_planted_matches(opts.seed ^ ((i as u64) << 8), &pats, n, 15, Alphabet::dna());
+        let roll = rng.next_u64() % 100;
+        let (tag, payload): (u8, Vec<u8>) = if roll < 40 {
+            (wire::tag::MATCH, text)
+        } else if roll < 60 {
+            (wire::tag::GREP, text)
+        } else if roll < 75 {
+            (wire::tag::COMPRESS, text)
+        } else if roll < 85 {
+            (wire::tag::PARSE, text)
+        } else {
+            let cfg = pardict_stream::StreamConfig::with_block_size(256);
+            let (container, _) =
+                pardict_stream::compress_stream(&Pram::seq(), &mut &text[..], Vec::new(), &cfg)
+                    .map_err(|e| format!("trace request {i}: container build: {e}"))?;
+            (wire::tag::GREPZ, container)
+        };
+        let ctx = tracer.begin_trace();
+        sampled += usize::from(ctx.is_some());
+        let resp = client
+            .op_traced(tag, "corpus", &payload, 0, ctx)
+            .map_err(|e| format!("trace request {i}: {e}"))?;
+        match resp {
+            Ok(_) => {}
+            Err(ServiceError::Unparseable) => {}
+            Err(e) => return Err(format!("trace request {i} rejected: {e}")),
+        }
+    }
+
+    drop(client);
+    drop(server);
+    engine.shutdown();
+
+    let spans = tracer.drain();
+    let jsonl = export::export_jsonl(&spans);
+    let parsed = export::parse_jsonl(&jsonl).map_err(|e| format!("trace export reparse: {e}"))?;
+    pardict_trace::view::check_costs(&parsed).map_err(|e| format!("trace cost invariant: {e}"))?;
+    pardict_trace::view::check_nesting(&parsed)
+        .map_err(|e| format!("trace nesting invariant: {e}"))?;
+
+    let total_work: u64 = parsed
+        .iter()
+        .filter(|s| s.parent == 0)
+        .map(|s| s.work)
+        .sum();
+    let summary = format!(
+        "trace selftest ok: {} requests, {} sampled (1-in-{}), {} spans, {} dropped, \
+         root work {}, seed {:#x}\n",
+        opts.requests,
+        sampled,
+        opts.sample_one_in.max(1),
+        spans.len(),
+        tracer.dropped(),
+        total_work,
+        opts.seed,
+    );
+    Ok((summary, jsonl))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -448,5 +589,49 @@ mod tests {
         let report = run(&opts).expect("selftest should pass");
         assert!(report.contains("selftest ok"));
         assert!(report.contains("pardict-service metrics"));
+    }
+
+    #[test]
+    fn trace_run_is_byte_identical_per_seed() {
+        let opts = TraceRunOptions {
+            requests: 24,
+            seed: 11,
+            sample_one_in: 1,
+        };
+        let (summary_a, jsonl_a) = trace_run(&opts).expect("trace run a");
+        let (summary_b, jsonl_b) = trace_run(&opts).expect("trace run b");
+        assert_eq!(summary_a, summary_b);
+        assert_eq!(jsonl_a, jsonl_b, "same seed must export identical traces");
+        assert!(!jsonl_a.is_empty());
+        // A different seed changes the export (ids derive from it).
+        let (_, jsonl_c) = trace_run(&TraceRunOptions {
+            seed: 12,
+            ..opts.clone()
+        })
+        .expect("trace run c");
+        assert_ne!(jsonl_a, jsonl_c);
+    }
+
+    #[test]
+    fn trace_run_sampling_thins_spans() {
+        let full = trace_run(&TraceRunOptions {
+            requests: 32,
+            seed: 5,
+            sample_one_in: 1,
+        })
+        .expect("full");
+        let sampled = trace_run(&TraceRunOptions {
+            requests: 32,
+            seed: 5,
+            sample_one_in: 8,
+        })
+        .expect("sampled");
+        let count = |jsonl: &str| jsonl.lines().count();
+        assert!(
+            count(&sampled.1) < count(&full.1),
+            "1-in-8 sampling must emit fewer spans ({} vs {})",
+            count(&sampled.1),
+            count(&full.1)
+        );
     }
 }

@@ -8,6 +8,7 @@
 use crate::engine::Engine;
 use crate::types::{OpRequest, Request, ServiceError};
 use crate::wire::{self, error_from_wire, read_frame, write_frame, WireRequest, WireResponse};
+use pardict_trace::{SpanId, TraceCtx, TraceId};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -116,7 +117,32 @@ fn serve_connection(stream: TcpStream, engine: &Engine) -> io::Result<()> {
 }
 
 fn handle(engine: &Engine, req: WireRequest) -> WireResponse {
+    // Strip the trace wrapper first: the context only takes effect when
+    // this engine actually has a tracer (we advertised EXT_TRACE), but a
+    // bare Traced frame from a misconfigured peer still executes cleanly.
+    let (trace, req) = match req {
+        WireRequest::Traced {
+            trace,
+            parent,
+            inner,
+        } => (
+            engine.tracer().map(|_| TraceCtx {
+                trace: TraceId(trace),
+                parent: SpanId(parent),
+            }),
+            *inner,
+        ),
+        other => (None, other),
+    };
     match req {
+        WireRequest::Traced { .. } => unreachable!("decode rejects nested trace wrappers"),
+        WireRequest::Hello { .. } => WireResponse::Hello {
+            extensions: if engine.tracer().is_some() {
+                wire::EXT_TRACE
+            } else {
+                0
+            },
+        },
         WireRequest::Ping => WireResponse::Pong,
         WireRequest::Metrics => WireResponse::MetricsReport(engine.metrics().report()),
         WireRequest::Stats => WireResponse::Stats(engine.metrics().snapshot()),
@@ -155,7 +181,7 @@ fn handle(engine: &Engine, req: WireRequest) -> WireResponse {
             } else {
                 Request::with_timeout(op, Duration::from_millis(u64::from(timeout_ms)))
             };
-            WireResponse::from_engine(&engine.call(req))
+            WireResponse::from_engine(&engine.call(req.traced(trace)))
         }
     }
 }
@@ -193,6 +219,10 @@ pub struct Client {
     stream: TcpStream,
     addr: SocketAddr,
     cfg: ClientConfig,
+    /// Peer extension mask learned from the first `HELLO` exchange;
+    /// `None` until negotiated. A legacy peer (clean "unknown request
+    /// tag" error) caches as `Some(0)`.
+    peer_extensions: Option<u32>,
 }
 
 /// Transport failures worth a reconnect: the connection is gone, as
@@ -233,6 +263,7 @@ impl Client {
                         stream,
                         addr: candidate,
                         cfg,
+                        peer_extensions: None,
                     })
                 }
                 Err(e) => last = Some(e),
@@ -308,6 +339,33 @@ impl Client {
         }
     }
 
+    /// Negotiate protocol extensions, caching the peer's mask. A peer
+    /// predating `HELLO` answers with a clean "unknown request tag"
+    /// error, which caches as mask 0 — never a misparse, and `op_traced`
+    /// then degrades to plain frames.
+    ///
+    /// # Errors
+    /// I/O errors only; a legacy peer is not an error.
+    pub fn hello(&mut self) -> io::Result<u32> {
+        let mask = match self.roundtrip(&WireRequest::Hello {
+            extensions: wire::EXT_TRACE,
+        })? {
+            WireResponse::Hello { extensions } => extensions,
+            WireResponse::Error { .. } => 0,
+            other => return Err(unexpected(&other)),
+        };
+        self.peer_extensions = Some(mask);
+        Ok(mask)
+    }
+
+    /// The cached peer extension mask, negotiating on first use.
+    fn negotiated(&mut self) -> io::Result<u32> {
+        match self.peer_extensions {
+            Some(mask) => Ok(mask),
+            None => self.hello(),
+        }
+    }
+
     /// Run one operation (`tag::MATCH` … `tag::PARSE`, `tag::GREPZ`).
     ///
     /// # Errors
@@ -320,12 +378,40 @@ impl Client {
         text: &[u8],
         timeout_ms: u32,
     ) -> io::Result<Result<WireResponse, ServiceError>> {
-        match self.roundtrip(&WireRequest::Op {
+        self.op_traced(tag, dict, text, timeout_ms, None)
+    }
+
+    /// [`Client::op`] with optional trace-context propagation. The
+    /// context is only wrapped when the peer advertised
+    /// [`wire::EXT_TRACE`] (negotiating lazily on first use) — an
+    /// untraced or legacy peer gets the bit-identical legacy frame.
+    ///
+    /// # Errors
+    /// I/O or protocol errors; service-level failures are in the inner
+    /// `Result`.
+    pub fn op_traced(
+        &mut self,
+        tag: u8,
+        dict: &str,
+        text: &[u8],
+        timeout_ms: u32,
+        trace: Option<TraceCtx>,
+    ) -> io::Result<Result<WireResponse, ServiceError>> {
+        let op = WireRequest::Op {
             tag,
             dict: dict.to_string(),
             text: text.to_vec(),
             timeout_ms,
-        })? {
+        };
+        let req = match trace {
+            Some(ctx) if self.negotiated()? & wire::EXT_TRACE != 0 => WireRequest::Traced {
+                trace: ctx.trace.0,
+                parent: ctx.parent.0,
+                inner: Box::new(op),
+            },
+            _ => op,
+        };
+        match self.roundtrip(&req)? {
             WireResponse::Error { code, message } => Ok(Err(error_from_wire(code, &message))),
             ok => Ok(Ok(ok)),
         }

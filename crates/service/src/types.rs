@@ -1,6 +1,7 @@
 //! Request/response vocabulary shared by the engine, wire codec, and server.
 
 use pardict_pram::Cost;
+use pardict_trace::TraceCtx;
 use std::time::{Duration, Instant};
 
 /// The five operation families the service batches.
@@ -134,13 +135,20 @@ pub struct Request {
     pub op: OpRequest,
     /// Absolute deadline; requests past it are rejected instead of executed.
     pub deadline: Option<Instant>,
+    /// Trace context this request's spans nest under (`None` = untraced,
+    /// either because tracing is off or head-sampling skipped it).
+    pub trace: Option<TraceCtx>,
 }
 
 impl Request {
     /// Request without a deadline.
     #[must_use]
     pub fn new(op: OpRequest) -> Self {
-        Self { op, deadline: None }
+        Self {
+            op,
+            deadline: None,
+            trace: None,
+        }
     }
 
     /// Request that must start executing within `timeout` from now.
@@ -149,7 +157,15 @@ impl Request {
         Self {
             op,
             deadline: Some(Instant::now() + timeout),
+            trace: None,
         }
+    }
+
+    /// Attach a trace context.
+    #[must_use]
+    pub fn traced(mut self, trace: Option<TraceCtx>) -> Self {
+        self.trace = trace;
+        self
     }
 }
 
@@ -290,6 +306,19 @@ pub enum Lane {
     /// Compressed-domain search lane: block-parallel grep over a PDZS
     /// container without full decompression.
     Grep = 3,
+}
+
+impl Lane {
+    /// Stable label, used as the span lane tag in trace exports.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Lane::Batched => "batched",
+            Lane::SeqFallback => "seq-fallback",
+            Lane::Stream => "stream",
+            Lane::Grep => "grep",
+        }
+    }
 }
 
 /// Per-request accounting surfaced with every response.

@@ -37,11 +37,22 @@ pub mod tag {
     /// digests — how a cluster router learns what a backend recovered
     /// from its local store before deciding what to replay.
     pub const DICTS: u8 = 10;
+    /// Trace-context wrapper: `trace id, parent span id, inner request`.
+    /// Only sent after the peer advertised [`super::EXT_TRACE`] in a
+    /// `HELLO` exchange — a pre-extension peer answers it with a clean
+    /// "unknown request tag" error, never a misparse.
+    pub const TRACED: u8 = 11;
+    /// Extension negotiation: `u32` bitmask of extensions the sender
+    /// speaks; the reply carries the receiver's mask.
+    pub const HELLO: u8 = 12;
     /// Response: success payload follows.
     pub const OK: u8 = 0x80;
     /// Response: error code + message follow.
     pub const ERR: u8 = 0x81;
 }
+
+/// Extension bit: the peer accepts [`tag::TRACED`] request wrappers.
+pub const EXT_TRACE: u32 = 1;
 
 /// Read one frame; `Ok(None)` on clean EOF at a frame boundary.
 ///
@@ -210,6 +221,20 @@ pub enum WireRequest {
     Dicts,
     /// Liveness probe.
     Ping,
+    /// Extension negotiation: the sender's extension bitmask.
+    Hello {
+        /// Bitmask of [`EXT_TRACE`]-style extension bits.
+        extensions: u32,
+    },
+    /// A request wrapped with propagated trace context. Never nests.
+    Traced {
+        /// Trace id the inner request belongs to.
+        trace: u64,
+        /// Span id on the sender the receiver's spans nest under.
+        parent: u64,
+        /// The wrapped request (any non-`Traced`, non-`Hello` request).
+        inner: Box<WireRequest>,
+    },
 }
 
 impl WireRequest {
@@ -241,6 +266,20 @@ impl WireRequest {
             WireRequest::Stats => out.push(tag::STATS),
             WireRequest::Dicts => out.push(tag::DICTS),
             WireRequest::Ping => out.push(tag::PING),
+            WireRequest::Hello { extensions } => {
+                out.push(tag::HELLO);
+                put_u32(&mut out, *extensions);
+            }
+            WireRequest::Traced {
+                trace,
+                parent,
+                inner,
+            } => {
+                out.push(tag::TRACED);
+                put_u64(&mut out, *trace);
+                put_u64(&mut out, *parent);
+                out.extend_from_slice(&inner.encode());
+            }
         }
         out
     }
@@ -273,6 +312,28 @@ impl WireRequest {
             tag::STATS => WireRequest::Stats,
             tag::DICTS => WireRequest::Dicts,
             tag::PING => WireRequest::Ping,
+            tag::HELLO => WireRequest::Hello {
+                extensions: c.u32()?,
+            },
+            tag::TRACED => {
+                let trace = c.u64()?;
+                let parent = c.u64()?;
+                // The rest of the payload is one complete inner request;
+                // its own decode enforces the trailing-bytes check.
+                let inner = WireRequest::decode(&payload[c.pos..])?;
+                if matches!(
+                    inner,
+                    WireRequest::Traced { .. } | WireRequest::Hello { .. }
+                ) {
+                    return Err(Cursor::err("trace wrapper cannot nest"));
+                }
+                c.pos = payload.len();
+                WireRequest::Traced {
+                    trace,
+                    parent,
+                    inner: Box::new(inner),
+                }
+            }
             other => return Err(Cursor::err(&format!("unknown request tag {other}"))),
         };
         c.finish()?;
@@ -351,6 +412,11 @@ pub enum WireResponse {
     Stats(crate::metrics::MetricsSnapshot),
     /// Ping reply.
     Pong,
+    /// Extension negotiation reply: the receiver's extension bitmask.
+    Hello {
+        /// Bitmask of [`EXT_TRACE`]-style extension bits.
+        extensions: u32,
+    },
     /// Service error.
     Error {
         /// [`ServiceError::code`] value.
@@ -372,6 +438,7 @@ mod ok {
     pub const STATS: u8 = 8;
     pub const CLUSTER_HITS: u8 = 9;
     pub const DICTS: u8 = 10;
+    pub const HELLO: u8 = 11;
 }
 
 fn put_hits(out: &mut Vec<u8>, hits: &[Hit]) {
@@ -583,6 +650,11 @@ impl WireResponse {
                 out.push(tag::OK);
                 out.push(ok::PONG);
             }
+            WireResponse::Hello { extensions } => {
+                out.push(tag::OK);
+                out.push(ok::HELLO);
+                put_u32(&mut out, *extensions);
+            }
         }
         out
     }
@@ -664,6 +736,9 @@ impl WireResponse {
                 ok::METRICS => WireResponse::MetricsReport(c.string()?),
                 ok::STATS => WireResponse::Stats(get_snapshot(&mut c)?),
                 ok::PONG => WireResponse::Pong,
+                ok::HELLO => WireResponse::Hello {
+                    extensions: c.u32()?,
+                },
                 other => return Err(Cursor::err(&format!("unknown ok sub-tag {other}"))),
             },
             other => return Err(Cursor::err(&format!("unknown response tag {other}"))),
@@ -891,5 +966,108 @@ mod tests {
         p.push(0);
         assert!(WireRequest::decode(&p).is_err());
         assert!(WireResponse::decode(&[tag::OK, 42]).is_err());
+    }
+
+    #[test]
+    fn hello_and_traced_round_trip() {
+        let hello = WireRequest::Hello {
+            extensions: EXT_TRACE,
+        };
+        assert_eq!(WireRequest::decode(&hello.encode()).unwrap(), hello);
+        let reply = WireResponse::Hello {
+            extensions: EXT_TRACE,
+        };
+        assert_eq!(WireResponse::decode(&reply.encode()).unwrap(), reply);
+        let traced = WireRequest::Traced {
+            trace: 0xDEAD_BEEF_0123_4567,
+            parent: 0x0BAD_F00D,
+            inner: Box::new(WireRequest::Op {
+                tag: tag::GREPZ,
+                dict: "corpus".into(),
+                text: vec![0x50, 0x44, 0x5A, 0x53, 0x00],
+                timeout_ms: 250,
+            }),
+        };
+        assert_eq!(WireRequest::decode(&traced.encode()).unwrap(), traced);
+    }
+
+    #[test]
+    fn traced_wrapper_rejects_nesting_and_truncation() {
+        let nested = WireRequest::Traced {
+            trace: 1,
+            parent: 2,
+            inner: Box::new(WireRequest::Traced {
+                trace: 3,
+                parent: 4,
+                inner: Box::new(WireRequest::Ping),
+            }),
+        };
+        assert!(WireRequest::decode(&nested.encode()).is_err());
+        let wrapped_hello = WireRequest::Traced {
+            trace: 1,
+            parent: 2,
+            inner: Box::new(WireRequest::Hello { extensions: 0 }),
+        };
+        assert!(WireRequest::decode(&wrapped_hello.encode()).is_err());
+        // Truncated inner request: clean error, never a panic.
+        let good = WireRequest::Traced {
+            trace: 1,
+            parent: 2,
+            inner: Box::new(WireRequest::Ping),
+        }
+        .encode();
+        for cut in 1..good.len() {
+            assert!(WireRequest::decode(&good[..cut]).is_err());
+        }
+    }
+
+    /// The extension must not move a single byte of the existing
+    /// encoding: these are the exact frames a pre-trace peer emits,
+    /// written out by hand from the protocol comment.
+    #[test]
+    fn legacy_frames_are_bit_identical() {
+        let op = WireRequest::Op {
+            tag: tag::MATCH,
+            dict: "d".into(),
+            text: b"ab".to_vec(),
+            timeout_ms: 7,
+        };
+        assert_eq!(
+            op.encode(),
+            vec![2, 0, 0, 0, 1, b'd', 0, 0, 0, 2, b'a', b'b', 0, 0, 0, 7]
+        );
+        let publish = WireRequest::Publish {
+            name: "d".into(),
+            patterns: vec![b"x".to_vec()],
+        };
+        assert_eq!(
+            publish.encode(),
+            vec![1, 0, 0, 0, 1, b'd', 0, 0, 0, 1, 0, 0, 0, 1, b'x']
+        );
+        assert_eq!(WireRequest::Ping.encode(), vec![7]);
+        assert_eq!(WireRequest::Metrics.encode(), vec![6]);
+        assert_eq!(WireRequest::Stats.encode(), vec![9]);
+        assert_eq!(WireRequest::Dicts.encode(), vec![10]);
+        assert_eq!(WireResponse::Pong.encode(), vec![0x80, 6]);
+        let err = WireResponse::Error {
+            code: 3,
+            message: "no".into(),
+        };
+        assert_eq!(err.encode(), vec![0x81, 3, 0, 0, 0, 2, b'n', b'o']);
+        let hits = WireResponse::Hits {
+            version: 1,
+            hits: vec![Hit {
+                pos: 5,
+                id: 2,
+                len: 3,
+            }],
+        };
+        assert_eq!(
+            hits.encode(),
+            vec![
+                0x80, 2, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 5, 0, 0, 0, 2, 0,
+                0, 0, 3
+            ]
+        );
     }
 }

@@ -143,8 +143,10 @@ fn compress_block(block: &[u8], index: u64) -> BlockOut {
 
 /// Compress a wave of blocks — concurrently when the caller's context is
 /// parallel — and charge the caller's ledger one super-step: summed work,
-/// maximum depth.
+/// maximum depth. Records a `compress-wave` span (indexed by the wave's
+/// first block) when the caller installed an ambient trace scope.
 fn compress_wave(pram: &Pram, blocks: &[&[u8]], first_index: u64) -> Vec<BlockOut> {
+    let span = pardict_trace::scoped_span("compress-wave", first_index);
     let outs: Vec<BlockOut> = if pram.mode() == Mode::Par && blocks.len() > 1 {
         std::thread::scope(|s| {
             let handles: Vec<_> = blocks
@@ -168,6 +170,7 @@ fn compress_wave(pram: &Pram, blocks: &[&[u8]], first_index: u64) -> Vec<BlockOu
     let depth = outs.iter().map(|o| o.cost.depth).max().unwrap_or(0);
     pram.ledger().charge_work(work);
     pram.ledger().charge_depth(depth);
+    span.finish(Cost { work, depth });
     outs
 }
 

@@ -1,0 +1,207 @@
+//! Lock-free bounded span collector.
+//!
+//! A Vyukov-style MPMC ring: each slot carries a sequence number whose
+//! distance from the enqueue/dequeue cursor says whether the slot is free,
+//! full, or contended. Producers on the request hot path never block and
+//! never spin on a full ring — a full ring *drops* the span and bumps a
+//! counter, which is the honest behaviour for a tracer (losing telemetry
+//! must never slow the traced work).
+
+use crate::SpanRecord;
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+struct Slot {
+    seq: AtomicUsize,
+    value: UnsafeCell<Option<SpanRecord>>,
+}
+
+/// Bounded lock-free MPMC queue of spans with a drop counter.
+pub struct Collector {
+    slots: Box<[Slot]>,
+    mask: usize,
+    enqueue: AtomicUsize,
+    dequeue: AtomicUsize,
+    dropped: AtomicU64,
+}
+
+// SAFETY: slot values are only accessed by the thread that won the
+// corresponding CAS on `enqueue`/`dequeue`, with the slot's `seq`
+// (Acquire/Release) ordering the hand-off between producer and consumer.
+unsafe impl Sync for Collector {}
+unsafe impl Send for Collector {}
+
+impl Collector {
+    /// Build with `capacity` rounded up to a power of two (min 2).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        let cap = capacity.next_power_of_two().max(2);
+        let slots = (0..cap)
+            .map(|i| Slot {
+                seq: AtomicUsize::new(i),
+                value: UnsafeCell::new(None),
+            })
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        Self {
+            slots,
+            mask: cap - 1,
+            enqueue: AtomicUsize::new(0),
+            dequeue: AtomicUsize::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Try to enqueue; on a full ring the span is dropped (counted) and
+    /// `false` returned. Never blocks.
+    pub fn push(&self, rec: SpanRecord) -> bool {
+        let mut pos = self.enqueue.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[pos & self.mask];
+            let seq = slot.seq.load(Ordering::Acquire);
+            if seq == pos {
+                match self.enqueue.compare_exchange_weak(
+                    pos,
+                    pos.wrapping_add(1),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        // SAFETY: winning the CAS gives this thread sole
+                        // ownership of the slot until the Release store.
+                        unsafe { *slot.value.get() = Some(rec) };
+                        slot.seq.store(pos.wrapping_add(1), Ordering::Release);
+                        return true;
+                    }
+                    Err(cur) => pos = cur,
+                }
+            } else if seq.wrapping_sub(pos) > self.mask {
+                // Slot still holds an unconsumed record one lap behind:
+                // the ring is full. Drop, count, move on.
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+                return false;
+            } else {
+                pos = self.enqueue.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Dequeue one span, if any.
+    pub fn pop(&self) -> Option<SpanRecord> {
+        let mut pos = self.dequeue.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[pos & self.mask];
+            let seq = slot.seq.load(Ordering::Acquire);
+            if seq == pos.wrapping_add(1) {
+                match self.dequeue.compare_exchange_weak(
+                    pos,
+                    pos.wrapping_add(1),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        // SAFETY: winning the CAS gives this thread sole
+                        // ownership of the slot until the Release store.
+                        let rec = unsafe { (*slot.value.get()).take() };
+                        slot.seq.store(
+                            pos.wrapping_add(self.mask).wrapping_add(1),
+                            Ordering::Release,
+                        );
+                        return rec;
+                    }
+                    Err(cur) => pos = cur,
+                }
+            } else if seq.wrapping_sub(pos) <= self.mask {
+                // seq == pos: empty at this cursor.
+                return None;
+            } else {
+                pos = self.dequeue.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Drain everything currently queued.
+    #[must_use]
+    pub fn drain(&self) -> Vec<SpanRecord> {
+        let mut out = Vec::new();
+        while let Some(rec) = self.pop() {
+            out.push(rec);
+        }
+        out
+    }
+
+    /// Spans discarded because the ring was full.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SpanId, TraceId};
+    use pardict_pram::Cost;
+
+    fn rec(i: u64) -> SpanRecord {
+        SpanRecord {
+            trace: TraceId(1),
+            span: SpanId(i + 1),
+            parent: SpanId(0),
+            name: "t",
+            lane: None,
+            index: i,
+            start: i,
+            end: i + 1,
+            cost: Cost::default(),
+        }
+    }
+
+    #[test]
+    fn fifo_within_capacity() {
+        let c = Collector::new(8);
+        for i in 0..8 {
+            assert!(c.push(rec(i)));
+        }
+        let drained = c.drain();
+        assert_eq!(drained.len(), 8);
+        assert!(drained.iter().enumerate().all(|(i, r)| r.index == i as u64));
+        assert_eq!(c.dropped(), 0);
+    }
+
+    #[test]
+    fn overflow_drops_and_counts_without_blocking() {
+        let c = Collector::new(4);
+        let mut accepted = 0;
+        for i in 0..10 {
+            if c.push(rec(i)) {
+                accepted += 1;
+            }
+        }
+        assert_eq!(accepted, 4);
+        assert_eq!(c.dropped(), 6);
+        assert_eq!(c.drain().len(), 4);
+        // Space reclaimed after drain.
+        assert!(c.push(rec(99)));
+    }
+
+    #[test]
+    fn concurrent_producers_lose_nothing_when_sized() {
+        let c = Collector::new(1 << 12);
+        std::thread::scope(|s| {
+            for t in 0..8u64 {
+                let c = &c;
+                s.spawn(move || {
+                    for i in 0..256 {
+                        assert!(c.push(rec(t * 1000 + i)));
+                    }
+                });
+            }
+        });
+        let mut seen: Vec<u64> = c.drain().iter().map(|r| r.index).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 8 * 256);
+        assert_eq!(c.dropped(), 0);
+    }
+}

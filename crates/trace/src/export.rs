@@ -1,0 +1,360 @@
+//! Canonical JSONL export and a dependency-free parser.
+//!
+//! One span per line, keys in a fixed order, ids as zero-padded hex
+//! strings, lines sorted by `(trace, start, span)` — so a deterministic
+//! run exports byte-identical files, which `scripts/ci.sh` checks with
+//! `cmp`. The parser accepts any key order and is what `pardict trace`
+//! uses; a malformed file is a hard error (exit 1), never a guess.
+
+use crate::SpanRecord;
+use std::fmt::Write as _;
+
+/// An owned span parsed back from JSONL (names and lanes become `String`s).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OwnedSpan {
+    /// Trace id.
+    pub trace: u64,
+    /// Span id.
+    pub span: u64,
+    /// Parent span id (0 for roots).
+    pub parent: u64,
+    /// Stage name.
+    pub name: String,
+    /// Execution lane ("" when the stage has none).
+    pub lane: String,
+    /// Site-chosen disambiguator.
+    pub index: u64,
+    /// Clock reading at span start.
+    pub start: u64,
+    /// Clock reading at span end.
+    pub end: u64,
+    /// PRAM work attributed to the span.
+    pub work: u64,
+    /// PRAM depth attributed to the span.
+    pub depth: u64,
+}
+
+impl From<&SpanRecord> for OwnedSpan {
+    fn from(r: &SpanRecord) -> Self {
+        Self {
+            trace: r.trace.0,
+            span: r.span.0,
+            parent: r.parent.0,
+            name: r.name.to_string(),
+            lane: r.lane.unwrap_or("").to_string(),
+            index: r.index,
+            start: r.start,
+            end: r.end,
+            work: r.cost.work,
+            depth: r.cost.depth,
+        }
+    }
+}
+
+/// Serialize spans as canonical JSONL: sorted by `(trace, start, span)`,
+/// fixed key order, hex ids. Byte-identical for identical span sets.
+#[must_use]
+pub fn export_jsonl(spans: &[SpanRecord]) -> String {
+    let mut sorted: Vec<&SpanRecord> = spans.iter().collect();
+    sorted.sort_by_key(|s| (s.trace.0, s.start, s.span.0));
+    let mut out = String::new();
+    for s in sorted {
+        let _ = write!(
+            out,
+            "{{\"trace\":\"{:016x}\",\"span\":\"{:016x}\",\"parent\":\"{:016x}\",\
+             \"name\":\"{}\",\"lane\":\"{}\",\"index\":{},\"start\":{},\"end\":{},\
+             \"work\":{},\"depth\":{}}}",
+            s.trace.0,
+            s.span.0,
+            s.parent.0,
+            escape(s.name),
+            escape(s.lane.unwrap_or("")),
+            s.index,
+            s.start,
+            s.end,
+            s.cost.work,
+            s.cost.depth,
+        );
+        out.push('\n');
+    }
+    out
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Parse a JSONL trace export.
+///
+/// # Errors
+/// Describes the first malformed line: bad JSON shape, missing or
+/// duplicate keys, non-hex ids, `end < start`.
+pub fn parse_jsonl(input: &str) -> Result<Vec<OwnedSpan>, String> {
+    let mut out = Vec::new();
+    for (lineno, line) in input.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let span = parse_line(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        if span.end < span.start {
+            return Err(format!("line {}: span ends before it starts", lineno + 1));
+        }
+        out.push(span);
+    }
+    if out.is_empty() {
+        return Err("no spans in file".into());
+    }
+    Ok(out)
+}
+
+/// Minimal parser for one flat JSON object with string/number values.
+fn parse_line(line: &str) -> Result<OwnedSpan, String> {
+    let mut p = Parser {
+        bytes: line.as_bytes(),
+        pos: 0,
+    };
+    p.expect(b'{')?;
+    let mut trace = None;
+    let mut span = None;
+    let mut parent = None;
+    let mut name = None;
+    let mut lane = None;
+    let mut index = None;
+    let mut start = None;
+    let mut end = None;
+    let mut work = None;
+    let mut depth = None;
+    loop {
+        p.skip_ws();
+        let key = p.string()?;
+        p.skip_ws();
+        p.expect(b':')?;
+        p.skip_ws();
+        match key.as_str() {
+            "trace" => set_once(&mut trace, p.hex_id()?, "trace")?,
+            "span" => set_once(&mut span, p.hex_id()?, "span")?,
+            "parent" => set_once(&mut parent, p.hex_id()?, "parent")?,
+            "name" => set_once(&mut name, p.string()?, "name")?,
+            "lane" => set_once(&mut lane, p.string()?, "lane")?,
+            "index" => set_once(&mut index, p.number()?, "index")?,
+            "start" => set_once(&mut start, p.number()?, "start")?,
+            "end" => set_once(&mut end, p.number()?, "end")?,
+            "work" => set_once(&mut work, p.number()?, "work")?,
+            "depth" => set_once(&mut depth, p.number()?, "depth")?,
+            other => return Err(format!("unknown key {other:?}")),
+        }
+        p.skip_ws();
+        match p.next()? {
+            b',' => {}
+            b'}' => break,
+            c => return Err(format!("expected ',' or '}}', got {:?}", char::from(c))),
+        }
+    }
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err("trailing bytes after object".into());
+    }
+    Ok(OwnedSpan {
+        trace: trace.ok_or("missing key \"trace\"")?,
+        span: span.ok_or("missing key \"span\"")?,
+        parent: parent.ok_or("missing key \"parent\"")?,
+        name: name.ok_or("missing key \"name\"")?,
+        lane: lane.ok_or("missing key \"lane\"")?,
+        index: index.ok_or("missing key \"index\"")?,
+        start: start.ok_or("missing key \"start\"")?,
+        end: end.ok_or("missing key \"end\"")?,
+        work: work.ok_or("missing key \"work\"")?,
+        depth: depth.ok_or("missing key \"depth\"")?,
+    })
+}
+
+fn set_once<T>(slot: &mut Option<T>, value: T, key: &str) -> Result<(), String> {
+    if slot.is_some() {
+        return Err(format!("duplicate key {key:?}"));
+    }
+    *slot = Some(value);
+    Ok(())
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn next(&mut self) -> Result<u8, String> {
+        let b = *self.bytes.get(self.pos).ok_or("unexpected end of line")?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn expect(&mut self, want: u8) -> Result<(), String> {
+        let got = self.next()?;
+        if got == want {
+            Ok(())
+        } else {
+            Err(format!(
+                "expected {:?}, got {:?}",
+                char::from(want),
+                char::from(got)
+            ))
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(u8::is_ascii_whitespace)
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.next()? {
+                b'"' => return Ok(out),
+                b'\\' => match self.next()? {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'n' => out.push('\n'),
+                    b't' => out.push('\t'),
+                    b'u' => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let d = self.next()?;
+                            let v = (d as char).to_digit(16).ok_or("bad \\u escape")?;
+                            code = code * 16 + v;
+                        }
+                        out.push(char::from_u32(code).ok_or("bad \\u code point")?);
+                    }
+                    c => return Err(format!("bad escape \\{}", char::from(c))),
+                },
+                c if c < 0x20 => return Err("raw control byte in string".into()),
+                c => {
+                    // Re-assemble UTF-8 multibyte sequences byte-by-byte.
+                    let len = match c {
+                        0x00..=0x7F => 0,
+                        0xC0..=0xDF => 1,
+                        0xE0..=0xEF => 2,
+                        0xF0..=0xF7 => 3,
+                        _ => return Err("invalid UTF-8 in string".into()),
+                    };
+                    let from = self.pos - 1;
+                    for _ in 0..len {
+                        self.next()?;
+                    }
+                    let chunk = std::str::from_utf8(&self.bytes[from..self.pos])
+                        .map_err(|_| "invalid UTF-8 in string")?;
+                    out.push_str(chunk);
+                }
+            }
+        }
+    }
+
+    fn hex_id(&mut self) -> Result<u64, String> {
+        let s = self.string()?;
+        if s.is_empty() || s.len() > 16 {
+            return Err(format!("bad hex id {s:?}"));
+        }
+        u64::from_str_radix(&s, 16).map_err(|_| format!("bad hex id {s:?}"))
+    }
+
+    fn number(&mut self) -> Result<u64, String> {
+        let from = self.pos;
+        while self.bytes.get(self.pos).is_some_and(u8::is_ascii_digit) {
+            self.pos += 1;
+        }
+        if self.pos == from {
+            return Err("expected a number".into());
+        }
+        std::str::from_utf8(&self.bytes[from..self.pos])
+            .expect("digits are ASCII")
+            .parse()
+            .map_err(|_| "number out of range".into())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SpanId, TraceId};
+    use pardict_pram::Cost;
+
+    fn rec(trace: u64, span: u64, parent: u64, start: u64) -> SpanRecord {
+        SpanRecord {
+            trace: TraceId(trace),
+            span: SpanId(span),
+            parent: SpanId(parent),
+            name: "exec",
+            lane: Some("batched"),
+            index: 2,
+            start,
+            end: start + 5,
+            cost: Cost { work: 10, depth: 3 },
+        }
+    }
+
+    #[test]
+    fn export_parse_round_trip() {
+        let spans = vec![rec(2, 20, 0, 7), rec(1, 10, 0, 1), rec(1, 11, 10, 2)];
+        let text = export_jsonl(&spans);
+        let parsed = parse_jsonl(&text).unwrap();
+        // Canonical order: trace 1 before trace 2, starts ascending.
+        assert_eq!(parsed.len(), 3);
+        assert_eq!((parsed[0].trace, parsed[0].span), (1, 10));
+        assert_eq!((parsed[1].trace, parsed[1].span), (1, 11));
+        assert_eq!((parsed[2].trace, parsed[2].span), (2, 20));
+        assert_eq!(parsed[1].parent, 10);
+        assert_eq!(parsed[0].work, 10);
+        assert_eq!(parsed[0].lane, "batched");
+    }
+
+    #[test]
+    fn export_is_order_independent() {
+        let a = vec![rec(1, 10, 0, 1), rec(2, 20, 0, 7)];
+        let b = vec![rec(2, 20, 0, 7), rec(1, 10, 0, 1)];
+        assert_eq!(export_jsonl(&a), export_jsonl(&b));
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        for bad in [
+            "not json",
+            "{\"trace\":\"1\"}",
+            "{\"trace\":\"zz\",\"span\":\"1\",\"parent\":\"0\",\"name\":\"a\",\"lane\":\"\",\"index\":0,\"start\":0,\"end\":1,\"work\":0,\"depth\":0}",
+            "{\"trace\":\"1\",\"trace\":\"1\"}",
+            "{\"trace\":\"1\",\"span\":\"1\",\"parent\":\"0\",\"name\":\"a\",\"lane\":\"\",\"index\":0,\"start\":5,\"end\":1,\"work\":0,\"depth\":0}",
+            "{\"trace\":\"1\",\"span\":\"1\",\"parent\":\"0\",\"name\":\"a\",\"lane\":\"\",\"index\":0,\"start\":0,\"end\":1,\"work\":0,\"depth\":0} x",
+            "",
+        ] {
+            assert!(parse_jsonl(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn parser_accepts_any_key_order_and_escapes() {
+        let line = "{\"depth\":1,\"work\":2,\"end\":9,\"start\":3,\"index\":0,\
+                    \"lane\":\"\",\"name\":\"a\\\"b\\u0041\",\"parent\":\"0\",\
+                    \"span\":\"a\",\"trace\":\"f\"}";
+        let parsed = parse_jsonl(line).unwrap();
+        assert_eq!(parsed[0].name, "a\"bA");
+        assert_eq!(parsed[0].span, 10);
+        assert_eq!(parsed[0].trace, 15);
+    }
+}

@@ -136,6 +136,29 @@ if ! cmp -s "$SMOKE/store.txt" "$SMOKE/store2.txt"; then
   exit 1
 fi
 
+echo "== trace smoke"
+# Seeded traced selftest: export must be byte-identical across two runs
+# of one seed, the viewer must render it (exit 0), and a malformed file
+# must exit 1.
+TRACE_SEED=0x7ACE
+"$PARDICT" serve --selftest --requests 24 --trace-seed "$TRACE_SEED" \
+  --trace-out "$SMOKE/trace.jsonl" > "$SMOKE/trace.txt" 2> /dev/null
+grep -q "trace selftest ok" "$SMOKE/trace.txt"
+"$PARDICT" serve --selftest --requests 24 --trace-seed "$TRACE_SEED" \
+  --trace-out "$SMOKE/trace2.jsonl" > /dev/null 2> /dev/null
+if ! cmp -s "$SMOKE/trace.jsonl" "$SMOKE/trace2.jsonl"; then
+  echo "ci.sh: trace export not byte-identical for seed $TRACE_SEED" >&2
+  diff "$SMOKE/trace.jsonl" "$SMOKE/trace2.jsonl" >&2 || true
+  exit 1
+fi
+"$PARDICT" trace "$SMOKE/trace.jsonl" > "$SMOKE/trace.view.txt"
+grep -q "spans" "$SMOKE/trace.view.txt"
+echo 'not json' > "$SMOKE/trace.bad.jsonl"
+if "$PARDICT" trace "$SMOKE/trace.bad.jsonl" > /dev/null 2> /dev/null; then
+  echo "ci.sh: malformed trace file viewed cleanly" >&2
+  exit 1
+fi
+
 echo "== soak smoke slice"
 # The un-ignored *_smoke twins of every soak, in release mode (the full
 # #[ignore]d suites run via scripts/soak.sh on their own budget).

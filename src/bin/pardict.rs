@@ -21,6 +21,7 @@
 //! pardict cluster --smoke                        process-level smoke (SIGKILL)
 //! pardict store   --smoke                        kill-and-recover smoke
 //! pardict chaos   --seed N --rounds K            fault-injection verification
+//! pardict trace   spans.jsonl                    render a trace export
 //! ```
 //!
 //! Dictionary files contain one pattern per line (empty lines ignored).
@@ -81,6 +82,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "cluster" => cmd_cluster(rest),
         "store" => cmd_store(rest),
         "chaos" => cmd_chaos(rest),
+        "trace" => cmd_trace(rest),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             Ok(())
@@ -90,7 +92,7 @@ fn run(args: &[String]) -> Result<(), String> {
 }
 
 fn usage() -> String {
-    "usage: pardict <match|grep|compress|decompress|cat|parse|delta|patch|stats|serve|cluster|store|chaos> \
+    "usage: pardict <match|grep|compress|decompress|cat|parse|delta|patch|stats|serve|cluster|store|chaos|trace> \
      [--dict FILE] [-o FILE] [INPUT...]\n\
      grep:     pardict grep (--dict FILE IN | PATTERN... --in IN) \
      [--count|--offsets] [--strict]\n\
@@ -102,6 +104,8 @@ fn usage() -> String {
      \x20       pardict serve --data-dir DIR --recover-only   print the recovery \
      report and exit (1 if data was dropped)\n\
      \x20       pardict serve --selftest [--requests N] [--workers N]\n\
+     \x20       pardict serve --selftest --trace-out FILE [--trace-seed N] \
+     [--trace-sample N]   deterministic traced run, JSONL export\n\
      cluster: pardict cluster --backends A,B,C [--addr HOST:PORT]   sharded router\n\
      \x20         pardict cluster --selftest [--requests N] [--seed S]\n\
      \x20         pardict cluster --smoke [--requests N] [--seed S]   spawns 3 \
@@ -109,7 +113,9 @@ fn usage() -> String {
      store: pardict store --smoke [--dicts N] [--seed S]   spawns a --data-dir \
      backend, SIGKILLs it mid-publish, restarts, verifies every acknowledged dict\n\
      chaos: pardict chaos [--seed N] [--rounds K] [--no-wire] [--no-storage]   \
-     deterministic fault-injection report (exit 1 on violations)"
+     deterministic fault-injection report (exit 1 on violations)\n\
+     trace: pardict trace FILE.jsonl [--slowest N]   summarize a span export \
+     (exit 1 on malformed input)"
         .to_string()
 }
 
@@ -565,6 +571,9 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let mut run_selftest = false;
     let mut data_dir: Option<String> = None;
     let mut recover_only = false;
+    let mut trace_out: Option<String> = None;
+    let mut trace_seed: Option<u64> = None;
+    let mut trace_sample: Option<u32> = None;
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -574,6 +583,21 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             "--name" => name = it.next().ok_or("--name needs a name")?.clone(),
             "--data-dir" => data_dir = Some(it.next().ok_or("--data-dir needs a path")?.clone()),
             "--recover-only" => recover_only = true,
+            "--trace-out" => {
+                trace_out = Some(it.next().ok_or("--trace-out needs a path")?.clone());
+            }
+            "--trace-seed" => {
+                let v = it.next().ok_or("--trace-seed needs a number")?;
+                trace_seed = Some(parse_seed(v).map_err(|e| format!("--trace-seed: {e}"))?);
+            }
+            "--trace-sample" => {
+                trace_sample = Some(
+                    it.next()
+                        .ok_or("--trace-sample needs a count")?
+                        .parse()
+                        .map_err(|e| format!("--trace-sample: {e}"))?,
+                );
+            }
             "--workers" => {
                 workers = Some(
                     it.next()
@@ -596,6 +620,24 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     }
 
     if run_selftest {
+        // Traced selftest: the deterministic seeded phase, exported as
+        // JSONL (byte-identical per seed — CI compares two runs).
+        if let Some(path) = trace_out {
+            let mut opts = selftest::TraceRunOptions::default();
+            if let Some(r) = requests {
+                opts.requests = r;
+            }
+            if let Some(s) = trace_seed {
+                opts.seed = s;
+            }
+            if let Some(k) = trace_sample {
+                opts.sample_one_in = k;
+            }
+            let (summary, jsonl) = selftest::trace_run(&opts)?;
+            std::fs::write(&path, jsonl).map_err(|e| format!("writing {path}: {e}"))?;
+            print!("{summary}");
+            return Ok(());
+        }
         let mut opts = selftest::SelftestOptions::default();
         if let Some(r) = requests {
             opts.requests = r;
@@ -606,6 +648,9 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         let report = selftest::run(&opts)?;
         println!("{report}");
         return Ok(());
+    }
+    if trace_out.is_some() || trace_seed.is_some() || trace_sample.is_some() {
+        return Err("serve: --trace-out/--trace-seed/--trace-sample need --selftest".into());
     }
 
     if recover_only {
@@ -1235,6 +1280,34 @@ fn cmd_chaos(args: &[String]) -> Result<(), String> {
             if cfg.wire { "" } else { " --no-wire" }
         ));
     }
+    Ok(())
+}
+
+/// `pardict trace FILE.jsonl`: parse a span export and print the viewer
+/// report (totals, cost-invariant check, per-stage/per-lane breakdowns,
+/// slowest requests, and the slowest trace's span tree). Malformed input
+/// is a hard error — exit code 1 — so CI can gate on it.
+fn cmd_trace(args: &[String]) -> Result<(), String> {
+    use pardict::trace::{export, view};
+    let mut pos: Vec<&str> = Vec::new();
+    let mut slowest: usize = 5;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--slowest" => {
+                slowest = it
+                    .next()
+                    .ok_or("--slowest needs a count")?
+                    .parse()
+                    .map_err(|e| format!("--slowest: {e}"))?;
+            }
+            other => pos.push(other),
+        }
+    }
+    let path = *pos.first().ok_or("trace needs a FILE.jsonl export")?;
+    let data = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let spans = export::parse_jsonl(&data).map_err(|e| format!("{path}: {e}"))?;
+    print!("{}", view::render_report(&spans, slowest));
     Ok(())
 }
 

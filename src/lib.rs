@@ -73,6 +73,7 @@
 //! | [`search`] | block-parallel dictionary matching over compressed containers |
 //! | [`chaos`] | deterministic fault injection and differential verification |
 //! | [`cluster`] | sharded routing, scatter-gather, failover across service backends |
+//! | [`trace`] | ledger-correlated structured tracing: spans, sampling, JSONL export |
 
 pub use pardict_ancestors as ancestors;
 pub use pardict_chaos as chaos;
@@ -88,6 +89,7 @@ pub use pardict_service as service;
 pub use pardict_store as store;
 pub use pardict_stream as stream;
 pub use pardict_suffix as suffix;
+pub use pardict_trace as trace;
 pub use pardict_veb as veb;
 pub use pardict_workloads as workloads;
 

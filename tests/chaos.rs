@@ -9,8 +9,11 @@
 //! `Pram::seq()` and `Pram::par()`), so a pass here also certifies the
 //! cost-model contracts.
 
-use pardict::chaos::{audit_seq_par, run_chaos, ChaosConfig};
+use pardict::chaos::{audit_seq_par, run_chaos, ChaosConfig, ChaosProxy, ClientFault};
 use pardict::prelude::*;
+use pardict::service::{wire, Client, Engine, Metrics, Registry, Server};
+use pardict::trace::{TraceConfig, Tracer};
+use std::sync::Arc;
 
 #[test]
 fn chaos_report_is_byte_identical_per_seed() {
@@ -161,4 +164,108 @@ fn ledger_auditor_accepts_real_library_work() {
     // Not asserting hit counts — the corpus is random; the auditor already
     // proved seq and par agree on them.
     drop(hits);
+}
+
+/// Wire chaos against a *traced* engine: every [`ClientFault`] flavour
+/// hits a live server whose engine samples 1-in-2 traces. The collector
+/// must never panic, the clean requests interleaved with the hostile
+/// connections must still answer, and the metrics accounting identity
+/// must close at quiescence — tracing is observability, never behaviour.
+#[test]
+fn traced_engine_survives_wire_chaos_with_sampling_on() {
+    let tracer = Tracer::new(TraceConfig {
+        sample_one_in: 2,
+        seed: 0xC4A0_57E5,
+        capacity: 1 << 12,
+        deterministic: true,
+    });
+    let metrics = Arc::new(Metrics::default());
+    let registry = Arc::new(Registry::new(Arc::clone(&metrics)));
+    let engine = Engine::new_traced(
+        pardict::cluster::selftest::engine_config(),
+        registry,
+        Arc::clone(&metrics),
+        Some(Arc::clone(&tracer)),
+    );
+    engine
+        .registry()
+        .publish("d", vec![b"ab".to_vec(), b"abc".to_vec(), b"ca".to_vec()])
+        .expect("publish");
+    let mut server = Server::start(engine.clone(), "127.0.0.1:0").expect("server start");
+    let mut proxy = ChaosProxy::start(server.addr()).expect("proxy start");
+
+    let faults = [
+        ClientFault::PassThrough,
+        ClientFault::CorruptTag,
+        ClientFault::OversizeLength,
+        ClientFault::TruncateMidFrame,
+        ClientFault::DisconnectAfterPrefix,
+        ClientFault::SlowDrip,
+    ];
+    for (round, fault) in faults.iter().cycle().take(18).enumerate() {
+        proxy.push_fault(*fault);
+        // Hostile connection: the outcome (answer or transport error)
+        // depends on the fault; what's asserted is "no panic, no hang".
+        if let Ok(mut c) = Client::connect(proxy.addr()) {
+            let text = vec![b'a'; 8 + round];
+            let _ = c.op_traced(wire::tag::MATCH, "d", &text, 2_000, tracer.begin_trace());
+        }
+        // Clean traced request on a direct connection: must answer.
+        let mut clean = Client::connect(server.addr()).expect("clean connect");
+        let reply = clean
+            .op_traced(
+                wire::tag::GREP,
+                "d",
+                b"abcabca",
+                2_000,
+                tracer.begin_trace(),
+            )
+            .expect("clean transport")
+            .expect("clean service reply");
+        drop(reply);
+    }
+
+    proxy.stop();
+    server.stop();
+    engine.shutdown();
+    metrics
+        .check_accounting(true)
+        .expect("accounting must close with sampling on");
+    // 1-in-2 head sampling on a healthy ring: some spans collected
+    // (the clean requests alone guarantee traffic), none dropped.
+    let spans = tracer.drain();
+    assert!(!spans.is_empty(), "sampled requests must leave spans");
+    assert_eq!(tracer.dropped(), 0, "ring is far from full");
+}
+
+/// A deliberately tiny collector under overload: the ring keeps its
+/// capacity, counts every excess span in `dropped()`, and never blocks
+/// the emitting thread. Stored + dropped must equal emitted exactly.
+#[test]
+fn tiny_collector_counts_drops_without_blocking() {
+    let tracer = Tracer::new(TraceConfig {
+        sample_one_in: 1,
+        seed: 9,
+        capacity: 4,
+        deterministic: true,
+    });
+    const EMITTED: usize = 64;
+    for _ in 0..EMITTED {
+        let ctx = tracer.begin_trace().expect("sample 1-in-1 keeps all");
+        drop(tracer.start(ctx, "overload", 0));
+    }
+    let stored = tracer.drain().len();
+    assert!(
+        stored <= 4,
+        "ring capacity must bound storage, got {stored}"
+    );
+    assert!(
+        tracer.dropped() > 0,
+        "overload must be visible in the counter"
+    );
+    assert_eq!(
+        stored as u64 + tracer.dropped(),
+        EMITTED as u64,
+        "every span is either stored or counted as dropped"
+    );
 }
