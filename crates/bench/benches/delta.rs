@@ -1,0 +1,175 @@
+//! Criterion wall-clock benches for delta publishing: applying a
+//! one-pattern delta to a 10k-pattern dictionary versus rebuilding the
+//! whole thing from scratch, at both the core matcher layer
+//! (`SegmentedMatcher::apply_delta` vs `SegmentedMatcher::build`) and
+//! the registry layer (`Registry::publish_delta` vs a cold
+//! `Registry::publish`). The gap is the amortization copy-on-write
+//! segment reuse buys: the delta path re-preprocesses only the touched
+//! tail segments while everything else is `Arc`-shared with the parent.
+//!
+//! A third, non-timing record reports WAL framing bytes for one delta
+//! record against one full-publish record of the same dictionary —
+//! durability cost proportional to the edit, not the dictionary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pardict_core::{DictDelta, SegmentedMatcher};
+use pardict_pram::Pram;
+use pardict_service::{Metrics, Registry};
+use pardict_store::{Store, StoreConfig};
+use pardict_workloads::{random_dictionary, Alphabet};
+use std::io::Write as _;
+use std::sync::Arc;
+
+const DICT_SIZE: usize = 10_000;
+
+fn dictionary() -> Vec<Vec<u8>> {
+    random_dictionary(42, DICT_SIZE, 4, 12, Alphabet::dna())
+}
+
+fn one_add() -> DictDelta {
+    DictDelta {
+        adds: vec![b"needleneedle".to_vec()],
+        removes: Vec::new(),
+    }
+}
+
+fn nosync() -> StoreConfig {
+    StoreConfig {
+        snapshot_every: 0,
+        sync: false,
+    }
+}
+
+/// Core layer: apply a one-pattern delta against a prebuilt matcher vs
+/// rebuilding the final pattern set from scratch.
+fn bench_matcher_delta(c: &mut Criterion) {
+    let mut g = c.benchmark_group("delta_publish");
+    g.sample_size(10);
+
+    let patterns = dictionary();
+    let delta = one_add();
+    let pram = Pram::seq();
+    let base = SegmentedMatcher::build(&pram, patterns.clone());
+    let mut finals = patterns;
+    finals.extend(delta.adds.iter().cloned());
+
+    g.bench_with_input(
+        BenchmarkId::new("apply_delta_1", DICT_SIZE),
+        &(),
+        |b, ()| {
+            b.iter(|| {
+                let (next, stats) = base.apply_delta(&pram, &delta).expect("valid delta");
+                assert!(stats.segments_reused >= stats.segments_total.saturating_sub(2));
+                next
+            });
+        },
+    );
+    g.bench_with_input(BenchmarkId::new("full_rebuild", DICT_SIZE), &(), |b, ()| {
+        b.iter(|| SegmentedMatcher::build(&pram, finals.clone()));
+    });
+    g.finish();
+}
+
+/// Registry layer, end to end: `publish_delta` against the live head vs
+/// a full `publish` of the post-delta set. Every iteration adds a
+/// fresh, unique pattern so neither path can be served from the
+/// whole-version build cache.
+fn bench_registry_delta(c: &mut Criterion) {
+    let mut g = c.benchmark_group("delta_registry");
+    g.sample_size(10);
+
+    let patterns = dictionary();
+
+    let registry = Registry::new(Arc::new(Metrics::default()));
+    registry
+        .publish("d", patterns.clone())
+        .expect("seed publish");
+    let mut i = 0u64;
+    g.bench_with_input(
+        BenchmarkId::new("publish_delta_1", DICT_SIZE),
+        &(),
+        |b, ()| {
+            b.iter(|| {
+                i += 1;
+                let parent = registry.current("d").expect("installed").version;
+                let delta = DictDelta {
+                    adds: vec![format!("uniq-{i}").into_bytes()],
+                    removes: Vec::new(),
+                };
+                registry
+                    .publish_delta("d", parent, &delta)
+                    .expect("delta publish")
+            });
+        },
+    );
+
+    let registry = Registry::new(Arc::new(Metrics::default()));
+    let mut j = 0u64;
+    g.bench_with_input(
+        BenchmarkId::new("full_republish", DICT_SIZE),
+        &(),
+        |b, ()| {
+            b.iter(|| {
+                j += 1;
+                let mut finals = patterns.clone();
+                finals.push(format!("uniq-{j}").into_bytes());
+                registry.publish("d", finals).expect("full publish")
+            });
+        },
+    );
+    g.finish();
+}
+
+/// Durability cost: framed WAL bytes for one delta record vs one full
+/// publish record of the same dictionary. Not a timing — emitted as an
+/// extra record in the `CRITERION_JSON` sink so the collected results
+/// show the bytes-proportional-to-the-delta claim next to the
+/// wall-clock numbers.
+fn report_wal_bytes() {
+    let patterns = dictionary();
+    let delta = one_add();
+
+    let dir = std::env::temp_dir().join(format!("pardict-bench-delta-wal-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut store = Store::open(&dir, nosync()).expect("open");
+    store.log_publish("d", 1, &patterns).expect("publish");
+    let full_bytes = store.appended_bytes();
+    store
+        .log_delta("d", 2, &delta.adds, &delta.removes)
+        .expect("delta");
+    let delta_bytes = store.appended_bytes() - full_bytes;
+    drop(store);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    println!(
+        "delta_wal/bytes/{DICT_SIZE}: full publish {full_bytes} B, one-add delta {delta_bytes} B \
+         ({}x smaller)",
+        full_bytes / delta_bytes.max(1)
+    );
+    if let Ok(path) = std::env::var("CRITERION_JSON") {
+        if let Ok(mut f) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+        {
+            let _ = writeln!(
+                f,
+                "{{\"bench\":\"delta_wal/bytes/{DICT_SIZE}\",\"full_publish_bytes\":{full_bytes},\
+                 \"delta_bytes\":{delta_bytes},\"full_over_delta\":{}}}",
+                full_bytes / delta_bytes.max(1)
+            );
+        }
+    }
+}
+
+fn bench_wal_bytes(_c: &mut Criterion) {
+    report_wal_bytes();
+}
+
+criterion_group!(
+    benches,
+    bench_matcher_delta,
+    bench_registry_delta,
+    bench_wal_bytes
+);
+criterion_main!(benches);

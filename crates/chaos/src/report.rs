@@ -10,15 +10,17 @@
 //!   [`Pram::par`] through [`audit_seq_par`], so the ledger invariant
 //!   auditor rides along with every container check.
 //! - **Storage faults** — a clean `pardict-store` data directory is
-//!   copied and damaged one fault class at a time (torn final record,
-//!   WAL bit flip, truncated snapshot, stale compaction temp), each
-//!   recovery checked against a model of the clean history
-//!   ([`storage_chaos`](crate::store::storage_chaos)).
+//!   copied and damaged one fault class at a time (torn mid-delta tail,
+//!   WAL bit flip, truncated snapshot with an orphaned delta, stale
+//!   compaction temp), each recovery checked against a model of the
+//!   clean history ([`storage_chaos`](crate::store::storage_chaos)).
 //! - **Wire chaos** — a live [`Server`] behind a [`ChaosProxy`] suffers
 //!   malformed frames, oversized and truncated length prefixes,
-//!   mid-request disconnects, hostile entry counts, and slow-drip writes,
-//!   while a healthy direct connection is re-verified after every hostile
-//!   scenario and [`Metrics::check_accounting`] must balance at the end.
+//!   mid-request disconnects, hostile entry counts, slow-drip writes,
+//!   and delta-publish sabotage (torn mid-frame, hostile add counts,
+//!   stale parent versions), while a healthy direct connection is
+//!   re-verified after every hostile scenario and
+//!   [`Metrics::check_accounting`] must balance at the end.
 //!
 //! Every report line is symbolic — fault names, block indexes, hit counts
 //! — never ports, timings, or addresses, so equal seeds produce equal
@@ -575,6 +577,132 @@ fn run_wire_scenarios(
         lines,
         "healthy connection correct after hostile pattern count",
         engine_ops,
+    );
+
+    // Scenario 7: torn delta publish — a PUBDELTA frame truncated
+    // mid-frame must be dropped without a reply, and the dictionary must
+    // stay at its parent version: nothing half-applied, no phantom
+    // version bump.
+    let delta_add = b"chaosdelta".to_vec();
+    let delta_req = WireRequest::PubDelta {
+        name: "chaos".into(),
+        parent_version: 1,
+        adds: vec![delta_add.clone()],
+        removes: Vec::new(),
+    };
+    proxy.push_fault(ClientFault::TruncateMidFrame);
+    verdict(
+        lines,
+        "torn delta publish dropped, dictionary stays at parent version",
+        (|| {
+            let mut s = raw_connect(proxy.addr()).map_err(|e| e.to_string())?;
+            match roundtrip(&mut s, &delta_req) {
+                Ok(None) | Err(_) => {}
+                Ok(Some(resp)) => return Err(format!("server answered a torn delta: {resp:?}")),
+            }
+            let mut s = raw_connect(direct).map_err(|e| e.to_string())?;
+            match roundtrip(&mut s, &WireRequest::Dicts).map_err(|e| e.to_string())? {
+                Some(WireResponse::DictList(dicts)) => {
+                    match dicts.iter().find(|(n, _, _)| n == "chaos") {
+                        Some((_, 1, _)) => Ok(()),
+                        Some((_, v, _)) => Err(format!("dictionary advanced to version {v}")),
+                        None => Err("dictionary vanished".into()),
+                    }
+                }
+                other => Err(format!("unexpected dicts reply {other:?}")),
+            }
+        })(),
+    );
+    healthy_check(
+        lines,
+        "healthy connection correct after torn delta publish",
+        engine_ops,
+    );
+
+    // Scenario 8: hostile delta count — a PUBDELTA frame claiming
+    // u32::MAX adds in a tiny payload must be refused without
+    // allocating, and the connection must keep serving.
+    verdict(
+        lines,
+        "hostile delta count refused, connection kept",
+        (|| {
+            let mut s = raw_connect(direct).map_err(|e| e.to_string())?;
+            let mut payload = vec![tag::PUBDELTA];
+            payload.extend_from_slice(&5u32.to_be_bytes());
+            payload.extend_from_slice(b"chaos");
+            payload.extend_from_slice(&1u64.to_be_bytes());
+            payload.extend_from_slice(&u32::MAX.to_be_bytes());
+            write_frame(&mut s, &payload).map_err(|e| e.to_string())?;
+            match read_frame(&mut s).map_err(|e| e.to_string())? {
+                Some(p) => match WireResponse::decode(&p).map_err(|e| e.to_string())? {
+                    WireResponse::Error { .. } => {}
+                    other => return Err(format!("wanted error reply, got {other:?}")),
+                },
+                None => return Err("connection dropped instead of error reply".into()),
+            }
+            match roundtrip(&mut s, &WireRequest::Ping).map_err(|e| e.to_string())? {
+                Some(WireResponse::Pong) => Ok(()),
+                other => Err(format!("wanted pong after error, got {other:?}")),
+            }
+        })(),
+    );
+    healthy_check(
+        lines,
+        "healthy connection correct after hostile delta count",
+        engine_ops,
+    );
+
+    // Scenario 9: stale-parent delta — naming a superseded parent
+    // version must be refused with an error, never applied.
+    verdict(
+        lines,
+        "stale-parent delta refused, connection kept",
+        (|| {
+            let mut s = raw_connect(direct).map_err(|e| e.to_string())?;
+            let stale = WireRequest::PubDelta {
+                name: "chaos".into(),
+                parent_version: 999,
+                adds: vec![delta_add.clone()],
+                removes: Vec::new(),
+            };
+            match roundtrip(&mut s, &stale).map_err(|e| e.to_string())? {
+                Some(WireResponse::Error { .. }) => {}
+                other => return Err(format!("wanted error reply, got {other:?}")),
+            }
+            match roundtrip(&mut s, &WireRequest::Ping).map_err(|e| e.to_string())? {
+                Some(WireResponse::Pong) => Ok(()),
+                other => Err(format!("wanted pong after error, got {other:?}")),
+            }
+        })(),
+    );
+    healthy_check(
+        lines,
+        "healthy connection correct after stale-parent delta",
+        engine_ops,
+    );
+
+    // Scenario 10: after the chaos, a well-formed delta publish on a
+    // direct connection applies — version 2, and matches against the
+    // delta'd dictionary agree with a scratch library build of the
+    // final pattern set.
+    *engine_ops += 1;
+    verdict(
+        lines,
+        "delta publish applies after wire chaos, matches agree with scratch build",
+        (|| {
+            let mut finals = patterns.to_vec();
+            finals.push(delta_add.clone());
+            let expected2 = library_hits(&finals, text);
+            let mut s = raw_connect(direct).map_err(|e| e.to_string())?;
+            match roundtrip(&mut s, &delta_req).map_err(|e| e.to_string())? {
+                Some(WireResponse::Published { version: 2, .. }) => {}
+                other => return Err(format!("wanted version 2, got {other:?}")),
+            }
+            match roundtrip(&mut s, &match_request("chaos", text)).map_err(|e| e.to_string())? {
+                Some(WireResponse::Hits { hits, .. }) if hit_pairs(&hits) == expected2 => Ok(()),
+                other => Err(format!("wanted the scratch-build hits, got {other:?}")),
+            }
+        })(),
     );
 
     // Liveness: a brand-new connection still gets a pong.

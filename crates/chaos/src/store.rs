@@ -9,17 +9,22 @@
 //! scripts one fault per class from the master seed and checks each
 //! against a model built from the clean history:
 //!
-//! - **torn-final-record** — the tail of `wal.log` is chopped mid-record
-//!   (a crash during the last append). Recovery must drop exactly that
-//!   record, report the tear, and leave a directory whose *next* open is
-//!   clean (the untrusted suffix is truncated away, not re-reported).
+//! - **torn-mid-delta** — the tail of `wal.log` is chopped mid-record,
+//!   and the final record is a `Delta` (a crash during the last delta
+//!   publish). Recovery must drop exactly that delta — the dictionary
+//!   stays at its pre-delta state — report the tear, and leave a
+//!   directory whose *next* open is clean (the untrusted suffix is
+//!   truncated away, not re-reported).
 //! - **wal-record-bit-flip** — one bit flips inside a framed record
 //!   (disk rot). The CRC must reject it; recovered state is the prefix
 //!   before the flipped record, nothing invented, nothing past it.
 //! - **truncated-snapshot** — `snapshot.pds` loses its tail (a crash
 //!   that somehow survived the atomic rename, or external truncation).
 //!   The all-or-nothing snapshot check must reject it and recovery must
-//!   fall back to replaying the WAL alone from an empty state.
+//!   fall back to replaying the WAL alone from an empty state — which
+//!   also orphans the tail's delta record (its dictionary lived only in
+//!   the snapshot); the orphan must be dropped and counted, never
+//!   applied to nothing.
 //! - **stale-temp-leftover** — a `snapshot.pds.tmp` from a crashed
 //!   compaction lingers. Recovery must delete it, count the open as
 //!   clean, and recover the full state.
@@ -142,8 +147,9 @@ fn run_faults(seed: u64, base: &Path, lines: &mut Vec<String>) {
 
     // ---- build the clean history and its in-memory model ----
     // Snapshot covers d0..d3 v1; the WAL tail then publishes d4,
-    // retires d1, and republishes d0 at v2 — so each prefix of the tail
-    // is a distinct, known state.
+    // retires d1, republishes d0 at v2, and delta-publishes d2 to v2 —
+    // so each prefix of the tail is a distinct, known state, and the
+    // final record exercises the delta kind.
     let mut model_snapshot: Model = BTreeMap::new();
     let mut tail_models: Vec<Model> = Vec::new();
     {
@@ -197,6 +203,23 @@ fn run_faults(seed: u64, base: &Path, lines: &mut Vec<String>) {
         }
         model.insert("d0".into(), (2, d0v2));
         tail_models.push(model.clone());
+        // Delta against a snapshot-resident dictionary: remove d2's
+        // first pattern (every occurrence), append fresh ones.
+        let d2_pats = model_snapshot
+            .get("d2")
+            .map(|(_, p)| p.clone())
+            .unwrap_or_default();
+        let removed = d2_pats[0].clone();
+        let adds = patterns(&mut rng);
+        if !step(&mut s, lines, &|s| {
+            s.log_delta("d2", 2, &adds, std::slice::from_ref(&removed))
+        }) {
+            return;
+        }
+        let mut d2v2: Vec<Vec<u8>> = d2_pats.iter().filter(|p| **p != removed).cloned().collect();
+        d2v2.extend(adds.iter().cloned());
+        model.insert("d2".into(), (2, d2v2));
+        tail_models.push(model.clone());
     }
     let full_model = tail_models.last().cloned().unwrap_or_default();
 
@@ -204,8 +227,8 @@ fn run_faults(seed: u64, base: &Path, lines: &mut Vec<String>) {
     let tail_records = match fs::read(clean.join(WAL_FILE)) {
         Ok(bytes) => {
             let scan = scan_wal(&bytes);
-            if scan.header_issue.is_some() || scan.torn.is_some() || scan.records.len() != 3 {
-                lines.push("  [VIOLATED] clean wal must scan to exactly 3 records".into());
+            if scan.header_issue.is_some() || scan.torn.is_some() || scan.records.len() != 4 {
+                lines.push("  [VIOLATED] clean wal must scan to exactly 4 records".into());
                 return;
             }
             scan.records
@@ -222,14 +245,20 @@ fn run_faults(seed: u64, base: &Path, lines: &mut Vec<String>) {
     // ---- baseline: the clean directory recovers cleanly ----
     verdict(
         lines,
-        "clean directory recovers the full model (4 snapshot dicts + 3 wal records)",
+        "clean directory recovers the full model (4 snapshot dicts + 4 wal records incl. delta)",
         (|| {
             let s = Store::open(&clean, cfg()).map_err(|e| e.to_string())?;
             let r = s.recovery();
             if !r.is_clean() {
                 return Err(format!("not clean: {r:?}"));
             }
-            if r.snapshot_dicts != 4 || r.wal_replayed != 3 || r.wal_skipped != 0 {
+            if r.orphan_deltas != 0 {
+                return Err(format!(
+                    "{} orphan deltas on a clean replay",
+                    r.orphan_deltas
+                ));
+            }
+            if r.snapshot_dicts != 4 || r.wal_replayed != 4 || r.wal_skipped != 0 {
                 return Err(format!(
                     "books off: snapshot {} replayed {} skipped {}",
                     r.snapshot_dicts, r.wal_replayed, r.wal_skipped
@@ -245,12 +274,14 @@ fn run_faults(seed: u64, base: &Path, lines: &mut Vec<String>) {
         Ok(d)
     };
 
-    // ---- torn-final-record ----
-    let (last_off, last_len) = tail_records[2];
+    // ---- torn-mid-delta ----
+    // The final record is the d2 delta: tearing inside it must roll the
+    // dictionary back to its pre-delta state, nothing half-applied.
+    let (last_off, last_len) = tail_records[3];
     let tear = 1 + rng.next_below(last_len - 1);
     verdict(
         lines,
-        &format!("torn-final-record: {tear}-byte tear drops only the final record"),
+        &format!("torn-mid-delta: {tear}-byte tear drops only the final delta record"),
         (|| {
             let d = fault_dir("torn")?;
             chop(&d.join(WAL_FILE), tear).map_err(|e| e.to_string())?;
@@ -263,10 +294,10 @@ fn run_faults(seed: u64, base: &Path, lines: &mut Vec<String>) {
                     torn.offset
                 ));
             }
-            if r.wal_replayed != 2 {
-                return Err(format!("replayed {}, wanted 2", r.wal_replayed));
+            if r.wal_replayed != 3 {
+                return Err(format!("replayed {}, wanted 3", r.wal_replayed));
             }
-            expect_state(&s, &tail_models[2])?;
+            expect_state(&s, &tail_models[3])?;
             drop(s);
             // The tear was truncated away: the next open must be clean
             // and see the same prefix state.
@@ -274,12 +305,12 @@ fn run_faults(seed: u64, base: &Path, lines: &mut Vec<String>) {
             if !s2.recovery().is_clean() {
                 return Err("reopen after repair not clean".into());
             }
-            expect_state(&s2, &tail_models[2])
+            expect_state(&s2, &tail_models[3])
         })(),
     );
 
     // ---- wal-record-bit-flip ----
-    let victim = rng.next_below(3) as usize;
+    let victim = rng.next_below(4) as usize;
     let (v_off, v_len) = tail_records[victim];
     let flip_byte = v_off + rng.next_below(v_len);
     let flip_bit_n = u32::try_from(rng.next_below(8)).unwrap_or(0);
@@ -337,14 +368,22 @@ fn run_faults(seed: u64, base: &Path, lines: &mut Vec<String>) {
             if r.torn.is_some() {
                 return Err("wal reported torn but only the snapshot was cut".into());
             }
-            if r.wal_replayed != 3 || r.wal_skipped != 0 {
+            if r.wal_replayed != 4 || r.wal_skipped != 0 {
                 return Err(format!(
-                    "replayed {} skipped {}, wanted 3 / 0",
+                    "replayed {} skipped {}, wanted 4 / 0",
                     r.wal_replayed, r.wal_skipped
                 ));
             }
             // Replay of the tail alone onto nothing: d4 appears, the
-            // retire of d1 is a no-op, d0 lands at v2.
+            // retire of d1 is a no-op, d0 lands at v2, and the d2 delta
+            // is an orphan (d2 lived only in the rejected snapshot) —
+            // dropped and counted, never applied to nothing.
+            if r.orphan_deltas != 1 {
+                return Err(format!(
+                    "orphan deltas {}, wanted exactly 1",
+                    r.orphan_deltas
+                ));
+            }
             let mut wal_only: Model = BTreeMap::new();
             for (name, v) in &full_model {
                 if name == "d4" || name == "d0" {

@@ -135,11 +135,15 @@ fn handle(router: &Router, req: WireRequest) -> WireResponse {
     match req {
         WireRequest::Ping => WireResponse::Pong,
         WireRequest::Hello { extensions: _ } => WireResponse::Hello {
-            extensions: if router.tracer().is_some() {
-                wire::EXT_TRACE
-            } else {
-                0
-            },
+            // The front accepts delta publishes unconditionally (it
+            // converts them per shard as needed); tracing only when a
+            // tracer exists.
+            extensions: wire::EXT_DELTA
+                | if router.tracer().is_some() {
+                    wire::EXT_TRACE
+                } else {
+                    0
+                },
         },
         WireRequest::Traced { .. } => unreachable!("nested Traced rejected by the decoder"),
         WireRequest::Dicts => WireResponse::DictList(router.dict_digests()),
@@ -155,6 +159,36 @@ fn handle(router: &Router, req: WireRequest) -> WireResponse {
             },
             Err(e) => error_response(&e),
         },
+        WireRequest::PubDelta {
+            name,
+            parent_version,
+            adds,
+            removes,
+        } => {
+            // The router's own view is authoritative for the parent: a
+            // client delta against a superseded version is refused the
+            // same way a single node refuses it.
+            let current = router
+                .dict_digests()
+                .into_iter()
+                .find(|(n, _, _)| *n == name)
+                .map(|(_, v, _)| v);
+            if current != Some(parent_version) {
+                return WireResponse::Error {
+                    code: ServiceError::BadRequest(String::new()).code(),
+                    message: format!(
+                        "delta parent version {parent_version} does not match current {current:?}"
+                    ),
+                };
+            }
+            match router.publish_delta(&name, &pardict_core::DictDelta { adds, removes }) {
+                Ok(summary) => WireResponse::Published {
+                    version: summary.version,
+                    cache_hit: false,
+                },
+                Err(e) => error_response(&e),
+            }
+        }
         WireRequest::Op {
             tag,
             dict,

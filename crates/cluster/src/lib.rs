@@ -46,4 +46,4 @@ pub mod shard;
 pub use backend::Backend;
 pub use front::RouterServer;
 pub use metrics::{ClusterMetrics, ShardStats};
-pub use router::{ClusterConfig, ClusterError, PublishSummary, Routed, Router};
+pub use router::{ClusterConfig, ClusterError, DeltaSummary, PublishSummary, Routed, Router};

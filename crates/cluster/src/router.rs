@@ -135,6 +135,26 @@ pub struct PublishSummary {
     pub degraded: bool,
 }
 
+/// Outcome of a broadcast delta publish.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeltaSummary {
+    /// Highest version installed among acknowledging shards.
+    pub version: u64,
+    /// Shards that acknowledged (by delta or by fallback).
+    pub acks: u32,
+    /// Shards that applied the delta as a delta.
+    pub delta_acks: u32,
+    /// Shards that needed a full-publish fallback (legacy peer, or a
+    /// shard whose current version did not match the delta's parent —
+    /// e.g. freshly revived).
+    pub full_fallbacks: u32,
+    /// Total shards in the cluster.
+    pub total: u32,
+    /// True when any shard missed the broadcast (it will catch up on
+    /// revival).
+    pub degraded: bool,
+}
+
 /// The per-attempt closure [`Router::dispatch`] retries across shards:
 /// given a connected client, the milliseconds left before the request's
 /// deadline, and the trace context of this attempt's span (for wire
@@ -568,6 +588,123 @@ impl Router {
             degraded: result.as_ref().map_or(true, |s| s.degraded) || self.any_excluded(),
             result: match &result {
                 // Bridge to the envelope's WireResponse-based accounting.
+                Ok(s) => Ok(WireResponse::Published {
+                    version: s.version,
+                    cache_hit: false,
+                }),
+                Err(e) => Err(e.clone()),
+            },
+        };
+        self.finish(started, &routed);
+        result
+    }
+
+    /// Broadcast an incremental delta to every healthy backend, falling
+    /// back to a full publish per shard when the shard can't take the
+    /// delta (legacy peer without [`wire::EXT_DELTA`], or a current
+    /// version that doesn't match the delta's parent — e.g. a freshly
+    /// revived shard). The router applies the delta to its own
+    /// replicated-registry view first, so revival replays and scatter
+    /// overlap sizing see the post-delta dictionary, and chains the
+    /// content hash in `O(|delta|)` — identical to what a full publish
+    /// of the resulting pattern set would compute, so digest-based
+    /// revival skips keep working across the two paths.
+    ///
+    /// # Errors
+    /// [`ClusterError::Service`] when the delta is invalid against the
+    /// router's view (unknown dictionary, remove that matches nothing,
+    /// empty result) or a live shard rejected it and its fallback;
+    /// [`ClusterError::NoBackends`] when no shard acknowledged.
+    pub fn publish_delta(
+        &self,
+        name: &str,
+        delta: &pardict_core::DictDelta,
+    ) -> Result<DeltaSummary, ClusterError> {
+        let started = Instant::now();
+        self.metrics.requests.inc();
+        self.metrics.publishes.inc();
+        self.ensure_some_healthy();
+        // Validate against the router's replicated view and compute the
+        // final pattern set + chained hash before touching the network.
+        let (parent_version, finals, new_hash) = {
+            let guard = self.dicts.lock().expect("dicts poisoned");
+            let Some(info) = guard.get(name) else {
+                return Err(ClusterError::Service(ServiceError::NoSuchDictionary(
+                    name.to_string(),
+                )));
+            };
+            let (finals, removed_counts) =
+                pardict_core::apply_delta_patterns(&info.patterns, delta)
+                    .map_err(|e| ClusterError::Service(ServiceError::BadRequest(e.to_string())))?;
+            let new_hash = pardict_core::chain_identity(info.content_hash, delta, &removed_counts);
+            (info.version, finals, new_hash)
+        };
+        let mut acks = 0u32;
+        let mut delta_acks = 0u32;
+        let mut full_fallbacks = 0u32;
+        let mut version = 0u64;
+        let mut rejected: Option<ServiceError> = None;
+        for shard in 0..self.backends.len() {
+            if !self.backends[shard].is_healthy() {
+                continue;
+            }
+            let pats = finals.clone();
+            let call = move |c: &mut Client| -> io::Result<Result<(u64, bool), ServiceError>> {
+                match c.publish_delta(name, parent_version, delta, None) {
+                    Ok(Ok((v, _cache_hit))) => return Ok(Ok((v, true))),
+                    // Shard refused the delta (stale/missing parent) or
+                    // is a legacy peer: converge with a full publish.
+                    Ok(Err(_)) => {}
+                    Err(e) if e.kind() == io::ErrorKind::Unsupported => {}
+                    Err(e) => return Err(e),
+                }
+                match c.publish(name, pats.clone())? {
+                    Ok((v, _cache_hit)) => Ok(Ok((v, false))),
+                    Err(e) => Ok(Err(e)),
+                }
+            };
+            match self.call_shard(shard, &call) {
+                Attempt::Ok((v, took_delta)) => {
+                    acks += 1;
+                    if took_delta {
+                        delta_acks += 1;
+                    } else {
+                        full_fallbacks += 1;
+                    }
+                    version = version.max(v);
+                }
+                Attempt::App(e) => rejected = Some(e),
+                Attempt::Down => {}
+            }
+        }
+        let total = u32::try_from(self.backends.len()).unwrap_or(u32::MAX);
+        let result = if acks > 0 {
+            let max_len = finals.iter().map(Vec::len).max().unwrap_or(0);
+            self.dicts.lock().expect("dicts poisoned").insert(
+                name.to_string(),
+                DictInfo {
+                    patterns: finals,
+                    max_len,
+                    version,
+                    content_hash: new_hash,
+                },
+            );
+            Ok(DeltaSummary {
+                version,
+                acks,
+                delta_acks,
+                full_fallbacks,
+                total,
+                degraded: acks < total,
+            })
+        } else if let Some(e) = rejected {
+            Err(ClusterError::Service(e))
+        } else {
+            Err(ClusterError::NoBackends)
+        };
+        let routed = Routed {
+            degraded: result.as_ref().map_or(true, |s| s.degraded) || self.any_excluded(),
+            result: match &result {
                 Ok(s) => Ok(WireResponse::Published {
                     version: s.version,
                     cache_hit: false,

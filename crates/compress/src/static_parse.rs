@@ -14,7 +14,7 @@
 //! literature), and [`bfs_parse`] — an [AS92]-flavoured exact shortest-path
 //! baseline whose work is `Θ(Σ M[i])`, the blow-up the paper avoids.
 
-use pardict_core::{DictMatcher, Dictionary};
+use pardict_core::{Dictionary, PatternScan};
 use pardict_graph::{EulerTour, Forest};
 use pardict_pram::{ceil_log2, Pram};
 
@@ -59,7 +59,7 @@ impl Parse {
 /// The per-position longest-pattern-prefix table `M` (with certificates),
 /// as plain integers: `(len, pattern)`, `len == 0` when no word starts
 /// there.
-fn prefix_table(pram: &Pram, matcher: &DictMatcher, text: &[u8]) -> Vec<(u32, u32)> {
+fn prefix_table<M: PatternScan>(pram: &Pram, matcher: &M, text: &[u8]) -> Vec<(u32, u32)> {
     let raw = matcher.pattern_prefixes(pram, text);
     pram.map(&raw, |_, &o| o.map_or((0, u32::MAX), |(l, t)| (l, t)))
 }
@@ -68,7 +68,7 @@ fn prefix_table(pram: &Pram, matcher: &DictMatcher, text: &[u8]) -> Vec<(u32, u3
 /// preprocessing. Returns `None` when the text cannot be parsed (some
 /// position starts no dictionary word).
 #[must_use]
-pub fn optimal_parse(pram: &Pram, matcher: &DictMatcher, text: &[u8]) -> Option<Parse> {
+pub fn optimal_parse<M: PatternScan>(pram: &Pram, matcher: &M, text: &[u8]) -> Option<Parse> {
     let n = text.len();
     if n == 0 {
         return Some(Parse {
@@ -164,7 +164,7 @@ pub fn optimal_parse(pram: &Pram, matcher: &DictMatcher, text: &[u8]) -> Option<
 /// Greedy parse: always take the longest word. Sub-optimal in general —
 /// the comparison §5 is about.
 #[must_use]
-pub fn greedy_parse(pram: &Pram, matcher: &DictMatcher, text: &[u8]) -> Option<Parse> {
+pub fn greedy_parse<M: PatternScan>(pram: &Pram, matcher: &M, text: &[u8]) -> Option<Parse> {
     let n = text.len();
     let m = prefix_table(pram, matcher, text);
     let mut phrases = Vec::new();
@@ -190,7 +190,7 @@ pub fn greedy_parse(pram: &Pram, matcher: &DictMatcher, text: &[u8]) -> Option<P
 /// the paper's introduction cites): place the longest fragments first,
 /// then parse the gaps greedily.
 #[must_use]
-pub fn lff_parse(pram: &Pram, matcher: &DictMatcher, text: &[u8]) -> Option<Parse> {
+pub fn lff_parse<M: PatternScan>(pram: &Pram, matcher: &M, text: &[u8]) -> Option<Parse> {
     let n = text.len();
     let m = prefix_table(pram, matcher, text);
     // Positions by decreasing fragment length.
@@ -254,7 +254,7 @@ pub fn lff_parse(pram: &Pram, matcher: &DictMatcher, text: &[u8]) -> Option<Pars
 /// charged honestly; exists as the E6 comparator and the optimality
 /// oracle.
 #[must_use]
-pub fn bfs_parse(pram: &Pram, matcher: &DictMatcher, text: &[u8]) -> Option<Parse> {
+pub fn bfs_parse<M: PatternScan>(pram: &Pram, matcher: &M, text: &[u8]) -> Option<Parse> {
     let n = text.len();
     let m = prefix_table(pram, matcher, text);
     let mut dist = vec![u32::MAX; n + 1];
@@ -298,6 +298,7 @@ pub fn bfs_parse(pram: &Pram, matcher: &DictMatcher, text: &[u8]) -> Option<Pars
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pardict_core::DictMatcher;
     use pardict_workloads::{markov_text, prefix_heavy_dictionary, random_text, Alphabet};
 
     /// A dictionary guaranteed to parse any text over `alpha`: all single

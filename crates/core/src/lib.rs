@@ -53,6 +53,7 @@ mod dsm;
 mod matcher;
 mod mstats;
 mod offline;
+pub mod segmented;
 pub mod single;
 mod step2;
 
@@ -65,3 +66,7 @@ pub use dsm::{substring_match, Locus, SubstringMatcher};
 pub use matcher::{dictionary_match, DictMatcher};
 pub use mstats::matching_statistics_seq;
 pub use offline::dictionary_match_offline;
+pub use segmented::{
+    apply_delta_patterns, chain_identity, list_hash, multiset_identity, DeltaError, DictDelta,
+    PatternScan, Segment, SegmentBuildStats, SegmentedMatcher,
+};

@@ -1,0 +1,820 @@
+//! Incremental dictionary updates via canonical segmentation.
+//!
+//! The paper's amortization — preprocess once in `O(d)`, match many — is
+//! only as good as the dictionary's stability: one inserted or retired
+//! pattern should not cost a full `O(d)` re-preprocessing. The dynamic
+//! dictionary-matching line (Amir–Farach adaptive matching, and the
+//! small-space multiple-pattern matching of arXiv:1504.06647) prices an
+//! update proportional to the patterns touched. This module provides that
+//! with a twist the serving layer needs: **rebuild equivalence**.
+//!
+//! The pattern list is cut into *content-defined segments* — a boundary
+//! falls after pattern `p` whenever a mixed hash of `p` hits a fixed
+//! residue (expected segment size [`SEGMENT_TARGET`], hard cap
+//! [`SEGMENT_CAP`]), so segment boundaries are a pure function of the
+//! final pattern list, never of the edit history. Each segment carries its
+//! own [`DictMatcher`] and [`AhoCorasick`], seeded from the segment's own
+//! content hash. Consequently `build(final)` and
+//! `apply_delta(parent, delta)` converge to structurally *identical*
+//! matchers: an applied delta rebuilds only the segments whose pattern
+//! runs changed (reusing the rest by `Arc`), yet every query — results
+//! *and* ledger costs — is indistinguishable from a from-scratch build.
+//! That is the oracle `tests/delta.rs` enforces, and what distinguishes
+//! this from [`crate::AdaptiveDictMatcher`], whose Bentley–Saxe groups
+//! depend on insertion order.
+//!
+//! Dictionaries of at most [`SINGLE_SEGMENT_MAX`] patterns stay in one
+//! segment whose seed equals the classic whole-dictionary seed, so small
+//! dictionaries behave bit-identically to a bare [`DictMatcher`].
+
+use crate::ac::AhoCorasick;
+use crate::dict::{Dictionary, Match, Matches};
+use crate::matcher::DictMatcher;
+use pardict_pram::{Cost, Pram};
+use std::sync::Arc;
+
+/// Dictionaries with at most this many patterns use a single segment
+/// (delta updates then rebuild everything, which is cheap at this size).
+pub const SINGLE_SEGMENT_MAX: usize = 64;
+
+/// Expected patterns per segment: a boundary falls after a pattern with
+/// probability `1 / SEGMENT_TARGET`.
+pub const SEGMENT_TARGET: u64 = 256;
+
+/// Hard cap on patterns per segment (bounds rebuild cost under
+/// adversarially boundary-free pattern runs).
+pub const SEGMENT_CAP: usize = 1024;
+
+/// A pattern-set edit: `removes` are applied first (each removes *every*
+/// occurrence of its exact value and must match at least one pattern),
+/// then `adds` are appended in order. Surviving patterns keep their
+/// relative order, so pattern ids stay deterministic along any delta
+/// chain reaching the same final list.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DictDelta {
+    /// Patterns appended after the removes.
+    pub adds: Vec<Vec<u8>>,
+    /// Exact pattern values to remove (all occurrences each).
+    pub removes: Vec<Vec<u8>>,
+}
+
+impl DictDelta {
+    /// True when the delta edits nothing.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.adds.is_empty() && self.removes.is_empty()
+    }
+}
+
+/// Why a [`DictDelta`] could not be applied.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeltaError {
+    /// `removes[index]` matched no pattern in the parent set.
+    RemoveMissing {
+        /// Index into [`DictDelta::removes`].
+        index: usize,
+    },
+    /// The delta would leave the dictionary empty.
+    EmptyResult,
+    /// `adds[index]` is empty.
+    EmptyAdd {
+        /// Index into [`DictDelta::adds`].
+        index: usize,
+    },
+    /// `adds[index]` contains a NUL byte.
+    NulAdd {
+        /// Index into [`DictDelta::adds`].
+        index: usize,
+    },
+}
+
+impl std::fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::RemoveMissing { index } => {
+                write!(f, "remove {index} matches no pattern in the parent set")
+            }
+            Self::EmptyResult => write!(f, "delta would leave the dictionary empty"),
+            Self::EmptyAdd { index } => write!(f, "added pattern {index} is empty"),
+            Self::NulAdd { index } => write!(f, "added pattern {index} contains NUL"),
+        }
+    }
+}
+
+impl std::error::Error for DeltaError {}
+
+/// FNV-1a over the length-prefixed pattern list — order-*sensitive*, the
+/// seed and cache key for one segment (and, for a single-segment
+/// dictionary, identical to the classic whole-dictionary content hash).
+#[must_use]
+pub fn list_hash(patterns: &[Vec<u8>]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |byte: u8| {
+        h ^= u64::from(byte);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    for p in patterns {
+        for b in (p.len() as u64).to_le_bytes() {
+            eat(b);
+        }
+        for &b in p {
+            eat(b);
+        }
+    }
+    h
+}
+
+/// Mixed per-pattern hash: drives both segment boundaries and the
+/// multiset identity.
+#[must_use]
+pub fn pattern_identity(pattern: &[u8]) -> u64 {
+    // FNV-1a over the length-prefixed pattern, finalized with the
+    // SplitMix64 mixer so low bits are usable for boundary residues.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let eat = |acc: u64, byte: u8| (acc ^ u64::from(byte)).wrapping_mul(0x0000_0100_0000_01b3);
+    for b in (pattern.len() as u64).to_le_bytes() {
+        h = eat(h, b);
+    }
+    for &b in pattern {
+        h = eat(h, b);
+    }
+    let mut z = h.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Commutative multiset identity of a pattern list: the wrapping sum of
+/// [`pattern_identity`] over all patterns. Incrementally maintainable —
+/// applying a delta updates it in `O(|delta|)` via [`chain_identity`],
+/// and the chained value equals the from-scratch value of the final list,
+/// so cache identities and cluster revival skips agree across delta and
+/// full-publish paths. Identity of a *multiset*: permutations collide by
+/// design (they define the same pattern set, though with permuted ids).
+#[must_use]
+pub fn multiset_identity(patterns: &[Vec<u8>]) -> u64 {
+    patterns
+        .iter()
+        .fold(0u64, |acc, p| acc.wrapping_add(pattern_identity(p)))
+}
+
+/// Update a parent's [`multiset_identity`] by a delta: subtract each
+/// removed pattern `count` times, add each added pattern once. Equals
+/// `multiset_identity` of the post-delta list.
+#[must_use]
+pub fn chain_identity(parent: u64, delta: &DictDelta, removed_counts: &[u64]) -> u64 {
+    let mut h = parent;
+    for (r, &count) in delta.removes.iter().zip(removed_counts) {
+        h = h.wrapping_sub(pattern_identity(r).wrapping_mul(count));
+    }
+    for a in &delta.adds {
+        h = h.wrapping_add(pattern_identity(a));
+    }
+    h
+}
+
+/// Apply `delta` to `parent` patterns, returning the final list plus the
+/// occurrence count removed per `removes` entry (for [`chain_identity`]).
+///
+/// # Errors
+/// See [`DeltaError`]; on error the parent is untouched (pure function).
+pub fn apply_delta_patterns(
+    parent: &[Vec<u8>],
+    delta: &DictDelta,
+) -> Result<(Vec<Vec<u8>>, Vec<u64>), DeltaError> {
+    for (i, a) in delta.adds.iter().enumerate() {
+        if a.is_empty() {
+            return Err(DeltaError::EmptyAdd { index: i });
+        }
+        if a.contains(&0) {
+            return Err(DeltaError::NulAdd { index: i });
+        }
+    }
+    let mut kept: Vec<Vec<u8>> = parent.to_vec();
+    let mut counts = Vec::with_capacity(delta.removes.len());
+    for (i, r) in delta.removes.iter().enumerate() {
+        let before = kept.len();
+        kept.retain(|p| p != r);
+        let removed = (before - kept.len()) as u64;
+        if removed == 0 {
+            return Err(DeltaError::RemoveMissing { index: i });
+        }
+        counts.push(removed);
+    }
+    kept.extend(delta.adds.iter().cloned());
+    if kept.is_empty() {
+        return Err(DeltaError::EmptyResult);
+    }
+    Ok((kept, counts))
+}
+
+/// Canonical segment spans of a pattern list: a pure function of the list
+/// (see the module docs), so any two paths to the same list cut it the
+/// same way.
+#[must_use]
+pub fn segment_spans(patterns: &[Vec<u8>]) -> Vec<std::ops::Range<usize>> {
+    let n = patterns.len();
+    if n <= SINGLE_SEGMENT_MAX {
+        return std::iter::once(0..n).collect();
+    }
+    let mut spans = Vec::new();
+    let mut start = 0usize;
+    for (i, p) in patterns.iter().enumerate() {
+        let boundary = pattern_identity(p).is_multiple_of(SEGMENT_TARGET);
+        if boundary || i + 1 - start >= SEGMENT_CAP || i + 1 == n {
+            spans.push(start..i + 1);
+            start = i + 1;
+        }
+    }
+    spans
+}
+
+/// One immutable, shareable segment: a run of patterns with its own
+/// preprocessed matcher and exact automaton. Pattern ids inside are
+/// segment-local; [`SegmentedMatcher`] offsets them by the segment's base.
+#[derive(Debug)]
+pub struct Segment {
+    matcher: DictMatcher,
+    ac: AhoCorasick,
+    list_hash: u64,
+    build_cost: Cost,
+}
+
+impl Segment {
+    /// Preprocess one segment. The fingerprint seed derives from the
+    /// segment's own content hash, so equal-content segments are
+    /// bit-identical regardless of how they were reached.
+    #[must_use]
+    pub fn build(pram: &Pram, patterns: Vec<Vec<u8>>) -> Self {
+        let hash = list_hash(&patterns);
+        let dict = Dictionary::new(patterns);
+        let seed = hash | 1;
+        let (matcher, build_cost) = pram.metered(|p| DictMatcher::build(p, dict, seed));
+        let ac = AhoCorasick::build(matcher.dictionary());
+        Self {
+            matcher,
+            ac,
+            list_hash: hash,
+            build_cost,
+        }
+    }
+
+    /// The segment's Theorem-3.1 matcher (segment-local pattern ids).
+    #[must_use]
+    pub fn matcher(&self) -> &DictMatcher {
+        &self.matcher
+    }
+
+    /// The segment's exact automaton (segment-local pattern ids).
+    #[must_use]
+    pub fn ac(&self) -> &AhoCorasick {
+        &self.ac
+    }
+
+    /// Order-sensitive content hash of the segment's patterns.
+    #[must_use]
+    pub fn list_hash(&self) -> u64 {
+        self.list_hash
+    }
+
+    /// Ledger cost of this segment's preprocessing.
+    #[must_use]
+    pub fn build_cost(&self) -> Cost {
+        self.build_cost
+    }
+
+    /// Patterns in this segment.
+    #[must_use]
+    pub fn patterns(&self) -> &[Vec<u8>] {
+        self.matcher.dictionary().patterns()
+    }
+}
+
+/// How a [`SegmentedMatcher`] assembly went: how much was reused.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SegmentBuildStats {
+    /// Segments in the final structure.
+    pub segments_total: usize,
+    /// Segments reused (by `Arc`) instead of rebuilt.
+    pub segments_reused: usize,
+}
+
+/// A dictionary preprocessed as canonical segments (see module docs).
+///
+/// Queries run each segment in base order and merge; a single-segment
+/// dictionary delegates directly, with zero overhead over [`DictMatcher`].
+#[derive(Debug, Clone)]
+pub struct SegmentedMatcher {
+    slots: Vec<Slot>,
+    identity: u64,
+    num_patterns: usize,
+    max_pattern_len: usize,
+    build_cost: Cost,
+}
+
+#[derive(Debug, Clone)]
+struct Slot {
+    /// Global id of the segment's first pattern.
+    base: u32,
+    seg: Arc<Segment>,
+}
+
+impl SegmentedMatcher {
+    /// Preprocess `patterns` from scratch.
+    ///
+    /// # Panics
+    /// Panics on an empty list, an empty pattern, or NUL bytes (validate
+    /// first at service boundaries; `Dictionary::new` enforces this).
+    #[must_use]
+    pub fn build(pram: &Pram, patterns: Vec<Vec<u8>>) -> Self {
+        Self::build_with_reuse(pram, patterns, |_| None).0
+    }
+
+    /// Preprocess `patterns`, asking `lookup` for an existing segment by
+    /// content hash before building one. Reused segments must have been
+    /// produced by this module for the same pattern run (the hash is the
+    /// contract), which keeps the canonical-structure guarantee.
+    #[must_use]
+    pub fn build_with_reuse(
+        pram: &Pram,
+        patterns: Vec<Vec<u8>>,
+        mut lookup: impl FnMut(u64) -> Option<Arc<Segment>>,
+    ) -> (Self, SegmentBuildStats) {
+        assert!(!patterns.is_empty(), "dictionary must not be empty");
+        let identity = multiset_identity(&patterns);
+        let num_patterns = patterns.len();
+        let max_pattern_len = patterns.iter().map(Vec::len).max().unwrap_or(0);
+        let spans = segment_spans(&patterns);
+        let mut stats = SegmentBuildStats {
+            segments_total: spans.len(),
+            segments_reused: 0,
+        };
+        let mut slots = Vec::with_capacity(spans.len());
+        let mut build_cost = Cost::default();
+        for span in spans {
+            let base = span.start as u32;
+            let chunk = &patterns[span];
+            let hash = list_hash(chunk);
+            let seg = match lookup(hash) {
+                Some(seg) if seg.patterns() == chunk => {
+                    stats.segments_reused += 1;
+                    seg
+                }
+                _ => Arc::new(Segment::build(pram, chunk.to_vec())),
+            };
+            build_cost = build_cost.plus(seg.build_cost());
+            slots.push(Slot { base, seg });
+        }
+        (
+            Self {
+                slots,
+                identity,
+                num_patterns,
+                max_pattern_len,
+                build_cost,
+            },
+            stats,
+        )
+    }
+
+    /// Apply `delta`, reusing this matcher's segments for every pattern
+    /// run the edit left untouched. The result is structurally identical
+    /// to [`SegmentedMatcher::build`] on the post-delta list.
+    ///
+    /// # Errors
+    /// See [`DeltaError`].
+    pub fn apply_delta(
+        &self,
+        pram: &Pram,
+        delta: &DictDelta,
+    ) -> Result<(Self, SegmentBuildStats), DeltaError> {
+        let (finals, _counts) = apply_delta_patterns(&self.patterns(), delta)?;
+        let mut by_hash: std::collections::HashMap<u64, Arc<Segment>> = self
+            .slots
+            .iter()
+            .map(|s| (s.seg.list_hash(), Arc::clone(&s.seg)))
+            .collect();
+        Ok(Self::build_with_reuse(pram, finals, move |h| {
+            by_hash.remove(&h)
+        }))
+    }
+
+    /// All patterns in global-id order (concatenated segment runs).
+    #[must_use]
+    pub fn patterns(&self) -> Vec<Vec<u8>> {
+        self.slots
+            .iter()
+            .flat_map(|s| s.seg.patterns().iter().cloned())
+            .collect()
+    }
+
+    /// Commutative multiset identity of the pattern set (see
+    /// [`multiset_identity`]).
+    #[must_use]
+    pub fn identity(&self) -> u64 {
+        self.identity
+    }
+
+    /// Number of patterns.
+    #[must_use]
+    pub fn num_patterns(&self) -> usize {
+        self.num_patterns
+    }
+
+    /// Number of segments.
+    #[must_use]
+    pub fn num_segments(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total ledger cost of preprocessing every segment (whether built
+    /// now or inherited).
+    #[must_use]
+    pub fn build_cost(&self) -> Cost {
+        self.build_cost
+    }
+
+    /// The single segment, when there is exactly one (the fast path).
+    fn single(&self) -> Option<&Segment> {
+        match self.slots.as_slice() {
+            [only] if only.base == 0 => Some(&only.seg),
+            _ => None,
+        }
+    }
+
+    /// Longest pattern at every text position (merged across segments:
+    /// longest wins, ties to the smallest global id). Monte Carlo like
+    /// [`DictMatcher::match_text`]; verify with
+    /// [`SegmentedMatcher::match_text_verified`].
+    #[must_use]
+    pub fn match_text(&self, pram: &Pram, text: &[u8]) -> Matches {
+        if let Some(seg) = self.single() {
+            return seg.matcher().match_text(pram, text);
+        }
+        let mut acc: Vec<Option<Match>> = vec![None; text.len()];
+        for slot in &self.slots {
+            let m = slot.seg.matcher().match_text(pram, text);
+            merge_matches(&mut acc, &m, slot.base);
+        }
+        Matches::new(acc)
+    }
+
+    /// Las Vegas matching without rebuilding: per segment, one Monte Carlo
+    /// pass vetted by the exact §3.4 checker, falling back to the
+    /// segment's automaton on the (astronomically rare) fingerprint
+    /// collision. Returns the merged matches plus whether any segment
+    /// fell back.
+    #[must_use]
+    pub fn match_text_verified(&self, pram: &Pram, text: &[u8]) -> (Matches, bool) {
+        if let Some(seg) = self.single() {
+            let m = seg.matcher().match_text(pram, text);
+            return if seg.matcher().check(pram, text, &m).is_ok() {
+                (m, false)
+            } else {
+                (seg.ac().match_text(text), true)
+            };
+        }
+        let mut acc: Vec<Option<Match>> = vec![None; text.len()];
+        let mut fell_back = false;
+        for slot in &self.slots {
+            let m = slot.seg.matcher().match_text(pram, text);
+            let m = if slot.seg.matcher().check(pram, text, &m).is_ok() {
+                m
+            } else {
+                fell_back = true;
+                slot.seg.ac().match_text(text)
+            };
+            merge_matches(&mut acc, &m, slot.base);
+        }
+        (Matches::new(acc), fell_back)
+    }
+
+    /// Exact matching on the per-segment automata (the sequential lane).
+    #[must_use]
+    pub fn ac_match(&self, text: &[u8]) -> Matches {
+        if let Some(seg) = self.single() {
+            return seg.ac().match_text(text);
+        }
+        let mut acc: Vec<Option<Match>> = vec![None; text.len()];
+        for slot in &self.slots {
+            let m = slot.seg.ac().match_text(text);
+            merge_matches(&mut acc, &m, slot.base);
+        }
+        Matches::new(acc)
+    }
+
+    /// Every occurrence as `(position, match)` with global ids, ordered by
+    /// position, then decreasing length, then id. Monte Carlo like
+    /// [`DictMatcher::find_all`].
+    #[must_use]
+    pub fn find_all(&self, pram: &Pram, text: &[u8]) -> Vec<(usize, Match)> {
+        if let Some(seg) = self.single() {
+            return seg.matcher().find_all(pram, text);
+        }
+        let mut out: Vec<(usize, Match)> = Vec::new();
+        for slot in &self.slots {
+            out.extend(
+                slot.seg
+                    .matcher()
+                    .find_all(pram, text)
+                    .into_iter()
+                    .map(|(i, m)| {
+                        (
+                            i,
+                            Match {
+                                id: m.id + slot.base,
+                                len: m.len,
+                            },
+                        )
+                    }),
+            );
+        }
+        out.sort_by(|a, b| {
+            a.0.cmp(&b.0)
+                .then(b.1.len.cmp(&a.1.len))
+                .then(a.1.id.cmp(&b.1.id))
+        });
+        out
+    }
+
+    /// Per-position longest pattern-*prefix* `(len, global id)` (the `M`
+    /// array of §5's static compression), merged across segments like
+    /// [`SegmentedMatcher::match_text`].
+    #[must_use]
+    pub fn pattern_prefixes(&self, pram: &Pram, text: &[u8]) -> Vec<Option<(u32, u32)>> {
+        if let Some(seg) = self.single() {
+            return seg.matcher().pattern_prefixes(pram, text);
+        }
+        let mut acc: Vec<Option<(u32, u32)>> = vec![None; text.len()];
+        for slot in &self.slots {
+            for (i, o) in slot
+                .seg
+                .matcher()
+                .pattern_prefixes(pram, text)
+                .into_iter()
+                .enumerate()
+            {
+                if let Some((len, id)) = o {
+                    let cand = (len, id + slot.base);
+                    acc[i] = Some(match acc[i] {
+                        Some(best) if !prefers(cand, best) => best,
+                        _ => cand,
+                    });
+                }
+            }
+        }
+        acc
+    }
+
+    /// Length of the longest pattern.
+    #[must_use]
+    pub fn max_pattern_len(&self) -> usize {
+        self.max_pattern_len
+    }
+
+    /// Segments in base order, for cache insertion by the serving layer.
+    pub fn segments(&self) -> impl Iterator<Item = &Arc<Segment>> {
+        self.slots.iter().map(|s| &s.seg)
+    }
+}
+
+/// Does `(len, id)` candidate `a` beat `b`? Longer wins; ties to the
+/// smaller global id.
+fn prefers(a: (u32, u32), b: (u32, u32)) -> bool {
+    a.0 > b.0 || (a.0 == b.0 && a.1 < b.1)
+}
+
+/// Fold a segment's per-position matches (local ids offset by `base`)
+/// into the accumulator: longest wins, ties to the smallest global id.
+fn merge_matches(acc: &mut [Option<Match>], m: &Matches, base: u32) {
+    for (i, om) in m.as_slice().iter().enumerate() {
+        if let Some(mm) = om {
+            let cand = Match {
+                id: mm.id + base,
+                len: mm.len,
+            };
+            acc[i] = Some(match acc[i] {
+                Some(best) if !prefers((cand.len, cand.id), (best.len, best.id)) => best,
+                _ => cand,
+            });
+        }
+    }
+}
+
+/// Matching interface shared by [`DictMatcher`] (one preprocessed set) and
+/// [`SegmentedMatcher`] (canonical segments): what the compression parses
+/// and compressed-domain grep need from a dictionary.
+pub trait PatternScan {
+    /// Longest pattern at every text position.
+    fn match_text(&self, pram: &Pram, text: &[u8]) -> Matches;
+    /// Every occurrence as `(position, match)`.
+    fn find_all(&self, pram: &Pram, text: &[u8]) -> Vec<(usize, Match)>;
+    /// Per-position longest pattern-prefix `(len, certificate id)`.
+    fn pattern_prefixes(&self, pram: &Pram, text: &[u8]) -> Vec<Option<(u32, u32)>>;
+    /// Length of the longest pattern.
+    fn max_pattern_len(&self) -> usize;
+}
+
+impl PatternScan for DictMatcher {
+    fn match_text(&self, pram: &Pram, text: &[u8]) -> Matches {
+        Self::match_text(self, pram, text)
+    }
+
+    fn find_all(&self, pram: &Pram, text: &[u8]) -> Vec<(usize, Match)> {
+        Self::find_all(self, pram, text)
+    }
+
+    fn pattern_prefixes(&self, pram: &Pram, text: &[u8]) -> Vec<Option<(u32, u32)>> {
+        Self::pattern_prefixes(self, pram, text)
+    }
+
+    fn max_pattern_len(&self) -> usize {
+        self.dictionary().max_pattern_len()
+    }
+}
+
+impl PatternScan for SegmentedMatcher {
+    fn match_text(&self, pram: &Pram, text: &[u8]) -> Matches {
+        Self::match_text(self, pram, text)
+    }
+
+    fn find_all(&self, pram: &Pram, text: &[u8]) -> Vec<(usize, Match)> {
+        Self::find_all(self, pram, text)
+    }
+
+    fn pattern_prefixes(&self, pram: &Pram, text: &[u8]) -> Vec<Option<(u32, u32)>> {
+        Self::pattern_prefixes(self, pram, text)
+    }
+
+    fn max_pattern_len(&self) -> usize {
+        Self::max_pattern_len(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pardict_workloads::{random_dictionary, text_with_planted_matches, Alphabet};
+
+    fn pats(ss: &[&str]) -> Vec<Vec<u8>> {
+        ss.iter().map(|s| s.as_bytes().to_vec()).collect()
+    }
+
+    #[test]
+    fn apply_delta_patterns_semantics() {
+        let parent = pats(&["a", "b", "a", "c"]);
+        let d = DictDelta {
+            adds: pats(&["x"]),
+            removes: pats(&["a"]),
+        };
+        let (finals, counts) = apply_delta_patterns(&parent, &d).unwrap();
+        assert_eq!(finals, pats(&["b", "c", "x"]));
+        assert_eq!(counts, vec![2]);
+        // Missing remove is an error.
+        let bad = DictDelta {
+            adds: vec![],
+            removes: pats(&["zz"]),
+        };
+        assert_eq!(
+            apply_delta_patterns(&parent, &bad),
+            Err(DeltaError::RemoveMissing { index: 0 })
+        );
+        // Emptying the dictionary is an error.
+        let drain = DictDelta {
+            adds: vec![],
+            removes: pats(&["a", "b", "c"]),
+        };
+        assert_eq!(
+            apply_delta_patterns(&parent, &drain),
+            Err(DeltaError::EmptyResult)
+        );
+        // Invalid adds are rejected before any work.
+        let nul = DictDelta {
+            adds: vec![vec![b'a', 0]],
+            removes: vec![],
+        };
+        assert_eq!(
+            apply_delta_patterns(&parent, &nul),
+            Err(DeltaError::NulAdd { index: 0 })
+        );
+    }
+
+    #[test]
+    fn chain_identity_equals_scratch_identity() {
+        let parent = pats(&["foo", "bar", "foo", "baz"]);
+        let d = DictDelta {
+            adds: pats(&["quux", "bar"]),
+            removes: pats(&["foo"]),
+        };
+        let (finals, counts) = apply_delta_patterns(&parent, &d).unwrap();
+        assert_eq!(
+            chain_identity(multiset_identity(&parent), &d, &counts),
+            multiset_identity(&finals)
+        );
+    }
+
+    #[test]
+    fn segment_spans_are_canonical_and_capped() {
+        let alpha = Alphabet::lowercase();
+        let patterns = random_dictionary(7, 2000, 2, 8, alpha);
+        let spans = segment_spans(&patterns);
+        assert_eq!(spans.first().unwrap().start, 0);
+        assert_eq!(spans.last().unwrap().end, patterns.len());
+        let mut prev_end = 0;
+        for s in &spans {
+            assert_eq!(s.start, prev_end);
+            assert!(s.end - s.start <= SEGMENT_CAP);
+            prev_end = s.end;
+        }
+        assert!(spans.len() > 1, "2000 patterns should cut multiple spans");
+        // Small lists are one span.
+        assert_eq!(segment_spans(&patterns[..10]).len(), 1);
+    }
+
+    #[test]
+    fn single_segment_matches_bare_dict_matcher_exactly() {
+        let pram = Pram::seq();
+        let patterns = pats(&["ana", "ban", "nab", "a"]);
+        let seg = SegmentedMatcher::build(&pram, patterns.clone());
+        assert_eq!(seg.num_segments(), 1);
+        let bare = DictMatcher::build(
+            &pram,
+            Dictionary::new(patterns.clone()),
+            list_hash(&patterns) | 1,
+        );
+        let text = b"banana nab a ban";
+        assert_eq!(seg.match_text(&pram, text), bare.match_text(&pram, text));
+        assert_eq!(seg.find_all(&pram, text), bare.find_all(&pram, text));
+        assert_eq!(
+            seg.pattern_prefixes(&pram, text),
+            bare.pattern_prefixes(&pram, text)
+        );
+    }
+
+    #[test]
+    fn delta_equals_scratch_build_results_and_costs() {
+        let alpha = Alphabet::dna();
+        let patterns = random_dictionary(3, 1500, 2, 9, alpha);
+        let pram = Pram::seq();
+        let parent = SegmentedMatcher::build(&pram, patterns.clone());
+        assert!(parent.num_segments() > 1);
+        let delta = DictDelta {
+            adds: pats(&["gattaca", "tagg"]),
+            removes: vec![patterns[17].clone(), patterns[1251].clone()],
+        };
+        let (child, stats) = parent.apply_delta(&pram, &delta).unwrap();
+        assert!(
+            stats.segments_reused > 0 && stats.segments_reused < stats.segments_total,
+            "expected partial reuse, got {stats:?}"
+        );
+        let (finals, _) = apply_delta_patterns(&patterns, &delta).unwrap();
+        let scratch = SegmentedMatcher::build(&pram, finals.clone());
+        assert_eq!(child.identity(), scratch.identity());
+        assert_eq!(child.patterns(), scratch.patterns());
+        assert_eq!(child.build_cost(), scratch.build_cost());
+        let text = text_with_planted_matches(9, &finals, 800, 40, alpha);
+        for p in [Pram::seq(), Pram::par()] {
+            let (a, ca) = p.metered(|pr| child.match_text(pr, &text));
+            let (b, cb) = p.metered(|pr| scratch.match_text(pr, &text));
+            assert_eq!(a, b, "match results must be identical");
+            assert_eq!(ca, cb, "query ledger costs must be identical");
+            let (fa, cfa) = p.metered(|pr| child.find_all(pr, &text));
+            let (fb, cfb) = p.metered(|pr| scratch.find_all(pr, &text));
+            assert_eq!(fa, fb);
+            assert_eq!(cfa, cfb);
+        }
+    }
+
+    #[test]
+    fn merged_matching_agrees_with_whole_dict_oracle() {
+        let alpha = Alphabet::dna();
+        let patterns = random_dictionary(11, 1200, 1, 6, alpha);
+        let pram = Pram::seq();
+        let seg = SegmentedMatcher::build(&pram, patterns.clone());
+        assert!(seg.num_segments() > 1);
+        let text = text_with_planted_matches(12, &patterns, 600, 50, alpha);
+        let oracle = AhoCorasick::build(&Dictionary::new(patterns.clone())).match_text(&text);
+        let (got, _) = seg.match_text_verified(&pram, &text);
+        let exact = seg.ac_match(&text);
+        for i in 0..text.len() {
+            assert_eq!(
+                got.get(i).map(|m| m.len),
+                oracle.get(i).map(|m| m.len),
+                "len mismatch at {i}"
+            );
+            assert_eq!(
+                exact.get(i).map(|m| m.len),
+                oracle.get(i).map(|m| m.len),
+                "ac len mismatch at {i}"
+            );
+            if let Some(m) = got.get(i) {
+                let p = &patterns[m.id as usize];
+                assert_eq!(
+                    &text[i..i + p.len()],
+                    p.as_slice(),
+                    "claimed pattern at {i}"
+                );
+            }
+        }
+    }
+}

@@ -1,6 +1,6 @@
 //! The grep engine: wave-parallel decode + match with overlap stitching.
 
-use pardict_core::DictMatcher;
+use pardict_core::PatternScan;
 use pardict_pram::{Cost, Mode, Pram};
 use pardict_stream::{decode_block, BlockEntry, BlockIssue, StreamError, StreamReader};
 use std::io::{Read, Seek};
@@ -121,7 +121,11 @@ struct SearchBuf {
 
 /// Match one wave of search buffers — concurrently when parallel — again
 /// one super-step of Σ work / max depth.
-fn match_wave(pram: &Pram, matcher: &DictMatcher, wave: &[SearchBuf]) -> Vec<Vec<GrepHit>> {
+fn match_wave<M: PatternScan + Sync>(
+    pram: &Pram,
+    matcher: &M,
+    wave: &[SearchBuf],
+) -> Vec<Vec<GrepHit>> {
     let match_one = |b: &SearchBuf| -> (Vec<GrepHit>, Cost) {
         let p = Pram::seq();
         let (occs, cost) = p.metered(|p| matcher.find_all(p, &b.bytes));
@@ -171,9 +175,9 @@ fn charge_superstep(pram: &Pram, costs: impl Iterator<Item = Cost>) {
 /// Structural container failures always abort; block-local corruption
 /// aborts only under [`GrepConfig::strict`] and is otherwise reported in
 /// the summary with matches suppressed in the affected span.
-pub fn grep_container<R: Read + Seek>(
+pub fn grep_container<R: Read + Seek, M: PatternScan + Sync>(
     pram: &Pram,
-    matcher: &DictMatcher,
+    matcher: &M,
     rdr: &mut StreamReader<R>,
     cfg: &GrepConfig,
 ) -> Result<GrepSummary, StreamError> {
@@ -188,9 +192,9 @@ pub fn grep_container<R: Read + Seek>(
 /// # Errors
 /// [`StreamError::RangeOutOfBounds`] for ranges past the end; otherwise
 /// as [`grep_container`].
-pub fn grep_range<R: Read + Seek>(
+pub fn grep_range<R: Read + Seek, M: PatternScan + Sync>(
     pram: &Pram,
-    matcher: &DictMatcher,
+    matcher: &M,
     rdr: &mut StreamReader<R>,
     start: u64,
     end: u64,
@@ -205,7 +209,7 @@ pub fn grep_range<R: Read + Seek>(
     if start == end {
         return Ok(summary);
     }
-    let m = matcher.dictionary().max_pattern_len() as u64;
+    let m = matcher.max_pattern_len() as u64;
     // A hit starting at `end − 1` extends at most `m` bytes; cover that
     // far so straddling hits are detected, but never past the stream.
     let cover_end = (end - 1).saturating_add(m).min(len);
@@ -321,7 +325,7 @@ pub fn grep_range<R: Read + Seek>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pardict_core::Dictionary;
+    use pardict_core::{DictMatcher, Dictionary};
     use pardict_stream::{compress_stream, StreamConfig};
 
     fn pack(data: &[u8], block_size: usize) -> Vec<u8> {

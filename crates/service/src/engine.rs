@@ -421,22 +421,18 @@ impl Engine {
                     // AC baseline runs outside the Pram combinators.
                     pram.ledger().charge_work(text.len() as u64);
                     pram.ledger().charge_depth(text.len() as u64);
-                    let matches = dv.pre.ac.match_text(text);
+                    let matches = dv.pre.seg.ac_match(text);
                     return Ok(Reply::Match {
                         version: dv.version,
                         hits: to_hits(matches.iter_hits()),
                     });
                 }
-                let matches = dv.pre.matcher.match_text(pram, text);
-                // Las Vegas without rebuilding: verify with the exact §3.4
-                // checker; on the (astronomically rare) fingerprint
-                // collision, recompute exactly with the preprocessed
+                // Las Vegas without rebuilding: each segment's Monte
+                // Carlo pass is vetted by the exact §3.4 checker; on the
+                // (astronomically rare) fingerprint collision, that
+                // segment recomputes exactly with its preprocessed
                 // automaton instead of rebuilding the matcher.
-                let matches = if dv.pre.matcher.check(pram, text, &matches).is_ok() {
-                    matches
-                } else {
-                    dv.pre.ac.match_text(text)
-                };
+                let (matches, _fell_back) = dv.pre.seg.match_text_verified(pram, text);
                 Ok(Reply::Match {
                     version: dv.version,
                     hits: to_hits(matches.iter_hits()),
@@ -444,7 +440,7 @@ impl Engine {
             }
             OpRequest::Grep { dict, text } => {
                 let dv = self.resolve(dict)?;
-                let occs = dv.pre.matcher.find_all(pram, text);
+                let occs = dv.pre.seg.find_all(pram, text);
                 Ok(Reply::Grep {
                     version: dv.version,
                     hits: to_hits(occs.into_iter()),
@@ -477,8 +473,8 @@ impl Engine {
             OpRequest::Parse { dict, text } => {
                 let dv = self.resolve(dict)?;
                 let parse =
-                    optimal_parse(pram, &dv.pre.matcher, text).ok_or(ServiceError::Unparseable)?;
-                let greedy = greedy_parse(pram, &dv.pre.matcher, text);
+                    optimal_parse(pram, &dv.pre.seg, text).ok_or(ServiceError::Unparseable)?;
+                let greedy = greedy_parse(pram, &dv.pre.seg, text);
                 Ok(Reply::Parse {
                     version: dv.version,
                     phrases: parse.num_phrases() as u32,
@@ -493,7 +489,7 @@ impl Engine {
                         .map_err(|e| ServiceError::BadRequest(e.to_string()))?;
                 let summary = pardict_search::grep_container(
                     pram,
-                    &dv.pre.matcher,
+                    &dv.pre.seg,
                     &mut rdr,
                     &pardict_search::GrepConfig::default(),
                 )

@@ -573,6 +573,75 @@ impl MetricsSnapshot {
         }
     }
 
+    /// The accounting identities of [`Metrics::check_accounting`],
+    /// checked on a shipped snapshot. Every identity is a linear
+    /// equation or an inequality between summed counters, so snapshots
+    /// that each pass also pass after [`MetricsSnapshot::merge`] — the
+    /// property the cluster router's aggregate books rely on.
+    ///
+    /// # Errors
+    /// A human-readable description of the first violated identity.
+    pub fn check_accounting(&self, quiescent: bool) -> Result<(), String> {
+        if self.completed > self.submitted {
+            return Err(format!(
+                "completed {} exceeds submitted {}",
+                self.completed, self.submitted
+            ));
+        }
+        let mut per_op_total = 0u64;
+        for (i, s) in self.per_op.iter().enumerate() {
+            let outcomes = s.count + s.errors;
+            per_op_total += outcomes;
+            for (name, h) in [("latency", &s.latency_us), ("work", &s.work)] {
+                if h.count != outcomes {
+                    return Err(format!(
+                        "op {i}: {name} samples {} != outcomes {outcomes}",
+                        h.count
+                    ));
+                }
+                let bucketed: u64 = h.buckets.iter().map(|&(_, c)| c).sum();
+                if bucketed != h.count {
+                    return Err(format!(
+                        "op {i}: {name} buckets hold {bucketed} of {} samples",
+                        h.count
+                    ));
+                }
+            }
+        }
+        if per_op_total != self.completed {
+            return Err(format!(
+                "per-op outcomes {per_op_total} != completed {}",
+                self.completed
+            ));
+        }
+        let cached = self.cache_hits + self.cache_misses;
+        if cached != self.publishes {
+            return Err(format!(
+                "cache hits+misses {cached} != publishes {}",
+                self.publishes
+            ));
+        }
+        if self.batched_requests < self.batches {
+            return Err(format!(
+                "batched-requests {} below batches {} (empty batch?)",
+                self.batched_requests, self.batches
+            ));
+        }
+        if self.deadline_expired > self.completed {
+            return Err(format!(
+                "deadline-expired {} exceeds completed {}",
+                self.deadline_expired, self.completed
+            ));
+        }
+        if quiescent && self.submitted != self.completed {
+            return Err(format!(
+                "quiescent but submitted {} != completed {}",
+                self.submitted, self.completed
+            ));
+        }
+        Ok(())
+    }
+
     /// Plain-text rendering in the same shape as [`Metrics::report`],
     /// headed by `title`.
     #[must_use]

@@ -17,7 +17,10 @@
 
 use crate::metrics::Metrics;
 use crate::types::ServiceError;
-use pardict_core::{AhoCorasick, DictMatcher, Dictionary};
+use pardict_core::segmented::SegmentBuildStats;
+use pardict_core::{
+    apply_delta_patterns, chain_identity, list_hash, multiset_identity, DictDelta, SegmentedMatcher,
+};
 use pardict_pram::{Cost, Pram};
 use pardict_store::Store;
 use std::collections::HashMap;
@@ -26,28 +29,31 @@ use std::sync::{Arc, Mutex, RwLock};
 /// Max distinct pattern-set builds retained by the preprocessing cache.
 const CACHE_CAP: usize = 32;
 
-/// A fully preprocessed pattern set: the Theorem 3.1 matcher for the
-/// batched lane plus an Aho–Corasick automaton for the sequential
-/// small-request lane. `AhoCorasick` (built once here) rather than
-/// `mp93_baseline` keeps the fallback amortized too — mp93 would rebuild
-/// its `O(d)` hash tables on every request.
+/// A fully preprocessed pattern set: canonical segments, each holding the
+/// Theorem 3.1 matcher for the batched lane plus an Aho–Corasick
+/// automaton for the sequential small-request lane (built once here so
+/// the fallback stays amortized too). Segmentation is what makes
+/// [`Registry::publish_delta`] cheap: an applied delta rebuilds only the
+/// segments its patterns touch and `Arc`-shares the rest, while staying
+/// structurally identical to a from-scratch build of the same final set.
 #[derive(Debug)]
 pub struct Preprocessed {
-    /// The randomized parallel matcher (Theorem 3.1).
-    pub matcher: DictMatcher,
-    /// Exact sequential automaton for the fallback lane and verification.
-    pub ac: AhoCorasick,
-    /// FNV-1a hash of the length-prefixed pattern list.
+    /// The segmented randomized parallel matcher (Theorem 3.1 per
+    /// segment) plus per-segment exact automata.
+    pub seg: SegmentedMatcher,
+    /// Commutative multiset identity of the pattern set — chain-updatable
+    /// across deltas (`pardict_core::chain_identity`), equal along every
+    /// path to the same final set, and what `dicts` digests ship.
     pub content_hash: u64,
-    /// Ledger cost of the one-time preprocessing.
+    /// Ledger cost of preprocessing every segment.
     pub build_cost: Cost,
 }
 
 impl Preprocessed {
-    /// The underlying dictionary.
+    /// The patterns, in global-id order.
     #[must_use]
-    pub fn dictionary(&self) -> &Dictionary {
-        self.matcher.dictionary()
+    pub fn patterns(&self) -> Vec<Vec<u8>> {
+        self.seg.patterns()
     }
 }
 
@@ -112,24 +118,32 @@ impl BuildCache {
     }
 }
 
-/// FNV-1a over the length-prefixed pattern list, so `["ab","c"]` and
-/// `["a","bc"]` hash differently.
+/// The registry's wire-visible dictionary identity: the commutative
+/// multiset hash of the pattern set (see
+/// [`pardict_core::multiset_identity`]). Chain-updatable across deltas in
+/// `O(|delta|)`, and `["ab","c"]` vs `["a","bc"]` still hash differently
+/// because each pattern is hashed length-prefixed. The order-sensitive
+/// [`list_hash`] remains the preprocessing-cache key, so permuted lists
+/// never share a build.
 #[must_use]
 pub fn content_hash(patterns: &[Vec<u8>]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    let mut eat = |byte: u8| {
-        h ^= u64::from(byte);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    };
-    for p in patterns {
-        for b in (p.len() as u64).to_le_bytes() {
-            eat(b);
-        }
-        for &b in p {
-            eat(b);
-        }
-    }
-    h
+    multiset_identity(patterns)
+}
+
+/// What [`Registry::publish_delta`] did.
+#[derive(Debug, Clone, Copy)]
+pub struct DeltaPublishOutcome {
+    /// Version now current for the name.
+    pub version: u64,
+    /// Segments in the new version.
+    pub segments_total: usize,
+    /// Segments reused from the parent (or the whole build from cache).
+    pub segments_reused: usize,
+    /// True when the preprocessing cache supplied the whole build.
+    pub cache_hit: bool,
+    /// Total preprocessing cost of the new version (reused segments
+    /// included at their original cost).
+    pub build_cost: Cost,
 }
 
 impl Registry {
@@ -182,8 +196,8 @@ impl Registry {
     /// counting one publish plus the cache hit/miss in the metrics.
     fn build(&self, patterns: Vec<Vec<u8>>) -> (Arc<Preprocessed>, bool) {
         self.metrics.publishes.inc();
-        let hash = content_hash(&patterns);
-        let cached = self.cache.lock().expect("cache poisoned").get(hash);
+        let key = list_hash(&patterns);
+        let cached = self.cache.lock().expect("cache poisoned").get(key);
         match cached {
             Some(pre) => {
                 self.metrics.cache_hits.inc();
@@ -192,21 +206,18 @@ impl Registry {
             None => {
                 self.metrics.cache_misses.inc();
                 let pram = Pram::par();
-                let dict = Dictionary::new(patterns);
-                // Deterministic per-content seed keeps builds reproducible.
-                let seed = hash | 1;
-                let (matcher, build_cost) = pram.metered(|p| DictMatcher::build(p, dict, seed));
-                let ac = AhoCorasick::build(matcher.dictionary());
+                // Segment seeds derive from each segment's content hash,
+                // so builds stay reproducible per content.
+                let seg = SegmentedMatcher::build(&pram, patterns);
                 let pre = Arc::new(Preprocessed {
-                    matcher,
-                    ac,
-                    content_hash: hash,
-                    build_cost,
+                    content_hash: seg.identity(),
+                    build_cost: seg.build_cost(),
+                    seg,
                 });
                 self.cache
                     .lock()
                     .expect("cache poisoned")
-                    .insert(hash, Arc::clone(&pre));
+                    .insert(key, Arc::clone(&pre));
                 (pre, false)
             }
         }
@@ -254,6 +265,121 @@ impl Registry {
             version,
             cache_hit,
             build_cost,
+        })
+    }
+
+    /// Publish the next version of `name` as a delta against
+    /// `parent_version`, re-preprocessing only the segments the delta
+    /// touches (untouched segments are `Arc`-shared with the parent). The
+    /// result is structurally identical to a full publish of the
+    /// post-delta pattern set — same segments, same seeds, same query
+    /// costs, and the chain-updated content identity equals the
+    /// from-scratch identity — so caches, digests, and cluster revival
+    /// cannot tell the two paths apart. When a store is attached, only
+    /// the delta is logged (WAL bytes proportional to the edit, not the
+    /// dictionary).
+    ///
+    /// # Errors
+    /// [`ServiceError::NoSuchDictionary`] when `name` is not installed;
+    /// [`ServiceError::BadRequest`] for an empty delta, a parent-version
+    /// mismatch (including a concurrent publish racing the delta), or a
+    /// delta that fails to apply (see [`pardict_core::DeltaError`]);
+    /// [`ServiceError::Storage`] if the WAL append fails (nothing is
+    /// installed then).
+    pub fn publish_delta(
+        &self,
+        name: &str,
+        parent_version: u64,
+        delta: &DictDelta,
+    ) -> Result<DeltaPublishOutcome, ServiceError> {
+        if delta.is_empty() {
+            return Err(ServiceError::BadRequest("empty delta".into()));
+        }
+        let cur = self
+            .current(name)
+            .ok_or_else(|| ServiceError::NoSuchDictionary(name.to_string()))?;
+        if cur.version != parent_version {
+            return Err(ServiceError::BadRequest(format!(
+                "delta parent version {parent_version} does not match current version {}",
+                cur.version
+            )));
+        }
+        let parent_patterns = cur.pre.patterns();
+        let (finals, removed_counts) = apply_delta_patterns(&parent_patterns, delta)
+            .map_err(|e| ServiceError::BadRequest(e.to_string()))?;
+        // O(|delta|) identity chain; equals the scratch identity of the
+        // final list by construction (multiset sum).
+        let identity = chain_identity(cur.pre.content_hash, delta, &removed_counts);
+        debug_assert_eq!(identity, multiset_identity(&finals));
+
+        self.metrics.publishes.inc();
+        let key = list_hash(&finals);
+        let cached = self.cache.lock().expect("cache poisoned").get(key);
+        let (pre, stats, cache_hit) = match cached {
+            Some(pre) => {
+                self.metrics.cache_hits.inc();
+                let n = pre.seg.num_segments();
+                (
+                    pre,
+                    SegmentBuildStats {
+                        segments_total: n,
+                        segments_reused: n,
+                    },
+                    true,
+                )
+            }
+            None => {
+                self.metrics.cache_misses.inc();
+                let pram = Pram::par();
+                let (seg, stats) = cur
+                    .pre
+                    .seg
+                    .apply_delta(&pram, delta)
+                    .map_err(|e| ServiceError::BadRequest(e.to_string()))?;
+                let pre = Arc::new(Preprocessed {
+                    content_hash: identity,
+                    build_cost: seg.build_cost(),
+                    seg,
+                });
+                self.cache
+                    .lock()
+                    .expect("cache poisoned")
+                    .insert(key, Arc::clone(&pre));
+                (pre, stats, false)
+            }
+        };
+
+        let mut entries = self.entries.write().expect("registry poisoned");
+        // Re-check under the write lock: a concurrent publish may have
+        // swapped the parent out from under the optimistic build above.
+        match entries.get(name) {
+            Some(v) if v.version == parent_version => {}
+            _ => {
+                return Err(ServiceError::BadRequest(format!(
+                    "delta parent version {parent_version} was superseded concurrently"
+                )))
+            }
+        }
+        let version = parent_version + 1;
+        if let Some(store) = self.store.lock().expect("store poisoned").as_mut() {
+            store
+                .log_delta(name, version, &delta.adds, &delta.removes)
+                .map_err(|e| ServiceError::Storage(e.to_string()))?;
+        }
+        entries.insert(
+            name.to_string(),
+            Arc::new(DictVersion {
+                name: name.to_string(),
+                version,
+                pre: Arc::clone(&pre),
+            }),
+        );
+        Ok(DeltaPublishOutcome {
+            version,
+            segments_total: stats.segments_total,
+            segments_reused: stats.segments_reused,
+            cache_hit,
+            build_cost: pre.build_cost,
         })
     }
 
@@ -386,7 +512,7 @@ mod tests {
         let held = reg.current("d").unwrap();
         reg.publish("d", pats(&["new"])).unwrap();
         assert_eq!(held.version, 1);
-        assert_eq!(held.pre.dictionary().patterns()[0], b"old".to_vec());
+        assert_eq!(held.pre.patterns()[0], b"old".to_vec());
         assert_eq!(reg.current("d").unwrap().version, 2);
     }
 
@@ -405,5 +531,66 @@ mod tests {
             content_hash(&pats(&["ab", "c"])),
             content_hash(&pats(&["a", "bc"]))
         );
+    }
+
+    #[test]
+    fn delta_publish_advances_version_and_matches_full_publish() {
+        let m = Arc::new(Metrics::default());
+        let reg = Registry::new(Arc::clone(&m));
+        reg.publish("d", pats(&["alpha", "beta", "gamma"])).unwrap();
+        let delta = pardict_core::DictDelta {
+            adds: pats(&["delta"]),
+            removes: pats(&["beta"]),
+        };
+        let out = reg.publish_delta("d", 1, &delta).unwrap();
+        assert_eq!(out.version, 2);
+        assert_eq!(out.segments_total, 1); // small dict: one segment
+        let cur = reg.current("d").unwrap();
+        assert_eq!(cur.pre.patterns(), pats(&["alpha", "gamma", "delta"]));
+        // A separate full publish of the same final set shares identity
+        // and structure (and in fact the cached build).
+        let full = Registry::new(Arc::new(Metrics::default()));
+        full.publish("d", pats(&["alpha", "gamma", "delta"]))
+            .unwrap();
+        assert_eq!(
+            full.current("d").unwrap().pre.content_hash,
+            cur.pre.content_hash
+        );
+        // Accounting identity holds across the mixed publish paths.
+        assert_eq!(m.publishes.get(), m.cache_hits.get() + m.cache_misses.get());
+    }
+
+    #[test]
+    fn delta_publish_rejects_bad_parents_and_bad_deltas() {
+        let reg = Registry::new(Arc::new(Metrics::default()));
+        let delta = pardict_core::DictDelta {
+            adds: pats(&["x"]),
+            removes: vec![],
+        };
+        assert!(matches!(
+            reg.publish_delta("missing", 1, &delta),
+            Err(ServiceError::NoSuchDictionary(_))
+        ));
+        reg.publish("d", pats(&["a", "b"])).unwrap();
+        // Wrong parent version.
+        assert!(reg.publish_delta("d", 7, &delta).is_err());
+        // Empty delta.
+        assert!(reg
+            .publish_delta("d", 1, &pardict_core::DictDelta::default())
+            .is_err());
+        // Remove that matches nothing.
+        let missing_rm = pardict_core::DictDelta {
+            adds: vec![],
+            removes: pats(&["zz"]),
+        };
+        assert!(reg.publish_delta("d", 1, &missing_rm).is_err());
+        // Draining the dictionary entirely.
+        let drain = pardict_core::DictDelta {
+            adds: vec![],
+            removes: pats(&["a", "b"]),
+        };
+        assert!(reg.publish_delta("d", 1, &drain).is_err());
+        // Version is unchanged after every rejection.
+        assert_eq!(reg.current("d").unwrap().version, 1);
     }
 }

@@ -13,7 +13,7 @@ use crate::registry::{DictVersion, Registry};
 use crate::server::{Client, Server};
 use crate::types::{OpRequest, Reply, Request, ServiceError};
 use crate::wire;
-use pardict_core::AhoCorasick;
+use pardict_core::{AhoCorasick, Dictionary};
 use pardict_pram::{Pram, SplitMix64};
 use pardict_workloads::{random_dictionary, text_with_planted_matches, Alphabet};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -87,7 +87,9 @@ pub fn run(opts: &SelftestOptions) -> Result<String, String> {
 
     // Independent oracles per version, for sampled verification.
     let v1 = registry.current("corpus").expect("corpus v1");
-    let oracle_v1 = Arc::new(AhoCorasick::build(v1.pre.dictionary()));
+    let oracle_v1 = Arc::new(AhoCorasick::build(&Dictionary::new(
+        v1.pre.patterns().to_vec(),
+    )));
 
     // Pre-swap sanity: a synchronous match must report version 1.
     let pre = engine.call(Request::new(OpRequest::Match {
@@ -412,7 +414,7 @@ fn verify_reply(
             if *version == 1 {
                 let mut expect: Vec<(u64, u32, u32)> = v1
                     .pre
-                    .matcher
+                    .seg
                     .find_all(&pram, text)
                     .into_iter()
                     .map(|(p, m)| (p as u64, m.id, m.len))

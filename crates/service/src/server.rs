@@ -137,11 +137,14 @@ fn handle(engine: &Engine, req: WireRequest) -> WireResponse {
     match req {
         WireRequest::Traced { .. } => unreachable!("decode rejects nested trace wrappers"),
         WireRequest::Hello { .. } => WireResponse::Hello {
-            extensions: if engine.tracer().is_some() {
-                wire::EXT_TRACE
-            } else {
-                0
-            },
+            // Delta publish needs no per-engine state, so every modern
+            // server advertises it; tracing only when a tracer exists.
+            extensions: wire::EXT_DELTA
+                | if engine.tracer().is_some() {
+                    wire::EXT_TRACE
+                } else {
+                    0
+                },
         },
         WireRequest::Ping => WireResponse::Pong,
         WireRequest::Metrics => WireResponse::MetricsReport(engine.metrics().report()),
@@ -149,6 +152,27 @@ fn handle(engine: &Engine, req: WireRequest) -> WireResponse {
         WireRequest::Dicts => WireResponse::DictList(engine.registry().dict_digests()),
         WireRequest::Publish { name, patterns } => {
             match engine.registry().publish(&name, patterns) {
+                Ok(out) => WireResponse::Published {
+                    version: out.version,
+                    cache_hit: out.cache_hit,
+                },
+                Err(e) => WireResponse::Error {
+                    code: e.code(),
+                    message: e.to_string(),
+                },
+            }
+        }
+        WireRequest::PubDelta {
+            name,
+            parent_version,
+            adds,
+            removes,
+        } => {
+            let delta = pardict_core::DictDelta { adds, removes };
+            match engine
+                .registry()
+                .publish_delta(&name, parent_version, &delta)
+            {
                 Ok(out) => WireResponse::Published {
                     version: out.version,
                     cache_hit: out.cache_hit,
@@ -339,16 +363,62 @@ impl Client {
         }
     }
 
+    /// Advance `name` from `parent_version` by a delta, shipping bytes
+    /// proportional to the delta. Negotiates lazily: a legacy peer
+    /// (no [`wire::EXT_DELTA`]) gets a full [`Client::publish`] of
+    /// `fallback` instead — same resulting dictionary, legacy frames.
+    /// The server may also refuse the delta (parent version superseded,
+    /// dictionary missing); with a `fallback` those refusals degrade to
+    /// a full publish too, so the call converges either way.
+    ///
+    /// # Errors
+    /// I/O or protocol errors; `Unsupported` when the peer is legacy and
+    /// no `fallback` was provided. Service-level failures are in the
+    /// inner `Result`.
+    pub fn publish_delta(
+        &mut self,
+        name: &str,
+        parent_version: u64,
+        delta: &pardict_core::DictDelta,
+        fallback: Option<&[Vec<u8>]>,
+    ) -> io::Result<Result<(u64, bool), ServiceError>> {
+        if self.negotiated()? & wire::EXT_DELTA != 0 {
+            let out = match self.roundtrip(&WireRequest::PubDelta {
+                name: name.to_string(),
+                parent_version,
+                adds: delta.adds.clone(),
+                removes: delta.removes.clone(),
+            })? {
+                WireResponse::Published { version, cache_hit } => Ok((version, cache_hit)),
+                WireResponse::Error { code, message } => Err(error_from_wire(code, &message)),
+                other => return Err(unexpected(&other)),
+            };
+            match (out, fallback) {
+                (Err(_), Some(patterns)) => self.publish(name, patterns.to_vec()),
+                (out, _) => Ok(out),
+            }
+        } else {
+            match fallback {
+                Some(patterns) => self.publish(name, patterns.to_vec()),
+                None => Err(io::Error::new(
+                    io::ErrorKind::Unsupported,
+                    "peer does not speak delta publish and no fallback was provided",
+                )),
+            }
+        }
+    }
+
     /// Negotiate protocol extensions, caching the peer's mask. A peer
     /// predating `HELLO` answers with a clean "unknown request tag"
-    /// error, which caches as mask 0 — never a misparse, and `op_traced`
-    /// then degrades to plain frames.
+    /// error, which caches as mask 0 — never a misparse; `op_traced`
+    /// then degrades to plain frames and [`Client::publish_delta`] to
+    /// full publishes.
     ///
     /// # Errors
     /// I/O errors only; a legacy peer is not an error.
     pub fn hello(&mut self) -> io::Result<u32> {
         let mask = match self.roundtrip(&WireRequest::Hello {
-            extensions: wire::EXT_TRACE,
+            extensions: wire::EXT_TRACE | wire::EXT_DELTA,
         })? {
             WireResponse::Hello { extensions } => extensions,
             WireResponse::Error { .. } => 0,

@@ -45,6 +45,11 @@ pub mod tag {
     /// Extension negotiation: `u32` bitmask of extensions the sender
     /// speaks; the reply carries the receiver's mask.
     pub const HELLO: u8 = 12;
+    /// Delta publish: `name, parent_version, adds…, removes…`. Only sent
+    /// after the peer advertised [`super::EXT_DELTA`] in a `HELLO`
+    /// exchange; a pre-extension peer answers it with a clean "unknown
+    /// request tag" error and the client falls back to a full `PUBLISH`.
+    pub const PUBDELTA: u8 = 13;
     /// Response: success payload follows.
     pub const OK: u8 = 0x80;
     /// Response: error code + message follow.
@@ -53,6 +58,9 @@ pub mod tag {
 
 /// Extension bit: the peer accepts [`tag::TRACED`] request wrappers.
 pub const EXT_TRACE: u32 = 1;
+
+/// Extension bit: the peer accepts [`tag::PUBDELTA`] requests.
+pub const EXT_DELTA: u32 = 2;
 
 /// Read one frame; `Ok(None)` on clean EOF at a frame boundary.
 ///
@@ -202,6 +210,21 @@ pub enum WireRequest {
         /// Pattern set.
         patterns: Vec<Vec<u8>>,
     },
+    /// Advance `name` from `parent_version` by a delta: `removes`
+    /// dropped (every occurrence of each value), then `adds` appended.
+    /// The frame costs bytes proportional to the delta, not the
+    /// dictionary.
+    PubDelta {
+        /// Dictionary name.
+        name: String,
+        /// Version the delta applies against; the server rejects the
+        /// request if its current version differs.
+        parent_version: u64,
+        /// Patterns appended, in order.
+        adds: Vec<Vec<u8>>,
+        /// Pattern values removed.
+        removes: Vec<Vec<u8>>,
+    },
     /// An operation; `timeout_ms == 0` means no deadline.
     Op {
         /// Which operation (`tag::MATCH` … `tag::PARSE`, `tag::GREPZ`).
@@ -249,6 +272,22 @@ impl WireRequest {
                 put_u32(&mut out, patterns.len() as u32);
                 for p in patterns {
                     put_bytes(&mut out, p);
+                }
+            }
+            WireRequest::PubDelta {
+                name,
+                parent_version,
+                adds,
+                removes,
+            } => {
+                out.push(tag::PUBDELTA);
+                put_bytes(&mut out, name.as_bytes());
+                put_u64(&mut out, *parent_version);
+                for list in [adds, removes] {
+                    put_u32(&mut out, list.len() as u32);
+                    for p in list {
+                        put_bytes(&mut out, p);
+                    }
                 }
             }
             WireRequest::Op {
@@ -301,6 +340,25 @@ impl WireRequest {
                     patterns.push(c.bytes()?);
                 }
                 WireRequest::Publish { name, patterns }
+            }
+            tag::PUBDELTA => {
+                let name = c.string()?;
+                let parent_version = c.u64()?;
+                let mut lists = [Vec::new(), Vec::new()];
+                for list in lists.iter_mut() {
+                    let n = c.count(4, "delta pattern")?;
+                    list.reserve(n);
+                    for _ in 0..n {
+                        list.push(c.bytes()?);
+                    }
+                }
+                let [adds, removes] = lists;
+                WireRequest::PubDelta {
+                    name,
+                    parent_version,
+                    adds,
+                    removes,
+                }
             }
             tag::MATCH | tag::GREP | tag::COMPRESS | tag::PARSE | tag::GREPZ => WireRequest::Op {
                 tag: t,
@@ -852,6 +910,18 @@ mod tests {
             WireRequest::Stats,
             WireRequest::Dicts,
             WireRequest::Ping,
+            WireRequest::PubDelta {
+                name: "corpus".into(),
+                parent_version: 3,
+                adds: vec![b"new".to_vec()],
+                removes: vec![b"ana".to_vec(), b"ban".to_vec()],
+            },
+            WireRequest::PubDelta {
+                name: "corpus".into(),
+                parent_version: 1,
+                adds: vec![],
+                removes: vec![b"ana".to_vec()],
+            },
         ];
         for req in reqs {
             assert_eq!(WireRequest::decode(&req.encode()).unwrap(), req);
@@ -940,6 +1010,12 @@ mod tests {
         // rejected at the count, before any allocation can happen.
         let mut p = vec![tag::PUBLISH];
         put_bytes(&mut p, b"d");
+        put_u32(&mut p, u32::MAX);
+        assert!(WireRequest::decode(&p).is_err());
+        // A PUBDELTA frame claiming u32::MAX adds.
+        let mut p = vec![tag::PUBDELTA];
+        put_bytes(&mut p, b"d");
+        put_u64(&mut p, 1);
         put_u32(&mut p, u32::MAX);
         assert!(WireRequest::decode(&p).is_err());
         // A HITS response claiming more 16-byte hits than remain.

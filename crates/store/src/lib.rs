@@ -42,7 +42,7 @@ pub mod snapshot;
 
 pub use error::StoreError;
 pub use record::{
-    scan_wal, ScannedRecord, TornTail, WalRecord, WalScan, KIND_PUBLISH, KIND_RETIRE,
+    scan_wal, ScannedRecord, TornTail, WalRecord, WalScan, KIND_DELTA, KIND_PUBLISH, KIND_RETIRE,
 };
 pub use snapshot::{decode_snapshot, encode_snapshot, SnapshotDict};
 
@@ -110,6 +110,11 @@ pub struct RecoveryReport {
     /// WAL records skipped because the snapshot already covered their
     /// sequence numbers (a crash landed between rename and WAL reset).
     pub wal_skipped: u64,
+    /// Delta records whose dictionary did not exist at replay time —
+    /// dropped and counted, never applied (a delta against nothing has
+    /// no defined result; this can only happen to adversarial or
+    /// hand-edited logs, since the writer orders records).
+    pub orphan_deltas: u64,
     /// The untrusted WAL suffix that was dropped, if any.
     pub torn: Option<TornTail>,
     /// Dictionaries live after recovery.
@@ -135,11 +140,14 @@ pub struct Store {
     next_seq: u64,
     generation: u64,
     since_snapshot: u64,
+    appended_bytes: u64,
     cfg: StoreConfig,
     report: RecoveryReport,
 }
 
-fn apply(state: &mut BTreeMap<String, DictState>, record: &WalRecord) {
+/// Apply one record to the in-memory map. Returns `false` only for an
+/// orphaned delta (no live dictionary to apply it to), which is dropped.
+fn apply(state: &mut BTreeMap<String, DictState>, record: &WalRecord) -> bool {
     match record {
         WalRecord::Publish {
             name,
@@ -153,10 +161,28 @@ fn apply(state: &mut BTreeMap<String, DictState>, record: &WalRecord) {
                     patterns: patterns.clone(),
                 },
             );
+            true
         }
         WalRecord::Retire { name } => {
             state.remove(name);
+            true
         }
+        WalRecord::Delta {
+            name,
+            version,
+            adds,
+            removes,
+        } => match state.get_mut(name) {
+            Some(d) => {
+                // Same semantics as the registry: removes drop every
+                // occurrence of each value, then adds append in order.
+                d.patterns.retain(|p| !removes.iter().any(|r| r == p));
+                d.patterns.extend(adds.iter().cloned());
+                d.version = *version;
+                true
+            }
+            None => false,
+        },
     }
 }
 
@@ -237,11 +263,15 @@ impl Store {
                         if r.seq <= last_seq {
                             report.wal_skipped += 1;
                         } else {
-                            apply(&mut state, &r.record);
+                            if !apply(&mut state, &r.record) {
+                                report.orphan_deltas += 1;
+                            }
                             report.wal_replayed += 1;
                         }
                         next_seq = next_seq.max(r.seq + 1);
                         since_snapshot += 1;
+                        // (appended_bytes counts this process's appends
+                        // only; replayed records predate the open.)
                     }
                     report.torn = scan.torn.clone();
                     let valid_end = scan.valid_end();
@@ -279,6 +309,7 @@ impl Store {
             next_seq,
             generation,
             since_snapshot,
+            appended_bytes: 0,
             cfg,
             report,
         })
@@ -324,6 +355,14 @@ impl Store {
         self.since_snapshot
     }
 
+    /// Total framed bytes this store has appended to the WAL since it
+    /// was opened (not reset by compaction). The bench uses this to show
+    /// delta records cost bytes proportional to the delta, not the
+    /// dictionary.
+    pub fn appended_bytes(&self) -> u64 {
+        self.appended_bytes
+    }
+
     fn append(&mut self, record: WalRecord) -> Result<u64, StoreError> {
         let seq = self.next_seq;
         let framed =
@@ -337,7 +376,9 @@ impl Store {
         }
         self.next_seq += 1;
         self.since_snapshot += 1;
-        apply(&mut self.state, &record);
+        self.appended_bytes += framed.len() as u64;
+        let applied = apply(&mut self.state, &record);
+        debug_assert!(applied, "caller must not log a delta for a dead name");
         if self.cfg.snapshot_every > 0 && self.since_snapshot >= self.cfg.snapshot_every {
             self.compact()?;
         }
@@ -364,6 +405,27 @@ impl Store {
     pub fn log_retire(&mut self, name: &str) -> Result<u64, StoreError> {
         self.append(WalRecord::Retire {
             name: name.to_string(),
+        })
+    }
+
+    /// Durably record an incremental delta. The record costs bytes
+    /// proportional to `adds` + `removes`, not the dictionary, and the
+    /// in-memory mirror is updated with the same semantics the registry
+    /// used (removes first — every occurrence — then adds appended).
+    /// The caller must have validated the delta against a live
+    /// dictionary; `version` is the version the result carries.
+    pub fn log_delta(
+        &mut self,
+        name: &str,
+        version: u64,
+        adds: &[Vec<u8>],
+        removes: &[Vec<u8>],
+    ) -> Result<u64, StoreError> {
+        self.append(WalRecord::Delta {
+            name: name.to_string(),
+            version,
+            adds: adds.to_vec(),
+            removes: removes.to_vec(),
         })
     }
 

@@ -35,6 +35,11 @@ pub const FRAME_LEN: usize = 17;
 pub const KIND_PUBLISH: u8 = 1;
 /// Record kind: a dictionary retire (name).
 pub const KIND_RETIRE: u8 = 2;
+/// Record kind: an incremental delta against the previous version
+/// (name, new version, added patterns, removed patterns). Its on-disk
+/// size is proportional to the delta, not the dictionary — the whole
+/// point of logging deltas instead of full publishes.
+pub const KIND_DELTA: u8 = 3;
 /// Hard cap on one record's payload, mirroring the wire codec's frame
 /// cap: a hostile length prefix can never drive a giant allocation.
 pub const MAX_RECORD_LEN: usize = 64 << 20;
@@ -56,6 +61,20 @@ pub enum WalRecord {
         /// Registry name of the dictionary.
         name: String,
     },
+    /// An incremental update: removes applied (all occurrences of each
+    /// value), then adds appended, against the state the preceding
+    /// records left for `name`. Replayed in-order on recovery; folded
+    /// away (into the resulting full pattern set) by compaction.
+    Delta {
+        /// Registry name of the dictionary.
+        name: String,
+        /// Version the registry assigned to the delta's result.
+        version: u64,
+        /// Patterns appended, in order.
+        adds: Vec<Vec<u8>>,
+        /// Pattern values removed (every occurrence of each).
+        removes: Vec<Vec<u8>>,
+    },
 }
 
 impl WalRecord {
@@ -64,13 +83,16 @@ impl WalRecord {
         match self {
             WalRecord::Publish { .. } => KIND_PUBLISH,
             WalRecord::Retire { .. } => KIND_RETIRE,
+            WalRecord::Delta { .. } => KIND_DELTA,
         }
     }
 
     /// The dictionary name the record is about.
     pub fn name(&self) -> &str {
         match self {
-            WalRecord::Publish { name, .. } | WalRecord::Retire { name } => name,
+            WalRecord::Publish { name, .. }
+            | WalRecord::Retire { name }
+            | WalRecord::Delta { name, .. } => name,
         }
     }
 }
@@ -184,6 +206,23 @@ fn encode_payload(record: &WalRecord) -> Vec<u8> {
             put_u32(&mut out, name.len() as u32);
             out.extend_from_slice(name.as_bytes());
         }
+        WalRecord::Delta {
+            name,
+            version,
+            adds,
+            removes,
+        } => {
+            put_u32(&mut out, name.len() as u32);
+            out.extend_from_slice(name.as_bytes());
+            put_u64(&mut out, *version);
+            for list in [adds, removes] {
+                put_u32(&mut out, list.len() as u32);
+                for p in list {
+                    put_u32(&mut out, p.len() as u32);
+                    out.extend_from_slice(p);
+                }
+            }
+        }
     }
     out
 }
@@ -273,6 +312,26 @@ pub fn decode_payload(kind: u8, payload: &[u8]) -> Result<WalRecord, String> {
             }
         }
         KIND_RETIRE => WalRecord::Retire { name },
+        KIND_DELTA => {
+            let version = c.u64().ok_or("payload truncated in version")?;
+            let mut lists = [Vec::new(), Vec::new()];
+            for list in lists.iter_mut() {
+                let n = c.u32().ok_or("payload truncated in delta count")? as usize;
+                list.reserve(n.min(1024));
+                for _ in 0..n {
+                    let len = c.u32().ok_or("payload truncated in pattern length")? as usize;
+                    let raw = c.take(len).ok_or("payload truncated in pattern")?;
+                    list.push(raw.to_vec());
+                }
+            }
+            let [adds, removes] = lists;
+            WalRecord::Delta {
+                name,
+                version,
+                adds,
+                removes,
+            }
+        }
         other => return Err(format!("unknown record kind {other}")),
     };
     if !c.done() {

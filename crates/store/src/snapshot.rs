@@ -124,6 +124,12 @@ pub fn decode_snapshot(bytes: &[u8]) -> Result<(u64, Vec<SnapshotDict>), String>
             WalRecord::Retire { .. } => {
                 return Err(format!("entry {i}: retire record in snapshot"));
             }
+            WalRecord::Delta { .. } => {
+                // Compaction folds deltas into full pattern sets; a
+                // delta in a snapshot means the file was not written by
+                // our compactor.
+                return Err(format!("entry {i}: delta record in snapshot"));
+            }
         }
         offset += len;
     }

@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Run the delta-publish benches and collect machine-readable results
+# into BENCH_PR9.json ({bench_name: {median_ns, min_ns, samples}} plus
+# one delta_wal/bytes record comparing WAL framing bytes for a delta
+# against a full publish). Offline like ci.sh: everything resolves
+# inside the workspace.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+OUT=${1:-BENCH_PR9.json}
+JSONL=$(mktemp)
+trap 'rm -f "$JSONL"' EXIT
+
+echo "== cargo bench -p pardict-bench --bench delta"
+CRITERION_JSON="$JSONL" cargo bench -p pardict-bench --bench delta
+
+echo "== merging results into $OUT"
+python3 - "$JSONL" "$OUT" <<'EOF'
+import json, sys
+
+jsonl, out = sys.argv[1], sys.argv[2]
+merged = {}
+with open(jsonl) as f:
+    for line in f:
+        line = line.strip()
+        if not line:
+            continue
+        rec = json.loads(line)
+        name = rec.pop("bench")
+        merged[name] = rec
+if not merged:
+    sys.exit("bench_delta.sh: no benchmark results captured")
+
+# The acceptance gate: one-pattern delta into the 10k dictionary must be
+# at least 10x faster than the full republish, at both layers.
+for fast, slow in [
+    ("delta_publish/apply_delta_1/10000", "delta_publish/full_rebuild/10000"),
+    ("delta_registry/publish_delta_1/10000", "delta_registry/full_republish/10000"),
+]:
+    ratio = merged[slow]["median_ns"] / max(merged[fast]["median_ns"], 1)
+    print(f"{slow} / {fast} = {ratio:.1f}x")
+    if ratio < 10:
+        sys.exit(f"bench_delta.sh: {fast} is only {ratio:.1f}x faster (need >= 10x)")
+
+with open(out, "w") as f:
+    json.dump(merged, f, indent=2, sort_keys=True)
+    f.write("\n")
+print(f"{len(merged)} benches -> {out}")
+EOF
+
+echo "bench_delta.sh: done"

@@ -136,6 +136,24 @@ if ! cmp -s "$SMOKE/store.txt" "$SMOKE/store2.txt"; then
   exit 1
 fi
 
+echo "== delta publish smoke"
+# The incremental-update twin of the store smoke: publish v1, delta to
+# v2 over the wire, SIGKILL mid-delta, restart, and require every
+# acknowledged delta to recover to the folded pattern set (digests and
+# match answers against the library oracle), then accept another delta.
+DELTA_SEED=2027
+"$PARDICT" store --smoke --delta --dicts 6 --seed "$DELTA_SEED" \
+  > "$SMOKE/delta.txt" 2> /dev/null
+grep -q "delta-smoke: ok" "$SMOKE/delta.txt"
+grep -q "SIGKILL mid-delta" "$SMOKE/delta.txt"
+"$PARDICT" store --smoke --delta --dicts 6 --seed "$DELTA_SEED" \
+  > "$SMOKE/delta2.txt" 2> /dev/null
+if ! cmp -s "$SMOKE/delta.txt" "$SMOKE/delta2.txt"; then
+  echo "ci.sh: delta smoke not byte-identical for seed $DELTA_SEED" >&2
+  diff "$SMOKE/delta.txt" "$SMOKE/delta2.txt" >&2 || true
+  exit 1
+fi
+
 echo "== trace smoke"
 # Seeded traced selftest: export must be byte-identical across two runs
 # of one seed, the viewer must render it (exit 0), and a malformed file

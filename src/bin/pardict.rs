@@ -110,8 +110,9 @@ fn usage() -> String {
      \x20         pardict cluster --selftest [--requests N] [--seed S]\n\
      \x20         pardict cluster --smoke [--requests N] [--seed S]   spawns 3 \
      backends, SIGKILLs one mid-run\n\
-     store: pardict store --smoke [--dicts N] [--seed S]   spawns a --data-dir \
-     backend, SIGKILLs it mid-publish, restarts, verifies every acknowledged dict\n\
+     store: pardict store --smoke [--delta] [--dicts N] [--seed S]   spawns a \
+     --data-dir backend, SIGKILLs it mid-publish (or mid-delta with --delta), \
+     restarts, verifies every acknowledged dict\n\
      chaos: pardict chaos [--seed N] [--rounds K] [--no-wire] [--no-storage]   \
      deterministic fault-injection report (exit 1 on violations)\n\
      trace: pardict trace FILE.jsonl [--slowest N]   summarize a span export \
@@ -995,12 +996,14 @@ fn smoke_drive(
 /// standalone CLI surface beyond what `serve --data-dir` wires up.
 fn cmd_store(args: &[String]) -> Result<(), String> {
     let mut run_smoke = false;
+    let mut run_delta = false;
     let mut dicts: usize = 6;
     let mut seed: u64 = 0x0005_704E_5EED;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--smoke" => run_smoke = true,
+            "--delta" => run_delta = true,
             "--dicts" => {
                 dicts = it
                     .next()
@@ -1021,7 +1024,11 @@ fn cmd_store(args: &[String]) -> Result<(), String> {
             usage()
         ));
     }
-    store_smoke(dicts, seed)
+    if run_delta {
+        delta_smoke(dicts, seed)
+    } else {
+        store_smoke(dicts, seed)
+    }
 }
 
 /// Spawn a `pardict serve --data-dir` child on an ephemeral port and
@@ -1239,6 +1246,214 @@ fn store_smoke_drive(
         specs.len(),
         specs.len() - acked,
         total_hits,
+    ))
+}
+
+/// The delta kill-and-recover invariant, live: publish every dictionary
+/// at v1, delta-publish each to v2 over the wire (EXT_DELTA path), fire
+/// one more raced delta and SIGKILL the backend before reading the
+/// reply, restart it from the same directory, and require every
+/// *acknowledged* v2 — a WAL replay of `Publish` followed by `Delta`
+/// records — to come back with the digest and match answers of the
+/// folded pattern set. Like the plain store smoke, the summary prints
+/// only seed-derived facts so equal seeds print equal bytes (the raced
+/// delta may or may not land; it is checked for all-or-nothing
+/// integrity either way but never printed).
+fn delta_smoke(num_dicts: usize, seed: u64) -> Result<(), String> {
+    use pardict::core::{apply_delta_patterns, DictDelta};
+    use pardict::workloads::{random_dictionary, random_text};
+
+    let num_dicts = num_dicts.clamp(2, 64);
+    let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+    let data_dir = std::env::temp_dir().join(format!(
+        "pardict-delta-smoke-{seed:016x}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&data_dir);
+
+    // Seed-derived v1 pattern sets, deltas, and the folded v2 sets the
+    // recovered store must answer for. `apply_delta_patterns` is the
+    // same fold the registry and the WAL replay use, so the oracle and
+    // the system can only disagree if one of them is wrong.
+    let mut specs = Vec::with_capacity(num_dicts);
+    for i in 0..num_dicts {
+        let name = format!("dict{i}");
+        let v1 = random_dictionary(seed ^ (i as u64), 12, 3, 8, Alphabet::dna());
+        let delta = DictDelta {
+            adds: random_dictionary(seed ^ 0xDE17A ^ (i as u64), 3, 3, 8, Alphabet::dna()),
+            removes: vec![v1[0].clone()],
+        };
+        let (v2, _) = apply_delta_patterns(&v1, &delta)
+            .map_err(|e| format!("{name}: scripted delta invalid: {e}"))?;
+        let text = random_text(seed.wrapping_add(i as u64), 800, Alphabet::dna());
+        let dict = Dictionary::new(v2.clone());
+        let expected: Vec<(u64, u32)> = dictionary_match(&Pram::seq(), &dict, &text, 0xA5)
+            .iter_hits()
+            .map(|(p, m)| (p as u64, m.len))
+            .collect();
+        specs.push((name, v1, delta, v2, text, expected));
+    }
+
+    let result = delta_smoke_drive(&exe, &data_dir, &specs, seed);
+    let _ = std::fs::remove_dir_all(&data_dir);
+    let summary = result?;
+    print!("{summary}");
+    Ok(())
+}
+
+/// One delta-smoke dictionary: name, v1 patterns, delta, folded v2
+/// patterns, probe text, oracle hits against v2.
+type DeltaSpec = (
+    String,
+    Vec<Vec<u8>>,
+    pardict::core::DictDelta,
+    Vec<Vec<u8>>,
+    Vec<u8>,
+    Vec<(u64, u32)>,
+);
+
+/// The driven middle of [`delta_smoke`], separated so the caller always
+/// removes the scratch directory regardless of which step failed.
+fn delta_smoke_drive(
+    exe: &std::path::Path,
+    data_dir: &std::path::Path,
+    specs: &[DeltaSpec],
+    seed: u64,
+) -> Result<String, String> {
+    use pardict::core::DictDelta;
+    use pardict::service::registry::content_hash;
+    use pardict::service::wire::{tag, write_frame, WireRequest, WireResponse};
+    use pardict::service::Client;
+
+    let check_match = |client: &mut Client, spec: &DeltaSpec| -> Result<(), String> {
+        let (name, _, _, _, text, expected) = spec;
+        match client
+            .op(tag::MATCH, name, text, 0)
+            .map_err(|e| format!("{name}: match transport: {e}"))?
+        {
+            Ok(WireResponse::Hits { hits, .. }) => {
+                let got: Vec<(u64, u32)> = hits.iter().map(|h| (h.pos, h.len)).collect();
+                if &got == expected {
+                    Ok(())
+                } else {
+                    Err(format!(
+                        "{name}: {} hits, oracle says {}",
+                        got.len(),
+                        expected.len()
+                    ))
+                }
+            }
+            Ok(other) => Err(format!("{name}: unexpected reply {other:?}")),
+            Err(e) => Err(format!("{name}: match rejected: {e}")),
+        }
+    };
+
+    // ---- phase 1: publish v1, delta to v2, all acknowledged ----
+    let (mut child, addr) = spawn_store_backend(exe, data_dir)?;
+    let phase1 = (|| -> Result<(), String> {
+        let mut client = Client::connect(addr).map_err(|e| format!("connect: {e}"))?;
+        for (name, v1, delta, _, _, _) in specs {
+            match client
+                .publish(name, v1.clone())
+                .map_err(|e| format!("{name}: publish transport: {e}"))?
+            {
+                Ok((1, _)) => {}
+                Ok((v, _)) => return Err(format!("{name}: fresh publish at version {v}")),
+                Err(e) => return Err(format!("{name}: publish rejected: {e}")),
+            }
+            match client
+                .publish_delta(name, 1, delta, None)
+                .map_err(|e| format!("{name}: delta transport: {e}"))?
+            {
+                Ok((2, _)) => {}
+                Ok((v, _)) => return Err(format!("{name}: delta landed at version {v}")),
+                Err(e) => return Err(format!("{name}: delta rejected: {e}")),
+            }
+        }
+        // The raced delta: write the request, never read the reply —
+        // SIGKILL lands while (or right after) the server handles it.
+        // The added pattern is outside the DNA alphabet, so whether it
+        // lands or not, the probe-text match answers are unchanged.
+        let mut raw =
+            std::net::TcpStream::connect(addr).map_err(|e| format!("raced connect: {e}"))?;
+        let inflight = WireRequest::PubDelta {
+            name: specs[0].0.clone(),
+            parent_version: 2,
+            adds: vec![b"xyzzy".to_vec()],
+            removes: Vec::new(),
+        };
+        write_frame(&mut raw, &inflight.encode()).map_err(|e| format!("raced write: {e}"))?;
+        Ok(())
+    })();
+    let _ = child.kill();
+    let _ = child.wait();
+    phase1?;
+
+    // ---- phase 2: restart from the same directory ----
+    let (mut child, addr) = spawn_store_backend(exe, data_dir)?;
+    let phase2 = (|| -> Result<(), String> {
+        let mut client = Client::connect(addr).map_err(|e| format!("reconnect: {e}"))?;
+        let digests = client.dicts().map_err(|e| format!("dicts: {e}"))?;
+        for (name, _, _, v2, _, _) in specs {
+            let want = content_hash(v2);
+            let raced = if name == &specs[0].0 {
+                // The raced delta may have landed: v3 with the extra
+                // pattern folded in is the only other legal state.
+                let mut with = v2.clone();
+                with.push(b"xyzzy".to_vec());
+                Some(content_hash(&with))
+            } else {
+                None
+            };
+            match digests.iter().find(|(n, _, _)| n == name) {
+                Some((_, 2, h)) if *h == want => {}
+                Some((_, 3, h)) if raced == Some(*h) => {}
+                Some((_, v, h)) => {
+                    return Err(format!(
+                        "{name}: recovered as v{v} hash {h:#x}, wanted v2 hash {want:#x} — \
+                         a torn delta leaked"
+                    ))
+                }
+                None => return Err(format!("{name}: acknowledged but not recovered")),
+            }
+        }
+        for spec in specs {
+            check_match(&mut client, spec)?;
+        }
+        // ---- phase 3: the recovered store keeps accepting deltas ----
+        // One more wire delta against the recovered v2 (again alphabet-
+        // disjoint from the probe text, so the oracle hits still hold).
+        let (name, _, _, _, _, _) = &specs[1];
+        let delta = DictDelta {
+            adds: vec![b"zzyzx".to_vec()],
+            removes: Vec::new(),
+        };
+        match client
+            .publish_delta(name, 2, &delta, None)
+            .map_err(|e| format!("{name}: post-recovery delta transport: {e}"))?
+        {
+            Ok((3, _)) => {}
+            Ok((v, _)) => return Err(format!("{name}: post-recovery delta at version {v}")),
+            Err(e) => return Err(format!("{name}: post-recovery delta rejected: {e}")),
+        }
+        check_match(&mut client, &specs[1])?;
+        Ok(())
+    })();
+    let _ = child.kill();
+    let _ = child.wait();
+    phase2?;
+
+    let total_hits: usize = specs.iter().map(|(_, _, _, _, _, e)| e.len()).sum();
+    Ok(format!(
+        "pardict-store delta smoke (seed {seed}, dicts {})\n\
+         phase-1: {} dicts published at v1 and delta-published to v2, then SIGKILL mid-delta\n\
+         phase-2: all {} acknowledged deltas recovered from the data dir \
+         (digests and matches agree with the folded oracle)\n\
+         phase-3: post-recovery delta accepted at v3; {total_hits} oracle hits verified\n\
+         delta-smoke: ok\n",
+        specs.len(),
+        specs.len(),
+        specs.len(),
     ))
 }
 

@@ -103,6 +103,10 @@ fn wire_chaos_holds_against_a_live_server() {
         "truncated-length-prefix",
         "slow-drip",
         "hostile pattern count",
+        "torn delta publish",
+        "hostile delta count",
+        "stale-parent delta",
+        "delta publish applies",
         "metrics accounting",
     ] {
         assert!(
@@ -127,7 +131,7 @@ fn storage_chaos_holds_on_a_clean_stack() {
     });
     for class in [
         "clean directory recovers",
-        "torn-final-record",
+        "torn-mid-delta",
         "wal-record-bit-flip",
         "truncated-snapshot",
         "stale-temp-leftover",

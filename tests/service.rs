@@ -259,3 +259,151 @@ proptest! {
         }
     }
 }
+
+// ---- MetricsSnapshot::merge is a commutative monoid ----
+
+use pardict::pram::SplitMix64;
+use pardict::service::{HistogramSnapshot, MetricsSnapshot, OpSnapshot};
+
+/// Derive a snapshot that satisfies every accounting identity from one
+/// seed: counters are built bottom-up (per-op outcomes first, completed
+/// as their sum, submitted as completed plus an optional backlog), so
+/// `check_accounting` holds by construction and the merge properties
+/// can be tested against meaningful books, not arbitrary integers.
+fn derive_snapshot(seed: u64, quiescent: bool) -> MetricsSnapshot {
+    let mut rng = SplitMix64::new(seed);
+    let mut next = |bound: u64| rng.next_below(bound);
+    let per_op: Vec<OpSnapshot> = (0..next(4))
+        .map(|_| {
+            let mut buckets: Vec<(u8, u64)> = Vec::new();
+            let mut idx = 0u8;
+            for _ in 0..next(3) {
+                idx += 1 + next(8) as u8;
+                buckets.push((idx, 1 + next(50)));
+            }
+            let outcomes: u64 = buckets.iter().map(|&(_, c)| c).sum();
+            let errors = if outcomes == 0 { 0 } else { next(outcomes + 1) };
+            let hist = HistogramSnapshot {
+                buckets,
+                count: outcomes,
+                sum: next(10_000),
+                max: next(10_000),
+            };
+            OpSnapshot {
+                count: outcomes - errors,
+                errors,
+                latency_us: hist.clone(),
+                work: hist,
+            }
+        })
+        .collect();
+    let completed: u64 = per_op.iter().map(|o| o.count + o.errors).sum();
+    let (hits, misses) = (next(100), next(100));
+    let batches = next(50);
+    MetricsSnapshot {
+        submitted: completed + if quiescent { 0 } else { next(100) },
+        completed,
+        rejected_overloaded: next(100),
+        deadline_expired: if completed == 0 {
+            0
+        } else {
+            next(completed + 1)
+        },
+        publishes: hits + misses,
+        cache_hits: hits,
+        cache_misses: misses,
+        batches,
+        batched_requests: batches + next(100),
+        seq_fallback: next(100),
+        stream_lane: next(100),
+        grep_lane: next(100),
+        retires: next(100),
+        store_replayed: next(100),
+        store_torn_dropped: next(100),
+        store_snapshot_age: next(100),
+        per_op,
+    }
+}
+
+fn merged(a: &MetricsSnapshot, b: &MetricsSnapshot) -> MetricsSnapshot {
+    let mut out = a.clone();
+    out.merge(b);
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// `merge` is commutative: router aggregation must not depend on
+    /// the order backends answer in.
+    #[test]
+    fn snapshot_merge_is_commutative(sa in any::<u64>(), sb in any::<u64>()) {
+        let a = derive_snapshot(sa, false);
+        let b = derive_snapshot(sb, false);
+        prop_assert_eq!(merged(&a, &b), merged(&b, &a));
+    }
+
+    /// `merge` is associative: folding shard answers pairwise in any
+    /// grouping gives the same cluster-wide books.
+    #[test]
+    fn snapshot_merge_is_associative(
+        sa in any::<u64>(),
+        sb in any::<u64>(),
+        sc in any::<u64>(),
+    ) {
+        let a = derive_snapshot(sa, false);
+        let b = derive_snapshot(sb, false);
+        let c = derive_snapshot(sc, false);
+        prop_assert_eq!(merged(&merged(&a, &b), &c), merged(&a, &merged(&b, &c)));
+    }
+
+    /// The default snapshot is the identity element on both sides
+    /// (including the ragged `per_op` resize path).
+    #[test]
+    fn snapshot_merge_has_an_identity_element(s in any::<u64>()) {
+        let a = derive_snapshot(s, false);
+        prop_assert_eq!(merged(&a, &MetricsSnapshot::default()), a.clone());
+        prop_assert_eq!(merged(&MetricsSnapshot::default(), &a), a);
+    }
+
+    /// Accounting is preserved: snapshots that each satisfy the
+    /// identities still satisfy them merged, in both quiescent and
+    /// in-flight forms — the reason a cluster-wide `stats` answer can
+    /// be audited exactly like a single node's.
+    #[test]
+    fn snapshot_merge_preserves_accounting(
+        sa in any::<u64>(),
+        sb in any::<u64>(),
+        quiescent in any::<bool>(),
+    ) {
+        let a = derive_snapshot(sa, quiescent);
+        let b = derive_snapshot(sb, quiescent);
+        prop_assert!(a.check_accounting(quiescent).is_ok());
+        prop_assert!(b.check_accounting(quiescent).is_ok());
+        let m = merged(&a, &b);
+        prop_assert!(
+            m.check_accounting(quiescent).is_ok(),
+            "merged books violate accounting: {:?}",
+            m.check_accounting(quiescent)
+        );
+    }
+
+    /// And a live engine's shipped snapshot passes the same identities
+    /// the live counters do — the snapshot is the books, not a summary.
+    #[test]
+    fn live_snapshot_passes_snapshot_accounting(
+        patterns in dictionary(),
+        text in small_alpha_text(120),
+    ) {
+        let engine = inline_engine(0);
+        engine.registry().publish("d", patterns).unwrap();
+        let resp = engine.call(Request::new(OpRequest::Match {
+            dict: "d".into(),
+            text: text.to_vec(),
+        }));
+        prop_assert!(resp.result.is_ok());
+        let snap = engine.metrics().snapshot();
+        prop_assert!(snap.check_accounting(true).is_ok(), "{:?}", snap.check_accounting(true));
+        engine.shutdown();
+    }
+}

@@ -41,7 +41,7 @@ fn arb_name() -> impl Strategy<Value = String> {
     })
 }
 
-/// A generator covering both record kinds with arbitrary names and
+/// A generator covering every record kind with arbitrary names and
 /// arbitrary pattern bytes (NULs included).
 fn arb_record() -> impl Strategy<Value = WalRecord> {
     let publish = (
@@ -55,7 +55,19 @@ fn arb_record() -> impl Strategy<Value = WalRecord> {
             patterns,
         });
     let retire = arb_name().prop_map(|name| WalRecord::Retire { name });
-    prop_oneof![publish, retire]
+    let delta = (
+        arb_name(),
+        any::<u64>(),
+        prop::collection::vec(prop::collection::vec(any::<u8>(), 0..20), 0..4),
+        prop::collection::vec(prop::collection::vec(any::<u8>(), 0..20), 0..4),
+    )
+        .prop_map(|(name, version, adds, removes)| WalRecord::Delta {
+            name,
+            version,
+            adds,
+            removes,
+        });
+    prop_oneof![publish, retire, delta]
 }
 
 proptest! {
@@ -308,5 +320,164 @@ fn automatic_compaction_preserves_state() {
         "the threshold must have compacted at least once: {:?}",
         s.recovery()
     );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Interleaved `Publish`/`Delta`/`Retire` history with a torn tail
+/// mid-delta: replay folds every intact record in order — removes
+/// first, then adds, version bumped — drops exactly the torn delta,
+/// and the repair is durable.
+#[test]
+fn interleaved_deltas_recover_and_torn_delta_tail_is_dropped() {
+    let dir = scratch("delta-interleave");
+    {
+        let mut s = Store::open(&dir, nosync()).unwrap();
+        s.log_publish("alpha", 1, &[b"he".to_vec(), b"she".to_vec()])
+            .unwrap();
+        s.log_delta("alpha", 2, &[b"hers".to_vec()], &[b"he".to_vec()])
+            .unwrap();
+        s.log_publish("beta", 1, &[b"his".to_vec()]).unwrap();
+        s.log_retire("alpha").unwrap();
+        s.log_publish("alpha", 1, &[b"aa".to_vec()]).unwrap();
+        s.log_delta("beta", 2, &[b"him".to_vec()], &[]).unwrap();
+        // The record the tear lands in: acknowledged, then torn.
+        s.log_delta("alpha", 2, &[b"bb".to_vec()], &[]).unwrap();
+    }
+    let wal = dir.join(WAL_FILE);
+    let len = std::fs::metadata(&wal).unwrap().len();
+    std::fs::File::options()
+        .write(true)
+        .open(&wal)
+        .unwrap()
+        .set_len(len - 2)
+        .unwrap();
+
+    let s = Store::open(&dir, nosync()).unwrap();
+    let r = s.recovery();
+    assert!(r.torn.is_some(), "{r:?}");
+    assert_eq!(r.wal_replayed, 6, "{r:?}");
+    assert_eq!(r.orphan_deltas, 0, "{r:?}");
+    let state: Vec<(&str, &DictState)> = s.dicts().collect();
+    assert_eq!(
+        state,
+        vec![
+            (
+                "alpha",
+                // Retired and republished; the torn delta never lands.
+                &DictState {
+                    version: 1,
+                    patterns: vec![b"aa".to_vec()]
+                }
+            ),
+            (
+                "beta",
+                // Publish then delta: adds appended after the survivors.
+                &DictState {
+                    version: 2,
+                    patterns: vec![b"his".to_vec(), b"him".to_vec()]
+                }
+            ),
+        ]
+    );
+    drop(s);
+
+    let s = Store::open(&dir, nosync()).unwrap();
+    assert!(s.recovery().is_clean(), "{:?}", s.recovery());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Compaction folds deltas away: the snapshot holds full folded pattern
+/// sets (never delta records), recovery replays only post-compaction
+/// appends, and the folded state matches applying the deltas in order.
+#[test]
+fn compaction_folds_deltas_into_full_snapshots() {
+    let dir = scratch("delta-compact");
+    {
+        let mut s = Store::open(&dir, nosync()).unwrap();
+        s.log_publish("d", 1, &[b"aa".to_vec(), b"bb".to_vec()])
+            .unwrap();
+        s.log_delta("d", 2, &[b"cc".to_vec()], &[b"aa".to_vec()])
+            .unwrap();
+        s.log_delta("d", 3, &[b"dd".to_vec()], &[]).unwrap();
+        s.compact().unwrap();
+        s.log_delta("d", 4, &[b"ee".to_vec()], &[b"bb".to_vec()])
+            .unwrap();
+    }
+    // The snapshot on disk decodes to the folded set — no delta records.
+    let snap_bytes = std::fs::read(dir.join(pardict::store::SNAPSHOT_FILE)).unwrap();
+    let (_, snap_dicts) = decode_snapshot(&snap_bytes).unwrap();
+    assert_eq!(snap_dicts.len(), 1);
+    assert_eq!(snap_dicts[0].version, 3);
+    assert_eq!(
+        snap_dicts[0].patterns,
+        vec![b"bb".to_vec(), b"cc".to_vec(), b"dd".to_vec()]
+    );
+
+    let s = Store::open(&dir, nosync()).unwrap();
+    let r = s.recovery();
+    assert!(r.is_clean(), "{r:?}");
+    assert_eq!(r.snapshot_dicts, 1);
+    assert_eq!(r.wal_replayed, 1, "only the post-compaction delta");
+    assert_eq!(r.orphan_deltas, 0);
+    let state: Vec<(&str, &DictState)> = s.dicts().collect();
+    assert_eq!(
+        state,
+        vec![(
+            "d",
+            &DictState {
+                version: 4,
+                patterns: vec![b"cc".to_vec(), b"dd".to_vec(), b"ee".to_vec()]
+            }
+        )]
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// A hand-built "snapshot" smuggling a delta record is rejected whole —
+/// compaction always writes folded publishes, so a delta inside one
+/// means the file is not ours.
+#[test]
+fn snapshot_decode_rejects_delta_records() {
+    let rec = WalRecord::Delta {
+        name: "d".into(),
+        version: 2,
+        adds: vec![b"x".to_vec()],
+        removes: vec![],
+    };
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(b"PDSN");
+    bytes.push(1); // STORE_VERSION
+    bytes.extend_from_slice(&[0, 0, 0]);
+    bytes.extend_from_slice(&9u64.to_le_bytes()); // last_seq
+    bytes.extend_from_slice(&1u32.to_le_bytes()); // count
+    bytes.extend_from_slice(&encode_record(0, &rec).unwrap());
+    bytes.extend_from_slice(&1u64.to_le_bytes()); // trailer count
+    let crc = pardict::stream::crc32(&bytes);
+    bytes.extend_from_slice(&crc.to_le_bytes());
+    bytes.extend_from_slice(b"NSDP");
+    let err = decode_snapshot(&bytes).unwrap_err();
+    assert!(err.contains("delta record in snapshot"), "{err}");
+}
+
+/// WAL bytes appended for a delta are proportional to the delta, not
+/// the dictionary: delta-publishing one pattern into a large dictionary
+/// must cost a small fixed number of framed bytes, far below a full
+/// republish of the same state.
+#[test]
+fn delta_wal_bytes_are_proportional_to_the_delta() {
+    let dir = scratch("delta-bytes");
+    let patterns: Vec<Vec<u8>> = (0..2000)
+        .map(|i| format!("pat{i:04}").into_bytes())
+        .collect();
+    let mut s = Store::open(&dir, nosync()).unwrap();
+    s.log_publish("big", 1, &patterns).unwrap();
+    let full = s.appended_bytes();
+    s.log_delta("big", 2, &[b"tiny".to_vec()], &[]).unwrap();
+    let delta = s.appended_bytes() - full;
+    assert!(
+        delta * 100 < full,
+        "one-pattern delta appended {delta} bytes vs {full} for the full publish"
+    );
+    drop(s);
     std::fs::remove_dir_all(&dir).unwrap();
 }

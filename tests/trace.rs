@@ -337,3 +337,143 @@ fn trace_ctx_is_plain_data() {
     };
     assert_eq!(a, a);
 }
+
+/// Mixed-version negotiation: a new client against a **legacy server**
+/// whose wire vocabulary predates `TRACED`/`HELLO`/`PUBDELTA` (tags ≥ 11
+/// answer "unknown request tag", exactly like an old binary's decoder).
+/// The client must cache extension mask 0 from the failed hello, send
+/// bit-identical legacy frames from then on — no trace envelopes, no
+/// delta frames — and degrade `publish_delta` to a full publish of the
+/// fallback pattern set.
+#[test]
+fn new_client_degrades_cleanly_against_a_legacy_server() {
+    use pardict::core::DictDelta;
+    use pardict::service::wire::{read_frame, write_frame, WireResponse};
+    use std::net::TcpListener;
+
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    // The mock legacy peer: records every raw request frame, publishes
+    // by bumping a per-name version, and rejects post-v10 tags with the
+    // same error shape a real old server's decoder produces.
+    let server = std::thread::spawn(move || -> Vec<Vec<u8>> {
+        let mut frames = Vec::new();
+        let (stream, _) = listener.accept().expect("accept");
+        let mut reader = stream.try_clone().expect("clone");
+        let mut writer = stream;
+        let mut versions: std::collections::HashMap<String, u64> = std::collections::HashMap::new();
+        while let Ok(Some(payload)) = read_frame(&mut reader) {
+            frames.push(payload.clone());
+            let resp = match payload.first() {
+                Some(&t) if t > wire::tag::DICTS => WireResponse::Error {
+                    code: 1,
+                    message: format!("malformed request: unknown request tag {t}"),
+                },
+                _ => match WireRequest::decode(&payload) {
+                    Ok(WireRequest::Publish { name, .. }) => {
+                        let v = versions.entry(name).or_insert(0);
+                        *v += 1;
+                        WireResponse::Published {
+                            version: *v,
+                            cache_hit: false,
+                        }
+                    }
+                    Ok(WireRequest::Ping) => WireResponse::Pong,
+                    Ok(other) => WireResponse::Error {
+                        code: 1,
+                        message: format!("legacy mock cannot serve {other:?}"),
+                    },
+                    Err(e) => WireResponse::Error {
+                        code: 1,
+                        message: format!("malformed request: {e}"),
+                    },
+                },
+            };
+            if write_frame(&mut writer, &resp.encode()).is_err() {
+                break;
+            }
+        }
+        frames
+    });
+
+    let v1 = vec![b"ab".to_vec(), b"ca".to_vec()];
+    let delta = DictDelta {
+        adds: vec![b"abc".to_vec()],
+        removes: vec![b"ca".to_vec()],
+    };
+    let finals = vec![b"ab".to_vec(), b"abc".to_vec()];
+
+    let mut client = Client::connect(addr).expect("connect");
+    // Plain publish works against any vintage.
+    let (v, _) = client
+        .publish("d", v1.clone())
+        .expect("publish transport")
+        .expect("publish reply");
+    assert_eq!(v, 1);
+    // publish_delta triggers lazy negotiation (the hello frame the
+    // legacy peer refuses), then degrades to a full publish of the
+    // fallback set — a second acknowledged version, never a PUBDELTA
+    // frame on the wire.
+    let (v, _) = client
+        .publish_delta("d", 1, &delta, Some(&finals))
+        .expect("delta transport")
+        .expect("delta fallback reply");
+    assert_eq!(v, 2, "fallback must be a full publish of the final set");
+    // Without a fallback the degradation is an explicit Unsupported
+    // error, not a silent no-op.
+    let err = client
+        .publish_delta("d", 2, &delta, None)
+        .expect_err("no fallback must surface Unsupported");
+    assert_eq!(err.kind(), std::io::ErrorKind::Unsupported);
+    // A traced op against the legacy peer must go out as the plain
+    // legacy frame (mask 0 strips the envelope); the mock answers it
+    // with a service-level error, which is not a transport failure.
+    let ctx = pardict::trace::TraceCtx {
+        trace: pardict::trace::TraceId(7),
+        parent: pardict::trace::SpanId(9),
+    };
+    let reply = client
+        .op_traced(wire::tag::MATCH, "d", b"abca", 5, Some(ctx))
+        .expect("op transport");
+    assert!(reply.is_err(), "mock answers ops with a service error");
+    drop(client);
+
+    let frames = server.join().expect("server thread");
+    let expect_publish_v1 = WireRequest::Publish {
+        name: "d".into(),
+        patterns: v1,
+    }
+    .encode();
+    let expect_hello = WireRequest::Hello {
+        extensions: wire::EXT_TRACE | wire::EXT_DELTA,
+    }
+    .encode();
+    let expect_publish_finals = WireRequest::Publish {
+        name: "d".into(),
+        patterns: finals,
+    }
+    .encode();
+    let expect_op = WireRequest::Op {
+        tag: wire::tag::MATCH,
+        dict: "d".into(),
+        text: b"abca".to_vec(),
+        timeout_ms: 5,
+    }
+    .encode();
+    assert_eq!(
+        frames,
+        vec![
+            expect_publish_v1,
+            expect_hello,
+            expect_publish_finals,
+            expect_op
+        ],
+        "every frame after the refused hello must be bit-identical legacy bytes"
+    );
+    assert!(
+        frames
+            .iter()
+            .all(|f| f[0] != wire::tag::PUBDELTA && f[0] != wire::tag::TRACED),
+        "no delta or trace frames may reach a legacy peer"
+    );
+}
