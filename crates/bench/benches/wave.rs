@@ -1,0 +1,87 @@
+//! Criterion wall-clock benches for the super-step executor: barrier vs
+//! pipelined wave schedules over multi-block grep, plus the unified
+//! compress-wave path, at 8 and 32 blocks.
+//!
+//! The pipelined schedule overlaps decoding wave `k+1` with matching wave
+//! `k`, so its win scales with the number of harts available to run the
+//! stage thread: on a single-core runner the two schedules time-slice one
+//! CPU and land within noise of each other, while the ledger charges stay
+//! bit-identical either way (see `pipelined_grep_equals_barrier_grep` in
+//! `tests/search.rs` — pipelining changes wall-clock, never work/depth).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pardict_core::{DictMatcher, Dictionary};
+use pardict_pram::Pram;
+use pardict_search::{grep_container, GrepConfig};
+use pardict_stream::{compress_stream, StreamConfig, StreamReader};
+use pardict_workloads::{markov_text, Alphabet};
+
+/// ~512 KiB of DNA-ish text; 64 KiB blocks give an 8-block container,
+/// 16 KiB blocks a 32-block one.
+fn corpus() -> Vec<u8> {
+    markov_text(0xBE9C_57E4, 1 << 19, Alphabet::dna())
+}
+
+fn matcher() -> DictMatcher {
+    let dict = Dictionary::new(vec![
+        b"ACGT".to_vec(),
+        b"TTAGGG".to_vec(),
+        b"GATTACA".to_vec(),
+        b"CCC".to_vec(),
+    ]);
+    DictMatcher::build(&Pram::seq(), dict, 0x5EA_2C4)
+}
+
+fn bench_wave_grep(c: &mut Criterion) {
+    let text = corpus();
+    let m = matcher();
+
+    let mut g = c.benchmark_group("wave_grep");
+    g.sample_size(10);
+    for (blocks, bs_exp) in [(8u32, 16u32), (32, 14)] {
+        let cfg = StreamConfig::with_block_size(1 << bs_exp);
+        let (container, _) =
+            compress_stream(&Pram::par(), &mut &text[..], Vec::new(), &cfg).unwrap();
+
+        for (sched, pipeline) in [("barrier", false), ("pipelined", true)] {
+            g.bench_with_input(
+                BenchmarkId::new(sched, format!("blocks_{blocks}")),
+                &container,
+                |b, cont| {
+                    let grep_cfg = GrepConfig {
+                        pipeline,
+                        ..GrepConfig::default()
+                    };
+                    b.iter(|| {
+                        let mut rdr = StreamReader::open(std::io::Cursor::new(cont)).unwrap();
+                        grep_container(&Pram::par(), &m, &mut rdr, &grep_cfg).unwrap()
+                    });
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_wave_compress(c: &mut Criterion) {
+    let text = corpus();
+
+    let mut g = c.benchmark_group("wave_compress");
+    g.sample_size(10);
+    for (blocks, bs_exp) in [(8u32, 16u32), (32, 14)] {
+        let cfg = StreamConfig::with_block_size(1 << bs_exp);
+        for (mode, pram) in [("seq", Pram::seq()), ("par", Pram::par())] {
+            g.bench_with_input(
+                BenchmarkId::new(mode, format!("blocks_{blocks}")),
+                &text,
+                |b, t| {
+                    b.iter(|| compress_stream(&pram, &mut &t[..], Vec::new(), &cfg).unwrap());
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_wave_grep, bench_wave_compress);
+criterion_main!(benches);

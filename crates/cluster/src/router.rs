@@ -885,84 +885,72 @@ impl Router {
         }
 
         type RangeOut = Result<(u64, Vec<Hit>, Vec<u64>, usize, bool), ClusterError>;
-        let results: Vec<RangeOut> = std::thread::scope(|s| {
-            let handles: Vec<_> = ranges
-                .iter()
-                .enumerate()
-                .map(|(i, r)| {
-                    let r = r.clone();
-                    let assigned = healthy[i % healthy.len()];
-                    let layout_bs = block_size as u64;
-                    s.spawn(move || -> RangeOut {
-                        let scatter = match (&self.tracer, rctx) {
-                            (Some(t), Some(ctx)) => {
-                                Some(t.start(ctx, "scatter", u64::try_from(i).unwrap_or(u64::MAX)))
-                            }
-                            _ => None,
-                        };
-                        let sctx = scatter.as_ref().map(SpanGuard::ctx);
-                        let slice_start = r.start.saturating_sub(overlap);
-                        let slice = slice_container(container, slice_start..r.end)
-                            .map_err(|_| ClusterError::NoBackends)?;
-                        // Failover order for this range: every shard,
-                        // starting from its assignee (excluded shards are
-                        // skipped inside dispatch).
-                        let n = self.backends.len();
-                        let order: Vec<usize> = (0..n).map(|j| (assigned + j) % n).collect();
-                        let out = self.dispatch(
-                            &order,
-                            deadline,
-                            sctx,
-                            &|c: &mut Client, remaining, actx| match c.op_traced(
-                                wire::tag::GREPZ,
-                                dict,
-                                &slice,
-                                remaining,
-                                actx,
-                            ) {
-                                Ok(Ok(WireResponse::ContainerHits {
-                                    version,
-                                    hits,
-                                    corrupt_blocks,
-                                })) => Ok(Ok((version, hits, corrupt_blocks))),
-                                Ok(Ok(other)) => Err(io::Error::new(
-                                    io::ErrorKind::InvalidData,
-                                    format!("expected container hits, got {other:?}"),
-                                )),
-                                Ok(Err(e)) => Ok(Err(e)),
-                                Err(e) => Err(e),
-                            },
-                        )?;
-                        let ((version, hits, corrupt), failed_over) = out;
-                        let rebase = layout_bs * slice_start as u64;
-                        // Responsibility: a hit is ours iff its last byte
-                        // lands in [bs*r.start, min(bs*r.end, total_raw)).
-                        let own_start = layout_bs * r.start as u64;
-                        let own_end = (layout_bs * r.end as u64).min(total_raw);
-                        let hits: Vec<Hit> = hits
-                            .into_iter()
-                            .map(|h| Hit {
-                                pos: h.pos + rebase,
-                                ..h
-                            })
-                            .filter(|h| {
-                                let last = h.pos + u64::from(h.len) - 1;
-                                (own_start..own_end).contains(&last)
-                            })
-                            .collect();
-                        let corrupt: Vec<u64> = corrupt
-                            .into_iter()
-                            .map(|b| b + slice_start as u64)
-                            .filter(|b| (r.start as u64..r.end as u64).contains(b))
-                            .collect();
-                        Ok((version, hits, corrupt, assigned, failed_over))
-                    })
+        // Ledger-free fan-out through the shared executor: scatter is
+        // I/O-bound dispatch with no Pram in scope, one worker per range.
+        let results: Vec<RangeOut> = pardict_exec::fan_out(ranges, |i, r| -> RangeOut {
+            let assigned = healthy[i % healthy.len()];
+            let layout_bs = block_size as u64;
+            let scatter = match (&self.tracer, rctx) {
+                (Some(t), Some(ctx)) => {
+                    Some(t.start(ctx, "scatter", u64::try_from(i).unwrap_or(u64::MAX)))
+                }
+                _ => None,
+            };
+            let sctx = scatter.as_ref().map(SpanGuard::ctx);
+            let slice_start = r.start.saturating_sub(overlap);
+            let slice = slice_container(container, slice_start..r.end)
+                .map_err(|_| ClusterError::NoBackends)?;
+            // Failover order for this range: every shard, starting from
+            // its assignee (excluded shards are skipped inside dispatch).
+            let n = self.backends.len();
+            let order: Vec<usize> = (0..n).map(|j| (assigned + j) % n).collect();
+            let out = self.dispatch(
+                &order,
+                deadline,
+                sctx,
+                &|c: &mut Client, remaining, actx| match c.op_traced(
+                    wire::tag::GREPZ,
+                    dict,
+                    &slice,
+                    remaining,
+                    actx,
+                ) {
+                    Ok(Ok(WireResponse::ContainerHits {
+                        version,
+                        hits,
+                        corrupt_blocks,
+                    })) => Ok(Ok((version, hits, corrupt_blocks))),
+                    Ok(Ok(other)) => Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("expected container hits, got {other:?}"),
+                    )),
+                    Ok(Err(e)) => Ok(Err(e)),
+                    Err(e) => Err(e),
+                },
+            )?;
+            let ((version, hits, corrupt), failed_over) = out;
+            let rebase = layout_bs * slice_start as u64;
+            // Responsibility: a hit is ours iff its last byte lands in
+            // [bs*r.start, min(bs*r.end, total_raw)).
+            let own_start = layout_bs * r.start as u64;
+            let own_end = (layout_bs * r.end as u64).min(total_raw);
+            let hits: Vec<Hit> = hits
+                .into_iter()
+                .map(|h| Hit {
+                    pos: h.pos + rebase,
+                    ..h
+                })
+                .filter(|h| {
+                    let last = h.pos + u64::from(h.len) - 1;
+                    (own_start..own_end).contains(&last)
                 })
                 .collect();
-            handles
+            let corrupt: Vec<u64> = corrupt
                 .into_iter()
-                .map(|h| h.join().expect("range thread"))
-                .collect()
+                .map(|b| b + slice_start as u64)
+                .filter(|b| (r.start as u64..r.end as u64).contains(b))
+                .collect();
+            Ok((version, hits, corrupt, assigned, failed_over))
         });
 
         // ---- gather ----

@@ -48,6 +48,7 @@ mod adaptive;
 mod alphabet;
 mod baseline;
 pub mod checker;
+mod crc;
 mod dict;
 mod dsm;
 mod matcher;
@@ -61,6 +62,7 @@ pub use ac::{brute_force_matches, AhoCorasick};
 pub use adaptive::{AdaptiveDictMatcher, PatternHandle};
 pub use alphabet::{decode_positions, encode_binary, BinaryEncoded};
 pub use baseline::mp93_baseline;
+pub use crc::crc32;
 pub use dict::{Dictionary, Match, Matches};
 pub use dsm::{substring_match, Locus, SubstringMatcher};
 pub use matcher::{dictionary_match, DictMatcher};

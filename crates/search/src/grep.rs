@@ -1,7 +1,7 @@
 //! The grep engine: wave-parallel decode + match with overlap stitching.
 
 use pardict_core::PatternScan;
-use pardict_pram::{Cost, Mode, Pram};
+use pardict_pram::{Cost, Pram};
 use pardict_stream::{decode_block, BlockEntry, BlockIssue, StreamError, StreamReader};
 use std::io::{Read, Seek};
 
@@ -35,20 +35,24 @@ pub struct GrepSummary {
 #[derive(Debug, Clone)]
 pub struct GrepConfig {
     /// Blocks decoded and matched concurrently per wave; bounds resident
-    /// memory at roughly one wave of decoded blocks plus the overlap tail.
+    /// memory at roughly one wave of decoded blocks plus the overlap tail
+    /// (two waves while pipelining keeps a decode in flight).
     pub wave: usize,
     /// When set, the first corrupt block aborts the run with
     /// [`StreamError::CorruptBlock`] instead of being skipped-and-reported.
     pub strict: bool,
+    /// Overlap wave *k+1*'s decode with wave *k*'s match (two-stage
+    /// pipelining through the super-step executor). Never changes hits,
+    /// issues, or ledger costs — only wall-clock time.
+    pub pipeline: bool,
 }
 
 impl Default for GrepConfig {
     fn default() -> Self {
         Self {
-            wave: std::thread::available_parallelism()
-                .map_or(4, std::num::NonZeroUsize::get)
-                .min(16),
+            wave: pardict_exec::default_wave_width(),
             strict: false,
+            pipeline: true,
         }
     }
 }
@@ -60,52 +64,57 @@ impl GrepConfig {
         self.strict = true;
         self
     }
+
+    /// Disable pipelining: each wave fully matches before the next decodes.
+    #[must_use]
+    pub fn barrier(mut self) -> Self {
+        self.pipeline = false;
+        self
+    }
 }
 
-/// A block fetched from the container, not yet decoded. `payload` is
-/// `None` when the fetch itself already failed block-locally (header
-/// mismatch), which skips the decode but still occupies the slot so wave
-/// indices line up.
+/// A block fetched from the container, not yet decoded. A fetch-level
+/// block failure (header mismatch, lenient mode) rides in `payload` so
+/// the slot still occupies its wave position and is reported in order.
 struct Fetched {
     index: usize,
     start: u64,
     entry: BlockEntry,
-    payload: Option<Vec<u8>>,
+    payload: Result<Vec<u8>, BlockIssue>,
 }
 
-/// One decoded wave slot: the fetched block plus its decode outcome
-/// (`None` when the fetch itself already failed block-locally).
-type WaveSlot = (Fetched, Option<Result<Vec<u8>, BlockIssue>>);
+/// One decoded wave slot: where the block starts, and its bytes or the
+/// issue that stopped it (`at_fetch` distinguishes a fetch failure from a
+/// decode failure — fetch issues are reported first within a wave).
+struct DecodedSlot {
+    start: u64,
+    data: Result<Vec<u8>, (BlockIssue, bool)>,
+}
 
-/// Decode one wave of fetched payloads — concurrently when the caller's
-/// context is parallel — charging the caller one super-step: summed work,
-/// maximum depth. Mirrors `pardict-stream`'s `compress_wave`.
-fn decode_wave(pram: &Pram, wave: Vec<Fetched>) -> Vec<WaveSlot> {
-    type Decoded = (Fetched, Option<Result<Vec<u8>, BlockIssue>>, Cost);
-    let decode_one = |mut f: Fetched| -> Decoded {
-        let Some(payload) = f.payload.take() else {
-            return (f, None, Cost::default());
-        };
-        let p = Pram::seq();
-        let (out, cost) = p.metered(|p| decode_block(p, f.index as u64, &f.entry, payload));
-        (f, Some(out), cost)
-    };
-    let outs: Vec<Decoded> = if pram.mode() == Mode::Par && wave.len() > 1 {
-        std::thread::scope(|s| {
-            let handles: Vec<_> = wave
-                .into_iter()
-                .map(|f| s.spawn(move || decode_one(f)))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("block decode worker panicked"))
-                .collect()
-        })
-    } else {
-        wave.into_iter().map(decode_one).collect()
-    };
-    charge_superstep(pram, outs.iter().map(|(_, _, c)| *c));
-    outs.into_iter().map(|(f, out, _)| (f, out)).collect()
+/// Decode one fetched slot on a private sequential context — the stage
+/// function of the grep pipeline, run inside a [`pardict_exec::Wave`]
+/// super-step.
+fn decode_slot(f: Fetched) -> (DecodedSlot, Cost) {
+    match f.payload {
+        Ok(payload) => {
+            let p = Pram::seq();
+            let (out, cost) = p.metered(|p| decode_block(p, f.index as u64, &f.entry, payload));
+            (
+                DecodedSlot {
+                    start: f.start,
+                    data: out.map_err(|issue| (issue, false)),
+                },
+                cost,
+            )
+        }
+        Err(issue) => (
+            DecodedSlot {
+                start: f.start,
+                data: Err((issue, true)),
+            },
+            Cost::default(),
+        ),
+    }
 }
 
 /// One block's search buffer: the overlap tail prefixed to the decoded
@@ -119,49 +128,24 @@ struct SearchBuf {
     bytes: Vec<u8>,
 }
 
-/// Match one wave of search buffers — concurrently when parallel — again
-/// one super-step of Σ work / max depth.
-fn match_wave<M: PatternScan + Sync>(
-    pram: &Pram,
-    matcher: &M,
-    wave: &[SearchBuf],
-) -> Vec<Vec<GrepHit>> {
-    let match_one = |b: &SearchBuf| -> (Vec<GrepHit>, Cost) {
-        let p = Pram::seq();
-        let (occs, cost) = p.metered(|p| matcher.find_all(p, &b.bytes));
-        let hits = occs
-            .into_iter()
-            .map(|(pos, m)| GrepHit {
-                pos: b.buf_start + pos as u64,
-                id: m.id,
-                len: m.len,
-            })
-            // A hit ending inside the tail belongs to an earlier block;
-            // keeping only hits that end past the block start makes each
-            // occurrence the responsibility of exactly one block.
-            .filter(|h| h.pos + u64::from(h.len) > b.block_start)
-            .collect();
-        (hits, cost)
-    };
-    let outs: Vec<(Vec<GrepHit>, Cost)> = if pram.mode() == Mode::Par && wave.len() > 1 {
-        std::thread::scope(|s| {
-            let handles: Vec<_> = wave.iter().map(|b| s.spawn(move || match_one(b))).collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("block match worker panicked"))
-                .collect()
+/// Match one stitched search buffer on a private sequential context —
+/// slot function of the match super-step.
+fn match_buf<M: PatternScan>(matcher: &M, b: &SearchBuf) -> (Vec<GrepHit>, Cost) {
+    let p = Pram::seq();
+    let (occs, cost) = p.metered(|p| matcher.find_all(p, &b.bytes));
+    let hits = occs
+        .into_iter()
+        .map(|(pos, m)| GrepHit {
+            pos: b.buf_start + pos as u64,
+            id: m.id,
+            len: m.len,
         })
-    } else {
-        wave.iter().map(match_one).collect()
-    };
-    charge_superstep(pram, outs.iter().map(|(_, c)| *c));
-    outs.into_iter().map(|(hits, _)| hits).collect()
-}
-
-fn charge_superstep(pram: &Pram, costs: impl Iterator<Item = Cost>) {
-    let (work, depth) = costs.fold((0u64, 0u64), |(w, d), c| (w + c.work, d.max(c.depth)));
-    pram.ledger().charge_work(work);
-    pram.ledger().charge_depth(depth);
+        // A hit ending inside the tail belongs to an earlier block;
+        // keeping only hits that end past the block start makes each
+        // occurrence the responsibility of exactly one block.
+        .filter(|h| h.pos + u64::from(h.len) > b.block_start)
+        .collect();
+    (hits, cost)
 }
 
 /// Report every dictionary occurrence in the container's decoded stream,
@@ -219,94 +203,109 @@ pub fn grep_range<R: Read + Seek, M: PatternScan + Sync>(
     // bytes seen so far (accumulating across blocks shorter than `m − 1`).
     let mut tail: Vec<u8> = Vec::new();
     let wave_size = cfg.wave.max(1);
+    let strict = cfg.strict;
     let mut next = blocks.start;
-    while next < blocks.end {
-        let wave_end = (next + wave_size).min(blocks.end);
-        // Per-wave span (indexed by the wave's first block), attributed
-        // the wave's metered cost delta; inert without an ambient scope.
-        let wave_span = pardict_trace::scoped_span("search-wave", next as u64);
-        let wave_before = pram.cost();
-
-        // Fetch compressed payloads sequentially (seekable I/O is serial).
-        let mut fetched = Vec::with_capacity(wave_end - next);
-        for i in next..wave_end {
-            let entry = rdr.index().entries[i];
-            let start_i = rdr.index().block_start(i);
-            let payload = match rdr.raw_block(i) {
-                Ok(p) => Some(p),
-                Err(StreamError::CorruptBlock { index, kind }) => {
-                    if cfg.strict {
-                        return Err(StreamError::CorruptBlock { index, kind });
+    let blocks_end = blocks.end;
+    pardict_exec::run_waves(
+        pram,
+        "search-wave",
+        cfg.pipeline,
+        // Source: fetch one wave of compressed payloads sequentially
+        // (seekable I/O is serial). Under pipelining this overlaps the
+        // previous wave's decode stage.
+        || {
+            if next >= blocks_end {
+                return Ok(None);
+            }
+            let wave_end = (next + wave_size).min(blocks_end);
+            let mut fetched = Vec::with_capacity(wave_end - next);
+            for i in next..wave_end {
+                let entry = rdr.index().entries[i];
+                let start_i = rdr.index().block_start(i);
+                let payload = match rdr.raw_block(i) {
+                    Ok(p) => Ok(p),
+                    Err(StreamError::CorruptBlock { index, kind }) => {
+                        if strict {
+                            return Err(StreamError::CorruptBlock { index, kind });
+                        }
+                        Err(BlockIssue {
+                            index,
+                            raw_len: entry.raw_len,
+                            kind,
+                        })
                     }
-                    summary.issues.push(BlockIssue {
-                        index,
-                        raw_len: entry.raw_len,
-                        kind,
-                    });
-                    None
+                    Err(e) => return Err(e),
+                };
+                fetched.push(Fetched {
+                    index: i,
+                    start: start_i,
+                    entry,
+                    payload,
+                });
+            }
+            let first = next as u64;
+            next = wave_end;
+            Ok(Some((first, fetched)))
+        },
+        // Stage (super-step 1): decode the wave's slots.
+        |_, f| decode_slot(f),
+        // Sink: stitch the wave's buffers and run the match super-step.
+        |wave, slots: Vec<DecodedSlot>| {
+            // Fetch-level issues surface before decode issues, in block
+            // order — the reporting order the serial engine had.
+            for s in &slots {
+                if let Err((issue, true)) = &s.data {
+                    summary.issues.push(*issue);
                 }
-                Err(e) => return Err(e),
-            };
-            fetched.push(Fetched {
-                index: i,
-                start: start_i,
-                entry,
-                payload,
-            });
-        }
-
-        // Super-step 1: decode the wave.
-        let decoded = decode_wave(pram, fetched);
-
-        // Stitch: build each block's search buffer (tail ++ block) and
-        // advance the tail. Sequential by necessity — the tail chains —
-        // but O(wave bytes), charged as one round.
-        let mut bufs = Vec::with_capacity(decoded.len());
-        let mut copied = 0u64;
-        for (f, d) in decoded {
-            match d {
-                Some(Ok(bytes)) => {
-                    let mut buf = Vec::with_capacity(tail.len() + bytes.len());
-                    buf.extend_from_slice(&tail);
-                    buf.extend_from_slice(&bytes);
-                    copied += buf.len() as u64;
-                    let keep = buf.len().min(m.saturating_sub(1) as usize);
-                    tail = buf[buf.len() - keep..].to_vec();
-                    bufs.push(SearchBuf {
-                        block_start: f.start,
-                        buf_start: f.start - (buf.len() - bytes.len()) as u64,
-                        bytes: buf,
-                    });
-                }
-                Some(Err(issue)) => {
-                    if cfg.strict {
-                        return Err(StreamError::CorruptBlock {
-                            index: issue.index,
-                            kind: issue.kind,
+            }
+            // Stitch: build each block's search buffer (tail ++ block) and
+            // advance the tail. Sequential by necessity — the tail chains —
+            // but O(wave bytes), charged as one round.
+            let mut bufs = Vec::with_capacity(slots.len());
+            let mut copied = 0u64;
+            for s in slots {
+                match s.data {
+                    Ok(bytes) => {
+                        let mut buf = Vec::with_capacity(tail.len() + bytes.len());
+                        buf.extend_from_slice(&tail);
+                        buf.extend_from_slice(&bytes);
+                        copied += buf.len() as u64;
+                        let keep = buf.len().min(m.saturating_sub(1) as usize);
+                        tail = buf[buf.len() - keep..].to_vec();
+                        bufs.push(SearchBuf {
+                            block_start: s.start,
+                            buf_start: s.start - (buf.len() - bytes.len()) as u64,
+                            bytes: buf,
                         });
                     }
-                    summary.issues.push(issue);
-                    // The overlap into the successor is gone with the
-                    // block; matches resume cleanly at the next boundary.
-                    tail.clear();
+                    Err((issue, at_fetch)) => {
+                        if strict {
+                            return Err(StreamError::CorruptBlock {
+                                index: issue.index,
+                                kind: issue.kind,
+                            });
+                        }
+                        if !at_fetch {
+                            summary.issues.push(issue);
+                        }
+                        // The overlap into the successor is gone with the
+                        // block; matches resume cleanly at the next boundary.
+                        tail.clear();
+                    }
                 }
-                // Fetch already failed and was reported; drop the tail for
-                // the same reason as a decode failure.
-                None => tail.clear(),
             }
-        }
-        pram.ledger().round(copied);
+            wave.serial(copied);
+            summary.blocks_searched += bufs.len() as u64;
 
-        // Super-step 2: match the wave.
-        for hits in match_wave(pram, matcher, &bufs) {
-            summary
-                .hits
-                .extend(hits.into_iter().filter(|h| h.pos >= start && h.pos < end));
-        }
-        summary.blocks_searched += bufs.len() as u64;
-        wave_span.finish(pram.cost().since(wave_before));
-        next = wave_end;
-    }
+            // Super-step 2: match the wave.
+            for hits in wave.superstep(bufs, |_, b: SearchBuf| match_buf(matcher, &b)) {
+                summary
+                    .hits
+                    .extend(hits.into_iter().filter(|h| h.pos >= start && h.pos < end));
+            }
+            Ok(())
+        },
+    )?;
 
     // Blocks report by *hit end*, so a straddling hit surfaces after
     // same-position hits from the previous block; restore the canonical
@@ -430,6 +429,7 @@ mod tests {
         let cfg = GrepConfig {
             wave: 3,
             strict: false,
+            pipeline: true,
         };
         let mut rdr = StreamReader::open(std::io::Cursor::new(&packed)).unwrap();
         let seq = Pram::seq();

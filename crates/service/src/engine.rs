@@ -354,16 +354,33 @@ impl Engine {
                 Err(e) => (Err(e), pardict_pram::Cost::default(), Lane::Batched),
                 Ok(()) => {
                     let mut lane = Lane::Batched;
+                    // The ambient deadline makes multi-wave operations
+                    // (stream compress, container grep) re-check at every
+                    // super-step boundary, not only at dequeue.
                     let (result, cost) = if let (Some((t, _)), Some(rs)) = (&tctx, &req_span) {
                         let mut exec_span = t.start(rs.ctx(), "exec", 0);
                         let (r, c) = pardict_trace::with_scope(t, exec_span.ctx(), || {
-                            pram.metered(|p| self.execute(p, &job.req.op, &mut lane))
+                            pardict_exec::with_deadline(job.req.deadline, || {
+                                pram.metered(|p| self.execute(p, &job.req.op, &mut lane))
+                            })
                         });
                         exec_span.set_lane(lane.name());
                         exec_span.finish(c);
                         (r, c)
                     } else {
-                        pram.metered(|p| self.execute(p, &job.req.op, &mut lane))
+                        pardict_exec::with_deadline(job.req.deadline, || {
+                            pram.metered(|p| self.execute(p, &job.req.op, &mut lane))
+                        })
+                    };
+                    // A deadline that expired *during* execution makes any
+                    // result stale — whether a wave boundary cancelled the
+                    // op or it ran to completion, the client gave up and is
+                    // answered DeadlineExceeded.
+                    let result = if job.req.deadline.is_some_and(|d| Instant::now() > d) {
+                        metrics.deadline_expired.inc();
+                        Err(ServiceError::DeadlineExceeded)
+                    } else {
+                        result
                     };
                     (result, cost, lane)
                 }
@@ -623,6 +640,36 @@ mod tests {
                 text: b"abc".to_vec(),
             },
             deadline: Some(Instant::now() - std::time::Duration::from_millis(1)),
+        };
+        let resp = e.call(req);
+        assert!(matches!(resp.result, Err(ServiceError::DeadlineExceeded)));
+        assert_eq!(e.metrics().deadline_expired.get(), 1);
+    }
+
+    #[test]
+    fn deadline_expiring_mid_execution_answers_deadline_exceeded() {
+        let metrics = Arc::new(Metrics::default());
+        let registry = Arc::new(Registry::new(Arc::clone(&metrics)));
+        let e = Engine::new(
+            EngineConfig {
+                workers: 0,
+                queue_depth: 8,
+                max_batch: 8,
+                seq_threshold: 16,
+                stream_threshold: 256, // many small blocks → many waves
+            },
+            registry,
+            metrics,
+        );
+        // The deadline survives the dequeue check but expires while the
+        // multi-wave stream compress runs. Whether a wave-boundary check
+        // cancels it mid-flight or it runs to completion, the client gave
+        // up — the answer must be DeadlineExceeded, never a stale result.
+        let text = b"a deadline is a deadline is a deadline all the way down ".repeat(1 << 14);
+        let req = Request {
+            trace: None,
+            op: OpRequest::Compress { text },
+            deadline: Some(Instant::now() + std::time::Duration::from_millis(2)),
         };
         let resp = e.call(req);
         assert!(matches!(resp.result, Err(ServiceError::DeadlineExceeded)));

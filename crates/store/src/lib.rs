@@ -193,9 +193,9 @@ impl Store {
     /// only environmental failures (not a directory, disk errors)
     /// return `Err`.
     pub fn open(dir: impl AsRef<Path>, cfg: StoreConfig) -> Result<Store, StoreError> {
-        // Recovery span (inert unless the caller installed an ambient
+        // Recovery section (inert unless the caller installed an ambient
         // trace scope); recorded on every exit path when it drops.
-        let _span = pardict_trace::scoped_span("store-recover", 0);
+        let _span = pardict_exec::section("store-recover", 0);
         let dir = dir.as_ref().to_path_buf();
         match fs::metadata(&dir) {
             Ok(m) if !m.is_dir() => return Err(StoreError::NotADirectory(dir)),
@@ -434,8 +434,8 @@ impl Store {
     /// point leaves a directory [`Store::open`] recovers fully (the
     /// rename-before-reset window is covered by sequence-number skips).
     pub fn compact(&mut self) -> Result<(), StoreError> {
-        // Compaction span, indexed by the generation being folded away.
-        let _span = pardict_trace::scoped_span("store-compact", self.generation);
+        // Compaction section, indexed by the generation being folded away.
+        let _span = pardict_exec::section("store-compact", self.generation);
         let last_seq = self.next_seq - 1;
         let dicts: Vec<SnapshotDict> = self
             .state

@@ -21,7 +21,7 @@
 //! nothing after it can be trusted because record boundaries themselves
 //! come from the (now suspect) length prefixes.
 
-use pardict_stream::crc32;
+use pardict_core::crc32;
 
 /// WAL file magic: "PDWL".
 pub const WAL_MAGIC: [u8; 4] = *b"PDWL";
@@ -99,7 +99,7 @@ impl WalRecord {
 
 /// The suffix of a WAL that recovery refused to trust, dropped and
 /// reported instead of applied — the log-level analogue of a corrupt
-/// block's [`pardict_stream::BlockIssue`].
+/// stream block's skip-and-report issue.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TornTail {
     /// Byte offset into the WAL file where the bad record starts.

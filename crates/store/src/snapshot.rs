@@ -23,7 +23,7 @@
 use crate::record::{
     decode_record_at, encode_record, get_u32, get_u64, put_u32, put_u64, WalRecord, STORE_VERSION,
 };
-use pardict_stream::crc32;
+use pardict_core::crc32;
 
 /// Snapshot file magic: "PDSN".
 pub const SNAP_MAGIC: [u8; 4] = *b"PDSN";

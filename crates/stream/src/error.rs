@@ -83,6 +83,9 @@ pub enum StreamError {
         /// What the decoder caught.
         kind: IssueKind,
     },
+    /// The operation was cancelled at a wave boundary because the caller's
+    /// ambient deadline ([`pardict_exec::with_deadline`]) expired.
+    Cancelled,
     /// A requested byte range lies outside the decoded stream.
     RangeOutOfBounds {
         /// Requested start offset.
@@ -106,6 +109,7 @@ impl fmt::Display for StreamError {
             StreamError::Truncated => write!(f, "container truncated"),
             StreamError::CorruptFooter(why) => write!(f, "corrupt index footer: {why}"),
             StreamError::CorruptBlock { index, kind } => write!(f, "block {index}: {kind}"),
+            StreamError::Cancelled => write!(f, "cancelled: deadline exceeded"),
             StreamError::RangeOutOfBounds { start, end, len } => {
                 write!(
                     f,
@@ -128,6 +132,12 @@ impl std::error::Error for StreamError {
 impl From<std::io::Error> for StreamError {
     fn from(e: std::io::Error) -> Self {
         StreamError::Io(e)
+    }
+}
+
+impl From<pardict_exec::Cancelled> for StreamError {
+    fn from(_: pardict_exec::Cancelled) -> Self {
+        StreamError::Cancelled
     }
 }
 

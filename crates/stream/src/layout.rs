@@ -221,7 +221,7 @@ pub fn assemble_container(block_size: u64, records: &[(RecordHeader, &[u8])]) ->
     out.push(END_OF_BLOCKS);
     let footer_offset = out.len() as u64;
     let footer = encode_footer(&entries);
-    let footer_crc = crate::crc::crc32(&footer);
+    let footer_crc = pardict_core::crc32(&footer);
     out.extend_from_slice(&footer);
     out.extend_from_slice(&encode_trailer(
         footer_offset,

@@ -30,13 +30,14 @@
 
 #![warn(missing_docs)]
 
-mod crc;
+pub mod crc;
 pub mod error;
 pub mod format;
 pub mod layout;
 mod reader;
 mod writer;
 
+#[allow(deprecated)]
 pub use crc::crc32;
 pub use error::{BlockIssue, IssueKind, StreamError};
 pub use format::{

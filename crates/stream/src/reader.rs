@@ -3,7 +3,6 @@
 //! reader that loads the index footer and decodes only the blocks
 //! covering a requested byte range.
 
-use crate::crc::crc32;
 use crate::error::{BlockIssue, IssueKind, StreamError};
 use crate::format::{
     parse_footer, parse_header, parse_record_tail, parse_trailer, BlockEntry, StreamIndex,
@@ -12,6 +11,7 @@ use crate::format::{
 };
 use crate::writer::STREAM_SEED;
 use pardict_compress::{decode_tokens, lz1_decompress};
+use pardict_core::crc32;
 use pardict_pram::{Cost, Pram};
 use std::io::{Read, Seek, SeekFrom, Write};
 
@@ -526,8 +526,78 @@ impl<R: Read + Seek> StreamReader<R> {
         self.block_iter_range(pram, 0..n)
     }
 
+    /// Decode blocks `blocks` in waves through the shared super-step
+    /// executor: payloads are fetched serially from the seekable source,
+    /// then each wave of [`pardict_exec::default_wave_width`] blocks
+    /// decodes as one super-step under a `decode-wave` span — concurrently
+    /// when `pram` is parallel, charged Σ work / max depth either way.
+    /// Fetch-level block corruption (header mismatch) is carried into the
+    /// slot as its [`BlockIssue`] so `sink` sees every block exactly once,
+    /// in order; structural failures abort.
+    fn decode_waves(
+        &mut self,
+        pram: &Pram,
+        blocks: std::ops::Range<usize>,
+        mut sink: impl FnMut(DecodedBlock) -> Result<(), StreamError>,
+    ) -> Result<(), StreamError> {
+        let width = pardict_exec::default_wave_width().max(1);
+        let mut next = blocks.start;
+        let end = blocks.end;
+        pardict_exec::run_waves(
+            pram,
+            "decode-wave",
+            false,
+            || {
+                if next >= end {
+                    return Ok(None);
+                }
+                let first = next;
+                let hi = (next + width).min(end);
+                let mut items = Vec::with_capacity(hi - next);
+                for i in next..hi {
+                    let entry = self.entry(i);
+                    let start = self.index.block_start(i);
+                    let payload = match self.raw_block(i) {
+                        Ok(p) => Ok(p),
+                        Err(StreamError::CorruptBlock { index, kind }) => Err(BlockIssue {
+                            index,
+                            raw_len: entry.raw_len,
+                            kind,
+                        }),
+                        Err(e) => return Err(e),
+                    };
+                    items.push((i, start, entry, payload));
+                }
+                next = hi;
+                Ok(Some((first as u64, items)))
+            },
+            |_, (i, start, entry, payload)| {
+                let seq = Pram::seq();
+                let (data, cost) = seq.metered(|p| match payload {
+                    Ok(pl) => decode_block(p, i as u64, &entry, pl),
+                    Err(issue) => Err(issue),
+                });
+                (
+                    DecodedBlock {
+                        index: i,
+                        start,
+                        data,
+                    },
+                    cost,
+                )
+            },
+            |_, outs| {
+                for b in outs {
+                    sink(b)?;
+                }
+                Ok(())
+            },
+        )
+    }
+
     /// Decode exactly the bytes `start..end` of the original stream,
-    /// touching only the covering blocks.
+    /// touching only the covering blocks (decoded in parallel waves under
+    /// a parallel context).
     ///
     /// # Errors
     /// [`StreamError::RangeOutOfBounds`] for ranges past the end;
@@ -549,14 +619,14 @@ impl<R: Read + Seek> StreamReader<R> {
         let blocks = self.index.covering(start, end);
         let first_start = self.index.block_start(blocks.start);
         let mut out = Vec::with_capacity((end - start) as usize);
-        for item in self.block_iter_range(pram, blocks) {
-            let block = item?;
+        self.decode_waves(pram, blocks, |block| {
             let data = block.data.map_err(|issue| StreamError::CorruptBlock {
                 index: issue.index,
                 kind: issue.kind,
             })?;
             out.extend_from_slice(&data);
-        }
+            Ok(())
+        })?;
         let lo = (start - first_start) as usize;
         let hi = (end - first_start) as usize;
         out.drain(hi..);
@@ -565,19 +635,22 @@ impl<R: Read + Seek> StreamReader<R> {
     }
 
     /// Decode the whole stream leniently: corrupt blocks are skipped and
-    /// reported alongside the concatenation of every good block.
+    /// reported alongside the concatenation of every good block. Blocks
+    /// decode in parallel waves under a parallel context.
     ///
     /// # Errors
     /// Only I/O failures; corruption is reported, not raised.
     pub fn read_all(&mut self, pram: &Pram) -> Result<(Vec<u8>, Vec<BlockIssue>), StreamError> {
         let mut out = Vec::new();
         let mut issues = Vec::new();
-        for item in self.block_iter(pram) {
-            match item?.data {
-                Ok(block) => out.extend_from_slice(&block),
+        let n = self.index.num_blocks();
+        self.decode_waves(pram, 0..n, |block| {
+            match block.data {
+                Ok(bytes) => out.extend_from_slice(&bytes),
                 Err(issue) => issues.push(issue),
             }
-        }
+            Ok(())
+        })?;
         Ok((out, issues))
     }
 }

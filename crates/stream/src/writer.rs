@@ -14,7 +14,6 @@
 //! own sequential context; the caller's [`Pram`] receives the aggregated
 //! attribution — the same scheme the service engine uses per batch.
 
-use crate::crc::crc32;
 use crate::error::StreamError;
 use crate::format::{
     encode_footer, encode_header, encode_record_header, encode_trailer, BlockEntry, RecordHeader,
@@ -22,7 +21,8 @@ use crate::format::{
     RECORD_HEADER_LEN,
 };
 use pardict_compress::{encode_tokens, lz1_compress};
-use pardict_pram::{Cost, Mode, Pram, SplitMix64};
+use pardict_core::crc32;
+use pardict_pram::{Cost, Pram, SplitMix64};
 use std::io::{Read, Write};
 
 /// Seed for the block-local LZ1 fingerprint family; fixed (and mixed with
@@ -141,37 +141,28 @@ fn compress_block(block: &[u8], index: u64) -> BlockOut {
     }
 }
 
-/// Compress a wave of blocks — concurrently when the caller's context is
-/// parallel — and charge the caller's ledger one super-step: summed work,
-/// maximum depth. Records a `compress-wave` span (indexed by the wave's
-/// first block) when the caller installed an ambient trace scope.
-fn compress_wave(pram: &Pram, blocks: &[&[u8]], first_index: u64) -> Vec<BlockOut> {
-    let span = pardict_trace::scoped_span("compress-wave", first_index);
-    let outs: Vec<BlockOut> = if pram.mode() == Mode::Par && blocks.len() > 1 {
-        std::thread::scope(|s| {
-            let handles: Vec<_> = blocks
-                .iter()
-                .enumerate()
-                .map(|(k, &b)| s.spawn(move || compress_block(b, first_index + k as u64)))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("block compression worker panicked"))
-                .collect()
-        })
-    } else {
-        blocks
-            .iter()
-            .enumerate()
-            .map(|(k, &b)| compress_block(b, first_index + k as u64))
-            .collect()
-    };
-    let work: u64 = outs.iter().map(|o| o.cost.work).sum();
-    let depth = outs.iter().map(|o| o.cost.depth).max().unwrap_or(0);
-    pram.ledger().charge_work(work);
-    pram.ledger().charge_depth(depth);
-    span.finish(Cost { work, depth });
-    outs
+/// Compress a wave of blocks as one [`pardict_exec::Wave`] super-step:
+/// blocks run concurrently when the caller's context is parallel, the
+/// caller's ledger is charged summed work and maximum depth, and a
+/// `compress-wave` span (indexed by the wave's first block) records the
+/// round when the caller installed an ambient trace scope.
+///
+/// # Errors
+/// [`StreamError::Cancelled`] when the caller's ambient deadline
+/// ([`pardict_exec::with_deadline`]) has expired at this wave boundary.
+fn compress_wave(
+    pram: &Pram,
+    blocks: &[&[u8]],
+    first_index: u64,
+) -> Result<Vec<BlockOut>, StreamError> {
+    let wave = pardict_exec::Wave::open(pram, "compress-wave", first_index)?;
+    let outs = wave.superstep(blocks.to_vec(), |k, b: &[u8]| {
+        let out = compress_block(b, first_index + k as u64);
+        let cost = out.cost;
+        (out, cost)
+    });
+    wave.finish();
+    Ok(outs)
 }
 
 /// A `std::io::Write` adapter that frames everything written through it
@@ -238,7 +229,7 @@ impl<'p, W: Write> StreamCompressor<'p, W> {
             .take(nblocks)
             .collect();
         let consumed: usize = blocks.iter().map(|b| b.len()).sum();
-        let outs = compress_wave(self.pram, &blocks, self.entries.len() as u64);
+        let outs = compress_wave(self.pram, &blocks, self.entries.len() as u64)?;
         for out in outs {
             let crc = crc32(&out.payload);
             let header = encode_record_header(&RecordHeader {

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Run the super-step executor benches (barrier vs pipelined wave schedules)
+# and collect machine-readable results into BENCH_PR10.json
+# ({bench_name: {median_ns, min_ns, samples}}).
+# Offline like ci.sh: everything resolves inside the workspace.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+OUT=${1:-BENCH_PR10.json}
+JSONL=$(mktemp)
+trap 'rm -f "$JSONL"' EXIT
+
+echo "== cargo bench -p pardict-bench --bench wave"
+CRITERION_JSON="$JSONL" cargo bench -p pardict-bench --bench wave
+
+echo "== merging results into $OUT"
+python3 - "$JSONL" "$OUT" <<'EOF'
+import json, sys
+
+jsonl, out = sys.argv[1], sys.argv[2]
+merged = {}
+with open(jsonl) as f:
+    for line in f:
+        line = line.strip()
+        if not line:
+            continue
+        rec = json.loads(line)
+        name = rec.pop("bench")
+        merged[name] = rec
+if not merged:
+    sys.exit("bench_wave.sh: no benchmark results captured")
+with open(out, "w") as f:
+    json.dump(merged, f, indent=2, sort_keys=True)
+    f.write("\n")
+print(f"{len(merged)} benches -> {out}")
+EOF
+
+echo "bench_wave.sh: done"

@@ -58,6 +58,16 @@ grep -bo 12345 "$SMOKE/input.bin" | cut -d: -f1 > "$SMOKE/grep.raw.txt"
 cmp "$SMOKE/grep.zip.txt" "$SMOKE/grep.raw.txt"
 test -s "$SMOKE/grep.zip.txt"
 
+echo "== executor wave smoke"
+# Wave-size independence at the process level: the super-step executor
+# must produce byte-identical hits with the wave forced to one block (a
+# degenerate 20-wave schedule) and with the barrier schedule, matching
+# the default pipelined run above.
+"$PARDICT" grep 12345 --offsets --wave 1 --in "$SMOKE/packed.pdzs" > "$SMOKE/grep.w1.txt"
+cmp "$SMOKE/grep.zip.txt" "$SMOKE/grep.w1.txt"
+"$PARDICT" grep 12345 --offsets --barrier --in "$SMOKE/packed.pdzs" > "$SMOKE/grep.bar.txt"
+cmp "$SMOKE/grep.zip.txt" "$SMOKE/grep.bar.txt"
+
 # Same one-byte corruption: nonzero exit naming the damaged block, while
 # matches from the intact blocks survive as a subset of the clean offsets.
 if "$PARDICT" grep 12345 --offsets --in "$SMOKE/corrupt.pdzs" \

@@ -95,7 +95,7 @@ fn usage() -> String {
     "usage: pardict <match|grep|compress|decompress|cat|parse|delta|patch|stats|serve|cluster|store|chaos|trace> \
      [--dict FILE] [-o FILE] [INPUT...]\n\
      grep:     pardict grep (--dict FILE IN | PATTERN... --in IN) \
-     [--count|--offsets] [--strict]\n\
+     [--count|--offsets] [--strict] [--wave N] [--barrier]\n\
      \x20         IN may be raw bytes or a .pdzs container (auto-detected)\n\
      compress: pardict compress [--stream|--whole] [--block-size N] IN [-o OUT]\n\
      cat:      pardict cat --range A..B CONTAINER [-o OUT]\n\
@@ -225,6 +225,8 @@ fn cmd_grep(args: &[String]) -> Result<(), String> {
     let mut count_only = false;
     let mut offsets_only = false;
     let mut strict = false;
+    let mut wave: Option<usize> = None;
+    let mut barrier = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -234,6 +236,16 @@ fn cmd_grep(args: &[String]) -> Result<(), String> {
             "--count" => count_only = true,
             "--offsets" => offsets_only = true,
             "--strict" => strict = true,
+            "--wave" => {
+                let n = it.next().ok_or("--wave needs a block count")?;
+                wave = Some(
+                    n.parse::<usize>()
+                        .ok()
+                        .filter(|&n| n > 0)
+                        .ok_or_else(|| format!("--wave {n:?}: need a positive block count"))?,
+                );
+            }
+            "--barrier" => barrier = true,
             other => pos.push(other),
         }
     }
@@ -276,6 +288,12 @@ fn cmd_grep(args: &[String]) -> Result<(), String> {
         let mut cfg = GrepConfig::default();
         if strict {
             cfg = cfg.strict();
+        }
+        if let Some(w) = wave {
+            cfg.wave = w;
+        }
+        if barrier {
+            cfg = cfg.barrier();
         }
         let summary =
             grep_container(&pram, &matcher, &mut rdr, &cfg).map_err(|e| format!("{path}: {e}"))?;

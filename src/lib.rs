@@ -58,6 +58,7 @@
 //! | crate | contents |
 //! |---|---|
 //! | [`pram`] | work/depth ledger, scans, packs, list ranking, sorting |
+//! | [`exec`] | the super-step executor: wave fan-out, per-wave ledger charge and trace span, pipelining, deadlines |
 //! | [`fingerprint`] | Karp–Rabin fingerprints mod 2⁶¹−1 |
 //! | [`rmq`] | sparse tables, ANSV, cartesian trees, ±1 RMQ, LCA, linear RMQ |
 //! | [`veb`] | van Emde Boas predecessor sets |
@@ -80,6 +81,7 @@ pub use pardict_chaos as chaos;
 pub use pardict_cluster as cluster;
 pub use pardict_compress as compress;
 pub use pardict_core as core;
+pub use pardict_exec as exec;
 pub use pardict_fingerprint as fingerprint;
 pub use pardict_graph as graph;
 pub use pardict_pram as pram;

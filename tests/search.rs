@@ -104,6 +104,60 @@ proptest! {
             .collect();
         prop_assert_eq!(got, expect);
     }
+
+    /// Pipelining is invisible to everything but the clock: pipelined grep
+    /// and barrier grep return identical hits, identical issue reports,
+    /// identical block counts, and **identical ledger costs** under both
+    /// `Pram::seq` and `Pram::par` — including on corrupted containers.
+    #[test]
+    fn pipelined_grep_equals_barrier_grep(
+        text in prop::collection::vec(prop::sample::select(vec![b'a', b'b', b'c', b'd']), 1..600),
+        pats in prop::collection::vec(
+            prop::collection::vec(prop::sample::select(vec![b'a', b'b', b'c', b'd']), 1..8),
+            1..5,
+        ),
+        block_size in 1usize..40,
+        wave in 1usize..5,
+        corrupt in 0usize..10_000,
+    ) {
+        let dict = Dictionary::new(pats);
+        let build = Pram::seq();
+        let matcher = DictMatcher::build(&build, dict, 0xA11);
+        let mut packed = pack(&text, block_size);
+        // Half the cases flip one payload byte of an arbitrary block: both
+        // schedules must report the same issues and skip the same spans.
+        if corrupt % 2 == 1 {
+            let c = corrupt / 2;
+            let rdr = StreamReader::open(std::io::Cursor::new(&packed)).unwrap();
+            let entries = rdr.index().entries.clone();
+            let e = entries[c % entries.len()];
+            if e.comp_len > 0 {
+                packed[e.offset as usize + stream::format::RECORD_HEADER_LEN] ^= 0x04;
+            }
+        }
+
+        let run = |pram: &Pram, pipeline: bool| {
+            let cfg = GrepConfig { wave, strict: false, pipeline };
+            let mut rdr = StreamReader::open(std::io::Cursor::new(&packed)).unwrap();
+            pram.metered(|p| grep_container(p, &matcher, &mut rdr, &cfg).unwrap())
+        };
+        let (seq_b, seq_b_cost) = run(&Pram::seq(), false);
+        let (seq_p, seq_p_cost) = run(&Pram::seq(), true);
+        let (par_b, par_b_cost) = run(&Pram::par(), false);
+        let (par_p, par_p_cost) = run(&Pram::par(), true);
+
+        prop_assert_eq!(&seq_p.hits, &seq_b.hits);
+        prop_assert_eq!(&par_b.hits, &seq_b.hits);
+        prop_assert_eq!(&par_p.hits, &seq_b.hits);
+        prop_assert_eq!(&seq_p.issues, &seq_b.issues);
+        prop_assert_eq!(&par_b.issues, &seq_b.issues);
+        prop_assert_eq!(&par_p.issues, &seq_b.issues);
+        prop_assert_eq!(seq_p.blocks_searched, seq_b.blocks_searched);
+        prop_assert_eq!(par_p.blocks_searched, seq_b.blocks_searched);
+        prop_assert_eq!(seq_p_cost, seq_b_cost, "pipelining must not change the ledger");
+        prop_assert_eq!(par_b_cost, seq_b_cost, "mode must not change the ledger");
+        prop_assert_eq!(par_p_cost, seq_b_cost);
+    }
 }
 
 /// A pattern longer than two whole blocks must still be found: its

@@ -452,7 +452,7 @@ fn snapshot_decode_rejects_delta_records() {
     bytes.extend_from_slice(&1u32.to_le_bytes()); // count
     bytes.extend_from_slice(&encode_record(0, &rec).unwrap());
     bytes.extend_from_slice(&1u64.to_le_bytes()); // trailer count
-    let crc = pardict::stream::crc32(&bytes);
+    let crc = pardict::core::crc32(&bytes);
     bytes.extend_from_slice(&crc.to_le_bytes());
     bytes.extend_from_slice(b"NSDP");
     let err = decode_snapshot(&bytes).unwrap_err();
